@@ -1,0 +1,28 @@
+.PHONY: all build test bench bench-full examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-full:
+	dune exec bench/main.exe -- --full
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/bibliography.exe
+	dune exec examples/auction_analytics.exe
+	dune exec examples/streaming_monitor.exe
+	dune exec examples/persistent_database.exe
+
+clean:
+	dune clean
+
+smoke:
+	./scripts/smoke.sh
