@@ -1,0 +1,324 @@
+(* xqp — command-line front end.
+
+   Subcommands:
+     query     run an XPath or XQuery expression against a document
+     explain   show the logical plan before/after rewriting, the pattern
+               graph, its NoK partition, and the cost model's estimates
+     stats     print document statistics
+     generate  emit a synthetic workload document *)
+
+open Cmdliner
+open Xqp_xml
+open Xqp_algebra
+open Xqp_physical
+
+(* --- document sources ------------------------------------------------ *)
+
+let load_document ~file ~gen =
+  match (file, gen) with
+  | Some path, None ->
+    if Filename.check_suffix path ".xqdb" then
+      (* a saved succinct store: rebuild the packed document from it *)
+      Document.of_tree (Xqp_storage.Succinct_store.to_tree (Xqp_storage.Store_io.load path))
+    else Document.of_tree (Xml_parser.parse_file ~strip:true path)
+  | None, Some spec -> (
+    match String.split_on_char ':' spec with
+    | [ "auction"; n ] -> Xqp_workload.Gen_auction.packed ~scale:(int_of_string n) ()
+    | [ "bib"; n ] -> Xqp_workload.Gen_bib.packed ~books:(int_of_string n) ()
+    | [ "chain"; n ] ->
+      Document.of_tree (Xqp_workload.Gen_synthetic.deep_chain ~depth:(int_of_string n) "a")
+    | _ -> failwith "unknown generator; use auction:N, bib:N or chain:N")
+  | Some _, Some _ -> failwith "give either --file or --gen, not both"
+  | None, None -> failwith "a document is required: --file FILE or --gen SPEC"
+
+let file_arg =
+  let doc = "XML document to query (.xml), or a saved store (.xqdb, see the index command)." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let gen_arg =
+  let doc = "Generate a synthetic document instead: auction:N, bib:N or chain:N." in
+  Arg.(value & opt (some string) None & info [ "g"; "gen" ] ~docv:"SPEC" ~doc)
+
+let strategy_arg =
+  let strategies =
+    [
+      ("auto", Executor.Auto);
+      ("reference", Executor.Reference);
+      ("navigation", Executor.Navigation);
+      ("nok", Executor.Nok);
+      ("pathstack", Executor.Pathstack);
+      ("twigstack", Executor.Twigstack);
+      ("binary", Executor.Binary_default);
+      ("binary-best", Executor.Binary_best);
+    ]
+  in
+  let doc = "Physical engine: auto, reference, navigation, nok, pathstack, twigstack, binary, binary-best." in
+  Arg.(value & opt (enum strategies) Executor.Auto & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let query_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"The query text.")
+
+(* --- query ------------------------------------------------------------ *)
+
+let run_query file gen strategy xquery_mode limit query =
+  let doc = load_document ~file ~gen in
+  let exec = Executor.create doc in
+  if xquery_mode then begin
+    let value = Xqp_xquery.Eval.eval_query exec ~strategy query in
+    let trees = Xqp_xquery.Eval.result_trees exec value in
+    let shown = match limit with Some k -> List.filteri (fun i _ -> i < k) trees | None -> trees in
+    List.iter (fun t -> print_endline (Serializer.to_string ~indent:2 t)) shown;
+    Printf.printf "(%d items)\n" (List.length trees)
+  end
+  else begin
+    let nodes = Executor.query exec ~strategy query in
+    let shown = match limit with Some k -> List.filteri (fun i _ -> i < k) nodes | None -> nodes in
+    List.iter
+      (fun id ->
+        match Document.kind doc id with
+        | Document.Attribute ->
+          Printf.printf "@%s=\"%s\"\n" (Document.name doc id) (Document.content doc id)
+        | Document.Text -> print_endline (Document.content doc id)
+        | Document.Element | Document.Comment | Document.Pi ->
+          print_endline (Serializer.to_string (Document.to_tree doc id)))
+      shown;
+    Printf.printf "(%d nodes)\n" (List.length nodes)
+  end;
+  0
+
+let query_cmd =
+  let xquery_flag =
+    Arg.(value & flag & info [ "x"; "xquery" ] ~doc:"Treat QUERY as XQuery instead of XPath.")
+  in
+  let limit_arg =
+    Arg.(value & opt (some int) None & info [ "n"; "limit" ] ~docv:"N" ~doc:"Print at most $(docv) results.")
+  in
+  let term = Term.(const run_query $ file_arg $ gen_arg $ strategy_arg $ xquery_flag $ limit_arg $ query_arg) in
+  Cmd.v (Cmd.info "query" ~doc:"Run a query against a document") term
+
+(* --- explain ----------------------------------------------------------- *)
+
+let run_explain file gen query =
+  let doc = load_document ~file ~gen in
+  let exec = Executor.create doc in
+  let plan = Xqp_xpath.Parser.parse query in
+  let simplified = Rewrite.simplify plan in
+  let optimized = Rewrite.optimize plan in
+  Format.printf "parsed plan:     %a@." Logical_plan.pp simplified;
+  Format.printf "optimized plan:  %a@." Logical_plan.pp optimized;
+  (match optimized with
+  | Logical_plan.Tpm (_, pattern) ->
+    Format.printf "pattern graph:   %a@." Pattern_graph.pp pattern;
+    Format.printf "NoK partition:   %a@." Nok_partition.pp (Nok_partition.partition pattern);
+    let stats = Executor.statistics exec in
+    Format.printf "estimated rows:  %.1f@." (Statistics.estimate_result stats pattern);
+    List.iter
+      (fun engine ->
+        if Cost_model.supports pattern engine then
+          Format.printf "  cost[%s] = %.0f@."
+            (Cost_model.engine_name engine)
+            (Cost_model.estimate stats pattern engine))
+      Cost_model.all_engines;
+    Format.printf "chosen engine:   %s@."
+      (Cost_model.engine_name (Cost_model.choose stats pattern))
+  | _ -> Format.printf "(plan is not a single pattern; steps run navigationally)@.");
+  let t0 = Sys.time () in
+  let result = Executor.query exec query in
+  Format.printf "result:          %d nodes in %.1f ms@." (List.length result)
+    ((Sys.time () -. t0) *. 1000.0);
+  0
+
+let explain_cmd =
+  let term = Term.(const run_explain $ file_arg $ gen_arg $ query_arg) in
+  Cmd.v (Cmd.info "explain" ~doc:"Show plans, rewriting, partition and cost estimates") term
+
+(* --- stats ------------------------------------------------------------- *)
+
+let run_stats file gen =
+  let doc = load_document ~file ~gen in
+  Format.printf "%a@." Document.pp_stats doc;
+  let stats = Statistics.build doc in
+  Format.printf "%a@." Statistics.pp stats;
+  let store = Xqp_storage.Succinct_store.of_document doc in
+  Format.printf "succinct store: %a@." Xqp_storage.Succinct_store.pp_footprint
+    (Xqp_storage.Succinct_store.footprint store);
+  0
+
+let stats_cmd =
+  let term = Term.(const run_stats $ file_arg $ gen_arg) in
+  Cmd.v (Cmd.info "stats" ~doc:"Print document and storage statistics") term
+
+(* --- generate ---------------------------------------------------------- *)
+
+let run_generate spec output =
+  let tree =
+    match String.split_on_char ':' spec with
+    | [ "auction"; n ] -> Xqp_workload.Gen_auction.document ~scale:(int_of_string n) ()
+    | [ "bib"; n ] -> Xqp_workload.Gen_bib.document ~books:(int_of_string n) ()
+    | [ "chain"; n ] -> Xqp_workload.Gen_synthetic.deep_chain ~depth:(int_of_string n) "a"
+    | _ -> failwith "unknown generator; use auction:N, bib:N or chain:N"
+  in
+  (match output with
+  | Some path ->
+    Serializer.to_file ~indent:2 ~declaration:true path tree;
+    Printf.printf "wrote %s (%d nodes)\n" path (Tree.node_count tree)
+  | None -> print_endline (Serializer.to_string ~indent:2 tree));
+  0
+
+let generate_cmd =
+  let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc:"auction:N, bib:N or chain:N.") in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
+  let term = Term.(const run_generate $ spec $ output) in
+  Cmd.v (Cmd.info "generate" ~doc:"Emit a synthetic workload document") term
+
+(* --- index ------------------------------------------------------------- *)
+
+let run_index file gen output =
+  let doc = load_document ~file ~gen in
+  let store = Xqp_storage.Succinct_store.of_document doc in
+  Xqp_storage.Store_io.save store output;
+  let f = Xqp_storage.Succinct_store.footprint store in
+  Printf.printf "wrote %s: %d nodes, %d bytes in memory\n" output
+    (Xqp_storage.Succinct_store.node_count store)
+    (Xqp_storage.Succinct_store.total_bytes f);
+  0
+
+let index_cmd =
+  let output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE.xqdb"
+           ~doc:"Store file to write.")
+  in
+  let term = Term.(const run_index $ file_arg $ gen_arg $ output) in
+  Cmd.v (Cmd.info "index" ~doc:"Build and save a succinct store (.xqdb)") term
+
+(* --- pages ------------------------------------------------------------- *)
+
+let run_pages file query =
+  if not (Filename.check_suffix file ".xqdb") then
+    failwith "pages works on saved stores; build one with: xqp index -f doc.xml -o doc.xqdb";
+  (* indexes (tag streams) live in RAM, data pages on disk *)
+  let doc = Document.of_tree (Xqp_storage.Succinct_store.to_tree (Xqp_storage.Store_io.load file)) in
+  let paged = Xqp_storage.Paged_store.open_store file in
+  let pool = Xqp_storage.Paged_store.pool paged in
+  let pattern = Xqp_xpath.Parser.parse_pattern query in
+  let context = [ Operators.document_context ] in
+  let run () = Nok_paged.match_pattern doc paged pattern ~context in
+  Xqp_storage.Buffer_pool.drop_cache pool;
+  Xqp_storage.Buffer_pool.reset_stats pool;
+  let result = run () in
+  let cold = Xqp_storage.Buffer_pool.stats pool in
+  Xqp_storage.Buffer_pool.reset_stats pool;
+  ignore (run ());
+  let warm = Xqp_storage.Buffer_pool.stats pool in
+  let results = match result with (_, ns) :: _ -> List.length ns | [] -> 0 in
+  let page_count = (Xqp_storage.Buffer_pool.file_size pool + 4095) / 4096 in
+  Format.printf "results:    %d nodes@." results;
+  Format.printf "file:       %d pages@." page_count;
+  Format.printf "cold run:   %a@." Xqp_storage.Buffer_pool.pp_stats cold;
+  Format.printf "warm run:   %a@." Xqp_storage.Buffer_pool.pp_stats warm;
+  Xqp_storage.Paged_store.close paged;
+  0
+
+let pages_cmd =
+  let file =
+    Arg.(required & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE.xqdb"
+           ~doc:"Saved store to query.")
+  in
+  let term = Term.(const run_pages $ file $ query_arg) in
+  Cmd.v
+    (Cmd.info "pages" ~doc:"Run NoK against the disk-resident store and report page faults")
+    term
+
+(* --- repl -------------------------------------------------------------- *)
+
+let run_repl file gen =
+  let doc = load_document ~file ~gen in
+  let exec = Executor.create doc in
+  Format.printf "xqp repl — %a@." Document.pp_stats doc;
+  Format.printf "XPath by default; prefix with 'xq ' for XQuery, 'explain ' for plans; ctrl-d quits.@.";
+  let rec loop () =
+    Format.printf "xqp> %!";
+    match In_channel.input_line stdin with
+    | None -> Format.printf "@."
+    | Some "" -> loop ()
+    | Some line ->
+      (try
+         if String.length line > 3 && String.equal (String.sub line 0 3) "xq " then begin
+           let q = String.sub line 3 (String.length line - 3) in
+           let value = Xqp_xquery.Eval.eval_query exec q in
+           List.iter
+             (fun t -> print_endline (Serializer.to_string t))
+             (Xqp_xquery.Eval.result_trees exec value);
+           Format.printf "(%d items)@." (List.length value)
+         end
+         else if String.length line > 8 && String.equal (String.sub line 0 8) "explain " then begin
+           let q = String.sub line 8 (String.length line - 8) in
+           let plan = Xqp_xpath.Parser.parse q in
+           Format.printf "optimized: %a@." Logical_plan.pp (Rewrite.optimize plan)
+         end
+         else begin
+           let nodes = Executor.query exec line in
+           List.iteri
+             (fun i id ->
+               if i < 20 then
+                 match Document.kind doc id with
+                 | Document.Attribute ->
+                   Format.printf "@%s=\"%s\"@." (Document.name doc id) (Document.content doc id)
+                 | Document.Text -> Format.printf "%s@." (Document.content doc id)
+                 | _ -> Format.printf "%s@." (Serializer.to_string (Document.to_tree doc id)))
+             nodes;
+           Format.printf "(%d nodes)@." (List.length nodes)
+         end
+       with
+      | Xqp_xpath.Parser.Parse_error m -> Format.printf "parse error: %s@." m
+      | Xqp_xpath.Lexer.Lex_error { message; _ } -> Format.printf "lex error: %s@." message
+      | Xqp_xquery.Xq_parser.Parse_error { position; message } ->
+        Format.printf "parse error at %d: %s@." position message
+      | Xqp_xquery.Eval.Error m -> Format.printf "error: %s@." m
+      | Failure m -> Format.printf "error: %s@." m);
+      loop ()
+  in
+  loop ();
+  0
+
+let repl_cmd =
+  let term = Term.(const run_repl $ file_arg $ gen_arg) in
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive query shell") term
+
+(* --- validate ----------------------------------------------------------- *)
+
+let run_validate paths =
+  let failures = ref 0 in
+  List.iter
+    (fun path ->
+      match Xml_parser.parse_file path with
+      | tree ->
+        Printf.printf "%s: well-formed (%d nodes, depth %d)\n" path (Tree.node_count tree)
+          (Tree.depth tree)
+      | exception Sax.Parse_error { line; column; message } ->
+        incr failures;
+        Printf.printf "%s:%d:%d: %s\n" path line column message
+      | exception Sys_error m ->
+        incr failures;
+        Printf.printf "%s\n" m)
+    paths;
+  if !failures > 0 then 1 else 0
+
+let validate_cmd =
+  let paths = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"XML files.") in
+  let term = Term.(const run_validate $ paths) in
+  Cmd.v (Cmd.info "validate" ~doc:"Check well-formedness; print position of the first error") term
+
+(* --- main -------------------------------------------------------------- *)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info = Cmd.info "xqp" ~version:"1.0.0" ~doc:"XML query processing and optimization" in
+  let group =
+    Cmd.group ~default info
+      [
+        query_cmd; explain_cmd; stats_cmd; generate_cmd; index_cmd; pages_cmd; repl_cmd;
+        validate_cmd;
+      ]
+  in
+  exit (Cmd.eval' group)

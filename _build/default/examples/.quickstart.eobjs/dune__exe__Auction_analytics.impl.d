@@ -1,0 +1,1 @@
+examples/auction_analytics.ml: Cost_model Document Executor Format List Nok_partition Pattern_graph Statistics String Sys Xqp_algebra Xqp_physical Xqp_workload Xqp_xml Xqp_xpath Xqp_xquery

@@ -1,0 +1,1 @@
+examples/bibliography.ml: Axis Document Env Eval Executor Format Gtp List Operators Schema_tree Serializer String Translate Value Xq_parser Xqp_algebra Xqp_physical Xqp_workload Xqp_xml Xqp_xquery

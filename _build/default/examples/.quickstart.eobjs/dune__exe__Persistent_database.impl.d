@@ -1,0 +1,1 @@
+examples/persistent_database.ml: Buffer_pool Document Filename Format List Paged_store Store_io Succinct_store Sys Tree Xqp_algebra Xqp_physical Xqp_storage Xqp_workload Xqp_xml Xqp_xpath

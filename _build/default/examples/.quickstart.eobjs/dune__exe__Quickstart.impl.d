@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Format List Sys Xqp

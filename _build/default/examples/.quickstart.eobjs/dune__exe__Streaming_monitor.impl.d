@@ -1,0 +1,1 @@
+examples/streaming_monitor.ml: Document Executor Format List Sax Serializer Streaming String Sys Xqp_physical Xqp_workload Xqp_xml Xqp_xpath

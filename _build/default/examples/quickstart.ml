@@ -1,0 +1,62 @@
+(* Quickstart: open a document, run XPath and XQuery, pick engines,
+   persist. Everything goes through the Xqp façade; see the other examples
+   for the layers underneath.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let source =
+  {|<library>
+      <shelf floor="1">
+        <book lang="en"><title>The Art of Computer Programming</title><year>1968</year></book>
+        <book lang="de"><title>Faust</title><year>1808</year></book>
+      </shelf>
+      <shelf floor="2">
+        <book lang="en"><title>A Relational Model of Data</title><year>1970</year></book>
+        <magazine><title>SIGMOD Record</title></magazine>
+      </shelf>
+    </library>|}
+
+let () =
+  (* 1. Open a database from a string (or Xqp.of_file for .xml / .xqdb). *)
+  let db = Xqp.of_string source in
+  Format.printf "document: %a@.@." Xqp.Xml.Document.pp_stats (Xqp.document db);
+
+  (* 2. XPath queries: parsed, rewritten into tree patterns, dispatched to
+     the engine the cost model picks. *)
+  let show q =
+    let nodes = Xqp.query db q in
+    Format.printf "%s -> %d nodes@.%s@.@." q (List.length nodes) (Xqp.to_xml db nodes)
+  in
+  show "/library/shelf/book/title";
+  show "//book[year > 1900]/title";
+  show "//shelf[book/title]/@floor";
+
+  (* 3. Every physical engine returns the same answer (they are
+     differential-tested against the algebra's reference implementation). *)
+  let q = "//book[year > 1900]/title" in
+  List.iter
+    (fun engine ->
+      Format.printf "%-16s %d nodes@."
+        (Xqp.Physical.Executor.strategy_name engine)
+        (List.length (Xqp.query ~engine db q)))
+    Xqp.Physical.Executor.all_strategies;
+
+  (* 4. Lazy consumers stop as soon as their answer is determined. *)
+  Format.printf "@.any pre-1900 book? %b@." (Xqp.query_exists db "//book[year < 1900]");
+  (match Xqp.query_first db "//title" with
+  | Some t -> Format.printf "first title: %s@." (Xqp.text db t)
+  | None -> ());
+
+  (* 5. XQuery, including construction, and a plan report. *)
+  Format.printf "@.XQuery:@.%s@.@."
+    (Xqp.xquery_string db
+       {|<english>{ for $b in //book where $b/@lang = "en" order by $b/year return $b/title }</english>|});
+  print_string (Xqp.explain db "//book[year > 1900]/title");
+
+  (* 6. Persist the succinct store and reopen it. *)
+  let path = Filename.temp_file "xqp_quickstart" ".xqdb" in
+  Xqp.save db path;
+  let db2 = Xqp.of_file path in
+  assert (Xqp.query db2 q = Xqp.query db q);
+  Format.printf "@.saved and reloaded %s — answers agree.@." path;
+  Sys.remove path

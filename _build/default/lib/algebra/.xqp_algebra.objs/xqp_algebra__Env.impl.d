@@ -1,0 +1,1 @@
+lib/algebra/env.ml: Buffer Format List Value

@@ -1,0 +1,1 @@
+lib/algebra/env.mli: Format Value Xqp_xml

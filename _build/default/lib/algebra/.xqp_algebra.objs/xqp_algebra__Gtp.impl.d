@@ -1,0 +1,1 @@
+lib/algebra/gtp.ml: Array Format List Nested_list Operators Pattern_graph Value Xqp_xml

@@ -1,0 +1,1 @@
+lib/algebra/gtp.mli: Format Nested_list Pattern_graph Value Xqp_xml

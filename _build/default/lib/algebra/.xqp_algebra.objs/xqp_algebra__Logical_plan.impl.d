@@ -1,0 +1,1 @@
+lib/algebra/logical_plan.ml: Axis Format List Pattern_graph

@@ -1,0 +1,1 @@
+lib/algebra/logical_plan.mli: Axis Format Pattern_graph

@@ -1,0 +1,1 @@
+lib/algebra/nested_list.mli: Format

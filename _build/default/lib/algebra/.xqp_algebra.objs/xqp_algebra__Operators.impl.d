@@ -1,0 +1,1 @@
+lib/algebra/operators.ml: Array Axis Float Hashtbl List Nested_list Pattern_graph Schema_tree String Value Xqp_xml

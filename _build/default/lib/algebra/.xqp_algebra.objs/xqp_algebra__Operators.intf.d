@@ -1,0 +1,1 @@
+lib/algebra/operators.mli: Axis Nested_list Pattern_graph Schema_tree Value Xqp_xml

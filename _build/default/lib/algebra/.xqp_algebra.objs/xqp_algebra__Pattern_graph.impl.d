@@ -1,0 +1,1 @@
+lib/algebra/pattern_graph.ml: Array Float Format List String Xqp_xml

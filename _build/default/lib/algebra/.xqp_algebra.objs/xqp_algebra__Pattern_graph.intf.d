@@ -1,0 +1,1 @@
+lib/algebra/pattern_graph.mli: Format Xqp_xml

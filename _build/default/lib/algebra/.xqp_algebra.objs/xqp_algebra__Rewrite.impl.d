@@ -1,0 +1,1 @@
+lib/algebra/rewrite.ml: Array Axis List Logical_plan Pattern_graph

@@ -1,0 +1,1 @@
+lib/algebra/rewrite.mli: Logical_plan Pattern_graph

@@ -1,0 +1,1 @@
+lib/algebra/schema_tree.mli: Format

@@ -1,0 +1,1 @@
+lib/algebra/value.ml: Float Format List String Xqp_xml

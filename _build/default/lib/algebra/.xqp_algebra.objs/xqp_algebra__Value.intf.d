@@ -1,0 +1,1 @@
+lib/algebra/value.mli: Format Xqp_xml

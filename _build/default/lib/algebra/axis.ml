@@ -1,0 +1,55 @@
+type t =
+  | Self
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Attribute
+  | Following_sibling
+  | Preceding_sibling
+  | Following
+  | Preceding
+
+let to_string = function
+  | Self -> "self"
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Attribute -> "attribute"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+  | Following -> "following"
+  | Preceding -> "preceding"
+
+let of_string = function
+  | "self" -> Some Self
+  | "child" -> Some Child
+  | "descendant" -> Some Descendant
+  | "descendant-or-self" -> Some Descendant_or_self
+  | "parent" -> Some Parent
+  | "ancestor" -> Some Ancestor
+  | "ancestor-or-self" -> Some Ancestor_or_self
+  | "attribute" -> Some Attribute
+  | "following-sibling" -> Some Following_sibling
+  | "preceding-sibling" -> Some Preceding_sibling
+  | "following" -> Some Following
+  | "preceding" -> Some Preceding
+  | _ -> None
+
+let is_forward = function
+  | Self | Child | Descendant | Descendant_or_self | Attribute | Following_sibling | Following ->
+    true
+  | Parent | Ancestor | Ancestor_or_self | Preceding_sibling | Preceding -> false
+
+let is_local = function
+  | Child | Attribute | Following_sibling | Self -> true
+  | Descendant | Descendant_or_self | Parent | Ancestor | Ancestor_or_self | Preceding_sibling
+  | Following | Preceding ->
+    false
+
+let pp ppf axis = Format.pp_print_string ppf (to_string axis)

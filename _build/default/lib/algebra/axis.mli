@@ -1,0 +1,31 @@
+(** XPath axes, the parameter of the navigation operator πs (Table 1).
+
+    [Child], [Descendant] and [Attribute] are the local (next-of-kin-able)
+    relations; the rest are derived during evaluation. *)
+
+type t =
+  | Self
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Attribute
+  | Following_sibling
+  | Preceding_sibling
+  | Following
+  | Preceding
+
+val to_string : t -> string
+(** XPath surface syntax name, e.g. ["following-sibling"]. *)
+
+val of_string : string -> t option
+val is_forward : t -> bool
+(** Forward axes deliver nodes in document order. *)
+
+val is_local : t -> bool
+(** Local structural relationships in the NoK sense (§4.2): [Child],
+    [Attribute], [Following_sibling], [Self]. *)
+
+val pp : Format.formatter -> t -> unit

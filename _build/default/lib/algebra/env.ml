@@ -1,0 +1,112 @@
+type bindings = (string * Value.t) list
+type layer_kind = For_layer of string | Let_layer of string | Where_layer
+
+(* The forest is represented by its leaves' paths implicitly: we keep the
+   tree explicitly so layers stay inspectable (pp, schema) and pruning is a
+   structural operation, as in Fig. 2. *)
+type node = { bindings_here : (string * Value.t) list; children : node list }
+
+type t = { layer_list : layer_kind list (* outermost first *); forest : node list }
+
+let empty = { layer_list = []; forest = [ { bindings_here = []; children = [] } ] }
+
+(* Extend exactly the nodes sitting at the current deepest layer; paths
+   that died at an earlier one-to-many layer (empty [for] sequence) have no
+   node there and stay dead. The virtual root is level 0; layer k nodes are
+   at level k. *)
+let grow_at depth extend forest =
+  let rec go node level bindings =
+    let bindings = node.bindings_here @ bindings in
+    if level = depth then { node with children = extend bindings }
+    else { node with children = List.map (fun c -> go c (level + 1) bindings) node.children }
+  in
+  List.map (fun root -> go root 0 []) forest
+
+let extend_for ?index env var f =
+  let extend bindings =
+    List.mapi
+      (fun k item ->
+        let bindings_here =
+          match index with
+          | None -> [ (var, [ item ]) ]
+          | Some i -> [ (var, [ item ]); (i, [ Value.Int (k + 1) ]) ]
+        in
+        { bindings_here; children = [] })
+      (f bindings)
+  in
+  {
+    layer_list = env.layer_list @ [ For_layer var ];
+    forest = grow_at (List.length env.layer_list) extend env.forest;
+  }
+
+let extend_let env var f =
+  let extend bindings = [ { bindings_here = [ (var, f bindings) ]; children = [] } ] in
+  {
+    layer_list = env.layer_list @ [ Let_layer var ];
+    forest = grow_at (List.length env.layer_list) extend env.forest;
+  }
+
+let filter_where env f =
+  (* A where layer keeps the node structure but prunes failing paths: kept
+     leaves get a single anonymous child so the layer count stays
+     consistent with Definition 3. *)
+  let extend bindings = if f bindings then [ { bindings_here = []; children = [] } ] else [] in
+  {
+    layer_list = env.layer_list @ [ Where_layer ];
+    forest = grow_at (List.length env.layer_list) extend env.forest;
+  }
+
+let expected_depth env = List.length env.layer_list
+
+let paths env =
+  let depth = expected_depth env in
+  let acc = ref [] in
+  let rec walk node level bindings =
+    let bindings = node.bindings_here @ bindings in
+    if level = depth then acc := bindings :: !acc
+    else List.iter (fun child -> walk child (level + 1) bindings) node.children
+  in
+  (* The virtual roots sit at level -1: their children are layer 1. *)
+  List.iter (fun root -> List.iter (fun c -> walk c 1 []) root.children) env.forest;
+  if depth = 0 then [ [] ] else List.rev !acc
+
+let path_count env = List.length (paths env)
+let layers env = env.layer_list
+
+let schema env =
+  (* A for layer opens a nesting level: ($a,($b,$c,($e))) etc. *)
+  let buffer = Buffer.create 32 in
+  let open_parens = ref 0 in
+  let first_in_group = ref true in
+  List.iter
+    (fun layer ->
+      match layer with
+      | For_layer var ->
+        if not !first_in_group then Buffer.add_char buffer ',';
+        Buffer.add_char buffer '(';
+        incr open_parens;
+        Buffer.add_char buffer '$';
+        Buffer.add_string buffer var;
+        first_in_group := false
+      | Let_layer var ->
+        if not !first_in_group then Buffer.add_char buffer ',';
+        Buffer.add_char buffer '$';
+        Buffer.add_string buffer var;
+        first_in_group := false
+      | Where_layer -> ())
+    env.layer_list;
+  for _ = 1 to !open_parens do
+    Buffer.add_char buffer ')'
+  done;
+  Buffer.contents buffer
+
+let pp doc ppf env =
+  Format.fprintf ppf "env %s with %d total bindings:@." (schema env) (path_count env);
+  List.iter
+    (fun path ->
+      Format.fprintf ppf "  [%a]@."
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+           (fun ppf (var, value) -> Format.fprintf ppf "$%s=%a" var (Value.pp doc) value))
+        (List.rev path))
+    (paths env)

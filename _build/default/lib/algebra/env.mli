@@ -1,0 +1,45 @@
+(** The [Env] sort (Definition 3): the layered, balanced forest of variable
+    bindings a FLWOR expression builds (Fig. 2, Example 1).
+
+    Each layer is introduced by a [for] clause (one child per item of the
+    bound sequence — a one-to-many layer), a [let] clause (exactly one
+    child holding the whole sequence — one-to-one), or a [where] clause
+    (a boolean-formula layer: paths whose formula is false are pruned).
+    A root-to-leaf path is a {e total variable binding}; the return clause
+    is evaluated once per path. *)
+
+type bindings = (string * Value.t) list
+(** Innermost binding first; [for]-variables bind singleton sequences. *)
+
+type layer_kind = For_layer of string | Let_layer of string | Where_layer
+
+type t
+
+val empty : t
+(** No layers: exactly one (empty) total binding. *)
+
+val extend_for : ?index:string -> t -> string -> (bindings -> Value.item list) -> t
+(** [extend_for env x f] appends a one-to-many layer binding [x] to each
+    item of [f bindings], evaluated per current path. Paths whose sequence
+    is empty disappear (their subtree produces no bindings). With
+    [~index:i], each child additionally binds [i] to the item's 1-based
+    position (XQuery's [for $x at $i in ...]). *)
+
+val extend_let : t -> string -> (bindings -> Value.t) -> t
+(** Appends a one-to-one layer binding the whole sequence. *)
+
+val filter_where : t -> (bindings -> bool) -> t
+(** Appends a where layer, pruning paths whose formula is false. *)
+
+val paths : t -> bindings list
+(** All total variable bindings, in lexicographic (document) order. *)
+
+val path_count : t -> int
+val layers : t -> layer_kind list
+(** Layer descriptors, outermost first. *)
+
+val schema : t -> string
+(** The nesting schema in the paper's notation, e.g.
+    ["($a,($b,$c,$d,($e)))"]: a [for] layer opens a new nesting level. *)
+
+val pp : Xqp_xml.Document.t -> Format.formatter -> t -> unit

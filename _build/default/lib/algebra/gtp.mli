@@ -1,0 +1,42 @@
+(** Generalized tree patterns (Chen et al. [9], discussed in §5): evaluate
+    a whole FLWOR binding structure as {e one} tree-pattern match instead
+    of one path evaluation per binding.
+
+    A GTP here is a pattern graph with a distinguished {e skeleton}: the
+    chain of vertices bound by the [for] clause (enumerated — one group
+    per embedding, inner-join multiplicity) — while the remaining
+    {e component} subtrees are collected per skeleton embedding as node
+    lists (outer semantics: an empty component yields an empty list, not a
+    dropped binding — exactly a [let] clause over a relative path).
+
+    {!match_groups} returns the φ nested list of Fig. 1 directly:
+    [Group [Group comp1; Group comp2; ...]] per skeleton embedding, ready
+    for γ ({!Operators.construct}). *)
+
+type t
+
+val make :
+  spine:(Pattern_graph.rel * Pattern_graph.label * Pattern_graph.predicate list) list ->
+  components:
+    (Pattern_graph.rel * Pattern_graph.label * Pattern_graph.predicate list) list list ->
+  t
+(** [make ~spine ~components]: the spine hangs below the context vertex
+    (its last vertex is the for-variable); every component is a chain
+    attached to the spine's last vertex; the component's last vertex is
+    collected.
+    @raise Invalid_argument on an empty spine or empty component. *)
+
+val pattern : t -> Pattern_graph.t
+(** The underlying pattern graph (spine plus component branches). *)
+
+val spine_length : t -> int
+val component_count : t -> int
+
+val match_groups :
+  Xqp_xml.Document.t -> t -> context:Xqp_xml.Document.node list ->
+  Value.item Nested_list.t
+(** One group per embedding of the spine (in document order of the
+    for-variable's node); inside, one group per component holding its
+    matched nodes in document order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,105 @@
+type node_test = Name of string | Any | Text_node
+
+type predicate =
+  | Value_pred of Pattern_graph.predicate
+  | Exists of t
+  | Position of int
+
+and step = { axis : Axis.t; test : node_test; predicates : predicate list }
+
+and t = Root | Context | Step of t * step | Tpm of t * Pattern_graph.t | Union of t * t
+
+let step ?(predicates = []) axis test = { axis; test; predicates }
+
+let of_steps ~base steps = List.fold_left (fun plan s -> Step (plan, s)) base steps
+
+let steps_of plan =
+  let rec unwind plan acc =
+    match plan with
+    | Step (base, s) -> unwind base (s :: acc)
+    | (Root | Context) as base -> Some (base, acc)
+    | Tpm _ | Union _ -> None
+  in
+  unwind plan []
+
+let rec size = function
+  | Root | Context -> 0
+  | Step (base, s) ->
+    size base + 1
+    + List.fold_left
+        (fun acc p -> match p with Exists sub -> acc + size sub | Value_pred _ | Position _ -> acc)
+        0 s.predicates
+  | Tpm (base, _) -> size base + 1
+  | Union (a, b) -> size a + size b + 1
+
+let rec tpm_count = function
+  | Root | Context -> 0
+  | Step (base, s) ->
+    tpm_count base
+    + List.fold_left
+        (fun acc p ->
+          match p with Exists sub -> acc + tpm_count sub | Value_pred _ | Position _ -> acc)
+        0 s.predicates
+  | Tpm (base, _) -> tpm_count base + 1
+  | Union (a, b) -> tpm_count a + tpm_count b
+
+let pp_test ppf = function
+  | Name n -> Format.pp_print_string ppf n
+  | Any -> Format.pp_print_string ppf "*"
+  | Text_node -> Format.pp_print_string ppf "text()"
+
+let rec pp_predicate ppf = function
+  | Value_pred p ->
+    let op =
+      match p.Pattern_graph.comparison with
+      | Pattern_graph.Eq -> "="
+      | Ne -> "!="
+      | Lt -> "<"
+      | Le -> "<="
+      | Gt -> ">"
+      | Ge -> ">="
+      | Contains -> "contains"
+    in
+    (match p.Pattern_graph.literal with
+    | Pattern_graph.Num n -> Format.fprintf ppf "[. %s %g]" op n
+    | Pattern_graph.Str s -> Format.fprintf ppf "[. %s %S]" op s)
+  | Exists sub -> Format.fprintf ppf "[%a]" pp sub
+  | Position k -> Format.fprintf ppf "[%d]" k
+
+and pp_step ppf s =
+  (match s.axis with
+  | Axis.Child -> Format.fprintf ppf "/"
+  | Axis.Descendant -> Format.fprintf ppf "//"
+  | Axis.Attribute -> Format.fprintf ppf "/@"
+  | other -> Format.fprintf ppf "/%s::" (Axis.to_string other));
+  pp_test ppf s.test;
+  List.iter (pp_predicate ppf) s.predicates
+
+and pp ppf = function
+  | Root -> Format.pp_print_string ppf "root()"
+  | Context -> Format.pp_print_string ppf "."
+  | Step (base, s) ->
+    (match base with Root -> () | other -> pp ppf other);
+    pp_step ppf s
+  | Tpm (base, pattern) ->
+    (match base with Root -> () | other -> pp ppf other);
+    Format.fprintf ppf "tpm(%a)" Pattern_graph.pp pattern
+  | Union (a, b) -> Format.fprintf ppf "(%a | %a)" pp a pp b
+
+let rec equal a b =
+  match (a, b) with
+  | Root, Root | Context, Context -> true
+  | Step (b1, s1), Step (b2, s2) ->
+    equal b1 b2 && s1.axis = s2.axis && s1.test = s2.test
+    && List.length s1.predicates = List.length s2.predicates
+    && List.for_all2 predicate_equal s1.predicates s2.predicates
+  | Tpm (b1, p1), Tpm (b2, p2) -> equal b1 b2 && Pattern_graph.equal p1 p2
+  | Union (a1, b1), Union (a2, b2) -> equal a1 a2 && equal b1 b2
+  | (Root | Context | Step _ | Tpm _ | Union _), _ -> false
+
+and predicate_equal p1 p2 =
+  match (p1, p2) with
+  | Value_pred a, Value_pred b -> a = b
+  | Position a, Position b -> a = b
+  | Exists a, Exists b -> equal a b
+  | (Value_pred _ | Position _ | Exists _), _ -> false

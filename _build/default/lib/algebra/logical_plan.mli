@@ -1,0 +1,44 @@
+(** Logical plans for path expressions.
+
+    A plan is a chain of navigation/selection operators over a base
+    ([Root] — the document root — or [Context], the externally-supplied
+    context sequence). [Step] combines πs (axis navigation) with σs (name
+    test) and σv / existential predicates; [Tpm] is the τ operator applied
+    to a fused pattern graph. The {!Rewrite} module turns step chains into
+    [Tpm] nodes (rules R1/R2) — the optimization at the heart of the
+    paper's hybrid proposal. *)
+
+type node_test =
+  | Name of string  (** element/attribute name test *)
+  | Any             (** [*] *)
+  | Text_node       (** [text()] *)
+
+type predicate =
+  | Value_pred of Pattern_graph.predicate  (** [. op literal] *)
+  | Exists of t                            (** relative path is non-empty *)
+  | Position of int                        (** 1-based positional predicate *)
+
+and step = { axis : Axis.t; test : node_test; predicates : predicate list }
+
+and t =
+  | Root
+  | Context
+  | Step of t * step
+  | Tpm of t * Pattern_graph.t
+  | Union of t * t  (** node-set union, document order, duplicates removed *)
+
+val step : ?predicates:predicate list -> Axis.t -> node_test -> step
+
+val of_steps : base:t -> step list -> t
+(** Chain steps left to right onto [base]. *)
+
+val steps_of : t -> (t * step list) option
+(** Decompose a pure step chain back into (base, steps); [None] when the
+    plan contains a [Tpm] or the base is itself compound. *)
+
+val size : t -> int
+(** Number of operators (steps and τ nodes). *)
+
+val tpm_count : t -> int
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,53 @@
+type 'a t = Atom of 'a | Group of 'a t list
+
+let atom a = Atom a
+let group xs = Group xs
+
+let flatten nested =
+  let rec walk acc = function
+    | Atom a -> a :: acc
+    | Group xs -> List.fold_left walk acc xs
+  in
+  List.rev (walk [] nested)
+
+let rec depth = function
+  | Atom _ -> 0
+  | Group xs -> 1 + List.fold_left (fun acc x -> max acc (depth x)) 0 xs
+
+let rec size = function
+  | Atom _ -> 1
+  | Group xs -> List.fold_left (fun acc x -> acc + size x) 0 xs
+
+let rec map f = function
+  | Atom a -> Atom (f a)
+  | Group xs -> Group (List.map (map f) xs)
+
+let rec iter f = function
+  | Atom a -> f a
+  | Group xs -> List.iter (iter f) xs
+
+let rec equal eq a b =
+  match (a, b) with
+  | Atom x, Atom y -> eq x y
+  | Group xs, Group ys -> List.length xs = List.length ys && List.for_all2 (equal eq) xs ys
+  | (Atom _ | Group _), _ -> false
+
+let rec pp pp_atom ppf = function
+  | Atom a -> pp_atom ppf a
+  | Group xs ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") (pp pp_atom))
+      xs
+
+let of_unlabeled_tree children root =
+  let rec convert node =
+    match children node with
+    | [] -> Atom node
+    | kids -> Group (Atom node :: List.map convert kids)
+  in
+  convert root
+
+let tuples nested =
+  match nested with
+  | Atom a -> [ [ a ] ]
+  | Group xs -> List.map flatten xs

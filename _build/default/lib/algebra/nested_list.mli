@@ -1,0 +1,35 @@
+(** The [NestedList] sort (§3.2): lists with arbitrary nesting.
+
+    Nested lists are the intermediate sort between τ (which groups its
+    matches by their structural relationships in the input tree) and γ
+    (which consumes the grouping to build output trees), and the shape of
+    FLWOR binding tuples such as [($t, $a)] in Fig. 1. *)
+
+type 'a t = Atom of 'a | Group of 'a t list
+
+val atom : 'a -> 'a t
+val group : 'a t list -> 'a t
+val flatten : 'a t -> 'a list
+(** Left-to-right atoms, nesting erased — the coercion back to the W3C
+    flat-sequence data model. *)
+
+val depth : 'a t -> int
+(** Nesting depth; an atom has depth 0, [Group []] has depth 1. *)
+
+val size : 'a t -> int
+(** Number of atoms. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val iter : ('a -> unit) -> 'a t -> unit
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+
+val of_unlabeled_tree : ('n -> 'n list) -> 'n -> 'n t
+(** [of_unlabeled_tree children root] groups a tree into a nested list:
+    each internal node becomes [Group (Atom node :: converted children)] —
+    the paper's "straightforward to convert" direction. *)
+
+val tuples : 'a t -> 'a list list
+(** Interpret a two-level nesting as a list of tuples: the bindings view
+    used when a τ result feeds a FLWOR clause. A flat atom becomes a
+    singleton tuple. *)

@@ -1,0 +1,177 @@
+module Doc = Xqp_xml.Document
+
+type rel = Child | Descendant | Attribute | Following_sibling
+type comparison = Eq | Ne | Lt | Le | Gt | Ge | Contains
+type literal = Num of float | Str of string
+type predicate = { comparison : comparison; literal : literal }
+type label = Wildcard | Tag of string
+type vertex = { label : label; predicates : predicate list; output : bool }
+
+type t = {
+  vertices : vertex array;
+  arc_list : (int * int * rel) list;
+  children : (int * rel) list array; (* adjacency, insertion order *)
+  parents : (int * rel) option array;
+}
+
+let make ~vertices ~arcs =
+  let n = Array.length vertices in
+  if n = 0 then invalid_arg "Pattern_graph.make: no vertices";
+  let children = Array.make n [] in
+  let parents = Array.make n None in
+  List.iter
+    (fun (s, t, rel) ->
+      if s < 0 || s >= n || t < 0 || t >= n then invalid_arg "Pattern_graph.make: bad arc";
+      if parents.(t) <> None then invalid_arg "Pattern_graph.make: vertex has two parents";
+      if t = 0 then invalid_arg "Pattern_graph.make: arc into the context vertex";
+      parents.(t) <- Some (s, rel);
+      children.(s) <- children.(s) @ [ (t, rel) ])
+    arcs;
+  (* Connectivity and acyclicity: every non-context vertex must reach 0. *)
+  Array.iteri
+    (fun v _ ->
+      if v <> 0 then begin
+        let rec climb u steps =
+          if steps > n then invalid_arg "Pattern_graph.make: cycle"
+          else
+            match parents.(u) with
+            | None -> if u <> 0 then invalid_arg "Pattern_graph.make: disconnected vertex"
+            | Some (p, _) -> climb p (steps + 1)
+        in
+        climb v 0
+      end)
+    vertices;
+  if not (Array.exists (fun v -> v.output) vertices) then
+    invalid_arg "Pattern_graph.make: no output vertex";
+  if vertices.(0).output then invalid_arg "Pattern_graph.make: context vertex cannot be output";
+  { vertices; arc_list = arcs; children; parents }
+
+let vertex_count t = Array.length t.vertices
+let vertex t v = t.vertices.(v)
+let children t v = t.children.(v)
+let parent t v = t.parents.(v)
+let root (_ : t) = 0
+
+let outputs t =
+  let acc = ref [] in
+  Array.iteri (fun v vx -> if vx.output then acc := v :: !acc) t.vertices;
+  List.rev !acc
+
+let arcs t = t.arc_list
+
+let is_nok t =
+  List.for_all
+    (fun (_, _, rel) ->
+      match rel with Child | Attribute | Following_sibling -> true | Descendant -> false)
+    t.arc_list
+
+let vertices_in_document_order t =
+  let rec walk v acc = List.fold_left (fun acc (c, _) -> walk c acc) (v :: acc) t.children.(v) in
+  List.rev (walk 0 [])
+
+let label_matches doc label node =
+  match label with
+  | Wildcard -> (
+    match Doc.kind doc node with
+    | Doc.Element | Doc.Attribute -> true
+    | Doc.Text | Doc.Comment | Doc.Pi -> false)
+  | Tag name -> (
+    match Doc.kind doc node with
+    | Doc.Element | Doc.Attribute -> String.equal (Doc.name doc node) name
+    | Doc.Text | Doc.Comment | Doc.Pi -> false)
+
+let predicate_holds doc pred node =
+  let value = Doc.typed_value doc node in
+  let compare_result =
+    match pred.literal with
+    | Num n -> (
+      match float_of_string_opt (String.trim value) with
+      | Some v -> Some (Float.compare v n)
+      | None -> None)
+    | Str s -> Some (String.compare value s)
+  in
+  match pred.comparison with
+  | Contains -> (
+    match pred.literal with
+    | Str needle ->
+      let hl = String.length value and nl = String.length needle in
+      let rec scan i = i + nl <= hl && (String.equal (String.sub value i nl) needle || scan (i + 1)) in
+      nl = 0 || scan 0
+    | Num _ -> false)
+  | Eq -> ( match compare_result with Some c -> c = 0 | None -> false)
+  | Ne -> ( match compare_result with Some c -> c <> 0 | None -> true)
+  | Lt -> ( match compare_result with Some c -> c < 0 | None -> false)
+  | Le -> ( match compare_result with Some c -> c <= 0 | None -> false)
+  | Gt -> ( match compare_result with Some c -> c > 0 | None -> false)
+  | Ge -> ( match compare_result with Some c -> c >= 0 | None -> false)
+
+let vertex_matches doc t v node =
+  let vx = t.vertices.(v) in
+  let kind_ok =
+    match t.parents.(v) with
+    | Some (_, Attribute) -> Doc.kind doc node = Doc.Attribute
+    | Some (_, (Child | Descendant | Following_sibling)) -> Doc.kind doc node = Doc.Element
+    | None -> true (* context vertex: bound, not tested *)
+  in
+  kind_ok
+  && label_matches doc vx.label node
+  && List.for_all (fun pred -> predicate_holds doc pred node) vx.predicates
+
+let path steps =
+  if steps = [] then invalid_arg "Pattern_graph.path: empty";
+  let n = List.length steps in
+  let vertices =
+    Array.make (n + 1) { label = Wildcard; predicates = []; output = false }
+  in
+  let arcs = ref [] in
+  List.iteri
+    (fun i (rel, label, predicates) ->
+      vertices.(i + 1) <- { label; predicates; output = i = n - 1 };
+      arcs := (i, i + 1, rel) :: !arcs)
+    steps;
+  make ~vertices ~arcs:(List.rev !arcs)
+
+let pp_label ppf = function
+  | Wildcard -> Format.pp_print_string ppf "*"
+  | Tag name -> Format.pp_print_string ppf name
+
+let pp_rel ppf = function
+  | Child -> Format.pp_print_string ppf "/"
+  | Descendant -> Format.pp_print_string ppf "//"
+  | Attribute -> Format.pp_print_string ppf "/@"
+  | Following_sibling -> Format.pp_print_string ppf "/fs::"
+
+let pp_predicate ppf pred =
+  let op =
+    match pred.comparison with
+    | Eq -> "="
+    | Ne -> "!="
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">="
+    | Contains -> "contains"
+  in
+  match pred.literal with
+  | Num n -> Format.fprintf ppf "[. %s %g]" op n
+  | Str s -> Format.fprintf ppf "[. %s %S]" op s
+
+let pp ppf t =
+  let rec render ppf v =
+    let vx = t.vertices.(v) in
+    pp_label ppf vx.label;
+    List.iter (pp_predicate ppf) vx.predicates;
+    if vx.output then Format.pp_print_string ppf "{out}";
+    List.iter
+      (fun (c, rel) ->
+        Format.fprintf ppf "[%a%a]" pp_rel rel render c)
+      t.children.(v)
+  in
+  match t.children.(0) with
+  | [ (only, rel) ] ->
+    (* Common case: single spine below the context vertex. *)
+    Format.fprintf ppf "%a%a" pp_rel rel render only
+  | _ -> render ppf 0
+
+let equal a b =
+  a.vertices = b.vertices && a.arc_list = b.arc_list

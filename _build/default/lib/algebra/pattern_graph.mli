@@ -1,0 +1,84 @@
+(** The [PatternGraph] sort (Definition 1): Σ, V, A, R, O.
+
+    A pattern graph captures the structural and value constraints of one or
+    more path expressions. Vertices carry a label (a tag or the wildcard)
+    and a list of value predicates [(op, literal)]; arcs carry a binary
+    structural relation; O marks the output vertices whose matches the τ
+    operator returns.
+
+    The patterns produced by the XPath compiler are tree-shaped (twigs);
+    {!make} enforces that, since all the physical pattern-matching engines
+    evaluate twigs. Vertex 0 is the {e context vertex} (the vertex the
+    paper labels "root"): it binds to the evaluation context node — the
+    document root for absolute paths — and is never an output. *)
+
+type rel = Child | Descendant | Attribute | Following_sibling
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge | Contains
+
+type literal = Num of float | Str of string
+
+type predicate = { comparison : comparison; literal : literal }
+(** A value constraint on the matched node's typed (text) value. *)
+
+type label = Wildcard | Tag of string
+
+type vertex = { label : label; predicates : predicate list; output : bool }
+
+type t
+
+val make : vertices:vertex array -> arcs:(int * int * rel) list -> t
+(** [make ~vertices ~arcs] builds a pattern rooted at vertex 0.
+    @raise Invalid_argument if the arcs do not form a tree on the
+    vertices (see {!validate}). *)
+
+val vertex_count : t -> int
+val vertex : t -> int -> vertex
+val children : t -> int -> (int * rel) list
+(** Outgoing arcs of a vertex, in insertion order. *)
+
+val parent : t -> int -> (int * rel) option
+(** Incoming arc; [None] for the root. *)
+
+val root : t -> int
+(** Always 0. *)
+
+val outputs : t -> int list
+(** Output vertices in vertex order; every pattern has at least one. *)
+
+val arcs : t -> (int * int * rel) list
+
+val is_nok : t -> bool
+(** True when every arc is a local relation (Child, Attribute,
+    Following_sibling) — a next-of-kin pattern evaluable in one
+    navigational scan (§4.2). *)
+
+val vertices_in_document_order : t -> int list
+(** Pre-order traversal of the pattern tree. *)
+
+val label_matches :
+  Xqp_xml.Document.t -> label -> Xqp_xml.Document.node -> bool
+(** Does a document node's name satisfy a label? (Wildcards match any
+    element or attribute.) *)
+
+val predicate_holds :
+  Xqp_xml.Document.t -> predicate -> Xqp_xml.Document.node -> bool
+(** Evaluate a value predicate against a node's typed value: numeric
+    comparison when the literal is numeric and the value parses, string
+    comparison otherwise; [Contains] is substring search. *)
+
+val vertex_matches : Xqp_xml.Document.t -> t -> int -> Xqp_xml.Document.node -> bool
+(** Label, node-kind (attribute vertices match attribute nodes) and all
+    predicates. *)
+
+val path : (rel * label * predicate list) list -> t
+(** [path steps] chains [steps] into a linear pattern below the context
+    vertex; the last vertex is the output. A leading
+    [(Child, Tag "a", [])] therefore means [/a].
+    @raise Invalid_argument on an empty step list. *)
+
+val pp : Format.formatter -> t -> unit
+(** XPath-like rendering, e.g. [/a//b[c][d = "5"]] with the output
+    vertices marked. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,25 @@
+(** Logical rewrite rules.
+
+    - R0 ({!simplify}): axis normalization —
+      [descendant-or-self::*/child::t] becomes [descendant::t], redundant
+      [self::*] steps are dropped.
+    - R1/R2 ({!fuse}): maximal runs of local/descendant steps, together
+      with their value predicates and existential (branch) predicates, are
+      fused into a single τ operator over a pattern graph. This turns a
+      pipeline of πs/σs/σv operators (or a cascade of structural joins)
+      into one tree-pattern-match — the paper's central optimization
+      (§3.2: "a single operator to implement the list comprehension as a
+      whole").
+
+    {!optimize} applies both. Rewrites preserve results: tested by
+    differential execution on random documents. *)
+
+val simplify : Logical_plan.t -> Logical_plan.t
+val fuse : Logical_plan.t -> Logical_plan.t
+val optimize : Logical_plan.t -> Logical_plan.t
+
+val pattern_of_steps : Logical_plan.step list -> Pattern_graph.t option
+(** Build the pattern graph for a fusible step chain ([None] when some
+    step cannot be expressed as a pattern vertex: non-downward axis,
+    [text()] test, or positional predicate). The last spine vertex is the
+    output. *)

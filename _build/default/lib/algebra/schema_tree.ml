@@ -1,0 +1,65 @@
+type attr = Fixed of string | From_component of int
+
+type t =
+  | Element of { name : string; attrs : (string * attr) list; children : t list }
+  | Text of string
+  | For_group of t list
+  | For_component of int * t list
+  | Placeholder of int
+  | If_component of int * t list
+
+let element ?(attrs = []) name children = Element { name; attrs; children }
+let placeholder i = Placeholder i
+let for_group children = For_group children
+
+let placeholder_count tree =
+  let rec walk acc = function
+    | Placeholder i -> max acc (i + 1)
+    | Text _ -> acc
+    | Element e ->
+      let acc =
+        List.fold_left
+          (fun acc (_, a) -> match a with From_component i -> max acc (i + 1) | Fixed _ -> acc)
+          acc e.attrs
+      in
+      List.fold_left walk acc e.children
+    | For_group kids -> List.fold_left walk acc kids
+    | For_component (i, kids) -> List.fold_left walk (max acc (i + 1)) kids
+    | If_component (i, kids) -> List.fold_left walk (max acc (i + 1)) kids
+  in
+  walk 0 tree
+
+let rec depth = function
+  | Placeholder _ | Text _ -> 1
+  | Element e -> 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 e.children
+  | For_group kids | For_component (_, kids) | If_component (_, kids) ->
+    1 + List.fold_left (fun acc c -> max acc (depth c)) 0 kids
+
+let rec pp ppf = function
+  | Text s -> Format.fprintf ppf "%S" s
+  | Placeholder i -> Format.fprintf ppf "{$%d}" i
+  | For_group kids ->
+    Format.fprintf ppf "phi(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") pp)
+      kids
+  | For_component (i, kids) ->
+    Format.fprintf ppf "phi$%d(%a)" i
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") pp)
+      kids
+  | If_component (i, kids) ->
+    Format.fprintf ppf "if($%d){%a}" i
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") pp)
+      kids
+  | Element e ->
+    Format.fprintf ppf "<%s" e.name;
+    List.iter
+      (fun (k, a) ->
+        match a with
+        | Fixed v -> Format.fprintf ppf " %s=%S" k v
+        | From_component i -> Format.fprintf ppf " %s={$%d}" k i)
+      e.attrs;
+    Format.fprintf ppf ">%a</%s>"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "") pp)
+      e.children e.name
+
+let equal = ( = )

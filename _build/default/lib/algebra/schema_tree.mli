@@ -1,0 +1,39 @@
+(** The [SchemaTree] sort (Definition 2): the labeled output template
+    extracted from XQuery constructor expressions (Fig. 1(b)).
+
+    Constructor-nodes carry element names; placeholder leaves stand for the
+    components of the binding tuples that the ϕ expression (a τ result or a
+    FLWOR environment) produces; [For_group] is the edge labeled ϕ in
+    Fig. 1: it iterates the groups of the current nesting level of the
+    input {!Nested_list}, instantiating its body once per group; if-nodes
+    guard their children with a component's effective boolean value.
+
+    The γ operator ({!Operators.construct}) folds a schema tree over a
+    nested list to produce a labeled output tree. *)
+
+type attr =
+  | Fixed of string          (** literal attribute value *)
+  | From_component of int    (** atomized component of the current tuple *)
+
+type t =
+  | Element of { name : string; attrs : (string * attr) list; children : t list }
+  | Text of string           (** fixed text *)
+  | For_group of t list      (** iterate current-level groups (edge ϕ) *)
+  | For_component of int * t list
+      (** descend into component [i] of the current tuple and iterate its
+          groups — the edge labeled ϕ in Fig. 1 when the comprehension is
+          one of several components *)
+  | Placeholder of int       (** splice component [i] of the current tuple *)
+  | If_component of int * t list
+      (** emit children only when component [i] is non-empty/true *)
+
+val element : ?attrs:(string * attr) list -> string -> t list -> t
+val placeholder : int -> t
+val for_group : t list -> t
+
+val placeholder_count : t -> int
+(** Highest component index referenced, plus one ([0] if none). *)
+
+val depth : t -> int
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,48 @@
+(** Items and flat sequences — the W3C data model's [List of TreeNode]
+    sorts, extended with the atomic types the algebra computes with.
+
+    A node item carries only its pre-order id; interpretation requires the
+    owning {!Xqp_xml.Document.t}, which every operator takes explicitly. *)
+
+type item =
+  | Node of Xqp_xml.Document.node
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Frag of Xqp_xml.Tree.t
+      (** a constructed element (γ output) not belonging to any document *)
+
+type t = item list
+(** A flat sequence, as in the XQuery data model (no nesting). *)
+
+val empty : t
+val singleton : item -> t
+val of_nodes : Xqp_xml.Document.node list -> t
+
+val nodes : t -> Xqp_xml.Document.node list
+(** Node items of a sequence, in sequence order. *)
+
+val string_of_item : Xqp_xml.Document.t -> item -> string
+(** Atomization to a string: a node yields its text content. *)
+
+val number_of_item : Xqp_xml.Document.t -> item -> float option
+(** Atomization to a number, when the string form parses as one. *)
+
+val effective_boolean : Xqp_xml.Document.t -> t -> bool
+(** XPath effective boolean value: empty = false, a leading node = true,
+    single atomic by its truthiness. *)
+
+val item_equal : Xqp_xml.Document.t -> item -> item -> bool
+(** Equality used by general comparisons: numeric when both sides
+    atomize to numbers, string otherwise; nodes by identity when both are
+    nodes. *)
+
+val compare_items : Xqp_xml.Document.t -> item -> item -> int
+(** Ordering used by order-by and value joins (numeric when possible). *)
+
+val doc_order : t -> t
+(** Sort node items by document order and remove duplicates; atomic items
+    are not permitted. @raise Invalid_argument on non-node items. *)
+
+val pp : Xqp_xml.Document.t -> Format.formatter -> t -> unit

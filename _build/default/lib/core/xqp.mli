@@ -1,0 +1,76 @@
+(** xqp — the single entry point.
+
+    This façade wires the layers together for the common cases: open or
+    generate a document, run XPath/XQuery, persist the succinct store,
+    query it page-by-page. Every function here is a thin wrapper; drop to
+    the underlying libraries (re-exported below) for anything finer.
+
+    {[
+      let db = Xqp.of_string "<bib><book><title>T</title></book></bib>" in
+      let titles = Xqp.query db "//book/title" in
+      print_string (Xqp.to_xml db titles)
+    ]} *)
+
+(** {1 Re-exported layers} *)
+
+module Xml = Xqp_xml
+module Storage = Xqp_storage
+module Algebra = Xqp_algebra
+module Xpath = Xqp_xpath
+module Physical = Xqp_physical
+module Xquery = Xqp_xquery
+module Workload = Xqp_workload
+
+(** {1 Databases} *)
+
+type t
+(** An open database: a packed document plus its lazily-built succinct
+    store, statistics, content index and engine cache. *)
+
+type node = Xqp_xml.Document.node
+
+val of_string : string -> t
+(** Parse an XML string (whitespace-only text stripped). *)
+
+val of_file : string -> t
+(** Load an [.xml] file, or an [.xqdb] store saved by {!save}. *)
+
+val of_tree : Xqp_xml.Tree.t -> t
+val of_document : Xqp_xml.Document.t -> t
+val document : t -> Xqp_xml.Document.t
+val executor : t -> Xqp_physical.Executor.t
+val save : t -> string -> unit
+(** Persist the succinct store ([.xqdb], see {!Storage.Store_io}). *)
+
+(** {1 Queries} *)
+
+val query : ?engine:Xqp_physical.Executor.strategy -> t -> string -> node list
+(** Run an XPath expression from the document root: parse, rewrite
+    (R0 + R1/R2 fusion into τ), dispatch to the cost-model-chosen engine
+    (or [?engine]). Results in document order, duplicate-free.
+    @raise Xqp_xpath.Parser.Parse_error on malformed input. *)
+
+val query_first : t -> string -> node option
+(** Lazy evaluation with early exit when the plan is in the downward
+    fragment ({!Physical.Pipelined}); falls back to {!query} otherwise. *)
+
+val query_exists : t -> string -> bool
+
+val xquery : t -> string -> Xqp_algebra.Value.t
+(** Evaluate an XQuery expression ({!Xquery.Eval}).
+    @raise Xqp_xquery.Xq_parser.Parse_error / {!Xqp_xquery.Eval.Error}. *)
+
+val xquery_string : t -> string -> string
+(** {!xquery} followed by XML serialization of the result sequence. *)
+
+(** {1 Results} *)
+
+val to_xml : ?indent:int -> t -> node list -> string
+(** Serialize result nodes (attributes as [@name="value"] lines). *)
+
+val text : t -> node -> string
+(** Typed (text) value of one node. *)
+
+val explain : t -> string -> string
+(** Human-readable plan report: parsed and optimized plans, pattern graph,
+    NoK partition, cost estimates and the chosen engine. *)

@@ -1,0 +1,1 @@
+lib/physical/binary_join.ml: Array Content_index Hashtbl Int List Set Structural_join Xqp_algebra Xqp_xml

@@ -1,0 +1,1 @@
+lib/physical/binary_join.mli: Content_index Xqp_algebra Xqp_xml

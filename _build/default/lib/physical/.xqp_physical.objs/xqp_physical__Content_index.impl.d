@@ -1,0 +1,1 @@
+lib/physical/content_index.ml: Hashtbl List Xqp_algebra Xqp_storage Xqp_xml

@@ -1,0 +1,1 @@
+lib/physical/content_index.mli: Xqp_algebra Xqp_xml

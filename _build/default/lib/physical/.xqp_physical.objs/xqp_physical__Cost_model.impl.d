@@ -1,0 +1,1 @@
+lib/physical/cost_model.ml: Float List Nok_partition Statistics Xqp_algebra

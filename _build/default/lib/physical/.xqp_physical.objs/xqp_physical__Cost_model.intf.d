@@ -1,0 +1,1 @@
+lib/physical/cost_model.mli: Statistics Xqp_algebra

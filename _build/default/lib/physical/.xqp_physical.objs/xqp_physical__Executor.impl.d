@@ -1,0 +1,1 @@
+lib/physical/executor.ml: Binary_join Content_index Cost_model Hashtbl Lazy List Navigation Nok Path_stack Statistics Twig_stack Xqp_algebra Xqp_storage Xqp_xml Xqp_xpath

@@ -1,0 +1,1 @@
+lib/physical/executor.mli: Content_index Statistics Xqp_algebra Xqp_storage Xqp_xml

@@ -1,0 +1,1 @@
+lib/physical/navigation.ml: List String Xqp_algebra Xqp_xml

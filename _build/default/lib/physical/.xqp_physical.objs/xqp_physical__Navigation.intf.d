@@ -1,0 +1,1 @@
+lib/physical/navigation.mli: Xqp_algebra Xqp_xml

@@ -1,0 +1,1 @@
+lib/physical/nok.ml: Nok_engine Xqp_storage Xqp_xml

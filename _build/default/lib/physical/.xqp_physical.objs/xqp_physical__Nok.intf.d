@@ -1,0 +1,1 @@
+lib/physical/nok.mli: Xqp_algebra Xqp_storage Xqp_xml

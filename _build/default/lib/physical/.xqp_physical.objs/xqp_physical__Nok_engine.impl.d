@@ -1,0 +1,1 @@
+lib/physical/nok_engine.ml: Array Float Hashtbl List Nok_partition String Structural_join Xqp_algebra Xqp_xml

@@ -1,0 +1,1 @@
+lib/physical/nok_paged.ml: Nok_engine Xqp_storage

@@ -1,0 +1,1 @@
+lib/physical/nok_paged.mli: Nok_engine Xqp_algebra Xqp_storage Xqp_xml

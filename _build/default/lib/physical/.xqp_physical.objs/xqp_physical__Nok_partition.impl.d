@@ -1,0 +1,1 @@
+lib/physical/nok_partition.ml: Array Format List Xqp_algebra

@@ -1,0 +1,1 @@
+lib/physical/nok_partition.mli: Format Xqp_algebra

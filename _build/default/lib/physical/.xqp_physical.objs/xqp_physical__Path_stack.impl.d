@@ -1,0 +1,1 @@
+lib/physical/path_stack.ml: Array Binary_join List Option Xqp_algebra Xqp_xml

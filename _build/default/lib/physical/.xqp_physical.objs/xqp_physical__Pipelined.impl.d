@@ -1,0 +1,1 @@
+lib/physical/pipelined.ml: List Navigation Seq Xqp_algebra Xqp_xml

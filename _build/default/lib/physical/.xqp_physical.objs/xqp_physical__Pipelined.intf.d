@@ -1,0 +1,1 @@
+lib/physical/pipelined.mli: Seq Xqp_algebra Xqp_xml

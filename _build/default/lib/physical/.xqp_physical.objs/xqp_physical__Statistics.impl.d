@@ -1,0 +1,1 @@
+lib/physical/statistics.ml: Float Format Hashtbl List Option String Xqp_algebra Xqp_xml

@@ -1,0 +1,1 @@
+lib/physical/statistics.mli: Format Xqp_algebra Xqp_xml

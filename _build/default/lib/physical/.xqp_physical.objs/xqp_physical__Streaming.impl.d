@@ -1,0 +1,1 @@
+lib/physical/streaming.ml: Array Float List Option String Xqp_algebra Xqp_xml

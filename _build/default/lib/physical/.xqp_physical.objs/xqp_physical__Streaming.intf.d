@@ -1,0 +1,1 @@
+lib/physical/streaming.mli: Xqp_algebra Xqp_xml

@@ -1,0 +1,1 @@
+lib/physical/structural_join.ml: Array List Xqp_algebra Xqp_xml

@@ -1,0 +1,1 @@
+lib/physical/structural_join.mli: Xqp_algebra Xqp_xml

@@ -1,0 +1,1 @@
+lib/physical/twig_stack.ml: Array Binary_join Hashtbl List Xqp_algebra Xqp_xml

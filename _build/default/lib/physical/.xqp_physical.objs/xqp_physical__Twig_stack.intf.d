@@ -1,0 +1,1 @@
+lib/physical/twig_stack.mli: Xqp_algebra Xqp_xml

@@ -1,0 +1,64 @@
+module Doc = Xqp_xml.Document
+module Pg = Xqp_algebra.Pattern_graph
+
+type t = {
+  tree : Xqp_storage.Btree.t;
+  indexed : int;
+  (* tags with at least one element whose typed value is *derived* (mixed
+     or element content): the index is incomplete for those tags and must
+     not be used to answer predicates on them *)
+  dirty_tags : (string, unit) Hashtbl.t;
+}
+
+(* An element is directly indexable when its typed value is stored, not
+   derived: no children (value "") or a single text child. *)
+let own_text doc id =
+  match Doc.children doc id with
+  | [] -> Some ""
+  | [ only ] when Doc.kind doc only = Doc.Text -> Some (Doc.content doc only)
+  | _ -> None
+
+let build doc =
+  let tree = Xqp_storage.Btree.create () in
+  let dirty_tags = Hashtbl.create 16 in
+  let indexed = ref 0 in
+  for id = 0 to Doc.node_count doc - 1 do
+    match Doc.kind doc id with
+    | Doc.Attribute ->
+      Xqp_storage.Btree.insert tree (Doc.content doc id) id;
+      incr indexed
+    | Doc.Element -> (
+      match own_text doc id with
+      | Some text ->
+        Xqp_storage.Btree.insert tree text id;
+        incr indexed
+      | None -> Hashtbl.replace dirty_tags (Doc.name doc id) ())
+    | Doc.Text | Doc.Comment | Doc.Pi -> ()
+  done;
+  { tree; indexed = !indexed; dirty_tags }
+
+let lookup_eq t key = List.sort compare (Xqp_storage.Btree.find t.tree key)
+
+let lookup_range t ?lo ?hi () =
+  Xqp_storage.Btree.fold_range t.tree ?lo ?hi (fun acc _ posts -> List.rev_append posts acc) []
+  |> List.sort_uniq compare
+
+let indexed_count t = t.indexed
+let distinct_values t = Xqp_storage.Btree.cardinal t.tree
+
+let covers t ~label ~is_attribute =
+  is_attribute
+  ||
+  match (label : Pg.label) with
+  | Pg.Tag name -> not (Hashtbl.mem t.dirty_tags name)
+  | Pg.Wildcard -> Hashtbl.length t.dirty_tags = 0
+
+let candidates t ~label ~is_attribute (pred : Pg.predicate) =
+  if not (covers t ~label ~is_attribute) then None
+  else
+    match (pred.Pg.comparison, pred.Pg.literal) with
+    | Pg.Eq, Pg.Str key -> Some (lookup_eq t key)
+    | Pg.Le, Pg.Str hi -> Some (lookup_range t ~hi ())
+    | Pg.Ge, Pg.Str lo -> Some (lookup_range t ~lo ())
+    | (Pg.Lt | Pg.Gt | Pg.Ne | Pg.Contains), _ -> None
+    | (Pg.Eq | Pg.Le | Pg.Ge), Pg.Num _ -> None

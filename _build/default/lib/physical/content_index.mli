@@ -1,0 +1,50 @@
+(** Content index: a {!Xqp_storage.Btree} over typed values, one of the
+    payoffs of storing content separately from structure (§4.2: "content-
+    based indexes (such as B+ trees ...) can be created only on the
+    content information without worrying about its structure").
+
+    Keys are the typed (text) values of attributes and of {e simple}
+    elements — elements whose content is a single text node; mixed or
+    element-only content is not indexed (its typed value is derived, not
+    stored). Postings are node ids in document order.
+
+    The binary-join engine consults the index for equality and range
+    predicates on string literals, replacing a full tag-stream scan with
+    an index lookup (experiment E10 measures the effect). *)
+
+type t
+
+val build : Xqp_xml.Document.t -> t
+(** One pass over the document. *)
+
+val lookup_eq : t -> string -> Xqp_xml.Document.node list
+(** Nodes whose typed value equals the key, document order. *)
+
+val lookup_range :
+  t -> ?lo:string -> ?hi:string -> unit -> Xqp_xml.Document.node list
+(** Nodes whose value is within the (inclusive) string-ordered bounds,
+    document order. *)
+
+val indexed_count : t -> int
+(** Number of indexed nodes. *)
+
+val distinct_values : t -> int
+
+val covers : t -> label:Xqp_algebra.Pattern_graph.label -> is_attribute:bool -> bool
+(** Is the index complete for nodes matched by this label? Attributes are
+    always covered; a tag is covered unless some element with that tag has
+    derived (mixed/element) content, whose typed value the index does not
+    store. *)
+
+val candidates :
+  t ->
+  label:Xqp_algebra.Pattern_graph.label ->
+  is_attribute:bool ->
+  Xqp_algebra.Pattern_graph.predicate ->
+  Xqp_xml.Document.node list option
+(** Candidate nodes for a value predicate, when the index can answer it
+    soundly: the label must be {!covers}ed, and the predicate must be
+    [Eq]/[Le]/[Ge] with a string literal (numeric predicates compare
+    numerically — "1" vs "1.0" — which string keys cannot answer;
+    [Contains]/[Ne]/[Lt]/[Gt] are not index-accelerated). The caller still
+    applies label and kind tests to the returned superset. *)

@@ -1,0 +1,179 @@
+module Pg = Xqp_algebra.Pattern_graph
+
+type engine = Naive_nav | Nok_navigation | Twig_join | Binary_joins
+
+let all_engines = [ Naive_nav; Nok_navigation; Twig_join; Binary_joins ]
+
+let engine_name = function
+  | Naive_nav -> "navigation"
+  | Nok_navigation -> "nok"
+  | Twig_join -> "twigstack"
+  | Binary_joins -> "binary-join"
+
+let supports pattern = function
+  | Twig_join ->
+    not (List.exists (fun (_, _, rel) -> rel = Pg.Following_sibling) (Pg.arcs pattern))
+  | Naive_nav | Nok_navigation | Binary_joins -> true
+
+let stream_size stats pattern v =
+  if v = 0 then 1.0
+  else
+    let vx = Pg.vertex pattern v in
+    match vx.Pg.label with
+    | Pg.Tag name -> float_of_int (Statistics.tag_count stats name)
+    | Pg.Wildcard -> float_of_int (Statistics.element_count stats)
+
+let vertices pattern = List.init (Pg.vertex_count pattern) (fun v -> v)
+
+(* Estimated intermediate tuples after joining a connected subset S of
+   vertices: under independence, ≈ max over v∈S of card(v) × amplification
+   of many-to-one arcs; we approximate by the product of per-arc output
+   sizes divided by shared-vertex cardinalities — standard chain estimate:
+   |join over arcs A| ≈ Π_{(p,c)∈A} pairs(p,c) / Π_{v internal} card(v). *)
+let arc_pairs stats pattern (s, t) =
+  let rel =
+    match List.find_opt (fun (s', t', _) -> s' = s && t' = t) (Pg.arcs pattern) with
+    | Some (_, _, rel) -> rel
+    | None -> Pg.Child
+  in
+  let parent_label = if s = 0 then Pg.Wildcard else (Pg.vertex pattern s).Pg.label in
+  let child_label = (Pg.vertex pattern t).Pg.label in
+  let raw =
+    if s = 0 then
+      match rel with
+      | Pg.Descendant -> stream_size stats pattern t
+      | Pg.Child | Pg.Attribute -> 1.0
+      | Pg.Following_sibling -> 0.0
+    else Statistics.estimate_rel stats rel ~parent:parent_label ~child:child_label
+  in
+  let selectivity =
+    List.fold_left
+      (fun acc pred -> acc *. Statistics.predicate_selectivity pred)
+      1.0 (Pg.vertex pattern t).Pg.predicates
+  in
+  Float.max 0.0 (raw *. selectivity)
+
+let estimate_join_order stats pattern order =
+  let cost = ref 0.0 in
+  let bound = ref [] in
+  let tuples = ref 0.0 in
+  List.iteri
+    (fun i (s, t) ->
+      let left = stream_size stats pattern s and right = stream_size stats pattern t in
+      let pairs = arc_pairs stats pattern (s, t) in
+      if i = 0 then tuples := pairs
+      else begin
+        (* joining the pair list against current tuples through the shared
+           vertex: tuples × pairs / card(shared) *)
+        let shared = if List.mem s !bound then s else t in
+        let shared_card = Float.max 1.0 (stream_size stats pattern shared) in
+        tuples := !tuples *. pairs /. shared_card
+      end;
+      bound := s :: t :: !bound;
+      cost := !cost +. left +. right +. !tuples)
+    order;
+  !cost
+
+(* Greedy order construction: repeatedly append the connected arc with the
+   cheapest resulting prefix. O(arcs^2) estimate calls — planning must stay
+   far below execution cost (exhaustive search over all orders is used only
+   by the E5 ground-truth study). *)
+let best_join_order stats pattern =
+  let arcs = List.map (fun (s, t, _) -> (s, t)) (Pg.arcs pattern) in
+  let connected chosen (s, t) =
+    chosen = []
+    || List.exists (fun (s', t') -> s' = s || s' = t || t' = s || t' = t) chosen
+  in
+  let rec build chosen remaining =
+    if remaining = [] then List.rev chosen
+    else begin
+      let candidates = List.filter (connected chosen) remaining in
+      let candidates = if candidates = [] then remaining else candidates in
+      let score arc = estimate_join_order stats pattern (List.rev (arc :: chosen)) in
+      let best =
+        List.fold_left
+          (fun (ba, bc) arc ->
+            let c = score arc in
+            if c < bc then (arc, c) else (ba, bc))
+          (List.hd candidates, score (List.hd candidates))
+          (List.tl candidates)
+      in
+      let arc = fst best in
+      build (arc :: chosen) (List.filter (fun a -> a <> arc) remaining)
+    end
+  in
+  build [] arcs
+
+let estimate stats pattern engine =
+  match engine with
+  | Binary_joins -> estimate_join_order stats pattern (best_join_order stats pattern)
+  | Twig_join ->
+    (* scan all streams + emit path solutions ≈ Σ streams + Σ output *)
+    let streams = List.fold_left (fun acc v -> acc +. stream_size stats pattern v) 0.0 (vertices pattern) in
+    streams +. Statistics.estimate_result stats pattern
+  | Nok_navigation ->
+    (* per fragment: index scan for the candidate roots + store navigation
+       over the fragment (≈ the navigational cost of its local arcs, times
+       a constant for the succinct store's slower primitives) + structural
+       semijoins on the links *)
+    let store_factor = 3.0 in
+    let parts = Nok_partition.partition pattern in
+    let fanout = Float.max 1.0 (Statistics.avg_fanout stats) in
+    let member_nav_cost v =
+      match Pg.parent pattern v with
+      | Some (p, (Pg.Child | Pg.Attribute | Pg.Following_sibling)) ->
+        Statistics.estimate_vertex_cardinality stats pattern p *. fanout
+      | Some (_, Pg.Descendant) | None -> 0.0
+    in
+    let fragment_cost f =
+      let roots =
+        if f.Nok_partition.root = 0 then 0.0 else stream_size stats pattern f.Nok_partition.root
+      in
+      let nav =
+        List.fold_left
+          (fun acc v -> acc +. member_nav_cost v)
+          0.0
+          (List.filter (fun v -> v <> f.Nok_partition.root) f.Nok_partition.members)
+      in
+      roots +. (store_factor *. nav)
+    in
+    let link_cost (src, dst) =
+      Statistics.estimate_vertex_cardinality stats pattern src
+      +. stream_size stats pattern dst
+    in
+    List.fold_left (fun acc f -> acc +. fragment_cost f) 0.0 parts.Nok_partition.fragments
+    +. List.fold_left (fun acc l -> acc +. link_cost l) 0.0 parts.Nok_partition.links
+  | Naive_nav ->
+    (* Σ over vertices of nodes visited: a child/attribute/sibling step
+       scans the context's children; a descendant step scans the whole
+       subtree of every context node — approximated by the document's
+       element count (so chains of // steps pay it repeatedly, the paper's
+       navigational scalability complaint). *)
+    let fanout = Float.max 1.0 (Statistics.avg_fanout stats) in
+    List.fold_left
+      (fun acc v ->
+        if v = 0 then acc
+        else
+          match Pg.parent pattern v with
+          | Some (p, (Pg.Child | Pg.Attribute | Pg.Following_sibling)) ->
+            acc +. (Statistics.estimate_vertex_cardinality stats pattern p *. fanout)
+          | None -> acc +. fanout
+          | Some (p, Pg.Descendant) ->
+            let contexts = Float.max 1.0 (Statistics.estimate_vertex_cardinality stats pattern p) in
+            acc +. Float.min
+                     (contexts *. float_of_int (Statistics.element_count stats))
+                     (float_of_int (Statistics.element_count stats) *. 4.0))
+      0.0 (vertices pattern)
+
+let choose stats pattern =
+  let supported = List.filter (supports pattern) all_engines in
+  match supported with
+  | [] -> Naive_nav
+  | first :: rest ->
+    fst
+      (List.fold_left
+         (fun (best, best_cost) engine ->
+           let c = estimate stats pattern engine in
+           if c < best_cost then (engine, c) else (best, best_cost))
+         (first, estimate stats pattern first)
+         rest)

@@ -1,0 +1,37 @@
+(** Operator cost model — the basis for choosing among physical
+    implementations of τ (§2: "a cost model is also needed as a basis of
+    choosing the optimal physical query plan").
+
+    Costs are abstract work units (≈ nodes touched); they are meant to
+    rank alternatives, not to predict wall-clock time. Experiment E9
+    checks the ranking against measurements. *)
+
+type engine =
+  | Naive_nav      (** step-at-a-time navigation over the DOM *)
+  | Nok_navigation (** NoK fragments over the succinct store + link joins *)
+  | Twig_join      (** holistic twig join over tag streams *)
+  | Binary_joins   (** binary structural joins, cost of the best order *)
+
+val all_engines : engine list
+val engine_name : engine -> string
+
+val supports : Xqp_algebra.Pattern_graph.t -> engine -> bool
+(** TwigStack rejects sibling arcs; the others accept any pattern. *)
+
+val estimate : Statistics.t -> Xqp_algebra.Pattern_graph.t -> engine -> float
+(** Estimated work units for evaluating the pattern from the document
+    root. *)
+
+val choose : Statistics.t -> Xqp_algebra.Pattern_graph.t -> engine
+(** Lowest-estimate engine among the supported ones. *)
+
+val estimate_join_order :
+  Statistics.t -> Xqp_algebra.Pattern_graph.t -> (int * int) list -> float
+(** Estimated cost of a specific binary-join order: Σ per join of (left
+    stream + right stream + estimated intermediate tuples), the objective
+    of join-order selection [5]. *)
+
+val best_join_order :
+  Statistics.t -> Xqp_algebra.Pattern_graph.t -> (int * int) list
+(** Connected order minimizing {!estimate_join_order} (exhaustive over
+    {!Binary_join.all_orders}; patterns are small). *)

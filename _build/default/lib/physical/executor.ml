@@ -1,0 +1,202 @@
+module Doc = Xqp_xml.Document
+module Store = Xqp_storage.Succinct_store
+module Lp = Xqp_algebra.Logical_plan
+module Pg = Xqp_algebra.Pattern_graph
+module Ops = Xqp_algebra.Operators
+
+type t = {
+  document : Doc.t;
+  store_lazy : Store.t Lazy.t;
+  stats_lazy : Statistics.t Lazy.t;
+  engine_cache : (Pg.t, Cost_model.engine) Hashtbl.t;
+  content_index_lazy : Content_index.t Lazy.t;
+}
+
+type strategy =
+  | Reference
+  | Navigation
+  | Nok
+  | Pathstack
+  | Twigstack
+  | Binary_default
+  | Binary_best
+  | Auto
+
+let create document =
+  {
+    document;
+    store_lazy = lazy (Store.of_document document);
+    stats_lazy = lazy (Statistics.build document);
+    engine_cache = Hashtbl.create 16;
+    content_index_lazy = lazy (Content_index.build document);
+  }
+
+let doc t = t.document
+let store t = Lazy.force t.store_lazy
+let statistics t = Lazy.force t.stats_lazy
+let content_index t = Lazy.force t.content_index_lazy
+
+(* The content index pays off only when some vertex carries an index-
+   answerable predicate; otherwise do not even force its construction. *)
+let index_for t pattern =
+  let answerable v =
+    let vx = Pg.vertex pattern v in
+    vx.Pg.predicates <> []
+    && List.exists
+         (fun p ->
+           match (p.Pg.comparison, p.Pg.literal) with
+           | (Pg.Eq | Pg.Le | Pg.Ge), Pg.Str _ -> true
+           | _ -> false)
+         vx.Pg.predicates
+  in
+  if List.exists answerable (List.init (Pg.vertex_count pattern) (fun i -> i)) then
+    Some (content_index t)
+  else None
+
+let strategy_name = function
+  | Reference -> "reference"
+  | Navigation -> "navigation"
+  | Nok -> "nok"
+  | Pathstack -> "pathstack"
+  | Twigstack -> "twigstack"
+  | Binary_default -> "binary-default"
+  | Binary_best -> "binary-best"
+  | Auto -> "auto"
+
+let all_strategies = [ Navigation; Nok; Pathstack; Twigstack; Binary_default; Binary_best ]
+
+(* Expand a pattern back into navigational steps (used by the Navigation
+   strategy so that it really is the step-at-a-time baseline): the spine is
+   the root-to-output path, every off-spine subtree becomes an Exists
+   predicate. *)
+let axis_of_rel = function
+  | Pg.Child -> Xqp_algebra.Axis.Child
+  | Pg.Descendant -> Xqp_algebra.Axis.Descendant
+  | Pg.Attribute -> Xqp_algebra.Axis.Attribute
+  | Pg.Following_sibling -> Xqp_algebra.Axis.Following_sibling
+
+let steps_of_pattern pattern =
+  let test_of v =
+    match (Pg.vertex pattern v).Pg.label with
+    | Pg.Tag name -> Lp.Name name
+    | Pg.Wildcard -> Lp.Any
+  in
+  let value_preds v = List.map (fun p -> Lp.Value_pred p) (Pg.vertex pattern v).Pg.predicates in
+  (* Whole subtree at v (reached via rel) as a relative existence plan. *)
+  let rec branch_plan v rel =
+    let branch_preds =
+      List.map (fun (c, rel') -> Lp.Exists (branch_plan c rel')) (Pg.children pattern v)
+    in
+    Lp.Step
+      ( Lp.Context,
+        { Lp.axis = axis_of_rel rel; test = test_of v; predicates = value_preds v @ branch_preds }
+      )
+  in
+  let output = match Pg.outputs pattern with v :: _ -> v | [] -> 0 in
+  let rec spine_path v =
+    match Pg.parent pattern v with None -> [ v ] | Some (p, _) -> v :: spine_path p
+  in
+  let spine = List.rev (spine_path output) in
+  (* Step navigating into spine vertex [v]; its off-spine subtrees (all of
+     them when [v] is the output) become existence predicates on the step. *)
+  let step_into v ~next_on_spine =
+    let rel = match Pg.parent pattern v with Some (_, r) -> r | None -> Pg.Child in
+    let branch_preds =
+      List.filter_map
+        (fun (c, rel') ->
+          if Some c = next_on_spine then None else Some (Lp.Exists (branch_plan c rel')))
+        (Pg.children pattern v)
+    in
+    { Lp.axis = axis_of_rel rel; test = test_of v; predicates = value_preds v @ branch_preds }
+  in
+  let rec build = function
+    | v :: (next :: _ as rest) -> step_into v ~next_on_spine:(Some next) :: build rest
+    | [ v ] -> [ step_into v ~next_on_spine:None ]
+    | [] -> []
+  in
+  (* Off-spine branches of the context vertex constrain the context itself:
+     a leading self::* step carries them. *)
+  let context_branches =
+    List.filter_map
+      (fun (c, rel') ->
+        if (match spine with _ :: s1 :: _ -> c = s1 | _ -> false) then None
+        else Some (Lp.Exists (branch_plan c rel')))
+      (Pg.children pattern 0)
+  in
+  let leading =
+    if context_branches = [] then []
+    else [ { Lp.axis = Xqp_algebra.Axis.Self; test = Lp.Any; predicates = context_branches } ]
+  in
+  leading @ build (List.tl spine)
+
+let rec run_pattern t strategy pattern ~context =
+  match strategy with
+  | Reference -> Ops.pattern_match t.document pattern ~context
+  | Nok -> Nok.match_pattern t.document (store t) pattern ~context
+  | Pathstack ->
+    (* PathStack covers chains; other patterns fall back to TwigStack *)
+    if Path_stack.supported pattern then Path_stack.match_pattern t.document pattern ~context
+    else Twig_stack.match_pattern t.document pattern ~context
+  | Twigstack -> Twig_stack.match_pattern t.document pattern ~context
+  | Binary_default ->
+    Binary_join.match_pattern ?content_index:(index_for t pattern) t.document pattern ~context
+  | Binary_best ->
+    (* semijoin reduction is order-insensitive; the "best order" strategy
+       matters for the tuple-materializing mode *)
+    fst
+      (Binary_join.evaluate_with_order t.document pattern ~context
+         ~order:(Cost_model.best_join_order (statistics t) pattern))
+  | Navigation ->
+    let steps = steps_of_pattern pattern in
+    let plan = Lp.of_steps ~base:Lp.Context steps in
+    let nodes = Navigation.eval_plan t.document plan ~context in
+    let output = match Pg.outputs pattern with v :: _ -> v | [] -> 0 in
+    [ (output, nodes) ]
+  | Auto ->
+    let engine =
+      match Hashtbl.find_opt t.engine_cache pattern with
+      | Some engine -> engine
+      | None ->
+        let engine = Cost_model.choose (statistics t) pattern in
+        Hashtbl.add t.engine_cache pattern engine;
+        engine
+    in
+    let concrete =
+      match engine with
+      | Cost_model.Naive_nav -> Navigation
+      | Cost_model.Nok_navigation -> Nok
+      | Cost_model.Twig_join -> Twigstack
+      | Cost_model.Binary_joins -> Binary_default
+    in
+    run_pattern t concrete pattern ~context
+
+let run t ?(strategy = Auto) plan ~context =
+  let rec go plan ctx =
+    match (plan : Lp.t) with
+    | Lp.Root -> [ Ops.document_context ]
+    | Lp.Union (a, b) -> List.sort_uniq compare (go a ctx @ go b ctx)
+    | Lp.Context -> List.sort_uniq compare ctx
+    | Lp.Step _ ->
+      (* navigational steps (with recursive handling of nested Tpm bases
+         inside the plan via Navigation's own recursion would bypass the
+         strategy, so unwind manually) *)
+      let rec eval_plan plan =
+        match (plan : Lp.t) with
+        | Lp.Step (base, s) ->
+          let base_nodes = eval_plan base in
+          Navigation.eval_plan t.document (Lp.Step (Lp.Context, s)) ~context:base_nodes
+        | other -> go other ctx
+      in
+      eval_plan plan
+    | Lp.Tpm (base, pattern) -> (
+      let base_nodes = go base ctx in
+      match run_pattern t strategy pattern ~context:base_nodes with
+      | [ (_, nodes) ] -> nodes
+      | several -> List.sort_uniq compare (List.concat_map snd several))
+  in
+  go plan context
+
+let query t ?(strategy = Auto) ?(optimize = true) path =
+  let plan = Xqp_xpath.Parser.parse path in
+  let plan = if optimize then Xqp_algebra.Rewrite.optimize plan else Xqp_algebra.Rewrite.simplify plan in
+  run t ~strategy plan ~context:[ Ops.document_context ]

@@ -1,0 +1,50 @@
+(** Plan execution: dispatch logical plans onto physical engines.
+
+    An executor bundles a packed document with the lazily-built artifacts
+    the engines need (the succinct store for NoK, statistics for the cost
+    model). Step operators run navigationally; each τ operator is
+    dispatched to the selected pattern-matching engine — [Auto] asks the
+    cost model. *)
+
+type t
+
+type strategy =
+  | Reference   (** the algebra's executable specification *)
+  | Navigation  (** naive navigational evaluation (τ expanded to steps) *)
+  | Nok         (** NoK fragments over the succinct store *)
+  | Pathstack   (** holistic path join on chains; TwigStack fallback *)
+  | Twigstack
+  | Binary_default (** binary structural joins, arcs in pattern order *)
+  | Binary_best    (** binary joins in the cost-model-chosen order *)
+  | Auto           (** cost-model choice per pattern *)
+
+val create : Xqp_xml.Document.t -> t
+(** Store and statistics are built lazily on first use. *)
+
+val doc : t -> Xqp_xml.Document.t
+val store : t -> Xqp_storage.Succinct_store.t
+val statistics : t -> Statistics.t
+val content_index : t -> Content_index.t
+(** The value index over attribute and simple-element content (built
+    lazily; the binary-join engine consults it for covered string
+    predicates). *)
+
+val run_pattern :
+  t -> strategy -> Xqp_algebra.Pattern_graph.t ->
+  context:Xqp_xml.Document.node list -> (int * Xqp_xml.Document.node list) list
+(** Evaluate τ with a specific engine (per-output-vertex sets). *)
+
+val run :
+  t -> ?strategy:strategy -> Xqp_algebra.Logical_plan.t ->
+  context:Xqp_xml.Document.node list -> Xqp_xml.Document.node list
+(** Evaluate a plan; default strategy [Auto]. The result is the
+    document-ordered distinct node list of the plan's final operator. *)
+
+val query :
+  t -> ?strategy:strategy -> ?optimize:bool -> string -> Xqp_xml.Document.node list
+(** Parse an XPath string, optionally optimize (default true: R0+R1/R2
+    rewriting), and run it from the document root. *)
+
+val strategy_name : strategy -> string
+val all_strategies : strategy list
+(** The concrete engines (everything except [Reference] and [Auto]). *)

@@ -1,0 +1,128 @@
+module Doc = Xqp_xml.Document
+module Lp = Xqp_algebra.Logical_plan
+module Pg = Xqp_algebra.Pattern_graph
+module Ops = Xqp_algebra.Operators
+module Axis = Xqp_algebra.Axis
+
+type stats = { nodes_visited : int; steps_evaluated : int }
+
+let axis_nodes_all doc axis id =
+  if id = Ops.document_context then
+    match (axis : Axis.t) with
+    | Axis.Self -> [ id ]
+    | Axis.Child -> [ Doc.root doc ]
+    | Axis.Descendant | Axis.Descendant_or_self -> List.init (Doc.node_count doc) (fun i -> i)
+    | Axis.Parent | Axis.Ancestor | Axis.Ancestor_or_self | Axis.Attribute
+    | Axis.Following_sibling | Axis.Preceding_sibling | Axis.Following | Axis.Preceding ->
+      []
+  else
+    match (axis : Axis.t) with
+    | Axis.Self -> [ id ]
+    | Axis.Child -> Doc.children doc id
+    | Axis.Attribute -> Doc.attributes doc id
+    | Axis.Descendant ->
+      let acc = ref [] in
+      Doc.iter_descendants doc id (fun d ->
+          if Doc.kind doc d <> Doc.Attribute then acc := d :: !acc);
+      List.rev !acc
+    | Axis.Descendant_or_self ->
+      let acc = ref [] in
+      Doc.iter_descendants doc id (fun d ->
+          if Doc.kind doc d <> Doc.Attribute then acc := d :: !acc);
+      id :: List.rev !acc
+    | Axis.Parent -> ( match Doc.parent doc id with Some p -> [ p ] | None -> [])
+    | Axis.Ancestor ->
+      let rec climb i acc = match Doc.parent doc i with None -> acc | Some p -> climb p (p :: acc) in
+      List.rev (climb id [])
+    | Axis.Ancestor_or_self ->
+      let rec climb i acc = match Doc.parent doc i with None -> acc | Some p -> climb p (p :: acc) in
+      id :: List.rev (climb id [])
+    | Axis.Following_sibling ->
+      let rec chain i acc =
+        match Doc.next_sibling doc i with Some s -> chain s (s :: acc) | None -> List.rev acc
+      in
+      chain id []
+    | Axis.Preceding_sibling ->
+      let rec chain i acc =
+        match Doc.prev_sibling doc i with Some s -> chain s (s :: acc) | None -> acc
+      in
+      chain id []
+    | Axis.Following ->
+      let stop = Doc.subtree_end doc id in
+      let acc = ref [] in
+      for d = Doc.node_count doc - 1 downto stop + 1 do
+        if Doc.kind doc d <> Doc.Attribute then acc := d :: !acc
+      done;
+      !acc
+    | Axis.Preceding ->
+      let acc = ref [] in
+      for d = id - 1 downto 0 do
+        if Doc.kind doc d <> Doc.Attribute && not (Doc.is_ancestor doc d id) then acc := d :: !acc
+      done;
+      !acc (* nearest-first *)
+
+let test_matches doc axis test id =
+  if id = Ops.document_context then
+    (* the virtual document node passes only a bare wildcard self-test *)
+    test = Lp.Any && axis = Axis.Self
+  else
+  match (test : Lp.node_test) with
+  | Lp.Text_node -> Doc.kind doc id = Doc.Text
+  | Lp.Any -> (
+    match Doc.kind doc id with
+    | Doc.Element -> axis <> Axis.Attribute
+    | Doc.Attribute -> axis = Axis.Attribute
+    | Doc.Text | Doc.Comment | Doc.Pi -> false)
+  | Lp.Name name -> (
+    match Doc.kind doc id with
+    | Doc.Element -> axis <> Axis.Attribute && String.equal (Doc.name doc id) name
+    | Doc.Attribute -> axis = Axis.Attribute && String.equal (Doc.name doc id) name
+    | Doc.Text | Doc.Comment | Doc.Pi -> false)
+
+let eval_plan_with_stats doc plan ~context =
+  let visited = ref 0 in
+  let steps = ref 0 in
+  (* The virtual document node's string value is the whole document's text
+     (XPath: the string-value of the root node), so value predicates on it
+     are evaluated against the document element. *)
+  let predicate_holds pred id =
+    Pg.predicate_holds doc pred (if id = Ops.document_context then Doc.root doc else id)
+  in
+  let rec go plan ctx =
+    match (plan : Lp.t) with
+    | Lp.Root -> [ Ops.document_context ]
+    | Lp.Context -> List.sort_uniq compare ctx
+    | Lp.Union (a, b) -> List.sort_uniq compare (go a ctx @ go b ctx)
+    | Lp.Tpm (base, pattern) -> (
+      let c = go base ctx in
+      match Ops.pattern_match doc pattern ~context:c with
+      | [ (_, nodes) ] -> nodes
+      | several -> List.sort_uniq compare (List.concat_map snd several))
+    | Lp.Step (base, s) ->
+      incr steps;
+      let c = go base ctx in
+      let per_context id =
+        let selected =
+          List.filter
+            (fun cand ->
+              incr visited;
+              test_matches doc s.Lp.axis s.Lp.test cand)
+            (axis_nodes_all doc s.Lp.axis id)
+        in
+        (* Sequential predicate filtering: each predicate sees the list
+           left by the previous one, so positions re-rank. *)
+        List.fold_left
+          (fun current pred ->
+            match (pred : Lp.predicate) with
+            | Lp.Position k -> (
+              match List.nth_opt current (k - 1) with Some n -> [ n ] | None -> [])
+            | Lp.Value_pred p -> List.filter (predicate_holds p) current
+            | Lp.Exists sub -> List.filter (fun n -> go sub [ n ] <> []) current)
+          selected s.Lp.predicates
+      in
+      List.sort_uniq compare (List.concat_map per_context c)
+  in
+  let result = go plan context in
+  (result, { nodes_visited = !visited; steps_evaluated = !steps })
+
+let eval_plan doc plan ~context = fst (eval_plan_with_stats doc plan ~context)

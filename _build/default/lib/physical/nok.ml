@@ -1,0 +1,29 @@
+module Store = Xqp_storage.Succinct_store
+
+type stats = Nok_engine.stats = {
+  nodes_visited : int;
+  fragment_matches : int;
+  join_pairs : int;
+}
+
+(* Adapter: the in-memory succinct store as a NoK navigation provider. *)
+module Memory_store = struct
+  type t = Store.t
+  type cursor = Store.cursor
+
+  let rank (c : cursor) = c.Store.rank
+  let root_cursor store = { Store.pos = Store.root store; rank = 0 }
+  let cursor_of_rank = Store.cursor_of_rank
+  let first_child_cursor = Store.first_child_cursor
+  let next_sibling_cursor = Store.next_sibling_cursor
+  let tag_at = Store.tag_at
+  let text_content_at store (c : cursor) = Store.text_content store c.Store.pos
+  let find_symbol store name = Xqp_xml.Symtab.find_opt (Store.symtab store) name
+  let symbol_name store sym = Xqp_xml.Symtab.name (Store.symtab store) sym
+  let symbol_count store = Xqp_xml.Symtab.cardinal (Store.symtab store)
+end
+
+module Engine = Nok_engine.Make (Memory_store)
+
+let match_pattern_with_stats = Engine.match_pattern_with_stats
+let match_pattern = Engine.match_pattern

@@ -1,0 +1,42 @@
+(** NoK pattern matching — the paper's navigational physical operator
+    (§4.2).
+
+    A NoK fragment (only local relationships) is matched by direct
+    navigation over the {!Xqp_storage.Succinct_store}: for each candidate
+    fragment root, one bounded walk of the subtree via the
+    first-child/next-sibling primitives of the balanced-parentheses
+    structure checks all local constraints — no structural joins and no
+    materialized intermediate streams for the fragment's internal arcs.
+
+    A general pattern is partitioned ({!Nok_partition}) and the per-
+    fragment results are combined with stack-tree structural joins on the
+    ancestor-descendant links, "just as in the join-based approach": the
+    hybrid evaluation strategy the paper proposes.
+
+    Fragment-internal bindings are projected onto the {e interesting}
+    vertices early (outputs and link anchors), so the combination works on
+    narrow relations. Node identities are pre-order ranks, which coincide
+    with {!Xqp_xml.Document} ids. *)
+
+type stats = {
+  nodes_visited : int;     (** navigation steps over the store *)
+  fragment_matches : int;  (** fragment embeddings found *)
+  join_pairs : int;        (** structural-join output pairs across links *)
+}
+
+val match_pattern :
+  Xqp_xml.Document.t ->
+  Xqp_storage.Succinct_store.t ->
+  Xqp_algebra.Pattern_graph.t ->
+  context:Xqp_xml.Document.node list ->
+  (int * Xqp_xml.Document.node list) list
+(** Per-output-vertex match sets (same contract as
+    {!Xqp_algebra.Operators.pattern_match}). The store must be built from
+    the same document (ranks must agree). *)
+
+val match_pattern_with_stats :
+  Xqp_xml.Document.t ->
+  Xqp_storage.Succinct_store.t ->
+  Xqp_algebra.Pattern_graph.t ->
+  context:Xqp_xml.Document.node list ->
+  (int * Xqp_xml.Document.node list) list * stats

@@ -1,0 +1,28 @@
+module Paged = Xqp_storage.Paged_store
+
+type stats = Nok_engine.stats = {
+  nodes_visited : int;
+  fragment_matches : int;
+  join_pairs : int;
+}
+
+module Disk_store = struct
+  type t = Paged.t
+  type cursor = Paged.cursor
+
+  let rank (c : cursor) = c.Paged.rank
+  let root_cursor = Paged.root_cursor
+  let cursor_of_rank = Paged.cursor_of_rank
+  let first_child_cursor = Paged.first_child_cursor
+  let next_sibling_cursor = Paged.next_sibling_cursor
+  let tag_at = Paged.tag_at
+  let text_content_at = Paged.text_content_at
+  let find_symbol = Paged.find_symbol
+  let symbol_name = Paged.tag_name
+  let symbol_count = Paged.symbol_count
+end
+
+module Engine = Nok_engine.Make (Disk_store)
+
+let match_pattern_with_stats = Engine.match_pattern_with_stats
+let match_pattern = Engine.match_pattern

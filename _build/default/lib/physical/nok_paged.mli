@@ -1,0 +1,28 @@
+(** NoK pattern matching over the disk-resident {!Xqp_storage.Paged_store}
+    (the {!Nok_engine} functor instantiated for buffer-pool navigation).
+
+    Fragment-root candidates still come from the packed document's tag
+    index and fragment combination uses in-memory structural joins — the
+    classic "indexes in RAM, data on disk" layout; the buffer pool's
+    counters measure the page I/O of the navigational scans themselves
+    (experiment E11). *)
+
+type stats = Nok_engine.stats = {
+  nodes_visited : int;
+  fragment_matches : int;
+  join_pairs : int;
+}
+
+val match_pattern :
+  Xqp_xml.Document.t ->
+  Xqp_storage.Paged_store.t ->
+  Xqp_algebra.Pattern_graph.t ->
+  context:Xqp_xml.Document.node list ->
+  (int * Xqp_xml.Document.node list) list
+
+val match_pattern_with_stats :
+  Xqp_xml.Document.t ->
+  Xqp_storage.Paged_store.t ->
+  Xqp_algebra.Pattern_graph.t ->
+  context:Xqp_xml.Document.node list ->
+  (int * Xqp_xml.Document.node list) list * stats

@@ -1,0 +1,127 @@
+module Doc = Xqp_xml.Document
+module Pg = Xqp_algebra.Pattern_graph
+module Ops = Xqp_algebra.Operators
+
+type stats = { pushes : int; emitted : int }
+
+let chain_of pattern =
+  let rec walk v acc =
+    match Pg.children pattern v with
+    | [] -> Some (List.rev (v :: acc))
+    | [ (c, _) ] -> walk c (v :: acc)
+    | _ :: _ :: _ -> None
+  in
+  walk 0 []
+
+let supported pattern =
+  match chain_of pattern with
+  | None -> false
+  | Some chain ->
+    let last = List.nth chain (List.length chain - 1) in
+    Pg.outputs pattern = [ last ]
+    && List.for_all (fun (_, _, rel) -> rel <> Pg.Following_sibling) (Pg.arcs pattern)
+
+type stack = { mutable nodes : int array; mutable len : int }
+
+let push st node =
+  if st.len = Array.length st.nodes then begin
+    let wider = Array.make (2 * st.len) 0 in
+    Array.blit st.nodes 0 wider 0 st.len;
+    st.nodes <- wider
+  end;
+  st.nodes.(st.len) <- node;
+  st.len <- st.len + 1
+
+let node_end doc x = if x = Ops.document_context then max_int else Doc.subtree_end doc x
+let node_level doc x = if x = Ops.document_context then -1 else Doc.level doc x
+
+let match_pattern_with_stats doc pattern ~context =
+  if not (supported pattern) then invalid_arg "Path_stack: not a chain pattern";
+  let chain = Array.of_list (Option.get (chain_of pattern)) in
+  let k = Array.length chain in
+  let leaf = chain.(k - 1) in
+  let streams =
+    Array.init k (fun i -> Binary_join.candidates doc pattern ~context chain.(i))
+  in
+  let cursors = Array.make k 0 in
+  let stacks = Array.init k (fun _ -> { nodes = Array.make 8 0; len = 0 }) in
+  let rels =
+    Array.init k (fun i ->
+        if i = 0 then Pg.Child (* unused *)
+        else match Pg.parent pattern chain.(i) with Some (_, rel) -> rel | None -> Pg.Child)
+  in
+  let pushes = ref 0 in
+  let results = ref [] in
+  let emitted = ref 0 in
+  let head i =
+    if cursors.(i) < Array.length streams.(i) then Some streams.(i).(cursors.(i)) else None
+  in
+  let clean_stacks before =
+    Array.iter
+      (fun st ->
+        while st.len > 0 && node_end doc st.nodes.(st.len - 1) < before do
+          st.len <- st.len - 1
+        done)
+      stacks
+  in
+  (* Is there a compatible entry on the parent stack for pushing x at chain
+     position i? *)
+  let parent_ok i x =
+    if i = 0 then true
+    else begin
+      let st = stacks.(i - 1) in
+      match rels.(i) with
+      | Pg.Descendant ->
+        let rec find j = j >= 0 && (st.nodes.(j) < x || find (j - 1)) in
+        st.len > 0 && find (st.len - 1)
+      | Pg.Child | Pg.Attribute ->
+        let want = node_level doc x - 1 in
+        let rec find j =
+          if j < 0 then false
+          else if node_level doc st.nodes.(j) = want then true
+          else if node_level doc st.nodes.(j) < want then false
+          else find (j - 1)
+        in
+        find (st.len - 1)
+      | Pg.Following_sibling -> false
+    end
+  in
+  let exhausted () =
+    let all = ref true in
+    for i = 0 to k - 1 do
+      if cursors.(i) < Array.length streams.(i) then all := false
+    done;
+    !all
+  in
+  let min_head () =
+    let best = ref (-1) and best_start = ref max_int in
+    for i = 0 to k - 1 do
+      match head i with
+      | Some x when x < !best_start ->
+        best := i;
+        best_start := x
+      | Some _ | None -> ()
+    done;
+    !best
+  in
+  while not (exhausted ()) do
+    let i = min_head () in
+    let x = match head i with Some x -> x | None -> assert false in
+    clean_stacks x;
+    if parent_ok i x then begin
+      if chain.(i) = leaf then begin
+        (* a successful leaf push is exactly a full path solution *)
+        results := x :: !results;
+        incr emitted
+      end
+      else begin
+        push stacks.(i) x;
+        incr pushes
+      end
+    end;
+    cursors.(i) <- cursors.(i) + 1
+  done;
+  ( [ (leaf, List.rev !results) ],
+    { pushes = !pushes; emitted = !emitted } )
+
+let match_pattern doc pattern ~context = fst (match_pattern_with_stats doc pattern ~context)

@@ -1,0 +1,31 @@
+(** PathStack — the holistic {e path} join of Bruno, Koudas and
+    Srivastava [13], the chain-pattern specialization that TwigStack
+    generalizes.
+
+    For linear patterns (each vertex has at most one child and the output
+    is the last vertex) the linked stacks encode all partial solutions
+    compactly and, unlike TwigStack, no merge phase and no extension test
+    is needed: a node of the leaf vertex is part of an answer exactly when
+    its push succeeds, so output projection is a single pass over the
+    merged streams — O(Σ streams) regardless of how many full path
+    solutions exist. *)
+
+type stats = { pushes : int; emitted : int }
+
+val supported : Xqp_algebra.Pattern_graph.t -> bool
+(** Linear pattern, no sibling arcs, output = the final vertex. *)
+
+val match_pattern :
+  Xqp_xml.Document.t ->
+  Xqp_algebra.Pattern_graph.t ->
+  context:Xqp_xml.Document.node list ->
+  (int * Xqp_xml.Document.node list) list
+(** Per-output-vertex match sets (same contract as
+    {!Xqp_algebra.Operators.pattern_match}).
+    @raise Invalid_argument when the pattern is not {!supported}. *)
+
+val match_pattern_with_stats :
+  Xqp_xml.Document.t ->
+  Xqp_algebra.Pattern_graph.t ->
+  context:Xqp_xml.Document.node list ->
+  (int * Xqp_xml.Document.node list) list * stats

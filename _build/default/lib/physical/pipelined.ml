@@ -1,0 +1,170 @@
+module Doc = Xqp_xml.Document
+module Lp = Xqp_algebra.Logical_plan
+module Pg = Xqp_algebra.Pattern_graph
+module Ops = Xqp_algebra.Operators
+module Axis = Xqp_algebra.Axis
+
+type stats = { nodes_pulled : int }
+
+let axis_ok = function
+  | Axis.Child | Axis.Descendant | Axis.Descendant_or_self | Axis.Attribute | Axis.Self -> true
+  | Axis.Parent | Axis.Ancestor | Axis.Ancestor_or_self | Axis.Following_sibling
+  | Axis.Preceding_sibling | Axis.Following | Axis.Preceding ->
+    false
+
+let rec supported plan =
+  match (plan : Lp.t) with
+  | Lp.Root | Lp.Context -> true
+  | Lp.Tpm _ -> false
+  | Lp.Union (a, b) -> supported a && supported b
+  | Lp.Step (base, s) ->
+    supported base && axis_ok s.Lp.axis
+    && List.for_all
+         (fun p ->
+           match (p : Lp.predicate) with
+           | Lp.Value_pred _ -> true
+           | Lp.Exists sub -> supported sub
+           | Lp.Position _ -> false)
+         s.Lp.predicates
+
+(* Lazy merge of two sorted, distinct streams (dedups across them). *)
+let rec merge2 sa sb () =
+  match (sa (), sb ()) with
+  | Seq.Nil, b -> b
+  | a, Seq.Nil -> a
+  | (Seq.Cons (x, ra) as a), (Seq.Cons (y, rb) as b) ->
+    if x < y then Seq.Cons (x, merge2 ra (fun () -> b))
+    else if y < x then Seq.Cons (y, merge2 (fun () -> a) rb)
+    else Seq.Cons (x, merge2 ra rb)
+
+(* Merge lazily-arriving sorted child streams. Sources open in context
+   order; a candidate x is emitted only once every context with id < x has
+   been opened (its children could precede x). Pending sources are kept
+   sorted by head; their number stays bounded by context nesting. *)
+let merge_sources (contexts : int Seq.t) (open_source : int -> int Seq.t) : int Seq.t =
+  let head source = match source () with Seq.Nil -> None | Seq.Cons (x, _) -> Some x in
+  let insert source pending =
+    match head source with
+    | None -> pending
+    | Some x ->
+      let rec place = function
+        | [] -> [ source ]
+        | other :: rest as all -> (
+          match head other with
+          | None -> place rest
+          | Some y -> if x <= y then source :: all else other :: place rest)
+      in
+      place pending
+  in
+  let rec next pending contexts () =
+    match pending with
+    | [] -> (
+      match contexts () with
+      | Seq.Nil -> Seq.Nil
+      | Seq.Cons (c, rest) -> next (insert (open_source c) []) rest ())
+    | smallest :: others -> (
+      match smallest () with
+      | Seq.Nil -> next others contexts ()
+      | Seq.Cons (x, rest_of_smallest) -> (
+        match contexts () with
+        | Seq.Cons (c, rest) when c < x ->
+          next (insert (open_source c) pending) rest ()
+        | contexts_node ->
+          let contexts () = contexts_node in
+          Seq.Cons (x, next (insert rest_of_smallest others) contexts)))
+  in
+  next [] contexts
+
+(* Drop context nodes nested inside an earlier context (their subtrees are
+   covered); keeps the sequence sorted. *)
+let drop_nested doc (contexts : int Seq.t) : int Seq.t =
+  let rec go bound contexts () =
+    match contexts () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (c, rest) ->
+      if c <> Ops.document_context && c <= bound then go bound rest ()
+      else begin
+        let stop = if c = Ops.document_context then max_int else Doc.subtree_end doc c in
+        Seq.Cons (c, go (max bound stop) rest)
+      end
+  in
+  go min_int contexts
+
+let eval_seq_with_stats doc plan ~context =
+  if not (supported plan) then invalid_arg "Pipelined.eval_seq: unsupported plan";
+  let pulled = ref 0 in
+  let count seq =
+    Seq.map
+      (fun x ->
+        incr pulled;
+        x)
+      seq
+  in
+  let child_seq keep_kind c =
+    if c = Ops.document_context then
+      if keep_kind Doc.Element then Seq.return (Doc.root doc) else Seq.empty
+    else begin
+      let rec from child () =
+        match child with
+        | None -> Seq.Nil
+        | Some k ->
+          if keep_kind (Doc.kind doc k) then Seq.Cons (k, from (Doc.next_sibling doc k))
+          else from (Doc.next_sibling doc k) ()
+      in
+      from (Doc.first_child doc c)
+    end
+  in
+  let descendant_seq ~or_self c =
+    let start, stop =
+      if c = Ops.document_context then (0, Doc.node_count doc - 1)
+      else ((if or_self then c else c + 1), Doc.subtree_end doc c)
+    in
+    Seq.filter
+      (fun id -> Doc.kind doc id = Doc.Element)
+      (Seq.init (max 0 (stop - start + 1)) (fun i -> start + i))
+  in
+  (* Evaluate [plan] with the given context sequence (sorted, distinct). *)
+  let rec eval plan ctx0 : int Seq.t =
+    match (plan : Lp.t) with
+    | Lp.Root -> Seq.return Ops.document_context
+    | Lp.Context -> ctx0
+    | Lp.Union (a, b) -> merge2 (eval a ctx0) (eval b ctx0)
+    | Lp.Tpm _ -> assert false
+    | Lp.Step (base, s) ->
+      let ctx = eval base ctx0 in
+      let raw =
+        match s.Lp.axis with
+        | Axis.Self -> ctx
+        | Axis.Child -> merge_sources ctx (child_seq (fun k -> k <> Doc.Attribute))
+        | Axis.Attribute -> merge_sources ctx (child_seq (fun k -> k = Doc.Attribute))
+        | Axis.Descendant -> Seq.concat_map (descendant_seq ~or_self:false) (drop_nested doc ctx)
+        | Axis.Descendant_or_self ->
+          Seq.concat_map (descendant_seq ~or_self:true) (drop_nested doc ctx)
+        | _ -> assert false
+      in
+      let tested =
+        Seq.filter (fun id -> Navigation.test_matches doc s.Lp.axis s.Lp.test id) (count raw)
+      in
+      List.fold_left
+        (fun seq pred ->
+          match (pred : Lp.predicate) with
+          | Lp.Value_pred p ->
+            Seq.filter
+              (fun id ->
+                Pg.predicate_holds doc p (if id = Ops.document_context then Doc.root doc else id))
+              seq
+          | Lp.Exists sub ->
+            Seq.filter (fun id -> not (Seq.is_empty (eval sub (Seq.return id)))) seq
+          | Lp.Position _ -> assert false)
+        tested s.Lp.predicates
+  in
+  let initial = List.to_seq (List.sort_uniq compare context) in
+  (eval plan initial, fun () -> { nodes_pulled = !pulled })
+
+let eval_seq doc plan ~context = fst (eval_seq_with_stats doc plan ~context)
+let exists doc plan ~context = not (Seq.is_empty (eval_seq doc plan ~context))
+
+let first doc plan ~context =
+  match (eval_seq doc plan ~context) () with Seq.Nil -> None | Seq.Cons (x, _) -> Some x
+
+let take k doc plan ~context = List.of_seq (Seq.take k (eval_seq doc plan ~context))

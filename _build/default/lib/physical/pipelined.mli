@@ -1,0 +1,50 @@
+(** Lazy (output-oriented) plan evaluation — §6's planned strategy:
+    "investigating different evaluating strategies such as lazy evaluation
+    (or output-oriented) strategy".
+
+    Steps produce demand-driven sequences instead of materialized lists, so
+    consumers that need only a prefix — [exists], [first], a positional
+    cut — stop the upstream work as soon as their answer is determined.
+
+    Laziness is sound for the {e downward} fragment (child / descendant /
+    descendant-or-self / attribute / self axes, value and existential
+    predicates): for those, context sequences stay in document order and
+    duplicate-free without re-sorting — a descendant step first drops
+    context nodes nested inside an earlier context (their descendants are
+    already covered), which keeps the output strictly increasing.
+    {!supported} tells whether a plan is in the fragment. *)
+
+val supported : Xqp_algebra.Logical_plan.t -> bool
+(** Downward axes only, no positional predicates, no τ nodes; unions of
+    supported branches are supported (merged lazily). *)
+
+val eval_seq :
+  Xqp_xml.Document.t ->
+  Xqp_algebra.Logical_plan.t ->
+  context:Xqp_xml.Document.node list ->
+  Xqp_xml.Document.node Seq.t
+(** Lazy result sequence in document order, duplicate-free.
+    @raise Invalid_argument when the plan is not {!supported}. *)
+
+val exists : Xqp_xml.Document.t -> Xqp_algebra.Logical_plan.t -> context:Xqp_xml.Document.node list -> bool
+(** [exists doc plan ~context]: is the result non-empty? Stops at the
+    first hit. *)
+
+val first :
+  Xqp_xml.Document.t -> Xqp_algebra.Logical_plan.t -> context:Xqp_xml.Document.node list ->
+  Xqp_xml.Document.node option
+
+val take :
+  int -> Xqp_xml.Document.t -> Xqp_algebra.Logical_plan.t ->
+  context:Xqp_xml.Document.node list -> Xqp_xml.Document.node list
+(** The first [k] results, evaluating no further than needed. *)
+
+type stats = { nodes_pulled : int }
+
+val eval_seq_with_stats :
+  Xqp_xml.Document.t ->
+  Xqp_algebra.Logical_plan.t ->
+  context:Xqp_xml.Document.node list ->
+  Xqp_xml.Document.node Seq.t * (unit -> stats)
+(** The sequence plus a live counter of nodes examined so far (read it
+    after consuming however much of the sequence you need). *)

@@ -1,0 +1,151 @@
+module Doc = Xqp_xml.Document
+module Pg = Xqp_algebra.Pattern_graph
+
+type t = {
+  doc_nodes : int;
+  elements : int;
+  tag_counts : (string, int) Hashtbl.t;
+  pc : (string * string, int) Hashtbl.t;
+  ad : (string * string, int) Hashtbl.t;
+  max_depth : int;
+  fanout_sum : int;
+  fanout_nodes : int;
+}
+
+let bump table key = Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+
+let build doc =
+  let n = Doc.node_count doc in
+  let tag_counts = Hashtbl.create 64 in
+  let pc = Hashtbl.create 256 in
+  let ad = Hashtbl.create 256 in
+  let max_depth = ref 0 in
+  let fanout_sum = ref 0 in
+  let fanout_nodes = ref 0 in
+  let elements = ref 0 in
+  (* Ancestor tag stack: ids are pre-order, so walk ids keeping a stack of
+     (subtree_end, tag). *)
+  let stack = ref [] in
+  for id = 0 to n - 1 do
+    let lvl = Doc.level doc id in
+    if lvl > !max_depth then max_depth := lvl;
+    stack := List.filter (fun (stop, _) -> stop >= id) !stack;
+    match Doc.kind doc id with
+    | Doc.Element | Doc.Attribute ->
+      let name = Doc.name doc id in
+      bump tag_counts name;
+      if Doc.kind doc id = Doc.Element then begin
+        incr elements;
+        fanout_sum := !fanout_sum + List.length (Doc.children doc id);
+        incr fanout_nodes
+      end;
+      (match !stack with
+      | (_, parent_tag) :: _ -> bump pc (parent_tag, name)
+      | [] -> ());
+      List.iter (fun (_, anc_tag) -> bump ad (anc_tag, name)) !stack;
+      if Doc.kind doc id = Doc.Element then
+        stack := (Doc.subtree_end doc id, name) :: !stack
+    | Doc.Text | Doc.Comment | Doc.Pi -> ()
+  done;
+  {
+    doc_nodes = n;
+    elements = !elements;
+    tag_counts;
+    pc;
+    ad;
+    max_depth = !max_depth;
+    fanout_sum = !fanout_sum;
+    fanout_nodes = !fanout_nodes;
+  }
+
+let tag_count t name = Option.value ~default:0 (Hashtbl.find_opt t.tag_counts name)
+let element_count t = t.elements
+let node_count t = t.doc_nodes
+let max_depth t = t.max_depth
+
+let avg_fanout t =
+  if t.fanout_nodes = 0 then 0.0 else float_of_int t.fanout_sum /. float_of_int t.fanout_nodes
+
+let parent_child_count t ~parent ~child =
+  Option.value ~default:0 (Hashtbl.find_opt t.pc (parent, child))
+
+let ancestor_descendant_count t ~ancestor ~descendant =
+  Option.value ~default:0 (Hashtbl.find_opt t.ad (ancestor, descendant))
+
+let label_count t = function
+  | Pg.Tag name -> float_of_int (tag_count t name)
+  | Pg.Wildcard -> float_of_int t.elements
+
+let estimate_rel t rel ~parent ~child =
+  let sum_over table filter =
+    Hashtbl.fold (fun key count acc -> if filter key then acc +. float_of_int count else acc) table 0.0
+  in
+  let table = match (rel : Pg.rel) with
+    | Pg.Child | Pg.Attribute | Pg.Following_sibling -> t.pc
+    | Pg.Descendant -> t.ad
+  in
+  let matches_label label name =
+    match (label : Pg.label) with Pg.Wildcard -> true | Pg.Tag tag -> String.equal tag name
+  in
+  sum_over table (fun (p, c) -> matches_label parent p && matches_label child c)
+
+let predicate_selectivity pred =
+  match pred.Pg.comparison with
+  | Pg.Eq -> 0.1
+  | Pg.Ne -> 0.9
+  | Pg.Lt | Pg.Le | Pg.Gt | Pg.Ge -> 0.33
+  | Pg.Contains -> 0.5
+
+let estimate_vertex_cardinality t pattern v =
+  (* Per-arc expected fan-out from one parent node to matching children,
+     including the child's own predicates. *)
+  let arc_fanout p rel (child_vertex : int) =
+    let vx = Pg.vertex pattern child_vertex in
+    let pairs =
+      if p = 0 then
+        (* context = document: every node with the child label qualifies
+           for descendant arcs; child arcs reach only the root. *)
+        match (rel : Pg.rel) with
+        | Pg.Descendant -> label_count t vx.Pg.label
+        | Pg.Child | Pg.Attribute -> 1.0
+        | Pg.Following_sibling -> 0.0
+      else
+        let parent_label = (Pg.vertex pattern p).Pg.label in
+        estimate_rel t rel ~parent:parent_label ~child:vx.Pg.label
+    in
+    let parent_count =
+      if p = 0 then 1.0 else Float.max 1.0 (label_count t (Pg.vertex pattern p).Pg.label)
+    in
+    let selectivity =
+      List.fold_left (fun acc pred -> acc *. predicate_selectivity pred) 1.0 vx.Pg.predicates
+    in
+    pairs /. parent_count *. selectivity
+  in
+  (* Existence probability of the whole subtree below [v] for one match of
+     [v]: each branch must be non-empty; P ≈ min(1, expected count). *)
+  let rec branch_factor v =
+    List.fold_left
+      (fun acc (c, rel) -> acc *. Float.min 1.0 (arc_fanout v rel c *. branch_factor c))
+      1.0 (Pg.children pattern v)
+  in
+  (* Top-down spine: card(context) = 1; card(c) = card(p) × fanout(p→c). *)
+  let rec card v =
+    if v = 0 then 1.0
+    else
+      match Pg.parent pattern v with
+      | None -> 1.0
+      | Some (p, rel) ->
+        Float.min
+          (label_count t (Pg.vertex pattern v).Pg.label)
+          (card p *. arc_fanout p rel v)
+  in
+  card v *. branch_factor v
+
+let estimate_result t pattern =
+  match Pg.outputs pattern with
+  | v :: _ -> estimate_vertex_cardinality t pattern v
+  | [] -> 0.0
+
+let pp ppf t =
+  Format.fprintf ppf "nodes=%d elements=%d tags=%d max_depth=%d avg_fanout=%.2f" t.doc_nodes
+    t.elements (Hashtbl.length t.tag_counts) t.max_depth (avg_fanout t)

@@ -1,0 +1,45 @@
+(** Document statistics for cardinality estimation (§2's cost-model
+    prerequisite, implemented here as the paper's planned extension).
+
+    Collected in one pass over the packed document: per-tag node counts,
+    parent-child tag-pair counts, ancestor-descendant tag-pair counts
+    (exact, via an ancestor-tag stack), depth and fan-out moments. *)
+
+type t
+
+val build : Xqp_xml.Document.t -> t
+val tag_count : t -> string -> int
+(** Number of element/attribute nodes with a tag. *)
+
+val element_count : t -> int
+val node_count : t -> int
+val max_depth : t -> int
+val avg_fanout : t -> float
+
+val parent_child_count : t -> parent:string -> child:string -> int
+(** Number of (parent, child) element pairs with these tags (children
+    include attributes). *)
+
+val ancestor_descendant_count : t -> ancestor:string -> descendant:string -> int
+
+val estimate_rel :
+  t -> Xqp_algebra.Pattern_graph.rel -> parent:Xqp_algebra.Pattern_graph.label ->
+  child:Xqp_algebra.Pattern_graph.label -> float
+(** Estimated number of pairs standing in the relation (wildcards sum over
+    tags). *)
+
+val predicate_selectivity : Xqp_algebra.Pattern_graph.predicate -> float
+(** Heuristic selectivity of a value predicate (equality 0.1, ranges 0.33,
+    inequality 0.9, contains 0.5). *)
+
+val estimate_vertex_cardinality :
+  t -> Xqp_algebra.Pattern_graph.t -> int -> float
+(** Estimated number of distinct document nodes matching a pattern vertex
+    within some embedding: top-down product of per-arc selectivities under
+    independence, capped by the vertex's tag count. The context vertex
+    estimates to 1. *)
+
+val estimate_result : t -> Xqp_algebra.Pattern_graph.t -> float
+(** Estimated output-vertex cardinality (the first output vertex). *)
+
+val pp : Format.formatter -> t -> unit

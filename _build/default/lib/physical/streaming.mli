@@ -1,0 +1,31 @@
+(** Streaming NoK evaluation (§4.2: "pre-order of the tree nodes coincides
+    with the streaming XML element arrival order. So the path query
+    evaluation algorithm can also be used in the streaming context").
+
+    Supported patterns: linear chains below the context vertex with
+    [Child] / [Descendant] arcs (the final arc may be [Attribute]);
+    value predicates are allowed on attribute vertices only, since an
+    attribute's value is available in its start-element event — element
+    text would require buffering, which the one-pass matcher deliberately
+    avoids.
+
+    Matched nodes are reported with ids equal to the pre-order ranks a
+    {!Xqp_xml.Document} built from the same stream would assign, so
+    streaming results are directly comparable with in-memory engines. *)
+
+type matcher
+
+val supported : Xqp_algebra.Pattern_graph.t -> bool
+val create : Xqp_algebra.Pattern_graph.t -> matcher
+(** @raise Invalid_argument when the pattern is not {!supported}. *)
+
+val feed : matcher -> Xqp_xml.Sax.event -> unit
+(** Push one event; call in document order. *)
+
+val matches : matcher -> int list
+(** Output-vertex matches so far, in document order. *)
+
+val events_processed : matcher -> int
+
+val run_string : Xqp_algebra.Pattern_graph.t -> string -> int list
+(** One-shot: parse [string] eventwise and return the matches. *)

@@ -1,0 +1,45 @@
+(** Binary structural join — the Stack-Tree algorithm of Al-Khalifa et
+    al. [12], the primitive of the join-based baseline (§5).
+
+    Inputs are two document-ordered node lists; using the interval encoding
+    [(start, end, level)] carried by {!Xqp_xml.Document}, one merge pass
+    with a stack of nested ancestors produces all (ancestor, descendant) or
+    (parent, child) pairs in time O(|A| + |D| + |output|). *)
+
+type stats = { ancestors_scanned : int; descendants_scanned : int; pairs_emitted : int }
+
+val join :
+  Xqp_xml.Document.t ->
+  Xqp_algebra.Pattern_graph.rel ->
+  Xqp_xml.Document.node array ->
+  Xqp_xml.Document.node array ->
+  (Xqp_xml.Document.node * Xqp_xml.Document.node) list
+(** [join doc rel ancestors descendants]: both inputs must be sorted in
+    document order (as tag-index streams are). Result is sorted by
+    (descendant, ancestor) order of emission and then normalized to
+    (ancestor, descendant) lexicographic order. *)
+
+val join_with_stats :
+  Xqp_xml.Document.t ->
+  Xqp_algebra.Pattern_graph.rel ->
+  Xqp_xml.Document.node array ->
+  Xqp_xml.Document.node array ->
+  (Xqp_xml.Document.node * Xqp_xml.Document.node) list * stats
+
+val semijoin_descendants :
+  Xqp_xml.Document.t ->
+  Xqp_algebra.Pattern_graph.rel ->
+  Xqp_xml.Document.node array ->
+  Xqp_xml.Document.node array ->
+  Xqp_xml.Document.node list
+(** Distinct descendants that have at least one matching ancestor
+    (document order). *)
+
+val semijoin_ancestors :
+  Xqp_xml.Document.t ->
+  Xqp_algebra.Pattern_graph.rel ->
+  Xqp_xml.Document.node array ->
+  Xqp_xml.Document.node array ->
+  Xqp_xml.Document.node list
+(** Distinct ancestors with at least one matching descendant (document
+    order). *)

@@ -1,0 +1,1 @@
+lib/storage/balanced_parens.ml: Array Bitvector List Xqp_xml

@@ -1,0 +1,1 @@
+lib/storage/balanced_parens.mli: Bitvector Xqp_xml

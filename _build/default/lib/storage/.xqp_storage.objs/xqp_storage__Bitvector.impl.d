@@ -1,0 +1,1 @@
+lib/storage/bitvector.ml: Array Bytes Char List

@@ -1,0 +1,1 @@
+lib/storage/paged_store.mli: Buffer_pool Xqp_xml

@@ -1,0 +1,1 @@
+lib/storage/store_io.ml: Array Bitvector Buffer Buffer_pool Bytes Char Fun Printf String Succinct_store

@@ -1,0 +1,1 @@
+lib/storage/store_io.mli: Buffer_pool Pager Succinct_store

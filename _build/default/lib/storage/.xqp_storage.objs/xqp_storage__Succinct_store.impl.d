@@ -1,0 +1,1 @@
+lib/storage/succinct_store.ml: Array Balanced_parens Bitvector Buffer Bytes Char Content_store Format List Option Pager String Xqp_xml

@@ -1,0 +1,1 @@
+lib/storage/succinct_store.mli: Bitvector Format Pager Xqp_xml

@@ -1,0 +1,169 @@
+let block_bits = 256
+
+type t = {
+  bv : Bitvector.t;
+  (* Per 256-bit block: excess delta over the block and minimum prefix
+     excess inside the block (both relative to the block start). *)
+  delta : int array;
+  min_prefix : int array;
+}
+
+type node = int
+
+let of_bitvector bv =
+  let len = Bitvector.length bv in
+  let nblocks = (len + block_bits - 1) / block_bits in
+  let delta = Array.make (max nblocks 1) 0 in
+  let min_prefix = Array.make (max nblocks 1) 0 in
+  for b = 0 to nblocks - 1 do
+    let start = b * block_bits in
+    let stop = min len (start + block_bits) in
+    let excess = ref 0 in
+    let minimum = ref max_int in
+    for i = start to stop - 1 do
+      excess := !excess + (if Bitvector.get bv i then 1 else -1);
+      if !excess < !minimum then minimum := !excess
+    done;
+    delta.(b) <- !excess;
+    min_prefix.(b) <- (if !minimum = max_int then 0 else !minimum)
+  done;
+  { bv; delta; min_prefix }
+
+let of_tree tree =
+  let b = Bitvector.builder () in
+  let rec walk node =
+    Bitvector.push b true;
+    (match node with
+    | Xqp_xml.Tree.Element e ->
+      List.iter
+        (fun (_ : string * string) ->
+          Bitvector.push b true;
+          Bitvector.push b false)
+        e.attrs;
+      List.iter walk e.children
+    | Xqp_xml.Tree.Text _ | Xqp_xml.Tree.Comment _ | Xqp_xml.Tree.Pi _ -> ());
+    Bitvector.push b false
+  in
+  walk tree;
+  of_bitvector (Bitvector.build b)
+
+let bits t = t.bv
+let length t = Bitvector.length t.bv
+let node_count t = Bitvector.pop_count t.bv
+let root (_ : t) = 0
+let is_open t i = Bitvector.get t.bv i
+
+let find_close t pos =
+  let len = length t in
+  (* Scan the rest of pos's block; then skip blocks via the directory. *)
+  let target_block = ref ((pos / block_bits) + 1) in
+  let depth = ref 1 in
+  let result = ref (-1) in
+  let i = ref (pos + 1) in
+  let block_end = min len (!target_block * block_bits) in
+  while !result < 0 && !i < block_end do
+    depth := !depth + (if Bitvector.get t.bv !i then 1 else -1);
+    if !depth = 0 then result := !i else incr i
+  done;
+  if !result >= 0 then !result
+  else begin
+    (* Walk whole blocks while the answer cannot be inside. *)
+    let nblocks = Array.length t.delta in
+    let b = ref !target_block in
+    while !result < 0 && !b < nblocks do
+      if !depth + t.min_prefix.(!b) <= 0 then begin
+        (* The matching close is inside block !b: scan it. *)
+        let start = !b * block_bits in
+        let stop = min len (start + block_bits) in
+        let j = ref start in
+        while !result < 0 && !j < stop do
+          depth := !depth + (if Bitvector.get t.bv !j then 1 else -1);
+          if !depth = 0 then result := !j else incr j
+        done
+      end
+      else begin
+        depth := !depth + t.delta.(!b);
+        incr b
+      end
+    done;
+    if !result < 0 then invalid_arg "Balanced_parens.find_close: unbalanced";
+    !result
+  end
+
+let find_open t pos =
+  (* Backward scan with depth counter; blocks skipped via the directory. *)
+  if is_open t pos then invalid_arg "Balanced_parens.find_open: open paren";
+  let depth = ref (-1) in
+  let result = ref (-1) in
+  let i = ref (pos - 1) in
+  let block_start = (pos / block_bits) * block_bits in
+  while !result < 0 && !i >= block_start do
+    depth := !depth + (if Bitvector.get t.bv !i then 1 else -1);
+    if !depth = 0 then result := !i else decr i
+  done;
+  if !result >= 0 then !result
+  else begin
+    let b = ref ((pos / block_bits) - 1) in
+    while !result < 0 && !b >= 0 do
+      (* Entering block !b from its right edge with running depth !depth
+         (which is negative). After adding the whole block the depth would be
+         !depth + delta. The open paren we want exists inside iff at some
+         prefix boundary the depth reaches 0 — scan when the block could
+         contain it, i.e. when depth + delta >= 0 is reachable. A sufficient
+         test: depth + delta >= 0 or the block's internal max could reach it;
+         we conservatively scan when depth + delta >= 0. *)
+      if !depth + t.delta.(!b) >= 0 then begin
+        let start = !b * block_bits in
+        let stop = min (length t) (start + block_bits) in
+        let j = ref (stop - 1) in
+        while !result < 0 && !j >= start do
+          depth := !depth + (if Bitvector.get t.bv !j then 1 else -1);
+          if !depth = 0 then result := !j else decr j
+        done
+      end
+      else depth := !depth + t.delta.(!b);
+      decr b
+    done;
+    if !result < 0 then invalid_arg "Balanced_parens.find_open: unbalanced";
+    !result
+  end
+
+let enclose t pos =
+  if pos = 0 then None
+  else begin
+    (* Nearest open paren to the left whose match is right of our close:
+       backward scan with a depth counter. *)
+    let rec scan i depth =
+      if i < 0 then None
+      else if Bitvector.get t.bv i then
+        if depth = 0 then Some i else scan (i - 1) (depth - 1)
+      else scan (i - 1) (depth + 1)
+    in
+    scan (pos - 1) 0
+  end
+
+let first_child t pos =
+  let next = pos + 1 in
+  if next < length t && is_open t next then Some next else None
+
+let next_sibling t pos =
+  let after = find_close t pos + 1 in
+  if after < length t && is_open t after then Some after else None
+
+let subtree_size t pos = (find_close t pos - pos + 1) / 2
+let preorder_rank t pos = Bitvector.rank1 t.bv pos
+let node_of_rank t rank = Bitvector.select1 t.bv rank
+let excess t i = (2 * Bitvector.rank1 t.bv i) - i
+let depth t pos = excess t pos
+
+let size_in_bytes t =
+  Bitvector.size_in_bytes t.bv + (Array.length t.delta + Array.length t.min_prefix) * 8
+
+let check_balanced t =
+  let len = length t in
+  let rec loop i depth =
+    if depth < 0 then false
+    else if i >= len then depth = 0
+    else loop (i + 1) (depth + if Bitvector.get t.bv i then 1 else -1)
+  in
+  loop 0 0

@@ -1,0 +1,70 @@
+(** Balanced-parentheses encoding of tree structure (§4.2).
+
+    The shape of an n-node ordered tree is the 2n-bit string written by a
+    pre-order walk: [1] opens a subtree, [0] closes it. A node is identified
+    by the position of its open parenthesis; pre-order rank is [rank1] of
+    that position, which aligns the structure with the external tag and
+    content sequences.
+
+    [find_close] / navigation use a block directory (per 256-bit block:
+    excess delta and minimum prefix excess), giving block-skipping forward
+    search — the "single scan of the input data" navigation primitive that
+    NoK pattern matching is built on. *)
+
+type t
+
+type node = int
+(** Position of a node's open parenthesis in the bit string. *)
+
+val of_bitvector : Bitvector.t -> t
+(** Wrap a bit string (1 = open). The string must be balanced; operations on
+    unbalanced input have unspecified results. *)
+
+val of_tree : Xqp_xml.Tree.t -> t
+(** Structure-only encoding of a tree (attributes included as leaves, placed
+    before content children — matching {!Xqp_xml.Document} pre-order). *)
+
+val bits : t -> Bitvector.t
+(** The underlying bit string. *)
+
+val length : t -> int
+(** Length of the bit string (2 × node count). *)
+
+val node_count : t -> int
+val root : t -> node
+(** Position 0. *)
+
+val is_open : t -> int -> bool
+val find_close : t -> node -> int
+(** Position of the close parenthesis matching the open at [node]. *)
+
+val find_open : t -> int -> node
+(** Position of the open parenthesis matching the close at a position. *)
+
+val enclose : t -> node -> node option
+(** Parent node; [None] for the root. *)
+
+val first_child : t -> node -> node option
+val next_sibling : t -> node -> node option
+val subtree_size : t -> node -> int
+(** Number of nodes in the subtree at [node]. *)
+
+val preorder_rank : t -> node -> int
+(** 0-based pre-order rank — index into tag/content sequences. *)
+
+val node_of_rank : t -> int -> node
+(** Inverse of {!preorder_rank}. *)
+
+val excess : t -> int -> int
+(** [excess bp i] is (open − close) parens in positions [[0, i)]; the depth
+    at which position [i] sits. *)
+
+val depth : t -> node -> int
+(** Depth of a node; root has depth 0. *)
+
+val size_in_bytes : t -> int
+(** Bits plus rank and excess directories. *)
+
+val check_balanced : t -> bool
+(** Validate that the sequence is balanced (used by tests and after
+    splices). *)

@@ -1,0 +1,209 @@
+(* Bits are stored LSB-first within bytes: bit [i] lives in byte [i/8] at
+   mask [1 lsl (i mod 8)]. The rank directory stores the absolute number of
+   set bits before each 512-bit (64-byte) superblock. *)
+
+let superblock_bytes = 64
+let superblock_bits = superblock_bytes * 8
+
+type t = {
+  bits : Bytes.t;
+  len : int; (* number of valid bits *)
+  super : int array; (* rank1 before superblock i *)
+  total : int; (* pop_count *)
+}
+
+type builder = { mutable buf : Bytes.t; mutable blen : int }
+
+let builder () = { buf = Bytes.make 64 '\000'; blen = 0 }
+
+let ensure b bits_needed =
+  let bytes_needed = ((b.blen + bits_needed) lsr 3) + 1 in
+  if bytes_needed > Bytes.length b.buf then begin
+    let cap = max bytes_needed (2 * Bytes.length b.buf) in
+    let wider = Bytes.make cap '\000' in
+    Bytes.blit b.buf 0 wider 0 (Bytes.length b.buf);
+    b.buf <- wider
+  end
+
+let push b bit =
+  ensure b 1;
+  if bit then begin
+    let i = b.blen in
+    Bytes.unsafe_set b.buf (i lsr 3)
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get b.buf (i lsr 3)) lor (1 lsl (i land 7))))
+  end;
+  b.blen <- b.blen + 1
+
+let push_many b bit k =
+  for _ = 1 to k do
+    push b bit
+  done
+
+(* Read up to 8 bits starting at [off] as an int (bit j of the result is
+   bit off+j of the vector). The caller guarantees off+n <= len. *)
+let read_bits_raw bits nbytes off n =
+  let byte = off lsr 3 and sh = off land 7 in
+  let lo = Char.code (Bytes.unsafe_get bits byte) lsr sh in
+  let v =
+    if sh + n <= 8 || byte + 1 >= nbytes then lo
+    else lo lor (Char.code (Bytes.unsafe_get bits (byte + 1)) lsl (8 - sh))
+  in
+  v land ((1 lsl n) - 1)
+
+(* Append the low [n] bits of [v] (n <= 8). *)
+let push_bits b v n =
+  ensure b n;
+  let off = b.blen in
+  let byte = off lsr 3 and sh = off land 7 in
+  Bytes.unsafe_set b.buf byte
+    (Char.unsafe_chr ((Char.code (Bytes.unsafe_get b.buf byte) lor ((v lsl sh) land 0xFF)) land 0xFF));
+  if sh + n > 8 then
+    Bytes.unsafe_set b.buf (byte + 1)
+      (Char.unsafe_chr ((Char.code (Bytes.unsafe_get b.buf (byte + 1)) lor (v lsr (8 - sh))) land 0xFF));
+  b.blen <- off + n
+
+(* Popcount of one byte, precomputed. *)
+let byte_pop = Array.init 256 (fun b ->
+    let rec count b acc = if b = 0 then acc else count (b lsr 1) (acc + (b land 1)) in
+    count b 0)
+
+let build b =
+  let len = b.blen in
+  let nbytes = (len + 7) / 8 in
+  let bits = Bytes.sub b.buf 0 nbytes in
+  (* Mask the trailing bits beyond [len] so byte popcounts are exact. *)
+  if len land 7 <> 0 && nbytes > 0 then begin
+    let keep = (1 lsl (len land 7)) - 1 in
+    Bytes.set bits (nbytes - 1) (Char.chr (Char.code (Bytes.get bits (nbytes - 1)) land keep))
+  end;
+  let nsuper = (nbytes + superblock_bytes - 1) / superblock_bytes + 1 in
+  let super = Array.make nsuper 0 in
+  let running = ref 0 in
+  for byte = 0 to nbytes - 1 do
+    if byte mod superblock_bytes = 0 then super.(byte / superblock_bytes) <- !running;
+    running := !running + byte_pop.(Char.code (Bytes.get bits byte))
+  done;
+  super.(nsuper - 1) <- !running;
+  (* Any intermediate superblock boundaries beyond the last byte: *)
+  for s = (nbytes + superblock_bytes - 1) / superblock_bytes to nsuper - 2 do
+    super.(s) <- !running
+  done;
+  { bits; len; super; total = !running }
+
+let of_bools bools =
+  let b = builder () in
+  List.iter (push b) bools;
+  build b
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitvector.get";
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let rank1 t i =
+  if i < 0 || i > t.len then invalid_arg "Bitvector.rank1";
+  if i = 0 then 0
+  else begin
+    let byte = i lsr 3 in
+    let sb = byte / superblock_bytes in
+    let acc = ref t.super.(sb) in
+    for b = sb * superblock_bytes to byte - 1 do
+      acc := !acc + byte_pop.(Char.code (Bytes.unsafe_get t.bits b))
+    done;
+    let rem = i land 7 in
+    if rem > 0 && byte < Bytes.length t.bits then begin
+      let mask = (1 lsl rem) - 1 in
+      acc := !acc + byte_pop.(Char.code (Bytes.unsafe_get t.bits byte) land mask)
+    end;
+    !acc
+  end
+
+let rank0 t i = i - rank1 t i
+let pop_count t = t.total
+
+let select_generic t k ~count_bit =
+  let target = k + 1 in
+  if k < 0 then invalid_arg "Bitvector.select";
+  let rank_at i = if count_bit then rank1 t i else rank0 t i in
+  if rank_at t.len < target then raise Not_found;
+  (* Binary search the superblock directory, then scan bytes, then bits. *)
+  let lo = ref 0 and hi = ref (Array.length t.super - 1) in
+  (* super.(s) = rank1 before superblock s; derive rank0 as bits - rank1. *)
+  let super_rank s =
+    let bits_before = min t.len (s * superblock_bits) in
+    if count_bit then t.super.(s) else bits_before - t.super.(s)
+  in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if super_rank mid < target then lo := mid else hi := mid
+  done;
+  let byte_start = !lo * superblock_bytes in
+  let acc = ref (super_rank !lo) in
+  let byte = ref byte_start in
+  let nbytes = Bytes.length t.bits in
+  let byte_count b =
+    let pop = byte_pop.(Char.code (Bytes.unsafe_get t.bits b)) in
+    if count_bit then pop else 8 - pop
+  in
+  while !byte < nbytes && !acc + byte_count !byte < target do
+    acc := !acc + byte_count !byte;
+    incr byte
+  done;
+  let i = ref (!byte * 8) in
+  let result = ref (-1) in
+  while !result < 0 do
+    if !i >= t.len then raise Not_found;
+    let bit = get t !i in
+    if bit = count_bit then begin
+      incr acc;
+      if !acc = target then result := !i
+    end;
+    incr i
+  done;
+  !result
+
+let select1 t k = select_generic t k ~count_bit:true
+let select0 t k = select_generic t k ~count_bit:false
+
+let size_in_bytes t = Bytes.length t.bits + (Array.length t.super * 8) + 32
+
+let append_slice b t off len =
+  if off < 0 || len < 0 || off + len > t.len then invalid_arg "Bitvector.append_slice";
+  let nbytes = Bytes.length t.bits in
+  let remaining = ref len in
+  let src = ref off in
+  while !remaining > 0 do
+    let n = min 8 !remaining in
+    push_bits b (read_bits_raw t.bits nbytes !src n) n;
+    src := !src + n;
+    remaining := !remaining - n
+  done
+
+let concat parts =
+  let b = builder () in
+  List.iter (fun part -> append_slice b part 0 part.len) parts;
+  build b
+
+let sub t off len =
+  if off < 0 || len < 0 || off + len > t.len then invalid_arg "Bitvector.sub";
+  let b = builder () in
+  append_slice b t off len;
+  build b
+
+let to_packed_bytes t = (Bytes.copy t.bits, t.len)
+
+let of_packed_bytes bytes len =
+  if len < 0 || len > 8 * Bytes.length bytes then invalid_arg "Bitvector.of_packed_bytes";
+  let b = builder () in
+  ensure b (len + 8);
+  Bytes.blit bytes 0 b.buf 0 (min (Bytes.length bytes) ((len + 7) / 8));
+  b.blen <- len;
+  build b
+
+let equal a b =
+  a.len = b.len
+  && begin
+       let rec loop i = i >= a.len || (get a i = get b i && loop (i + 1)) in
+       loop 0
+     end

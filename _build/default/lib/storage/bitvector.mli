@@ -1,0 +1,69 @@
+(** Static bit vectors with constant-time-ish [rank] and logarithmic
+    [select], the base layer of the succinct storage scheme (§4.2, [6]).
+
+    Rank uses a two-level directory: absolute counts per 512-bit superblock
+    plus byte popcounts. Select binary-searches the superblock directory and
+    scans one superblock. *)
+
+type t
+
+type builder
+(** Append-only construction buffer. *)
+
+val builder : unit -> builder
+val push : builder -> bool -> unit
+(** Append one bit. *)
+
+val push_many : builder -> bool -> int -> unit
+(** [push_many b bit k] appends [k] copies of [bit]. *)
+
+val build : builder -> t
+(** Freeze the builder and compute the rank directory. *)
+
+val append_slice : builder -> t -> int -> int -> unit
+(** [append_slice b bv off len] appends bits [[off, off+len)] of [bv],
+    processing a byte at a time (the splice fast path). *)
+
+val of_bools : bool list -> t
+val length : t -> int
+(** Number of bits. *)
+
+val get : t -> int -> bool
+(** [get bv i] is bit [i].
+    @raise Invalid_argument if [i] is out of bounds. *)
+
+val rank1 : t -> int -> int
+(** [rank1 bv i] is the number of set bits in positions [[0, i)].
+    [rank1 bv (length bv)] is the total population count. *)
+
+val rank0 : t -> int -> int
+(** Number of clear bits before position [i]. *)
+
+val select1 : t -> int -> int
+(** [select1 bv k] is the position of the [k]-th set bit (0-based).
+    @raise Not_found if there are fewer than [k+1] set bits. *)
+
+val select0 : t -> int -> int
+(** Position of the [k]-th clear bit. @raise Not_found if absent. *)
+
+val pop_count : t -> int
+(** Total number of set bits. *)
+
+val size_in_bytes : t -> int
+(** Heap footprint: payload bits plus the rank directory. *)
+
+val concat : t list -> t
+(** Concatenate bit vectors (used by the update splice). *)
+
+val sub : t -> int -> int -> t
+(** [sub bv off len] copies the bit range [[off, off+len)]. *)
+
+val equal : t -> t -> bool
+
+val to_packed_bytes : t -> Bytes.t * int
+(** [(bytes, len)]: the LSB-first payload (copied) and the bit length —
+    the serialization form. *)
+
+val of_packed_bytes : Bytes.t -> int -> t
+(** Rebuild from {!to_packed_bytes} output (rank directory recomputed).
+    @raise Invalid_argument if [len] exceeds the byte capacity. *)

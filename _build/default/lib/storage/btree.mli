@@ -1,0 +1,41 @@
+(** A B+-tree keyed by strings with posting-list values — the content index
+    of the succinct scheme (§4.2: "content-based indexes (such as B+ trees)
+    can be created only on the content information").
+
+    Leaves hold (key, postings) pairs and are chained for range scans;
+    interior nodes hold separator keys. Fan-out is fixed at build time. The
+    tree is mutable (inserts only; the workloads never delete content
+    index entries — document updates rebuild the affected postings). *)
+
+type t
+
+val create : ?fanout:int -> unit -> t
+(** [create ()] uses a fan-out of 64. @raise Invalid_argument if
+    [fanout < 4]. *)
+
+val insert : t -> string -> int -> unit
+(** [insert tree key v] appends [v] to the postings of [key]. *)
+
+val find : t -> string -> int list
+(** Postings for an exact key, in insertion order; [[]] if absent. *)
+
+val mem : t -> string -> bool
+
+val range : t -> ?lo:string -> ?hi:string -> unit -> (string * int list) list
+(** [range tree ~lo ~hi ()] is the (key, postings) pairs with
+    [lo <= key <= hi], in key order. Omitted bounds are open. *)
+
+val fold_range :
+  t -> ?lo:string -> ?hi:string -> ('a -> string -> int list -> 'a) -> 'a -> 'a
+(** Fold over the same pairs without materializing the list. *)
+
+val cardinal : t -> int
+(** Number of distinct keys. *)
+
+val height : t -> int
+(** Tree height; an empty tree has height 1 (one empty leaf). *)
+
+val check_invariants : t -> bool
+(** Validate key ordering, node occupancy and leaf chaining (tests). *)
+
+val of_seq : ?fanout:int -> (string * int) Seq.t -> t

@@ -1,0 +1,114 @@
+type stats = { requests : int; page_faults : int; hits : int; evictions : int }
+
+type frame = { data : Bytes.t; mutable stamp : int }
+
+type t = {
+  ic : in_channel;
+  size : int;
+  page_size : int;
+  capacity : int;
+  frames : (int, frame) Hashtbl.t;
+  mutable clock : int;
+  mutable requests : int;
+  mutable page_faults : int;
+  mutable hits : int;
+  mutable evictions : int;
+}
+
+let open_file ?(page_size = 4096) ?(capacity = 64) path =
+  if page_size <= 0 || capacity <= 0 then invalid_arg "Buffer_pool.open_file";
+  let ic = open_in_bin path in
+  {
+    ic;
+    size = in_channel_length ic;
+    page_size;
+    capacity;
+    frames = Hashtbl.create (2 * capacity);
+    clock = 0;
+    requests = 0;
+    page_faults = 0;
+    hits = 0;
+    evictions = 0;
+  }
+
+let close t = close_in_noerr t.ic
+let file_size t = t.size
+
+let evict_if_full t =
+  if Hashtbl.length t.frames >= t.capacity then begin
+    let victim = ref None in
+    Hashtbl.iter
+      (fun page frame ->
+        match !victim with
+        | Some (_, oldest) when oldest.stamp <= frame.stamp -> ()
+        | _ -> victim := Some (page, frame))
+      t.frames;
+    match !victim with
+    | Some (page, _) ->
+      Hashtbl.remove t.frames page;
+      t.evictions <- t.evictions + 1
+    | None -> ()
+  end
+
+let page t number =
+  t.clock <- t.clock + 1;
+  match Hashtbl.find_opt t.frames number with
+  | Some frame ->
+    t.hits <- t.hits + 1;
+    frame.stamp <- t.clock;
+    frame.data
+  | None ->
+    t.page_faults <- t.page_faults + 1;
+    evict_if_full t;
+    let off = number * t.page_size in
+    let len = min t.page_size (t.size - off) in
+    if len <= 0 then invalid_arg "Buffer_pool.page: beyond end of file";
+    let data = Bytes.create len in
+    seek_in t.ic off;
+    really_input t.ic data 0 len;
+    Hashtbl.add t.frames number { data; stamp = t.clock };
+    data
+
+let get_byte t off =
+  if off < 0 || off >= t.size then invalid_arg "Buffer_pool.get_byte";
+  t.requests <- t.requests + 1;
+  let data = page t (off / t.page_size) in
+  Char.code (Bytes.unsafe_get data (off mod t.page_size))
+
+let read_string t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.size then invalid_arg "Buffer_pool.read_string";
+  t.requests <- t.requests + 1;
+  let buffer = Buffer.create len in
+  let remaining = ref len in
+  let cursor = ref off in
+  while !remaining > 0 do
+    let data = page t (!cursor / t.page_size) in
+    let in_page = !cursor mod t.page_size in
+    let chunk = min !remaining (Bytes.length data - in_page) in
+    Buffer.add_subbytes buffer data in_page chunk;
+    cursor := !cursor + chunk;
+    remaining := !remaining - chunk
+  done;
+  Buffer.contents buffer
+
+let read_i64 t off =
+  let v = ref 0 in
+  for shift = 0 to 7 do
+    v := !v lor (get_byte t (off + shift) lsl (8 * shift))
+  done;
+  !v
+
+let stats t =
+  { requests = t.requests; page_faults = t.page_faults; hits = t.hits; evictions = t.evictions }
+
+let reset_stats t =
+  t.requests <- 0;
+  t.page_faults <- 0;
+  t.hits <- 0;
+  t.evictions <- 0
+
+let drop_cache t = Hashtbl.reset t.frames
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "requests=%d faults=%d hits=%d evictions=%d" s.requests s.page_faults s.hits
+    s.evictions

@@ -1,0 +1,45 @@
+(** A real buffer pool: fixed-size pages faulted in from a read-only file
+    on demand, cached under LRU replacement.
+
+    This is the storage-manager half of the paper's physical layer: the
+    {!Paged_store} runs the succinct scheme's navigation directly against
+    these pages, so "pages read" is a measured quantity, not a simulated
+    one (contrast {!Pager}, which only counts accesses of in-memory
+    stores). *)
+
+type t
+
+type stats = {
+  requests : int;     (** byte-range reads issued by callers *)
+  page_faults : int;  (** pages read from the file *)
+  hits : int;         (** pages served from the pool *)
+  evictions : int;    (** pages dropped to make room *)
+}
+
+val open_file : ?page_size:int -> ?capacity:int -> string -> t
+(** [open_file path] opens [path] read-only with 4096-byte pages and a
+    64-page pool by default.
+    @raise Sys_error if the file cannot be opened. *)
+
+val close : t -> unit
+val file_size : t -> int
+
+val get_byte : t -> int -> int
+(** Byte at an absolute file offset. @raise Invalid_argument out of
+    bounds. *)
+
+val read_string : t -> off:int -> len:int -> string
+(** A byte range (may span pages). *)
+
+val read_i64 : t -> int -> int
+(** Little-endian 64-bit integer at an absolute offset. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+(** Zero the counters; the cached pages stay resident (use {!drop_cache}
+    for a cold start). *)
+
+val drop_cache : t -> unit
+(** Evict every page (simulates a cold buffer pool). *)
+
+val pp_stats : Format.formatter -> stats -> unit

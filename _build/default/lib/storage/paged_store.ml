@@ -1,0 +1,287 @@
+type cursor = { pos : int; rank : int }
+
+let block_bits = 256
+
+type t = {
+  pool : Buffer_pool.t;
+  layout : Store_io.layout;
+  symbols : string array;
+  by_name : (string, int) Hashtbl.t;
+  (* per 256-bit structure block: excess delta and min prefix excess *)
+  delta : int array;
+  min_prefix : int array;
+  (* rank1 of the flag bits before each 256-bit flag block *)
+  flag_rank : int array;
+}
+
+let byte_pop =
+  Array.init 256 (fun b ->
+      let rec count b acc = if b = 0 then acc else count (b lsr 1) (acc + (b land 1)) in
+      count b 0)
+
+(* --- raw section access ---------------------------------------------- *)
+
+let structure_byte t i = Buffer_pool.get_byte t.pool (t.layout.Store_io.structure_off + i)
+
+let structure_bit t i =
+  structure_byte t (i lsr 3) land (1 lsl (i land 7)) <> 0
+
+let flag_byte t i = Buffer_pool.get_byte t.pool (t.layout.Store_io.flags_off + i)
+let flag_bit t i = flag_byte t (i lsr 3) land (1 lsl (i land 7)) <> 0
+
+(* --- open -------------------------------------------------------------- *)
+
+let open_store ?page_size ?pool_pages path =
+  let pool = Buffer_pool.open_file ?page_size ?capacity:pool_pages path in
+  let layout = Store_io.read_layout pool path in
+  let symbols =
+    Array.init layout.Store_io.symbol_count (fun i ->
+        let base = layout.Store_io.symbol_offsets_off in
+        let start = Buffer_pool.read_i64 pool (base + (8 * i)) in
+        let stop = Buffer_pool.read_i64 pool (base + (8 * (i + 1))) in
+        Buffer_pool.read_string pool
+          ~off:(layout.Store_io.symbol_blob_off + start)
+          ~len:(stop - start))
+  in
+  let by_name = Hashtbl.create (Array.length symbols) in
+  Array.iteri (fun i name -> Hashtbl.replace by_name name i) symbols;
+  (* Stream the structure section once to build the excess directory. *)
+  let bit_len = layout.Store_io.structure_bit_len in
+  let nblocks = max 1 ((bit_len + block_bits - 1) / block_bits) in
+  let delta = Array.make nblocks 0 in
+  let min_prefix = Array.make nblocks 0 in
+  let t0 =
+    { pool; layout; symbols; by_name; delta; min_prefix; flag_rank = [||] }
+  in
+  for b = 0 to nblocks - 1 do
+    let start = b * block_bits in
+    let stop = min bit_len (start + block_bits) in
+    let excess = ref 0 in
+    let minimum = ref max_int in
+    for i = start to stop - 1 do
+      excess := !excess + (if structure_bit t0 i then 1 else -1);
+      if !excess < !minimum then minimum := !excess
+    done;
+    delta.(b) <- !excess;
+    min_prefix.(b) <- (if !minimum = max_int then 0 else !minimum)
+  done;
+  (* And the flag section for content-id ranks. *)
+  let flag_bits = layout.Store_io.flags_bit_len in
+  let fblocks = max 1 ((flag_bits + block_bits - 1) / block_bits) + 1 in
+  let flag_rank = Array.make fblocks 0 in
+  let running = ref 0 in
+  for b = 0 to fblocks - 2 do
+    flag_rank.(b) <- !running;
+    let start = b * block_bits in
+    let stop = min flag_bits (start + block_bits) in
+    (* whole bytes inside the block *)
+    let i = ref start in
+    while !i < stop do
+      if !i land 7 = 0 && !i + 8 <= stop then begin
+        running := !running + byte_pop.(flag_byte t0 (!i lsr 3));
+        i := !i + 8
+      end
+      else begin
+        if flag_bit t0 !i then incr running;
+        incr i
+      end
+    done
+  done;
+  flag_rank.(fblocks - 1) <- !running;
+  { t0 with flag_rank }
+
+let close t = Buffer_pool.close t.pool
+let pool t = t.pool
+let node_count t = t.layout.Store_io.node_count
+
+(* --- parentheses navigation ------------------------------------------- *)
+
+let bit_len t = t.layout.Store_io.structure_bit_len
+
+let find_close t pos =
+  let len = bit_len t in
+  let target_block = ref ((pos / block_bits) + 1) in
+  let depth = ref 1 in
+  let result = ref (-1) in
+  let i = ref (pos + 1) in
+  let block_end = min len (!target_block * block_bits) in
+  while !result < 0 && !i < block_end do
+    depth := !depth + (if structure_bit t !i then 1 else -1);
+    if !depth = 0 then result := !i else incr i
+  done;
+  if !result >= 0 then !result
+  else begin
+    let nblocks = Array.length t.delta in
+    let b = ref !target_block in
+    while !result < 0 && !b < nblocks do
+      if !depth + t.min_prefix.(!b) <= 0 then begin
+        let start = !b * block_bits in
+        let stop = min len (start + block_bits) in
+        let j = ref start in
+        while !result < 0 && !j < stop do
+          depth := !depth + (if structure_bit t !j then 1 else -1);
+          if !depth = 0 then result := !j else incr j
+        done
+      end
+      else begin
+        depth := !depth + t.delta.(!b);
+        incr b
+      end
+    done;
+    if !result < 0 then invalid_arg "Paged_store.find_close: unbalanced";
+    !result
+  end
+
+let root_cursor (_ : t) = { pos = 0; rank = 0 }
+
+let first_child_cursor t cursor =
+  let next = cursor.pos + 1 in
+  if next < bit_len t && structure_bit t next then Some { pos = next; rank = cursor.rank + 1 }
+  else None
+
+let next_sibling_cursor t cursor =
+  let close = find_close t cursor.pos in
+  let after = close + 1 in
+  if after < bit_len t && structure_bit t after then
+    Some { pos = after; rank = cursor.rank + ((close - cursor.pos + 1) / 2) }
+  else None
+
+let subtree_size t cursor = (find_close t cursor.pos - cursor.pos + 1) / 2
+
+(* cursor_of_rank: select the (rank+1)-th open paren. The excess directory
+   doubles as a rank directory: opens before block b = (b*block_bits +
+   prefix_excess(b)) / 2 where prefix_excess is the running delta sum. *)
+let cursor_of_rank t rank =
+  if rank < 0 || rank >= node_count t then invalid_arg "Paged_store.cursor_of_rank";
+  let nblocks = Array.length t.delta in
+  (* find the block containing the (rank+1)-th open paren *)
+  let rec find b excess_before =
+    if b >= nblocks then invalid_arg "Paged_store.cursor_of_rank: out of range"
+    else begin
+      let bits_before = b * block_bits in
+      let opens_before = (bits_before + excess_before) / 2 in
+      let bits_next = min (bit_len t) ((b + 1) * block_bits) in
+      let opens_next = (bits_next + excess_before + t.delta.(b)) / 2 in
+      if opens_next > rank then (b, opens_before)
+      else find (b + 1) (excess_before + t.delta.(b))
+    end
+  in
+  let b, opens_before = find 0 0 in
+  let start = b * block_bits in
+  let stop = min (bit_len t) (start + block_bits) in
+  let seen = ref opens_before in
+  let result = ref (-1) in
+  let i = ref start in
+  while !result < 0 && !i < stop do
+    if structure_bit t !i then begin
+      if !seen = rank then result := !i else incr seen
+    end;
+    incr i
+  done;
+  if !result < 0 then invalid_arg "Paged_store.cursor_of_rank: scan failed";
+  { pos = !result; rank }
+
+(* --- tags and content --------------------------------------------------- *)
+
+let tag_at t cursor =
+  let w = t.layout.Store_io.tag_width in
+  let off = t.layout.Store_io.tags_off + (cursor.rank * w) in
+  let lo = Buffer_pool.get_byte t.pool off in
+  if w = 1 then lo else lo lor (Buffer_pool.get_byte t.pool (off + 1) lsl 8)
+
+let tag_name t sym = t.symbols.(sym)
+let find_symbol t name = Hashtbl.find_opt t.by_name name
+let symbol_count t = Array.length t.symbols
+
+(* rank1 of the flag bits before [rank]. *)
+let flag_rank1 t rank =
+  let b = rank / block_bits in
+  let acc = ref t.flag_rank.(b) in
+  let i = ref (b * block_bits) in
+  while !i < rank do
+    if !i land 7 = 0 && !i + 8 <= rank then begin
+      acc := !acc + byte_pop.(flag_byte t (!i lsr 3));
+      i := !i + 8
+    end
+    else begin
+      if flag_bit t !i then incr acc;
+      incr i
+    end
+  done;
+  !acc
+
+let content_at t cursor =
+  if not (flag_bit t cursor.rank) then ""
+  else begin
+    let id = flag_rank1 t cursor.rank in
+    let base = t.layout.Store_io.content_offsets_off in
+    let start = Buffer_pool.read_i64 t.pool (base + (8 * id)) in
+    let stop = Buffer_pool.read_i64 t.pool (base + (8 * (id + 1))) in
+    Buffer_pool.read_string t.pool
+      ~off:(t.layout.Store_io.content_blob_off + start)
+      ~len:(stop - start)
+  end
+
+let label_kind label =
+  if String.length label = 0 then `Element
+  else
+    match label.[0] with
+    | '@' -> `Attribute
+    | '?' -> `Pi
+    | '#' -> if String.equal label "#text" then `Text else `Comment
+    | _ -> `Element
+
+let text_content_at t cursor =
+  let label = t.symbols.(tag_at t cursor) in
+  match label_kind label with
+  | `Text | `Attribute -> content_at t cursor
+  | `Comment | `Pi -> ""
+  | `Element ->
+    (* walk the subtree via cursors collecting text nodes *)
+    let buffer = Buffer.create 32 in
+    let rec walk c =
+      (match label_kind t.symbols.(tag_at t c) with
+      | `Text -> Buffer.add_string buffer (content_at t c)
+      | `Attribute | `Comment | `Pi | `Element -> ());
+      let rec kids child =
+        match child with
+        | None -> ()
+        | Some k ->
+          walk k;
+          kids (next_sibling_cursor t k)
+      in
+      kids (first_child_cursor t c)
+    in
+    walk cursor;
+    Buffer.contents buffer
+
+let to_tree t =
+  let rec build c =
+    let label = t.symbols.(tag_at t c) in
+    match label_kind label with
+    | `Text -> Xqp_xml.Tree.Text (content_at t c)
+    | `Comment -> Xqp_xml.Tree.Comment (content_at t c)
+    | `Pi -> Xqp_xml.Tree.Pi (String.sub label 1 (String.length label - 1), content_at t c)
+    | `Attribute -> invalid_arg "Paged_store.to_tree: attribute outside element"
+    | `Element ->
+      let rec collect child attrs kids =
+        match child with
+        | None -> (List.rev attrs, List.rev kids)
+        | Some c' -> (
+          let label' = t.symbols.(tag_at t c') in
+          match label_kind label' with
+          | `Attribute ->
+            collect (next_sibling_cursor t c')
+              ((String.sub label' 1 (String.length label' - 1), content_at t c') :: attrs)
+              kids
+          | `Element | `Text | `Comment | `Pi ->
+            collect (next_sibling_cursor t c') attrs (build c' :: kids))
+      in
+      let attrs, kids = collect (first_child_cursor t c) [] [] in
+      Xqp_xml.Tree.Element { name = label; attrs; children = kids }
+  in
+  build (root_cursor t)
+
+let directory_bytes t =
+  (Array.length t.delta + Array.length t.min_prefix + Array.length t.flag_rank) * 8
+  + Array.fold_left (fun acc s -> acc + String.length s + 24) 0 t.symbols

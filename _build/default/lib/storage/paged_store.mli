@@ -1,0 +1,50 @@
+(** Disk-resident succinct store: the navigation primitives of
+    {!Succinct_store} evaluated directly against {!Buffer_pool} pages of a
+    saved [.xqdb] file.
+
+    Only the derived directories (rank / excess per block, the symbol
+    table) live in memory — about 1.5% of the data size; the
+    parentheses, tags and content are faulted in page by page, so the
+    pool's counters measure the real I/O behaviour of navigational
+    evaluation (experiment E11). Building the directories streams the
+    structure and flag sections once at {!open_store} (the "index load");
+    call {!Buffer_pool.reset_stats} afterwards to measure queries alone. *)
+
+type t
+
+type cursor = { pos : int; rank : int }
+(** Like {!Succinct_store.cursor}: open-parenthesis position plus
+    pre-order rank. *)
+
+val open_store : ?page_size:int -> ?pool_pages:int -> string -> t
+(** Open a file written by {!Store_io.save}.
+    @raise Sys_error / Failure as {!Store_io.load}. *)
+
+val close : t -> unit
+val pool : t -> Buffer_pool.t
+val node_count : t -> int
+
+val root_cursor : t -> cursor
+val cursor_of_rank : t -> int -> cursor
+val first_child_cursor : t -> cursor -> cursor option
+val next_sibling_cursor : t -> cursor -> cursor option
+val subtree_size : t -> cursor -> int
+
+val tag_at : t -> cursor -> int
+val tag_name : t -> int -> string
+(** Symbol id → label (store conventions: ["@name"], ["#text"], …). *)
+
+val find_symbol : t -> string -> int option
+val symbol_count : t -> int
+
+val content_at : t -> cursor -> string
+(** Own content of the node ([""] for elements). *)
+
+val text_content_at : t -> cursor -> string
+(** Concatenated descendant-or-self text. *)
+
+val to_tree : t -> Xqp_xml.Tree.t
+(** Reconstruct the document (reads every page; for verification). *)
+
+val directory_bytes : t -> int
+(** Memory held by the in-RAM directories. *)

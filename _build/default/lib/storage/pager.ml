@@ -1,0 +1,122 @@
+type stats = {
+  page_size : int;
+  logical_reads : int;
+  logical_writes : int;
+  physical_reads : int;
+  physical_writes : int;
+  hits : int;
+}
+
+(* The LRU pool is a doubly-linked list threaded through a hashtable keyed by
+   (region, page number). A generation counter orders recency cheaply: each
+   touch stamps the entry; eviction scans for the minimum stamp only when the
+   pool overflows (pool sizes are small, and benchmarks reset often). *)
+type entry = { mutable stamp : int; mutable dirty : bool }
+
+type t = {
+  page_size : int;
+  pool_pages : int;
+  pool : (int * int, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable logical_reads : int;
+  mutable logical_writes : int;
+  mutable physical_reads : int;
+  mutable physical_writes : int;
+  mutable hits : int;
+}
+
+let region_structure = 0
+let region_tags = 1
+let region_content = 2
+
+let create ?(page_size = 4096) ?(pool_pages = 256) () =
+  {
+    page_size;
+    pool_pages;
+    pool = Hashtbl.create 512;
+    clock = 0;
+    logical_reads = 0;
+    logical_writes = 0;
+    physical_reads = 0;
+    physical_writes = 0;
+    hits = 0;
+  }
+
+let evict_if_full t =
+  if Hashtbl.length t.pool >= t.pool_pages then begin
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key entry ->
+        match !victim with
+        | Some (_, oldest) when oldest.stamp <= entry.stamp -> ()
+        | _ -> victim := Some (key, entry))
+      t.pool;
+    match !victim with
+    | Some (key, entry) ->
+      if entry.dirty then t.physical_writes <- t.physical_writes + 1;
+      Hashtbl.remove t.pool key
+    | None -> ()
+  end
+
+let touch t ~region ~page ~write =
+  t.clock <- t.clock + 1;
+  let key = (region, page) in
+  (match Hashtbl.find_opt t.pool key with
+  | Some entry ->
+    t.hits <- t.hits + 1;
+    entry.stamp <- t.clock;
+    if write then entry.dirty <- true
+  | None ->
+    t.physical_reads <- t.physical_reads + 1;
+    evict_if_full t;
+    Hashtbl.add t.pool key { stamp = t.clock; dirty = write });
+  if write then t.logical_writes <- t.logical_writes + 1
+  else t.logical_reads <- t.logical_reads + 1
+
+let span t ~off ~len =
+  let first = off / t.page_size in
+  let last = if len <= 0 then first else (off + len - 1) / t.page_size in
+  (first, last)
+
+let read t ~region ~off ~len =
+  let first, last = span t ~off ~len in
+  for page = first to last do
+    touch t ~region ~page ~write:false
+  done
+
+let write t ~region ~off ~len =
+  let first, last = span t ~off ~len in
+  for page = first to last do
+    touch t ~region ~page ~write:true
+  done
+
+let flush t =
+  let dirty = Hashtbl.fold (fun _ e acc -> if e.dirty then e :: acc else acc) t.pool [] in
+  List.iter
+    (fun e ->
+      e.dirty <- false;
+      t.physical_writes <- t.physical_writes + 1)
+    dirty
+
+let stats t =
+  {
+    page_size = t.page_size;
+    logical_reads = t.logical_reads;
+    logical_writes = t.logical_writes;
+    physical_reads = t.physical_reads;
+    physical_writes = t.physical_writes;
+    hits = t.hits;
+  }
+
+let reset t =
+  Hashtbl.reset t.pool;
+  t.clock <- 0;
+  t.logical_reads <- 0;
+  t.logical_writes <- 0;
+  t.physical_reads <- 0;
+  t.physical_writes <- 0;
+  t.hits <- 0
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "page=%dB lr=%d lw=%d pr=%d pw=%d hits=%d" s.page_size s.logical_reads
+    s.logical_writes s.physical_reads s.physical_writes s.hits

@@ -1,0 +1,44 @@
+(** Simulated page-grain storage accounting.
+
+    The paper's physical optimization goal is reducing I/O (§4.1). Our
+    stores live in memory, so a [Pager.t] models the disk: byte-range
+    accesses are mapped to page numbers and run through an LRU buffer pool,
+    counting logical accesses, buffer hits, simulated page reads and writes.
+    Experiments report these counters next to wall-clock time. *)
+
+type t
+
+type stats = {
+  page_size : int;
+  logical_reads : int;   (** page touches for reading *)
+  logical_writes : int;  (** page touches for writing *)
+  physical_reads : int;  (** buffer-pool misses *)
+  physical_writes : int; (** dirty evictions + flushes *)
+  hits : int;            (** buffer-pool hits *)
+}
+
+val create : ?page_size:int -> ?pool_pages:int -> unit -> t
+(** [create ()] uses 4096-byte pages and a 256-page pool. *)
+
+val read : t -> region:int -> off:int -> len:int -> unit
+(** Record a read of bytes [[off, off+len)] of logical region [region]
+    (regions keep structure / tags / content pages distinct). Zero-length
+    reads still touch one page. *)
+
+val write : t -> region:int -> off:int -> len:int -> unit
+(** Record a write; pages become dirty in the pool. *)
+
+val flush : t -> unit
+(** Write back every dirty page (counted as physical writes). *)
+
+val stats : t -> stats
+val reset : t -> unit
+(** Clear counters and empty the pool. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Region tags used by {!Succinct_store}. *)
+
+val region_structure : int
+val region_tags : int
+val region_content : int

@@ -1,0 +1,245 @@
+let magic = "XQPSTORE"
+let version = 2
+
+(* Format v2 — fixed-size header, then sections at computable offsets so a
+   paged reader can address them without scanning:
+
+     magic (8 bytes)          "XQPSTORE"
+     version                  i64
+     node_count n             i64
+     tag_width w              i64 (1 or 2)
+     structure_bit_len        i64 (= 2n)
+     structure_byte_len       i64
+     flags_bit_len            i64 (= n)
+     flags_byte_len           i64
+     symbol_count             i64
+     symbol_blob_len          i64
+     content_count            i64
+     content_blob_len         i64
+   sections, in order:
+     structure bytes          structure_byte_len
+     tag bytes                n * w
+     has-content bytes        flags_byte_len
+     symbol offsets           (symbol_count + 1) × i64 (into the blob)
+     symbol blob              symbol_blob_len
+     content offsets          (content_count + 1) × i64
+     content blob             content_blob_len
+
+   All integers little-endian. Rank/select/excess directories are derived
+   data and rebuilt by the reader. *)
+
+let header_bytes = 8 + (8 * 11)
+
+type layout = {
+  node_count : int;
+  tag_width : int;
+  structure_bit_len : int;
+  structure_off : int;
+  structure_byte_len : int;
+  tags_off : int;
+  flags_bit_len : int;
+  flags_off : int;
+  flags_byte_len : int;
+  symbol_count : int;
+  symbol_offsets_off : int;
+  symbol_blob_off : int;
+  content_count : int;
+  content_offsets_off : int;
+  content_blob_off : int;
+}
+
+let layout_of_fields ~node_count ~tag_width ~structure_bit_len ~structure_byte_len ~flags_bit_len
+    ~flags_byte_len ~symbol_count ~symbol_blob_len ~content_count ~content_blob_len =
+  let structure_off = header_bytes in
+  let tags_off = structure_off + structure_byte_len in
+  let flags_off = tags_off + (node_count * tag_width) in
+  let symbol_offsets_off = flags_off + flags_byte_len in
+  let symbol_blob_off = symbol_offsets_off + (8 * (symbol_count + 1)) in
+  let content_offsets_off = symbol_blob_off + symbol_blob_len in
+  let content_blob_off = content_offsets_off + (8 * (content_count + 1)) in
+  ignore content_blob_len;
+  {
+    node_count;
+    tag_width;
+    structure_bit_len;
+    structure_off;
+    structure_byte_len;
+    tags_off;
+    flags_bit_len;
+    flags_off;
+    flags_byte_len;
+    symbol_count;
+    symbol_offsets_off;
+    symbol_blob_off;
+    content_count;
+    content_offsets_off;
+    content_blob_off;
+  }
+
+(* --- writing ----------------------------------------------------------- *)
+
+let write_i64 oc v =
+  for shift = 0 to 7 do
+    output_char oc (Char.chr ((v lsr (8 * shift)) land 0xFF))
+  done
+
+let blob_of arr =
+  let buffer = Buffer.create 256 in
+  let offsets = Array.make (Array.length arr + 1) 0 in
+  Array.iteri
+    (fun i s ->
+      offsets.(i) <- Buffer.length buffer;
+      Buffer.add_string buffer s)
+    arr;
+  offsets.(Array.length arr) <- Buffer.length buffer;
+  (offsets, Buffer.contents buffer)
+
+let save store path =
+  let raw = Succinct_store.to_raw store in
+  let n = Array.length raw.Succinct_store.tag_ids in
+  let symbol_count = Array.length raw.Succinct_store.symbols in
+  let tag_width = if symbol_count <= 256 then 1 else 2 in
+  let structure_bytes, structure_bit_len =
+    Bitvector.to_packed_bytes raw.Succinct_store.structure
+  in
+  let flags_bytes, flags_bit_len = Bitvector.to_packed_bytes raw.Succinct_store.content_flags in
+  let symbol_offsets, symbol_blob = blob_of raw.Succinct_store.symbols in
+  let content_offsets, content_blob = blob_of raw.Succinct_store.contents in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      write_i64 oc version;
+      write_i64 oc n;
+      write_i64 oc tag_width;
+      write_i64 oc structure_bit_len;
+      write_i64 oc (Bytes.length structure_bytes);
+      write_i64 oc flags_bit_len;
+      write_i64 oc (Bytes.length flags_bytes);
+      write_i64 oc symbol_count;
+      write_i64 oc (String.length symbol_blob);
+      write_i64 oc (Array.length raw.Succinct_store.contents);
+      write_i64 oc (String.length content_blob);
+      output_bytes oc structure_bytes;
+      (* tag section *)
+      Array.iter
+        (fun tag ->
+          output_char oc (Char.chr (tag land 0xFF));
+          if tag_width = 2 then output_char oc (Char.chr ((tag lsr 8) land 0xFF)))
+        raw.Succinct_store.tag_ids;
+      output_bytes oc flags_bytes;
+      Array.iter (write_i64 oc) symbol_offsets;
+      output_string oc symbol_blob;
+      Array.iter (write_i64 oc) content_offsets;
+      output_string oc content_blob)
+
+(* --- reading the header ------------------------------------------------ *)
+
+let corrupt path what = failwith (Printf.sprintf "%s: corrupt store file (%s)" path what)
+
+let read_layout_from read_i64 ~path ~total_size =
+  let node_count = read_i64 8 in
+  let tag_width = read_i64 16 in
+  let structure_bit_len = read_i64 24 in
+  let structure_byte_len = read_i64 32 in
+  let flags_bit_len = read_i64 40 in
+  let flags_byte_len = read_i64 48 in
+  let symbol_count = read_i64 56 in
+  let symbol_blob_len = read_i64 64 in
+  let content_count = read_i64 72 in
+  let content_blob_len = read_i64 80 in
+  if node_count < 0 || symbol_count < 0 || content_count < 0 then corrupt path "negative count";
+  if tag_width <> 1 && tag_width <> 2 then corrupt path "bad tag width";
+  if structure_bit_len <> 2 * node_count then corrupt path "structure length";
+  if flags_bit_len <> node_count then corrupt path "flag length";
+  let layout =
+    layout_of_fields ~node_count ~tag_width ~structure_bit_len ~structure_byte_len ~flags_bit_len
+      ~flags_byte_len ~symbol_count ~symbol_blob_len ~content_count ~content_blob_len
+  in
+  let expected = layout.content_blob_off + content_blob_len in
+  if expected <> total_size then corrupt path "size mismatch";
+  layout
+
+(* --- whole-file load (in-memory store) --------------------------------- *)
+
+let load ?pager path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let total_size = in_channel_length ic in
+      let contents_of_file =
+        try really_input_string ic total_size with End_of_file -> corrupt path "truncated"
+      in
+      if total_size < header_bytes then corrupt path "too small";
+      if not (String.equal (String.sub contents_of_file 0 8) magic) then corrupt path "bad magic";
+      let read_i64 off =
+        let v = ref 0 in
+        for shift = 0 to 7 do
+          v := !v lor (Char.code contents_of_file.[off + shift] lsl (8 * shift))
+        done;
+        !v
+      in
+      let file_version = read_i64 8 in
+      if file_version <> version then
+        failwith
+          (Printf.sprintf "%s: unsupported store version %d (expected %d)" path file_version
+             version);
+      let layout = read_layout_from (fun off -> read_i64 (off + 8)) ~path ~total_size in
+      let section off len =
+        if off < 0 || len < 0 || off + len > total_size then corrupt path "section bounds";
+        String.sub contents_of_file off len
+      in
+      let structure =
+        Bitvector.of_packed_bytes
+          (Bytes.of_string (section layout.structure_off layout.structure_byte_len))
+          layout.structure_bit_len
+      in
+      let tag_ids =
+        Array.init layout.node_count (fun rank ->
+            let off = layout.tags_off + (rank * layout.tag_width) in
+            let lo = Char.code contents_of_file.[off] in
+            if layout.tag_width = 1 then lo
+            else lo lor (Char.code contents_of_file.[off + 1] lsl 8))
+      in
+      let content_flags =
+        Bitvector.of_packed_bytes
+          (Bytes.of_string (section layout.flags_off layout.flags_byte_len))
+          layout.flags_bit_len
+      in
+      let strings ~offsets_off ~blob_off ~count =
+        Array.init count (fun i ->
+            let start = read_i64 (offsets_off + (8 * i)) in
+            let stop = read_i64 (offsets_off + (8 * (i + 1))) in
+            if stop < start then corrupt path "offset order";
+            section (blob_off + start) (stop - start))
+      in
+      let symbols =
+        strings ~offsets_off:layout.symbol_offsets_off ~blob_off:layout.symbol_blob_off
+          ~count:layout.symbol_count
+      in
+      let contents =
+        strings ~offsets_off:layout.content_offsets_off ~blob_off:layout.content_blob_off
+          ~count:layout.content_count
+      in
+      match
+        Succinct_store.of_raw ?pager
+          { Succinct_store.structure; tag_ids; symbols; content_flags; contents }
+      with
+      | store -> store
+      | exception Invalid_argument reason -> corrupt path reason)
+
+(* --- header access for the paged reader -------------------------------- *)
+
+let read_layout pool path =
+  if Buffer_pool.file_size pool < header_bytes then corrupt path "too small";
+  if not (String.equal (Buffer_pool.read_string pool ~off:0 ~len:8) magic) then
+    corrupt path "bad magic";
+  let file_version = Buffer_pool.read_i64 pool 8 in
+  if file_version <> version then
+    failwith
+      (Printf.sprintf "%s: unsupported store version %d (expected %d)" path file_version version);
+  read_layout_from
+    (fun off -> Buffer_pool.read_i64 pool (off + 8))
+    ~path ~total_size:(Buffer_pool.file_size pool)

@@ -1,0 +1,49 @@
+(** Binary persistence for the succinct store.
+
+    The on-disk layout mirrors the in-memory separation (§4.2): one
+    length-prefixed section per sequence — structure bits, tag sequence,
+    symbol table, has-content bits, content blob — so a future mmap-style
+    reader could fault in sections independently. Integers are 64-bit
+    little-endian; the file starts with a magic string and a format
+    version.
+
+    Directories (rank/select/excess) are rebuilt at load time: they are
+    derived data and smaller to recompute than to store. *)
+
+val magic : string
+val version : int
+
+val save : Succinct_store.t -> string -> unit
+(** [save store path] writes the store. @raise Sys_error on I/O failure. *)
+
+val load : ?pager:Pager.t -> string -> Succinct_store.t
+(** [load path] reads a store written by {!save}.
+    @raise Sys_error on I/O failure.
+    @raise Failure on a bad magic, version or truncated file. *)
+
+(** {2 Section directory} — used by {!Paged_store} to address sections of
+    the file without reading it wholesale. All offsets are absolute file
+    positions. *)
+
+type layout = {
+  node_count : int;
+  tag_width : int;
+  structure_bit_len : int;
+  structure_off : int;
+  structure_byte_len : int;
+  tags_off : int;
+  flags_bit_len : int;
+  flags_off : int;
+  flags_byte_len : int;
+  symbol_count : int;
+  symbol_offsets_off : int;
+  symbol_blob_off : int;
+  content_count : int;
+  content_offsets_off : int;
+  content_blob_off : int;
+}
+
+val header_bytes : int
+val read_layout : Buffer_pool.t -> string -> layout
+(** Validate the header through the pool and return the directory.
+    @raise Failure on a bad magic, version or inconsistent sizes. *)

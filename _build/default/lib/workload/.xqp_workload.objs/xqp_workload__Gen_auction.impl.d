@@ -1,0 +1,1 @@
+lib/workload/gen_auction.ml: Array List Printf Prng String Xqp_xml

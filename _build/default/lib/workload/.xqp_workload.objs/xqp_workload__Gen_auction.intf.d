@@ -1,0 +1,1 @@
+lib/workload/gen_auction.mli: Xqp_xml

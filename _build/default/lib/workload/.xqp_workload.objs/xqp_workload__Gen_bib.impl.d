@@ -1,0 +1,1 @@
+lib/workload/gen_bib.ml: List Printf Prng Xqp_xml

@@ -1,0 +1,1 @@
+lib/workload/gen_bib.mli: Xqp_xml

@@ -1,0 +1,1 @@
+lib/workload/gen_dblp.ml: List Printf Prng String Xqp_xml

@@ -1,0 +1,1 @@
+lib/workload/gen_dblp.mli: Xqp_xml

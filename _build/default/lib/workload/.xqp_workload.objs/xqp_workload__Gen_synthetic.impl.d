@@ -1,0 +1,1 @@
+lib/workload/gen_synthetic.ml: List Prng Xqp_xml

@@ -1,0 +1,1 @@
+lib/workload/gen_synthetic.mli: Xqp_xml

@@ -1,0 +1,121 @@
+module Tree = Xqp_xml.Tree
+
+let words =
+  [| "vintage"; "rare"; "mint"; "boxed"; "signed"; "antique"; "custom"; "classic"; "gold";
+     "silver"; "large"; "small"; "heavy"; "light" |]
+
+let cities = [| "Toronto"; "Waterloo"; "Boston"; "Paris"; "Tokyo"; "Berlin"; "Sydney" |]
+let countries = [| "Canada"; "USA"; "France"; "Japan"; "Germany"; "Australia" |]
+let continents = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+let categories_pool = [| "art"; "books"; "coins"; "stamps"; "tools"; "toys" |]
+
+let sentence rng n =
+  String.concat " " (List.init n (fun _ -> Prng.pick rng words))
+
+(* Recursively nested parlist/listitem — the descendant-axis stress
+   structure (depth is geometric). *)
+let rec parlist rng depth =
+  let items = 1 + Prng.int rng 3 in
+  Tree.elt "parlist"
+    (List.init items (fun _ ->
+         if depth > 0 && Prng.bool rng 0.4 then Tree.elt "listitem" [ parlist rng (depth - 1) ]
+         else Tree.elt "listitem" [ Tree.leaf "text" (sentence rng 4) ]))
+
+let description rng =
+  if Prng.bool rng 0.5 then Tree.elt "description" [ Tree.leaf "text" (sentence rng 6) ]
+  else Tree.elt "description" [ parlist rng (1 + Prng.geometric rng 0.5) ]
+
+let item rng index =
+  Tree.elt "item"
+    ~attrs:[ ("id", Printf.sprintf "item%d" index) ]
+    [
+      Tree.leaf "location" (Prng.pick rng countries);
+      Tree.leaf "quantity" (string_of_int (1 + Prng.int rng 5));
+      Tree.leaf "name" (sentence rng 2);
+      Tree.elt "payment" [ Tree.leaf "text" "Cash, Check" ];
+      description rng;
+    ]
+
+let person rng index =
+  let profile =
+    let interests =
+      List.init (Prng.int rng 3) (fun _ ->
+          Tree.elt "interest" ~attrs:[ ("category", Prng.pick rng categories_pool) ] [])
+    in
+    let income = 20000 + Prng.int rng 80000 in
+    Tree.elt "profile" ~attrs:[ ("income", string_of_int income) ]
+      (interests @ [ Tree.leaf "education" "Graduate School" ])
+  in
+  let address =
+    if Prng.bool rng 0.7 then
+      [
+        Tree.elt "address"
+          [
+            Tree.leaf "street" (Printf.sprintf "%d Main St" (1 + Prng.int rng 99));
+            Tree.leaf "city" (Prng.pick rng cities);
+            Tree.leaf "country" (Prng.pick rng countries);
+          ];
+      ]
+    else []
+  in
+  Tree.elt "person"
+    ~attrs:[ ("id", Printf.sprintf "person%d" index) ]
+    ([
+       Tree.leaf "name" (sentence rng 2);
+       Tree.leaf "emailaddress" (Printf.sprintf "mailto:p%d@example.com" index);
+     ]
+    @ address @ [ profile ])
+
+let open_auction rng index ~people ~items =
+  let bidders = 1 + Prng.int rng 4 in
+  let bids =
+    List.init bidders (fun b ->
+        Tree.elt "bidder"
+          [
+            Tree.leaf "date" (Printf.sprintf "%02d/%02d/2003" (1 + Prng.int rng 12) (1 + Prng.int rng 28));
+            Tree.leaf "increase" (string_of_int (3 * (1 + b + Prng.int rng 10)));
+          ])
+  in
+  Tree.elt "open_auction"
+    ~attrs:[ ("id", Printf.sprintf "open%d" index) ]
+    ([ Tree.leaf "initial" (string_of_int (5 + Prng.int rng 200)) ]
+    @ bids
+    @ [
+        Tree.leaf "current" (string_of_int (50 + Prng.int rng 500));
+        Tree.elt "itemref" ~attrs:[ ("item", Printf.sprintf "item%d" (Prng.int rng (max 1 items))) ] [];
+        Tree.elt "seller" ~attrs:[ ("person", Printf.sprintf "person%d" (Prng.int rng (max 1 people))) ] [];
+      ])
+
+let category rng index =
+  Tree.elt "category"
+    ~attrs:[ ("id", Printf.sprintf "cat%d" index) ]
+    [ Tree.leaf "name" (Prng.pick rng categories_pool); description rng ]
+
+let document ?(seed = 42) ~scale () =
+  let rng = Prng.create seed in
+  (* average packed nodes per unit (measured): item ≈ 16, person ≈ 18,
+     auction ≈ 17, category ≈ 14 *)
+  let units = max 4 (scale / 17) in
+  let n_items = max 1 (units * 30 / 100) in
+  let n_people = max 1 (units * 25 / 100) in
+  let n_auctions = max 1 (units * 25 / 100) in
+  let n_categories = max 1 (units * 20 / 100) in
+  let regions =
+    let per = max 1 (n_items / Array.length continents) in
+    Tree.elt "regions"
+      (Array.to_list
+         (Array.mapi
+            (fun c continent ->
+              Tree.elt continent (List.init per (fun i -> item rng ((c * per) + i))))
+            continents))
+  in
+  Tree.elt "site"
+    [
+      regions;
+      Tree.elt "people" (List.init n_people (person rng));
+      Tree.elt "open_auctions"
+        (List.init n_auctions (fun i -> open_auction rng i ~people:n_people ~items:n_items));
+      Tree.elt "categories" (List.init n_categories (category rng));
+    ]
+
+let packed ?seed ~scale () = Xqp_xml.Document.of_tree (document ?seed ~scale ())

@@ -1,0 +1,16 @@
+(** XMark-flavoured auction-site documents — the synthetic substitute for
+    the paper's evaluation data (see DESIGN.md, substitutions).
+
+    Shape follows the XMark schema sketch: a [site] with [regions] (items
+    per continent), [people] (persons with nested address/profile and
+    attributes), [open_auctions] (bidders with increases) and [categories]
+    (descriptions with recursively nested [parlist]/[listitem] text — the
+    descendant-axis stress structure). [scale] is an approximate node
+    budget; {!packed} reports the exact count via
+    {!Xqp_xml.Document.node_count}. *)
+
+val document : ?seed:int -> scale:int -> unit -> Xqp_xml.Tree.t
+(** [scale] ≈ target node count (within ~20%). Deterministic per (seed,
+    scale). *)
+
+val packed : ?seed:int -> scale:int -> unit -> Xqp_xml.Document.t

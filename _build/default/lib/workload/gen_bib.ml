@@ -1,0 +1,36 @@
+module Tree = Xqp_xml.Tree
+
+let title_words =
+  [| "Advanced"; "Principles"; "Foundations"; "Data"; "Web"; "Query"; "Systems"; "Streams";
+     "Logic"; "Networks"; "Databases"; "Optimization"; "Patterns"; "Trees" |]
+
+let surnames =
+  [| "Stevens"; "Abiteboul"; "Buneman"; "Suciu"; "Bosak"; "Codd"; "Gray"; "Ullman"; "Widom";
+     "Jagadish"; "Ozsu"; "Zhang" |]
+
+let publishers = [| "Addison-Wesley"; "Morgan Kaufmann"; "Springer"; "O'Reilly" |]
+
+let book rng index =
+  let year = 1985 + Prng.int rng 20 in
+  let title =
+    Printf.sprintf "%s %s %s"
+      (Prng.pick rng title_words) (Prng.pick rng title_words) (Prng.pick rng title_words)
+  in
+  let n_authors = 1 + Prng.geometric rng 0.6 in
+  let n_authors = min n_authors 3 in
+  let authors =
+    List.init n_authors (fun _ ->
+        Tree.elt "author"
+          [ Tree.leaf "last" (Prng.pick rng surnames); Tree.leaf "first" (Prng.pick rng surnames) ])
+  in
+  let price = Printf.sprintf "%d.%02d" (10 + Prng.int rng 110) (Prng.int rng 100) in
+  Tree.elt "book"
+    ~attrs:[ ("year", string_of_int year); ("id", Printf.sprintf "b%d" index) ]
+    (Tree.leaf "title" title :: authors
+    @ [ Tree.leaf "publisher" (Prng.pick rng publishers); Tree.leaf "price" price ])
+
+let document ?(seed = 42) ~books () =
+  let rng = Prng.create seed in
+  Tree.elt "bib" (List.init books (book rng))
+
+let packed ?seed ~books () = Xqp_xml.Document.of_tree (document ?seed ~books ())

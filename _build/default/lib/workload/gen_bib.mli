@@ -1,0 +1,9 @@
+(** The bibliography document family (the paper's running example, Fig. 1 /
+    XQuery Use Cases "bib.xml"). Shallow, regular structure: a flat list of
+    books with titles, 1–3 authors, publisher, price and a year
+    attribute. *)
+
+val document : ?seed:int -> books:int -> unit -> Xqp_xml.Tree.t
+(** Deterministic for a given (seed, books). *)
+
+val packed : ?seed:int -> books:int -> unit -> Xqp_xml.Document.t

@@ -1,0 +1,51 @@
+module Tree = Xqp_xml.Tree
+
+let first_names = [| "Wei"; "Anna"; "Jose"; "Priya"; "Tom"; "Yuki"; "Lena"; "Omar" |]
+let last_names = [| "Chen"; "Miller"; "Garcia"; "Patel"; "Novak"; "Tanaka"; "Fischer"; "Ali" |]
+
+let venues =
+  [| "SIGMOD Conference"; "VLDB"; "ICDE"; "EDBT"; "PODS"; "WWW"; "CIKM"; "TODS" |]
+
+let title_words =
+  [| "Efficient"; "Scalable"; "Adaptive"; "Incremental"; "Holistic"; "Indexing"; "Query";
+     "Processing"; "XML"; "Streams"; "Joins"; "Storage"; "Trees"; "Patterns"; "Views" |]
+
+let publication rng index =
+  let kind = if Prng.bool rng 0.6 then "inproceedings" else "article" in
+  let authors =
+    List.init
+      (1 + Prng.int rng 3)
+      (fun _ ->
+        Tree.leaf "author"
+          (Printf.sprintf "%s %s" (Prng.pick rng first_names) (Prng.pick rng last_names)))
+  in
+  let title =
+    Printf.sprintf "%s %s %s %s" (Prng.pick rng title_words) (Prng.pick rng title_words)
+      (Prng.pick rng title_words) (Prng.pick rng title_words)
+  in
+  let year = 1990 + Prng.int rng 15 in
+  let venue_field =
+    if String.equal kind "article" then Tree.leaf "journal" (Prng.pick rng venues)
+    else Tree.leaf "booktitle" (Prng.pick rng venues)
+  in
+  let base = 50 + Prng.int rng 900 in
+  Tree.elt kind
+    ~attrs:
+      [
+        ("key", Printf.sprintf "conf/x/%d" index);
+        ("mdate", Printf.sprintf "200%d-0%d-1%d" (Prng.int rng 5) (1 + Prng.int rng 8) (Prng.int rng 9));
+      ]
+    (authors
+    @ [
+        Tree.leaf "title" title;
+        venue_field;
+        Tree.leaf "year" (string_of_int year);
+        Tree.leaf "pages" (Printf.sprintf "%d-%d" base (base + 8 + Prng.int rng 20));
+        Tree.leaf "ee" (Printf.sprintf "db/conf/x/%d.html" index);
+      ])
+
+let document ?(seed = 42) ~publications () =
+  let rng = Prng.create seed in
+  Tree.elt "dblp" (List.init publications (publication rng))
+
+let packed ?seed ~publications () = Xqp_xml.Document.of_tree (document ?seed ~publications ())

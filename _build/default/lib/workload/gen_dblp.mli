@@ -1,0 +1,8 @@
+(** DBLP-flavoured bibliography documents: very wide and shallow (one huge
+    root with hundreds of thousands of publication records of depth 2),
+    high text-to-structure ratio — the opposite structural extreme from
+    the recursive auction documents, used by the storage and scalability
+    experiments. *)
+
+val document : ?seed:int -> publications:int -> unit -> Xqp_xml.Tree.t
+val packed : ?seed:int -> publications:int -> unit -> Xqp_xml.Document.t

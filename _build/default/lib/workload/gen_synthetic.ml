@@ -1,0 +1,40 @@
+module Tree = Xqp_xml.Tree
+
+let uniform ?(seed = 42) ~depth ~fanout ~tags () =
+  let rng = Prng.create seed in
+  let rec build level =
+    let tag = Prng.pick rng tags in
+    if level >= depth then Tree.leaf tag (string_of_int (Prng.int rng 100))
+    else Tree.elt tag (List.init fanout (fun _ -> build (level + 1)))
+  in
+  Tree.elt "root" (List.init fanout (fun _ -> build 1))
+
+let skewed ?(seed = 42) ~nodes ~target ~target_frequency () =
+  let rng = Prng.create seed in
+  let fillers = [| "f1"; "f2"; "f3"; "f4" |] in
+  let budget = ref (max 2 nodes) in
+  let tag () = if Prng.bool rng target_frequency then target else Prng.pick rng fillers in
+  let rec build level =
+    decr budget;
+    let children =
+      if level > 12 || !budget <= 0 then []
+      else begin
+        let n = min (1 + Prng.int rng 4) (max 0 !budget) in
+        List.init n (fun _ -> build (level + 1))
+      end
+    in
+    if children = [] then Tree.leaf (tag ()) (string_of_int (Prng.int rng 100))
+    else Tree.elt (tag ()) children
+  in
+  let rec forest acc =
+    if !budget <= 0 then List.rev acc else forest (build 1 :: acc)
+  in
+  Tree.elt "root" (forest [])
+
+let deep_chain ~depth tag =
+  let rec build level =
+    if level >= depth - 1 then Tree.leaf tag "x" else Tree.elt tag [ build (level + 1) ]
+  in
+  build 0
+
+let wide ~fanout tag = Tree.elt "root" (List.init fanout (fun i -> Tree.leaf tag (string_of_int i)))

@@ -1,0 +1,25 @@
+(** Fully-controlled synthetic tree shapes for the selectivity and storage
+    experiments. *)
+
+val uniform :
+  ?seed:int -> depth:int -> fanout:int -> tags:string array -> unit -> Xqp_xml.Tree.t
+(** Complete [fanout]-ary tree of the given depth; each node's tag drawn
+    uniformly from [tags]; leaves carry small numeric text. *)
+
+val skewed :
+  ?seed:int ->
+  nodes:int ->
+  target:string ->
+  target_frequency:float ->
+  unit ->
+  Xqp_xml.Tree.t
+(** A random tree of ≈[nodes] nodes in which tag [target] appears with
+    the given frequency (the rest are filler tags) — the knob for
+    selectivity sweeps (E3). *)
+
+val deep_chain : depth:int -> string -> Xqp_xml.Tree.t
+(** A single root-to-leaf chain of the given tag (worst case for
+    navigation, best for structural pruning). *)
+
+val wide : fanout:int -> string -> Xqp_xml.Tree.t
+(** One root with [fanout] leaf children. *)

@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random numbers for workload generation
+    (SplitMix64). Every generated document is a pure function of its seed
+    and parameters, so experiments are exactly reproducible. *)
+
+type t
+
+val create : int -> t
+(** [create seed]. *)
+
+val int : t -> int -> int
+(** [int rng bound] is uniform in [[0, bound)]. [bound > 0]. *)
+
+val float : t -> float -> float
+(** Uniform in [[0, bound)]. *)
+
+val bool : t -> float -> bool
+(** [bool rng p] is true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice. @raise Invalid_argument on an empty array. *)
+
+val geometric : t -> float -> int
+(** [geometric rng p] ≥ 0, mean ≈ (1-p)/p: number of failures before a
+    success. *)

@@ -1,0 +1,113 @@
+type query = { id : string; xpath : string; description : string; nok_heavy : bool }
+
+let auction_paths =
+  [
+    {
+      id = "Q1";
+      xpath = "/site/regions/africa/item/name";
+      description = "fully local chain (pure NoK)";
+      nok_heavy = true;
+    }
+    ;
+    {
+      id = "Q2";
+      xpath = "//item/name";
+      description = "descendant entry, one local step";
+      nok_heavy = true;
+    }
+    ;
+    {
+      id = "Q3";
+      xpath = "/site/people/person[address/city][profile]/name";
+      description = "local twig with two branches";
+      nok_heavy = true;
+    }
+    ;
+    {
+      id = "Q4";
+      xpath = "//open_auction[bidder/increase > 20]/current";
+      description = "twig with a value predicate";
+      nok_heavy = false;
+    }
+    ;
+    {
+      id = "Q5";
+      xpath = "//description//listitem//text";
+      description = "descendant-heavy chain over recursive parlists";
+      nok_heavy = false;
+    }
+    ;
+    {
+      id = "Q6";
+      xpath = "//person[profile/@income > 60000]/name";
+      description = "attribute value predicate twig";
+      nok_heavy = false;
+    }
+  ]
+
+let auction_complexity_sweep =
+  [
+    { id = "C1"; xpath = "//person"; description = "1 step"; nok_heavy = false };
+    { id = "C2"; xpath = "//person/name"; description = "2 steps"; nok_heavy = false };
+    {
+      id = "C3";
+      xpath = "/site/people/person/name";
+      description = "4 local steps";
+      nok_heavy = true;
+    };
+    {
+      id = "C4";
+      xpath = "/site/people/person[address]/name";
+      description = "4 steps + 1 branch";
+      nok_heavy = true;
+    };
+    {
+      id = "C5";
+      xpath = "/site/people/person[address/city][profile/@income]/name";
+      description = "5 steps + 2 branches";
+      nok_heavy = true;
+    };
+    {
+      id = "C6";
+      xpath = "//open_auction[bidder/date][itemref]/current";
+      description = "twig, 3 branches, descendant entry";
+      nok_heavy = false;
+    };
+    {
+      id = "C7";
+      xpath = "//regions//item[location][quantity]/description//text";
+      description = "mixed descendant twig, 8 vertices";
+      nok_heavy = false;
+    };
+  ]
+
+let bib_flwor =
+  [
+    ( "F1-fig1",
+      {|<results>{
+          for $b in doc("bib.xml")/bib/book
+          let $t := $b/title
+          let $a := $b/author
+          return <result>{$t}{$a}</result>
+        }</results>|} );
+    ( "F2-where",
+      {|<cheap>{
+          for $b in /bib/book
+          where $b/price < 50
+          return <t>{$b/title}</t>
+        }</cheap>|} );
+    ( "F3-orderby",
+      {|<sorted>{
+          for $b in /bib/book
+          order by $b/title
+          return $b/title
+        }</sorted>|} );
+    ( "F4-nested",
+      {|<authors>{
+          for $b in /bib/book
+          return <book>{ for $a in $b/author return <who>{string($a/last)}</who> }</book>
+        }</authors>|} );
+  ]
+
+let by_id id =
+  List.find (fun q -> String.equal q.id id) (auction_paths @ auction_complexity_sweep)

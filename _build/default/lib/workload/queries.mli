@@ -1,0 +1,22 @@
+(** Named query workloads for the experiments (see DESIGN.md §4 and
+    EXPERIMENTS.md). *)
+
+type query = {
+  id : string;
+  xpath : string;
+  description : string;
+  nok_heavy : bool;
+      (** true when the pattern is dominated by local (next-of-kin) steps *)
+}
+
+val auction_paths : query list
+(** Path/twig queries over {!Gen_auction} documents (experiments E1, E2). *)
+
+val auction_complexity_sweep : query list
+(** Queries of growing step count and branching (E2). *)
+
+val bib_flwor : (string * string) list
+(** (id, XQuery text) pairs over {!Gen_bib} documents (F1, E8). *)
+
+val by_id : string -> query
+(** @raise Not_found for unknown ids. *)

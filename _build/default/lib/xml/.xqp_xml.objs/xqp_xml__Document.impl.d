@@ -1,0 +1,1 @@
+lib/xml/document.ml: Array Buffer Format List String Symtab Tree Xml_parser

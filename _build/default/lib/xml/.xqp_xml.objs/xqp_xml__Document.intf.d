@@ -1,0 +1,1 @@
+lib/xml/document.mli: Format Symtab Tree

@@ -1,0 +1,1 @@
+lib/xml/entity.ml: Buffer Char String

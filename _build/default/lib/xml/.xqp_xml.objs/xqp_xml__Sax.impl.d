@@ -1,0 +1,1 @@
+lib/xml/sax.ml: Buffer Char Entity Format List Printf String

@@ -1,0 +1,1 @@
+lib/xml/symtab.ml: Array Hashtbl Printf

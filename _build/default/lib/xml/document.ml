@@ -1,0 +1,252 @@
+type kind = Element | Attribute | Text | Comment | Pi
+type node = int
+
+type t = {
+  symtab : Symtab.t;
+  kinds : kind array;
+  names : int array;
+  parents : int array;
+  first_children : int array;
+  next_siblings : int array;
+  sizes : int array;
+  levels : int array;
+  postorders : int array;
+  contents : string array;
+  by_name : node array array; (* symbol id -> nodes in document order *)
+  n_elements : int;
+}
+
+(* Number of packed nodes a Tree.t occupies (attributes count). *)
+let rec packed_count tree =
+  match tree with
+  | Tree.Element e ->
+    List.fold_left (fun acc c -> acc + packed_count c) (1 + List.length e.attrs) e.children
+  | Tree.Text _ | Tree.Comment _ | Tree.Pi _ -> 1
+
+let of_tree tree =
+  let n = packed_count tree in
+  let symtab = Symtab.create () in
+  let kinds = Array.make n Element in
+  let names = Array.make n (-1) in
+  let parents = Array.make n (-1) in
+  let first_children = Array.make n (-1) in
+  let next_siblings = Array.make n (-1) in
+  let sizes = Array.make n 1 in
+  let levels = Array.make n 0 in
+  let postorders = Array.make n 0 in
+  let contents = Array.make n "" in
+  let next_pre = ref 0 in
+  let next_post = ref 0 in
+  let alloc () =
+    let id = !next_pre in
+    incr next_pre;
+    id
+  in
+  (* Pack [node] and return its id; [prev] chains next_sibling. *)
+  let rec pack parent_id lvl node =
+    let id = alloc () in
+    parents.(id) <- parent_id;
+    levels.(id) <- lvl;
+    (match node with
+    | Tree.Text s ->
+      kinds.(id) <- Text;
+      contents.(id) <- s
+    | Tree.Comment s ->
+      kinds.(id) <- Comment;
+      contents.(id) <- s
+    | Tree.Pi (target, body) ->
+      kinds.(id) <- Pi;
+      names.(id) <- Symtab.intern symtab target;
+      contents.(id) <- body
+    | Tree.Element e ->
+      kinds.(id) <- Element;
+      names.(id) <- Symtab.intern symtab e.name;
+      let prev = ref (-1) in
+      let link child_id =
+        if !prev = -1 then first_children.(id) <- child_id
+        else next_siblings.(!prev) <- child_id;
+        prev := child_id
+      in
+      List.iter
+        (fun (key, value) ->
+          let attr_id = alloc () in
+          kinds.(attr_id) <- Attribute;
+          names.(attr_id) <- Symtab.intern symtab key;
+          contents.(attr_id) <- value;
+          parents.(attr_id) <- id;
+          levels.(attr_id) <- lvl + 1;
+          sizes.(attr_id) <- 1;
+          postorders.(attr_id) <- !next_post;
+          incr next_post;
+          link attr_id)
+        e.attrs;
+      List.iter (fun child -> link (pack id (lvl + 1) child)) e.children);
+    sizes.(id) <- !next_pre - id;
+    postorders.(id) <- !next_post;
+    incr next_post;
+    id
+  in
+  let root_id = pack (-1) 0 tree in
+  assert (root_id = 0);
+  assert (!next_pre = n);
+  (* Per-tag node lists, in document order. *)
+  let tags = Symtab.cardinal symtab in
+  let counts = Array.make tags 0 in
+  let n_elements = ref 0 in
+  for id = 0 to n - 1 do
+    (match kinds.(id) with
+    | Element ->
+      incr n_elements;
+      counts.(names.(id)) <- counts.(names.(id)) + 1
+    | Attribute -> counts.(names.(id)) <- counts.(names.(id)) + 1
+    | Text | Comment | Pi -> ())
+  done;
+  let by_name = Array.init tags (fun sym -> Array.make counts.(sym) 0) in
+  let fill = Array.make tags 0 in
+  for id = 0 to n - 1 do
+    match kinds.(id) with
+    | Element | Attribute ->
+      let sym = names.(id) in
+      by_name.(sym).(fill.(sym)) <- id;
+      fill.(sym) <- fill.(sym) + 1
+    | Text | Comment | Pi -> ()
+  done;
+  {
+    symtab;
+    kinds;
+    names;
+    parents;
+    first_children;
+    next_siblings;
+    sizes;
+    levels;
+    postorders;
+    contents;
+    by_name;
+    n_elements = !n_elements;
+  }
+
+let of_string ?strip s = of_tree (Xml_parser.parse_string ?strip s)
+let root (_ : t) = 0
+let node_count doc = Array.length doc.kinds
+let symtab doc = doc.symtab
+let kind doc id = doc.kinds.(id)
+let name_id doc id = doc.names.(id)
+
+let name doc id =
+  match doc.kinds.(id) with
+  | Element | Attribute | Pi -> Symtab.name doc.symtab doc.names.(id)
+  | Text -> "#text"
+  | Comment -> "#comment"
+
+let content doc id = doc.contents.(id)
+let parent doc id = if doc.parents.(id) = -1 then None else Some doc.parents.(id)
+let first_child doc id = if doc.first_children.(id) = -1 then None else Some doc.first_children.(id)
+
+let next_sibling doc id =
+  if doc.next_siblings.(id) = -1 then None else Some doc.next_siblings.(id)
+
+let first_content_child doc id =
+  let rec skip child =
+    if child = -1 then None
+    else if doc.kinds.(child) = Attribute then skip doc.next_siblings.(child)
+    else Some child
+  in
+  skip doc.first_children.(id)
+
+let prev_sibling doc id =
+  match doc.parents.(id) with
+  | -1 -> None
+  | p ->
+    let rec walk child prev =
+      if child = id then prev else walk doc.next_siblings.(child) (Some child)
+    in
+    walk doc.first_children.(p) None
+
+let level doc id = doc.levels.(id)
+let subtree_size doc id = doc.sizes.(id)
+let subtree_end doc id = id + doc.sizes.(id) - 1
+let postorder doc id = doc.postorders.(id)
+let is_ancestor doc a d = a < d && d <= subtree_end doc a
+let is_parent doc p c = doc.parents.(c) = p
+
+let iter_children doc id f =
+  let rec loop child =
+    if child <> -1 then begin
+      if doc.kinds.(child) <> Attribute then f child;
+      loop doc.next_siblings.(child)
+    end
+  in
+  loop doc.first_children.(id)
+
+let children doc id =
+  let acc = ref [] in
+  iter_children doc id (fun c -> acc := c :: !acc);
+  List.rev !acc
+
+let attributes doc id =
+  let rec loop child acc =
+    if child = -1 then List.rev acc
+    else if doc.kinds.(child) = Attribute then loop doc.next_siblings.(child) (child :: acc)
+    else List.rev acc (* attributes precede content children *)
+  in
+  loop doc.first_children.(id) []
+
+let attribute_value doc id key =
+  let rec find child =
+    if child = -1 then None
+    else if doc.kinds.(child) = Attribute then
+      if String.equal (Symtab.name doc.symtab doc.names.(child)) key then Some doc.contents.(child)
+      else find doc.next_siblings.(child)
+    else None
+  in
+  find doc.first_children.(id)
+
+let iter_descendants doc id f =
+  let stop = subtree_end doc id in
+  for d = id + 1 to stop do
+    f d
+  done
+
+let fold_descendants doc id f init =
+  let stop = subtree_end doc id in
+  let rec loop acc d = if d > stop then acc else loop (f acc d) (d + 1) in
+  loop init (id + 1)
+
+let text_content doc id =
+  match doc.kinds.(id) with
+  | Text | Attribute -> doc.contents.(id)
+  | Comment | Pi -> ""
+  | Element ->
+    let buffer = Buffer.create 32 in
+    let stop = subtree_end doc id in
+    for d = id + 1 to stop do
+      if doc.kinds.(d) = Text then Buffer.add_string buffer doc.contents.(d)
+    done;
+    Buffer.contents buffer
+
+let typed_value = text_content
+
+let nodes_by_name_array doc sym =
+  if sym < 0 || sym >= Array.length doc.by_name then [||] else doc.by_name.(sym)
+
+let nodes_by_name doc sym = Array.to_list (nodes_by_name_array doc sym)
+let element_count doc = doc.n_elements
+
+let rec to_tree doc id =
+  match doc.kinds.(id) with
+  | Text -> Tree.Text doc.contents.(id)
+  | Comment -> Tree.Comment doc.contents.(id)
+  | Pi -> Tree.Pi (name doc id, doc.contents.(id))
+  | Attribute -> invalid_arg "Document.to_tree: attribute node"
+  | Element ->
+    let attrs = List.map (fun a -> (name doc a, doc.contents.(a))) (attributes doc id) in
+    let children = List.map (to_tree doc) (children doc id) in
+    Tree.Element { name = name doc id; attrs; children }
+
+let pp_stats ppf doc =
+  let n = node_count doc in
+  let count k = Array.fold_left (fun acc k' -> if k' = k then acc + 1 else acc) 0 doc.kinds in
+  let max_level = Array.fold_left max 0 doc.levels in
+  Format.fprintf ppf "nodes=%d elements=%d attributes=%d texts=%d depth=%d tags=%d" n
+    doc.n_elements (count Attribute) (count Text) max_level (Symtab.cardinal doc.symtab)

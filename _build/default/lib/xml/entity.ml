@@ -1,0 +1,84 @@
+exception Bad_entity of string
+
+(* Encode a Unicode scalar value as UTF-8 into [buffer]. *)
+let add_utf8 buffer code =
+  if code < 0 then raise (Bad_entity "negative character reference")
+  else if code < 0x80 then Buffer.add_char buffer (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buffer (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buffer (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x110000 then begin
+    Buffer.add_char buffer (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else raise (Bad_entity "character reference out of range")
+
+let decode_ref buffer name =
+  match name with
+  | "amp" -> Buffer.add_char buffer '&'
+  | "lt" -> Buffer.add_char buffer '<'
+  | "gt" -> Buffer.add_char buffer '>'
+  | "quot" -> Buffer.add_char buffer '"'
+  | "apos" -> Buffer.add_char buffer '\''
+  | _ ->
+    if String.length name >= 2 && name.[0] = '#' then begin
+      let number =
+        if name.[1] = 'x' || name.[1] = 'X' then "0x" ^ String.sub name 2 (String.length name - 2)
+        else String.sub name 1 (String.length name - 1)
+      in
+      match int_of_string_opt number with
+      | Some code -> add_utf8 buffer code
+      | None -> raise (Bad_entity ("&" ^ name ^ ";"))
+    end
+    else raise (Bad_entity ("&" ^ name ^ ";"))
+
+let decode s =
+  if not (String.contains s '&') then s
+  else begin
+    let n = String.length s in
+    let buffer = Buffer.create n in
+    let rec loop i =
+      if i >= n then ()
+      else if s.[i] <> '&' then begin
+        Buffer.add_char buffer s.[i];
+        loop (i + 1)
+      end
+      else begin
+        match String.index_from_opt s i ';' with
+        | None -> raise (Bad_entity "unterminated entity reference")
+        | Some stop ->
+          decode_ref buffer (String.sub s (i + 1) (stop - i - 1));
+          loop (stop + 1)
+      end
+    in
+    loop 0;
+    Buffer.contents buffer
+  end
+
+let escape ~quote s =
+  let needs_escape c = c = '&' || c = '<' || c = '>' || (quote && c = '"') in
+  if not (String.exists needs_escape s) then s
+  else begin
+    let buffer = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '&' -> Buffer.add_string buffer "&amp;"
+        | '<' -> Buffer.add_string buffer "&lt;"
+        | '>' -> Buffer.add_string buffer "&gt;"
+        | '"' when quote -> Buffer.add_string buffer "&quot;"
+        | _ -> Buffer.add_char buffer c)
+      s;
+    Buffer.contents buffer
+  end
+
+let escape_text s = escape ~quote:false s
+let escape_attr s = escape ~quote:true s

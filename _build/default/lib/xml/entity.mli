@@ -1,0 +1,18 @@
+(** XML character-entity encoding and decoding.
+
+    Handles the five predefined entities ([&amp;] [&lt;] [&gt;] [&quot;]
+    [&apos;]) and decimal/hexadecimal character references ([&#...;],
+    [&#x...;], encoded as UTF-8 on output). *)
+
+exception Bad_entity of string
+(** Raised by {!decode} on a malformed or unknown entity reference. *)
+
+val decode : string -> string
+(** [decode s] replaces every entity reference in [s] by its character. *)
+
+val escape_text : string -> string
+(** Escape a string for use as element content ([&], [<], [>]). *)
+
+val escape_attr : string -> string
+(** Escape a string for use inside a double-quoted attribute value
+    (ampersand, angle brackets and the double quote). *)

@@ -1,0 +1,217 @@
+type event =
+  | Start_element of string * (string * string) list
+  | End_element of string
+  | Text of string
+  | Comment of string
+  | Pi of string * string
+
+exception Parse_error of { line : int; column : int; message : string }
+
+type state = { input : string; mutable pos : int; mutable line : int; mutable bol : int }
+
+let fail state message =
+  raise (Parse_error { line = state.line; column = state.pos - state.bol + 1; message })
+
+let at_end state = state.pos >= String.length state.input
+let peek state = if at_end state then '\000' else state.input.[state.pos]
+
+let advance state =
+  if peek state = '\n' then begin
+    state.line <- state.line + 1;
+    state.bol <- state.pos + 1
+  end;
+  state.pos <- state.pos + 1
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_spaces state =
+  while (not (at_end state)) && is_space (peek state) do
+    advance state
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':' || Char.code c >= 0x80
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let read_name state =
+  if not (is_name_start (peek state)) then fail state "expected a name";
+  let start = state.pos in
+  while (not (at_end state)) && is_name_char (peek state) do
+    advance state
+  done;
+  String.sub state.input start (state.pos - start)
+
+let expect state c =
+  if peek state <> c then fail state (Printf.sprintf "expected %C" c);
+  advance state
+
+let expect_string state s =
+  String.iter (fun c -> expect state c) s
+
+(* Scan until the literal [stop] and return the text before it. *)
+let read_until state stop =
+  let stop_len = String.length stop in
+  let matches_at i =
+    i + stop_len <= String.length state.input
+    && String.equal (String.sub state.input i stop_len) stop
+  in
+  let rec search from =
+    match String.index_from_opt state.input from stop.[0] with
+    | None -> None
+    | Some i -> if matches_at i then Some i else search (i + 1)
+  in
+  match search state.pos with
+  | None -> fail state (Printf.sprintf "unterminated construct; expected %S" stop)
+  | Some i ->
+    let chunk = String.sub state.input state.pos (i - state.pos) in
+    (* Re-advance char by char to keep line counting correct. *)
+    while state.pos < i + String.length stop do
+      advance state
+    done;
+    chunk
+
+let read_attr_value state =
+  let quote = peek state in
+  if quote <> '"' && quote <> '\'' then fail state "expected quoted attribute value";
+  advance state;
+  let start = state.pos in
+  while (not (at_end state)) && peek state <> quote do
+    advance state
+  done;
+  if at_end state then fail state "unterminated attribute value";
+  let raw = String.sub state.input start (state.pos - start) in
+  advance state;
+  try Entity.decode raw with Entity.Bad_entity msg -> fail state ("bad entity: " ^ msg)
+
+let read_attributes state =
+  let rec loop acc =
+    skip_spaces state;
+    match peek state with
+    | '>' | '/' | '?' -> List.rev acc
+    | _ ->
+      let key = read_name state in
+      skip_spaces state;
+      expect state '=';
+      skip_spaces state;
+      let value = read_attr_value state in
+      loop ((key, value) :: acc)
+  in
+  loop []
+
+let decode_text state raw =
+  try Entity.decode raw with Entity.Bad_entity msg -> fail state ("bad entity: " ^ msg)
+
+let parse_string input handle =
+  let state = { input; pos = 0; line = 1; bol = 0 } in
+  let open_tags = ref [] in
+  (* Text is only ever buffered while an element is open, so flushing is
+     unconditional emission. *)
+  let flush_text buffer =
+    if Buffer.length buffer > 0 then begin
+      let s = Buffer.contents buffer in
+      Buffer.clear buffer;
+      handle (Text s)
+    end
+  in
+  let text_buffer = Buffer.create 256 in
+  let seen_root = ref false in
+  let rec loop () =
+    if at_end state then ()
+    else if peek state = '<' then begin
+      flush_text text_buffer;
+      advance state;
+      (match peek state with
+      | '?' ->
+        advance state;
+        let target = read_name state in
+        skip_spaces state;
+        let body = read_until state "?>" in
+        if String.lowercase_ascii target <> "xml" then handle (Pi (target, body))
+      | '!' ->
+        advance state;
+        if state.pos + 1 < String.length input && peek state = '-' then begin
+          expect_string state "--";
+          let body = read_until state "-->" in
+          handle (Comment body)
+        end
+        else if state.pos + 7 <= String.length input
+                && String.equal (String.sub input state.pos 7) "[CDATA[" then begin
+          expect_string state "[CDATA[";
+          let body = read_until state "]]>" in
+          if !open_tags = [] then fail state "CDATA outside the document element";
+          handle (Text body)
+        end
+        else begin
+          (* DOCTYPE or other declaration: skip to the matching '>'. *)
+          let depth = ref 1 in
+          while !depth > 0 do
+            if at_end state then fail state "unterminated declaration";
+            (match peek state with
+            | '<' -> incr depth
+            | '>' -> decr depth
+            | _ -> ());
+            advance state
+          done
+        end
+      | '/' ->
+        advance state;
+        let name = read_name state in
+        skip_spaces state;
+        expect state '>';
+        (match !open_tags with
+        | top :: rest when String.equal top name ->
+          open_tags := rest;
+          handle (End_element name)
+        | top :: _ -> fail state (Printf.sprintf "mismatched </%s>; open element is <%s>" name top)
+        | [] -> fail state (Printf.sprintf "unexpected </%s>: no open element" name))
+      | _ ->
+        let name = read_name state in
+        let attrs = read_attributes state in
+        if !open_tags = [] && !seen_root then fail state "content after the document element";
+        if !open_tags = [] then seen_root := true;
+        (match peek state with
+        | '/' ->
+          advance state;
+          expect state '>';
+          handle (Start_element (name, attrs));
+          handle (End_element name)
+        | '>' ->
+          advance state;
+          open_tags := name :: !open_tags;
+          handle (Start_element (name, attrs))
+        | _ -> fail state "expected '>' or '/>'"));
+      loop ()
+    end
+    else begin
+      let start = state.pos in
+      while (not (at_end state)) && peek state <> '<' do
+        advance state
+      done;
+      let raw = String.sub input start (state.pos - start) in
+      if !open_tags <> [] then Buffer.add_string text_buffer (decode_text state raw)
+      else if String.exists (fun c -> not (is_space c)) raw then
+        fail state "text outside the document element";
+      loop ()
+    end
+  in
+  loop ();
+  flush_text text_buffer;
+  match !open_tags with
+  | [] -> if not !seen_root then fail state "empty document: no root element"
+  | top :: _ -> fail state (Printf.sprintf "unterminated element <%s>" top)
+
+let fold_string input step init =
+  let acc = ref init in
+  parse_string input (fun event -> acc := step !acc event);
+  !acc
+
+let pp_event ppf = function
+  | Start_element (name, attrs) ->
+    Format.fprintf ppf "<%s%a>" name
+      (fun ppf -> List.iter (fun (k, v) -> Format.fprintf ppf " %s=%S" k v))
+      attrs
+  | End_element name -> Format.fprintf ppf "</%s>" name
+  | Text s -> Format.fprintf ppf "text:%S" s
+  | Comment s -> Format.fprintf ppf "comment:%S" s
+  | Pi (t, b) -> Format.fprintf ppf "pi:%s %S" t b

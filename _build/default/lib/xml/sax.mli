@@ -1,0 +1,30 @@
+(** Event-based (SAX-style) XML parsing.
+
+    The parser emits document-order events, which is exactly the pre-order
+    node arrival order the paper's streaming evaluation relies on (§4.2).
+    It handles elements, attributes, text, CDATA, comments, processing
+    instructions, an optional XML declaration, and skips a DOCTYPE. It is a
+    non-validating parser for the XML subset the paper's data model covers
+    (no namespaces resolution — prefixed names are kept verbatim). *)
+
+type event =
+  | Start_element of string * (string * string) list
+      (** element name and attributes, in document order *)
+  | End_element of string
+  | Text of string  (** entity references already decoded *)
+  | Comment of string
+  | Pi of string * string
+
+exception Parse_error of { line : int; column : int; message : string }
+(** Raised on malformed input, with 1-based source position. *)
+
+val parse_string : string -> (event -> unit) -> unit
+(** [parse_string s handle] parses the document in [s], calling [handle] on
+    each event in document order.
+    @raise Parse_error on malformed input. *)
+
+val fold_string : string -> ('a -> event -> 'a) -> 'a -> 'a
+(** [fold_string s step init] folds [step] over the event stream. *)
+
+val pp_event : Format.formatter -> event -> unit
+(** Debug printer for events. *)

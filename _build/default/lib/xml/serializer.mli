@@ -1,0 +1,10 @@
+(** XML serialization of {!Tree.t} values. *)
+
+val to_string : ?indent:int -> ?declaration:bool -> Tree.t -> string
+(** [to_string tree] renders [tree] as XML. With [~indent:n] (n > 0) the
+    output is pretty-printed with [n]-space indentation; elements with mixed
+    or text-only content keep their text inline so parse∘serialize preserves
+    significant text. [~declaration:true] prepends an XML declaration. *)
+
+val to_file : ?indent:int -> ?declaration:bool -> string -> Tree.t -> unit
+(** [to_file path tree] writes [to_string tree] to [path]. *)

@@ -1,0 +1,40 @@
+type t = {
+  by_name : (string, int) Hashtbl.t;
+  mutable by_id : string array;
+  mutable next : int;
+}
+
+let create () = { by_name = Hashtbl.create 64; by_id = Array.make 64 ""; next = 0 }
+
+let grow table =
+  let capacity = Array.length table.by_id in
+  if table.next >= capacity then begin
+    let wider = Array.make (2 * capacity) "" in
+    Array.blit table.by_id 0 wider 0 capacity;
+    table.by_id <- wider
+  end
+
+let intern table name =
+  match Hashtbl.find_opt table.by_name name with
+  | Some id -> id
+  | None ->
+    let id = table.next in
+    grow table;
+    table.by_id.(id) <- name;
+    table.next <- id + 1;
+    Hashtbl.add table.by_name name id;
+    id
+
+let find_opt table name = Hashtbl.find_opt table.by_name name
+
+let name table id =
+  if id < 0 || id >= table.next then
+    invalid_arg (Printf.sprintf "Symtab.name: unknown id %d" id);
+  table.by_id.(id)
+
+let cardinal table = table.next
+
+let iter table f =
+  for id = 0 to table.next - 1 do
+    f id table.by_id.(id)
+  done

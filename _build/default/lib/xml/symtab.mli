@@ -1,0 +1,30 @@
+(** Interned symbol tables mapping element/attribute names to dense integer
+    identifiers.
+
+    Every {!Document.t} carries one symbol table; all tag comparisons inside
+    pattern matching and joins are integer comparisons against it. Symbol ids
+    are dense ([0 .. cardinal - 1]) so they can index per-tag arrays such as
+    tag indexes and statistics histograms. *)
+
+type t
+(** Mutable symbol table. *)
+
+val create : unit -> t
+(** [create ()] is an empty table. *)
+
+val intern : t -> string -> int
+(** [intern table name] returns the id of [name], allocating a fresh id on
+    first sight. Ids are assigned in order of first interning. *)
+
+val find_opt : t -> string -> int option
+(** [find_opt table name] is the id of [name] if it has been interned. *)
+
+val name : t -> int -> string
+(** [name table id] is the string interned under [id].
+    @raise Invalid_argument if [id] was never allocated. *)
+
+val cardinal : t -> int
+(** Number of distinct symbols interned so far. *)
+
+val iter : t -> (int -> string -> unit) -> unit
+(** [iter table f] applies [f id name] to every interned symbol in id order. *)

@@ -1,0 +1,105 @@
+type t =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of string * string
+
+and element = { name : string; attrs : (string * string) list; children : t list }
+
+let elt ?(attrs = []) name children = Element { name; attrs; children }
+let text s = Text s
+let leaf name content = elt name [ text content ]
+
+let name = function
+  | Element e -> e.name
+  | Text _ -> "#text"
+  | Comment _ -> "#comment"
+  | Pi _ -> "#pi"
+
+let children = function
+  | Element e -> e.children
+  | Text _ | Comment _ | Pi _ -> []
+
+let attr node key =
+  match node with
+  | Element e -> List.assoc_opt key e.attrs
+  | Text _ | Comment _ | Pi _ -> None
+
+let rec node_count = function
+  | Element e ->
+    List.fold_left (fun acc child -> acc + node_count child) (1 + List.length e.attrs) e.children
+  | Text _ | Comment _ | Pi _ -> 1
+
+let rec depth = function
+  | Element e -> 1 + List.fold_left (fun acc child -> max acc (depth child)) 0 e.children
+  | Text _ | Comment _ | Pi _ -> 1
+
+let text_content node =
+  let buffer = Buffer.create 64 in
+  let rec walk = function
+    | Text s -> Buffer.add_string buffer s
+    | Element e -> List.iter walk e.children
+    | Comment _ | Pi _ -> ()
+  in
+  walk node;
+  Buffer.contents buffer
+
+let rec equal a b =
+  match (a, b) with
+  | Text x, Text y -> String.equal x y
+  | Comment x, Comment y -> String.equal x y
+  | Pi (t1, b1), Pi (t2, b2) -> String.equal t1 t2 && String.equal b1 b2
+  | Element x, Element y ->
+    String.equal x.name y.name
+    && List.length x.attrs = List.length y.attrs
+    && List.for_all2 (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && String.equal v1 v2) x.attrs
+         y.attrs
+    && List.length x.children = List.length y.children
+    && List.for_all2 equal x.children y.children
+  | (Text _ | Comment _ | Pi _ | Element _), _ -> false
+
+let rec pp ppf = function
+  | Text s -> Format.pp_print_string ppf s
+  | Comment s -> Format.fprintf ppf "<!--%s-->" s
+  | Pi (target, body) -> Format.fprintf ppf "<?%s %s?>" target body
+  | Element e ->
+    Format.fprintf ppf "<%s" e.name;
+    List.iter (fun (k, v) -> Format.fprintf ppf " %s=\"%s\"" k v) e.attrs;
+    if e.children = [] then Format.fprintf ppf "/>"
+    else begin
+      Format.fprintf ppf ">";
+      List.iter (pp ppf) e.children;
+      Format.fprintf ppf "</%s>" e.name
+    end
+
+let rec fold f acc node =
+  let acc = f acc node in
+  match node with
+  | Element e -> List.fold_left (fold f) acc e.children
+  | Text _ | Comment _ | Pi _ -> acc
+
+let rec map_text f = function
+  | Text s -> Text (f s)
+  | Element e -> Element { e with children = List.map (map_text f) e.children }
+  | (Comment _ | Pi _) as other -> other
+
+let rec normalize node =
+  match node with
+  | Text _ | Comment _ | Pi _ -> node
+  | Element e ->
+    let rec merge = function
+      | Text a :: Text b :: rest -> merge (Text (a ^ b) :: rest)
+      | Text "" :: rest -> merge rest
+      | child :: rest -> normalize child :: merge rest
+      | [] -> []
+    in
+    Element { e with children = merge e.children }
+
+let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s
+
+let rec strip_whitespace node =
+  match node with
+  | Text _ | Comment _ | Pi _ -> node
+  | Element e ->
+    let keep = function Text s -> not (is_blank s) | Element _ | Comment _ | Pi _ -> true in
+    Element { e with children = List.map strip_whitespace (List.filter keep e.children) }

@@ -1,0 +1,66 @@
+(** Algebraic XML trees — the construction-side representation.
+
+    [Tree.t] is the labeled, ordered, rooted tree of the paper's data model
+    (§1): a convenient immutable form for building documents programmatically
+    (workload generators, the γ construction operator) and for serialization.
+    Query processing uses the array-packed {!Document.t} built from a tree. *)
+
+type t =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of string * string  (** processing instruction: target, body *)
+
+and element = {
+  name : string;
+  attrs : (string * string) list;  (** in document order *)
+  children : t list;
+}
+
+val elt : ?attrs:(string * string) list -> string -> t list -> t
+(** [elt name children] is an element node. *)
+
+val text : string -> t
+(** [text s] is a text node. *)
+
+val leaf : string -> string -> t
+(** [leaf name content] is [elt name [text content]]. *)
+
+val name : t -> string
+(** Element name, ["#text"], ["#comment"] or ["#pi"]. *)
+
+val children : t -> t list
+(** Children of an element; [[]] for other kinds. *)
+
+val attr : t -> string -> string option
+(** [attr node key] is the value of attribute [key] on an element. *)
+
+val node_count : t -> int
+(** Total number of nodes (elements, texts, comments, PIs and attributes). *)
+
+val depth : t -> int
+(** Height of the tree; a single leaf has depth 1. *)
+
+val text_content : t -> string
+(** Concatenation of all descendant text, in document order. *)
+
+val equal : t -> t -> bool
+(** Structural equality (attribute order significant, as in document order). *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer (single-line XML form). *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over all nodes. *)
+
+val map_text : (string -> string) -> t -> t
+(** Rewrite every text node's content. *)
+
+val normalize : t -> t
+(** Canonical form for comparison: adjacent text siblings are merged and
+    empty text nodes dropped, recursively. [normalize (parse (serialize t))]
+    equals [normalize t] for every [t]. *)
+
+val strip_whitespace : t -> t
+(** Drop whitespace-only text nodes everywhere (indentation noise from
+    pretty-printed inputs). *)

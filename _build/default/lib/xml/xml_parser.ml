@@ -1,0 +1,39 @@
+(* Each stack frame collects the reversed children of one open element. *)
+type frame = { name : string; attrs : (string * string) list; mutable rev_children : Tree.t list }
+
+let parse_string ?(strip = false) input =
+  let stack : frame list ref = ref [] in
+  let root : Tree.t option ref = ref None in
+  let emit node =
+    match !stack with
+    | frame :: _ -> frame.rev_children <- node :: frame.rev_children
+    | [] -> ( match node with Tree.Element _ -> root := Some node | _ -> () )
+  in
+  Sax.parse_string input (fun event ->
+      match event with
+      | Sax.Start_element (name, attrs) -> stack := { name; attrs; rev_children = [] } :: !stack
+      | Sax.End_element _ -> (
+        match !stack with
+        | frame :: rest ->
+          stack := rest;
+          emit
+            (Tree.Element
+               { name = frame.name; attrs = frame.attrs; children = List.rev frame.rev_children })
+        | [] -> assert false)
+      | Sax.Text s -> emit (Tree.Text s)
+      | Sax.Comment s -> emit (Tree.Comment s)
+      | Sax.Pi (target, body) -> emit (Tree.Pi (target, body)));
+  match !root with
+  | Some tree -> if strip then Tree.strip_whitespace tree else tree
+  | None -> assert false (* Sax guarantees a document element *)
+
+let parse_file ?strip path =
+  let ic = open_in_bin path in
+  let content =
+    try really_input_string ic (in_channel_length ic)
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  parse_string ?strip content

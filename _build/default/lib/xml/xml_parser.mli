@@ -1,0 +1,13 @@
+(** DOM-building XML parser: a thin stack machine over the {!Sax} event
+    stream that produces an algebraic {!Tree.t}. *)
+
+val parse_string : ?strip:bool -> string -> Tree.t
+(** [parse_string s] parses the single document element of [s]. With
+    [~strip:true], whitespace-only text nodes are dropped (use when loading
+    pretty-printed documents).
+    @raise Sax.Parse_error on malformed input. *)
+
+val parse_file : ?strip:bool -> string -> Tree.t
+(** [parse_file path] reads and parses the file at [path].
+    @raise Sys_error if the file cannot be read.
+    @raise Sax.Parse_error on malformed input. *)

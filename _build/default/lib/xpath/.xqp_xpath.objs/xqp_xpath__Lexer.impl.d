@@ -1,0 +1,1 @@
+lib/xpath/lexer.ml: Format List Printf String

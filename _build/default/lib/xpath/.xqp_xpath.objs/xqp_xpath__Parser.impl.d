@@ -1,0 +1,1 @@
+lib/xpath/parser.ml: Axis Format Lexer Logical_plan Pattern_graph Printf Rewrite Xqp_algebra

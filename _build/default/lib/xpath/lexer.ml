@@ -1,0 +1,175 @@
+type token =
+  | Slash
+  | Double_slash
+  | At
+  | Lbracket
+  | Rbracket
+  | Lparen
+  | Rparen
+  | Comma
+  | Star
+  | Dot
+  | Dot_dot
+  | Name of string
+  | Axis of string
+  | Number of float
+  | String of string
+  | Op of string
+  | Pipe
+  | And
+  | Or
+  | Eof
+
+exception Lex_error of { position : int; message : string }
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.' || c = ':'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let fail position message = raise (Lex_error { position; message }) in
+  let rec scan i =
+    if i >= n then emit Eof
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> scan (i + 1)
+      | '/' ->
+        if i + 1 < n && input.[i + 1] = '/' then begin
+          emit Double_slash;
+          scan (i + 2)
+        end
+        else begin
+          emit Slash;
+          scan (i + 1)
+        end
+      | '@' ->
+        emit At;
+        scan (i + 1)
+      | '[' ->
+        emit Lbracket;
+        scan (i + 1)
+      | ']' ->
+        emit Rbracket;
+        scan (i + 1)
+      | '(' ->
+        emit Lparen;
+        scan (i + 1)
+      | ')' ->
+        emit Rparen;
+        scan (i + 1)
+      | ',' ->
+        emit Comma;
+        scan (i + 1)
+      | '*' ->
+        emit Star;
+        scan (i + 1)
+      | '.' ->
+        if i + 1 < n && input.[i + 1] = '.' then begin
+          emit Dot_dot;
+          scan (i + 2)
+        end
+        else if i + 1 < n && is_digit input.[i + 1] then scan_number i
+        else begin
+          emit Dot;
+          scan (i + 1)
+        end
+      | '|' ->
+        emit Pipe;
+        scan (i + 1)
+      | '=' ->
+        emit (Op "=");
+        scan (i + 1)
+      | '!' ->
+        if i + 1 < n && input.[i + 1] = '=' then begin
+          emit (Op "!=");
+          scan (i + 2)
+        end
+        else fail i "expected '=' after '!'"
+      | '<' ->
+        if i + 1 < n && input.[i + 1] = '=' then begin
+          emit (Op "<=");
+          scan (i + 2)
+        end
+        else begin
+          emit (Op "<");
+          scan (i + 1)
+        end
+      | '>' ->
+        if i + 1 < n && input.[i + 1] = '=' then begin
+          emit (Op ">=");
+          scan (i + 2)
+        end
+        else begin
+          emit (Op ">");
+          scan (i + 1)
+        end
+      | ('"' | '\'') as quote ->
+        let rec find j =
+          if j >= n then fail i "unterminated string literal"
+          else if input.[j] = quote then j
+          else find (j + 1)
+        in
+        let stop = find (i + 1) in
+        emit (String (String.sub input (i + 1) (stop - i - 1)));
+        scan (stop + 1)
+      | c when is_digit c -> scan_number i
+      | c when is_name_start c ->
+        (* ':' belongs to the name only as a prefix separator (single ':'
+           followed by a name char); '::' is the axis separator. *)
+        let rec stop j =
+          if j >= n then j
+          else if input.[j] = ':' then
+            if j + 1 < n && input.[j + 1] <> ':' && is_name_start input.[j + 1] then stop (j + 2)
+            else j
+          else if is_name_char input.[j] && input.[j] <> ':' then stop (j + 1)
+          else j
+        in
+        let j = stop i in
+        let word = String.sub input i (j - i) in
+        if j + 1 < n && input.[j] = ':' && input.[j + 1] = ':' then begin
+          emit (Axis word);
+          scan (j + 2)
+        end
+        else begin
+          (match word with "and" -> emit And | "or" -> emit Or | _ -> emit (Name word));
+          scan j
+        end
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
+  and scan_number i =
+    let rec stop j =
+      if j < n && (is_digit input.[j] || input.[j] = '.') then stop (j + 1) else j
+    in
+    let j = stop i in
+    match float_of_string_opt (String.sub input i (j - i)) with
+    | Some f ->
+      emit (Number f);
+      scan j
+    | None -> fail i "malformed number"
+  in
+  scan 0;
+  List.rev !tokens
+
+let pp_token ppf = function
+  | Slash -> Format.pp_print_string ppf "/"
+  | Double_slash -> Format.pp_print_string ppf "//"
+  | At -> Format.pp_print_string ppf "@"
+  | Lbracket -> Format.pp_print_string ppf "["
+  | Rbracket -> Format.pp_print_string ppf "]"
+  | Lparen -> Format.pp_print_string ppf "("
+  | Rparen -> Format.pp_print_string ppf ")"
+  | Comma -> Format.pp_print_string ppf ","
+  | Star -> Format.pp_print_string ppf "*"
+  | Dot -> Format.pp_print_string ppf "."
+  | Dot_dot -> Format.pp_print_string ppf ".."
+  | Name s -> Format.fprintf ppf "name(%s)" s
+  | Axis s -> Format.fprintf ppf "axis(%s)" s
+  | Number f -> Format.fprintf ppf "num(%g)" f
+  | String s -> Format.fprintf ppf "str(%S)" s
+  | Op s -> Format.pp_print_string ppf s
+  | Pipe -> Format.pp_print_string ppf "|"
+  | And -> Format.pp_print_string ppf "and"
+  | Or -> Format.pp_print_string ppf "or"
+  | Eof -> Format.pp_print_string ppf "<eof>"

@@ -1,0 +1,30 @@
+(** Tokenizer for the XPath subset (path expressions, §4.1). *)
+
+type token =
+  | Slash            (** [/] *)
+  | Double_slash     (** [//] *)
+  | At               (** [@] *)
+  | Lbracket
+  | Rbracket
+  | Lparen
+  | Rparen
+  | Comma
+  | Star
+  | Dot              (** [.] (context node) *)
+  | Dot_dot          (** [..] (parent) *)
+  | Name of string   (** NCName, possibly prefixed *)
+  | Axis of string   (** [name::] *)
+  | Number of float
+  | String of string (** quoted literal *)
+  | Op of string     (** [= != < <= > >=] *)
+  | Pipe             (** [|] (union) *)
+  | And
+  | Or
+  | Eof
+
+exception Lex_error of { position : int; message : string }
+
+val tokenize : string -> token list
+(** @raise Lex_error on an unrecognized character or unterminated string. *)
+
+val pp_token : Format.formatter -> token -> unit

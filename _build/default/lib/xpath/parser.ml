@@ -1,0 +1,224 @@
+open Xqp_algebra
+module Lp = Logical_plan
+module Pg = Pattern_graph
+
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let peek st = match st.tokens with [] -> Lexer.Eof | tok :: _ -> tok
+let advance st = match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let fail message = raise (Parse_error message)
+
+let expect st tok message =
+  if peek st = tok then advance st else fail message
+
+(* step ::= '.' | '..' | axes? nodetest predicate* *)
+let rec parse_step st ~default_axis =
+  match peek st with
+  | Lexer.Dot ->
+    advance st;
+    Lp.step Axis.Self Lp.Any
+  | Lexer.Dot_dot ->
+    advance st;
+    Lp.step Axis.Parent Lp.Any
+  | _ ->
+    let axis =
+      match peek st with
+      | Lexer.At ->
+        advance st;
+        Axis.Attribute
+      | Lexer.Axis name -> (
+        advance st;
+        match Axis.of_string name with
+        | Some axis -> axis
+        | None -> fail (Printf.sprintf "unknown axis %s" name))
+      | _ -> default_axis
+    in
+    let test =
+      match peek st with
+      | Lexer.Star ->
+        advance st;
+        Lp.Any
+      | Lexer.Name "text" when (match st.tokens with _ :: Lexer.Lparen :: _ -> true | _ -> false) ->
+        advance st;
+        advance st;
+        expect st Lexer.Rparen "expected ')' after text(";
+        Lp.Text_node
+      | Lexer.Name name ->
+        advance st;
+        Lp.Name name
+      | tok -> fail (Format.asprintf "expected a node test, found %a" Lexer.pp_token tok)
+    in
+    let rec predicates acc =
+      match peek st with
+      | Lexer.Lbracket ->
+        advance st;
+        let preds = parse_pred_conj st in
+        expect st Lexer.Rbracket "expected ']'";
+        predicates (acc @ preds)
+      | _ -> acc
+    in
+    Lp.step ~predicates:(predicates []) axis test
+
+(* pred_conj ::= pred_atom ('and' pred_atom)* ; each atom yields one
+   Logical_plan.predicate, conjunction is predicate-list concatenation. *)
+and parse_pred_conj st =
+  let first = parse_pred_atom st in
+  match peek st with
+  | Lexer.And ->
+    advance st;
+    first :: parse_pred_conj st
+  | Lexer.Or -> fail "'or' inside predicates is not supported by the algebra subset"
+  | _ -> [ first ]
+
+and parse_pred_atom st =
+  match peek st with
+  | Lexer.Number f ->
+    advance st;
+    (match peek st with
+    | Lexer.Op _ -> fail "a number may only appear as a positional predicate or literal"
+    | _ ->
+      let k = int_of_float f in
+      if float_of_int k <> f || k < 1 then fail "positional predicate must be a positive integer";
+      Lp.Position k)
+  | Lexer.Name "contains" when (match st.tokens with _ :: Lexer.Lparen :: _ -> true | _ -> false)
+    ->
+    advance st;
+    advance st;
+    let target = parse_comparand st in
+    expect st Lexer.Comma "expected ',' in contains()";
+    let needle =
+      match peek st with
+      | Lexer.String s ->
+        advance st;
+        s
+      | _ -> fail "contains() needs a string literal"
+    in
+    expect st Lexer.Rparen "expected ')' closing contains()";
+    apply_comparison target Pg.Contains (Pg.Str needle)
+  | _ ->
+    let target = parse_comparand st in
+    (match peek st with
+    | Lexer.Op op ->
+      advance st;
+      let comparison =
+        match op with
+        | "=" -> Pg.Eq
+        | "!=" -> Pg.Ne
+        | "<" -> Pg.Lt
+        | "<=" -> Pg.Le
+        | ">" -> Pg.Gt
+        | ">=" -> Pg.Ge
+        | _ -> fail "unknown comparison operator"
+      in
+      let literal =
+        match peek st with
+        | Lexer.Number f ->
+          advance st;
+          Pg.Num f
+        | Lexer.String s ->
+          advance st;
+          Pg.Str s
+        | tok -> fail (Format.asprintf "expected a literal, found %a" Lexer.pp_token tok)
+      in
+      apply_comparison target comparison literal
+    | _ -> (
+      (* bare path: existence test *)
+      match target with
+      | `Dot -> fail "'.' alone is not a predicate"
+      | `Path plan -> Lp.Exists plan))
+
+(* comparand ::= '.' | relative-path *)
+and parse_comparand st =
+  match peek st with
+  | Lexer.Dot ->
+    advance st;
+    `Dot
+  | _ -> `Path (parse_relative st Lp.Context)
+
+and apply_comparison target comparison literal =
+  let pred = { Pg.comparison; literal } in
+  match target with
+  | `Dot -> Lp.Value_pred pred
+  | `Path plan -> (
+    (* [p op lit] ≡ [p[. op lit]] : push the comparison onto the last step *)
+    match plan with
+    | Lp.Step (base, s) ->
+      Lp.Exists (Lp.Step (base, { s with Lp.predicates = s.Lp.predicates @ [ Lp.Value_pred pred ] }))
+    | Lp.Root | Lp.Context | Lp.Tpm _ | Lp.Union _ -> fail "comparison needs a path on the left")
+
+(* Attach a step parsed after '//': '//@k' abbreviates
+   descendant-or-self::* / attribute::k (the '@' would otherwise swallow
+   the descendant default). *)
+and attach_descendant_step plan (s : Lp.step) =
+  if s.Lp.axis = Axis.Attribute then
+    Lp.Step (Lp.Step (plan, Lp.step Axis.Descendant_or_self Lp.Any), s)
+  else Lp.Step (plan, s)
+
+(* relative ::= step (('/' | '//') step)* *)
+and parse_relative st base =
+  let first = parse_step st ~default_axis:Axis.Child in
+  let rec more plan =
+    match peek st with
+    | Lexer.Slash ->
+      advance st;
+      more (Lp.Step (plan, parse_step st ~default_axis:Axis.Child))
+    | Lexer.Double_slash ->
+      advance st;
+      more (attach_descendant_step plan (parse_step st ~default_axis:Axis.Descendant))
+    | _ -> plan
+  in
+  more (Lp.Step (base, first))
+
+let parse_path st =
+  match peek st with
+  | Lexer.Slash -> (
+    advance st;
+    match peek st with
+    | Lexer.Eof -> Lp.Root
+    | _ -> parse_relative st Lp.Root)
+  | Lexer.Double_slash ->
+    advance st;
+    let plan = attach_descendant_step Lp.Root (parse_step st ~default_axis:Axis.Descendant) in
+    let rec more plan =
+      match peek st with
+      | Lexer.Slash ->
+        advance st;
+        more (Lp.Step (plan, parse_step st ~default_axis:Axis.Child))
+      | Lexer.Double_slash ->
+        advance st;
+        more (attach_descendant_step plan (parse_step st ~default_axis:Axis.Descendant))
+      | _ -> plan
+    in
+    more plan
+  | _ -> parse_relative st Lp.Context
+
+let parse_union st =
+  let first = parse_path st in
+  let rec more plan =
+    match peek st with
+    | Lexer.Pipe ->
+      advance st;
+      more (Lp.Union (plan, parse_path st))
+    | _ -> plan
+  in
+  more first
+
+let parse input =
+  let st = { tokens = Lexer.tokenize input } in
+  let plan = parse_union st in
+  (match peek st with
+  | Lexer.Eof -> ()
+  | tok -> fail (Format.asprintf "trailing input at %a" Lexer.pp_token tok));
+  plan
+
+let parse_pattern input =
+  let plan = Rewrite.simplify (parse input) in
+  match Lp.steps_of plan with
+  | Some (_, steps) -> (
+    match Rewrite.pattern_of_steps steps with
+    | Some pattern -> pattern
+    | None -> fail "path is not expressible as a single pattern graph")
+  | None -> fail "path is not a plain step chain"

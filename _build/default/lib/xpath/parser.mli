@@ -1,0 +1,33 @@
+(** Recursive-descent parser for the XPath subset, producing logical plans.
+
+    Grammar (predicates nest arbitrarily):
+    {v
+    path       ::= '/' relative? | '//' relative | relative
+    relative   ::= step (('/' | '//') step)*
+    step       ::= '.' | '..' | axes? nodetest predicate*
+    axes       ::= NAME '::' | '@'
+    nodetest   ::= NAME | '*' | 'text' '(' ')'
+    predicate  ::= '[' pred_expr ']'
+    pred_expr  ::= pred_conj ('or' pred_conj)*        -- 'or' unsupported, rejected
+    pred_conj  ::= pred_atom ('and' pred_atom)*
+    pred_atom  ::= NUMBER                             -- position
+                 | comparand (op literal)?
+                 | 'contains' '(' comparand ',' STRING ')'
+    comparand  ::= '.' | relative
+    literal    ::= NUMBER | STRING
+    v}
+
+    ['//x'] is desugared to [descendant::x] directly (equivalent from any
+    context for the supported predicate language). *)
+
+exception Parse_error of string
+
+val parse : string -> Xqp_algebra.Logical_plan.t
+(** Parse a path expression: absolute paths get base [Root], relative ones
+    base [Context].
+    @raise Parse_error (or {!Lexer.Lex_error}) on malformed input. *)
+
+val parse_pattern : string -> Xqp_algebra.Pattern_graph.t
+(** [parse_pattern s] parses and requires the whole path to be expressible
+    as a single pattern graph (no positional predicates, downward axes
+    only). @raise Parse_error otherwise. *)

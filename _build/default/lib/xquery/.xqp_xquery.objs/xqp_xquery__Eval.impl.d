@@ -1,0 +1,1 @@
+lib/xquery/eval.ml: Ast Float Format Hashtbl List String Xq_parser Xqp_algebra Xqp_physical Xqp_xml

@@ -1,0 +1,1 @@
+lib/xquery/eval.mli: Ast Xqp_algebra Xqp_physical Xqp_xml

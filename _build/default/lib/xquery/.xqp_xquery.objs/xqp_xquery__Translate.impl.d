@@ -1,0 +1,1 @@
+lib/xquery/translate.ml: Ast Eval Format List String Xqp_algebra Xqp_physical Xqp_xml

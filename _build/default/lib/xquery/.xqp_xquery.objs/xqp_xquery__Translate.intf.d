@@ -1,0 +1,1 @@
+lib/xquery/translate.mli: Ast Format Xqp_algebra Xqp_physical Xqp_xml

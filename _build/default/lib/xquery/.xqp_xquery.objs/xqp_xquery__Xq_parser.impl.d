@@ -1,0 +1,1 @@
+lib/xquery/xq_parser.ml: Ast Buffer List Printf String Xqp_algebra Xqp_xpath

@@ -1,0 +1,165 @@
+type binop = Add | Sub | Mul | Div | Mod | Eq | Ne | Lt | Le | Gt | Ge | And | Or
+
+type expr =
+  | Literal_int of int
+  | Literal_float of float
+  | Literal_string of string
+  | Sequence of expr list
+  | Doc_root
+  | Path of path_base * Xqp_algebra.Logical_plan.t
+  | Var of string
+  | Flwor of flwor
+  | Constructor of constructor
+  | Binop of binop * expr * expr
+  | If_then_else of expr * expr * expr
+  | Call of string * expr list
+  | Quantified of quantifier * (string * expr) list * expr
+
+and quantifier = Some_q | Every_q
+and path_base = From_root | From_context | From_expr of expr
+and flwor = { clauses : clause list; return_ : expr }
+
+and clause =
+  | For_clause of string * string option * expr
+  | Let_clause of string * expr
+  | Where_clause of expr
+  | Order_by of (expr * sort_direction) list
+
+and sort_direction = Ascending | Descending
+
+and constructor = {
+  name : string;
+  attrs : (string * attr_piece list) list;
+  content : content list;
+}
+
+and attr_piece = Attr_text of string | Attr_expr of expr
+and content = Fixed_text of string | Embedded of expr | Nested of constructor
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "div"
+  | Mod -> "mod"
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "and"
+  | Or -> "or"
+
+let rec pp ppf = function
+  | Literal_int i -> Format.pp_print_int ppf i
+  | Literal_float f -> Format.fprintf ppf "%g" f
+  | Literal_string s -> Format.fprintf ppf "%S" s
+  | Sequence es ->
+    Format.fprintf ppf "(seq %a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") pp)
+      es
+  | Doc_root -> Format.pp_print_string ppf "doc()"
+  | Path (base, plan) ->
+    let base_str =
+      match base with From_root -> "/" | From_context -> "." | From_expr _ -> "expr"
+    in
+    Format.fprintf ppf "(path %s %a)" base_str Xqp_algebra.Logical_plan.pp plan;
+    (match base with
+    | From_expr e -> Format.fprintf ppf "[base=%a]" pp e
+    | From_root | From_context -> ())
+  | Var v -> Format.fprintf ppf "$%s" v
+  | Flwor f ->
+    Format.fprintf ppf "(flwor %a return %a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") pp_clause)
+      f.clauses pp f.return_
+  | Constructor c -> Format.fprintf ppf "(elt %s)" c.name
+  | Binop (op, a, b) -> Format.fprintf ppf "(%s %a %a)" (binop_name op) pp a pp b
+  | If_then_else (c, t, e) -> Format.fprintf ppf "(if %a then %a else %a)" pp c pp t pp e
+  | Call (f, args) ->
+    Format.fprintf ppf "(%s %a)" f
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") pp)
+      args
+  | Quantified (q, binds, cond) ->
+    Format.fprintf ppf "(%s %a satisfies %a)"
+      (match q with Some_q -> "some" | Every_q -> "every")
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf (v, e) -> Format.fprintf ppf "$%s in %a" v pp e))
+      binds pp cond
+
+and pp_clause ppf = function
+  | For_clause (v, None, e) -> Format.fprintf ppf "(for $%s in %a)" v pp e
+  | For_clause (v, Some i, e) -> Format.fprintf ppf "(for $%s at $%s in %a)" v i pp e
+  | Let_clause (v, e) -> Format.fprintf ppf "(let $%s := %a)" v pp e
+  | Where_clause e -> Format.fprintf ppf "(where %a)" pp e
+  | Order_by keys ->
+    Format.fprintf ppf "(order-by %a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+         (fun ppf (e, dir) ->
+           Format.fprintf ppf "%a %s" pp e
+             (match dir with Ascending -> "asc" | Descending -> "desc")))
+      keys
+
+let free_variables expr =
+  let seen = ref [] in
+  let add v bound = if not (List.mem v bound) && not (List.mem v !seen) then seen := v :: !seen in
+  let rec walk bound = function
+    | Literal_int _ | Literal_float _ | Literal_string _ | Doc_root -> ()
+    | Var v -> add v bound
+    | Sequence es -> List.iter (walk bound) es
+    | Path (base, _) -> (
+      match base with From_expr e -> walk bound e | From_root | From_context -> ())
+    | Binop (_, a, b) ->
+      walk bound a;
+      walk bound b
+    | If_then_else (c, t, e) ->
+      walk bound c;
+      walk bound t;
+      walk bound e
+    | Call (_, args) -> List.iter (walk bound) args
+    | Quantified (_, binds, cond) ->
+      let bound =
+        List.fold_left
+          (fun bound (v, e) ->
+            walk bound e;
+            v :: bound)
+          bound binds
+      in
+      walk bound cond
+    | Constructor c -> walk_constructor bound c
+    | Flwor f ->
+      let bound =
+        List.fold_left
+          (fun bound clause ->
+            match clause with
+            | For_clause (v, i, e) ->
+              walk bound e;
+              (match i with Some i -> i :: v :: bound | None -> v :: bound)
+            | Let_clause (v, e) ->
+              walk bound e;
+              v :: bound
+            | Where_clause e ->
+              walk bound e;
+              bound
+            | Order_by keys ->
+              List.iter (fun (e, _) -> walk bound e) keys;
+              bound)
+          bound f.clauses
+      in
+      walk bound f.return_
+  and walk_constructor bound c =
+    List.iter
+      (fun (_, pieces) ->
+        List.iter (function Attr_expr e -> walk bound e | Attr_text _ -> ()) pieces)
+      c.attrs;
+    List.iter
+      (function
+        | Fixed_text _ -> ()
+        | Embedded e -> walk bound e
+        | Nested nested -> walk_constructor bound nested)
+      c.content
+  in
+  walk [] expr;
+  List.rev !seen

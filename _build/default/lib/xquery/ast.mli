@@ -1,0 +1,67 @@
+(** Abstract syntax of the supported XQuery subset.
+
+    The subset matches the algebra's completeness target (§3.1): FLWOR
+    expressions (for / let / where / order by / return), path expressions,
+    direct element constructors with embedded expressions, literals,
+    general comparisons, arithmetic, boolean connectives, conditionals,
+    and a set of built-in functions. Recursive user functions are excluded
+    (the paper restricts to the non-recursive fragment to keep the algebra
+    safe). *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge  (** general comparisons *)
+  | And | Or
+
+type expr =
+  | Literal_int of int
+  | Literal_float of float
+  | Literal_string of string
+  | Sequence of expr list          (** [e1, e2, ...] and [()] *)
+  | Doc_root                       (** [doc("...")] — the bound document *)
+  | Path of path_base * Xqp_algebra.Logical_plan.t
+      (** a path expression; the plan's base is always [Context] and the
+          [path_base] says what the context is *)
+  | Var of string
+  | Flwor of flwor
+  | Constructor of constructor
+  | Binop of binop * expr * expr
+  | If_then_else of expr * expr * expr
+  | Call of string * expr list
+  | Quantified of quantifier * (string * expr) list * expr
+      (** [some/every $x in e, ... satisfies cond] *)
+
+and quantifier = Some_q | Every_q
+
+and path_base =
+  | From_root            (** absolute: [/a/b] or [doc(...)/a/b] *)
+  | From_context         (** relative to the dynamic context (rare) *)
+  | From_expr of expr    (** [$v/a/b] or [(e)/a/b] *)
+
+and flwor = { clauses : clause list; return_ : expr }
+
+and clause =
+  | For_clause of string * string option * expr
+      (** [for $x (at $i)? in e] — the option is the positional variable *)
+  | Let_clause of string * expr
+  | Where_clause of expr
+  | Order_by of (expr * sort_direction) list
+
+and sort_direction = Ascending | Descending
+
+and constructor = {
+  name : string;
+  attrs : (string * attr_piece list) list;
+  content : content list;
+}
+
+and attr_piece = Attr_text of string | Attr_expr of expr
+and content = Fixed_text of string | Embedded of expr | Nested of constructor
+
+val pp : Format.formatter -> expr -> unit
+(** Debug printer (s-expression style). *)
+
+val pp_clause : Format.formatter -> clause -> unit
+
+val free_variables : expr -> string list
+(** Free variables in document order of first occurrence. *)

@@ -1,0 +1,39 @@
+(** Dynamic evaluation of the XQuery subset.
+
+    FLWOR expressions are evaluated through the {!Xqp_algebra.Env} sort
+    exactly as Definition 3 prescribes: each clause adds a layer, the
+    return expression runs once per total variable binding. Path
+    expressions are compiled by the logical optimizer and dispatched to a
+    physical pattern-matching engine by the {!Xqp_physical.Executor};
+    constructors produce {!Xqp_algebra.Value.Frag} items (γ).
+
+    Built-in functions: [count], [sum], [avg], [min], [max], [exists],
+    [empty], [not], [string], [number], [data], [concat], [contains],
+    [string-length], [name], [distinct-values], [position]-free subset. *)
+
+exception Error of string
+
+val eval :
+  Xqp_physical.Executor.t ->
+  ?strategy:Xqp_physical.Executor.strategy ->
+  ?bindings:(string * Xqp_algebra.Value.t) list ->
+  Ast.expr ->
+  Xqp_algebra.Value.t
+(** Evaluate an expression. Paths rooted at the document use the
+    executor's document; [?bindings] seeds the variable environment.
+    @raise Error on dynamic errors (unknown variable or function,
+    non-numeric arithmetic, navigation into constructed fragments). *)
+
+val eval_query :
+  Xqp_physical.Executor.t ->
+  ?strategy:Xqp_physical.Executor.strategy ->
+  string ->
+  Xqp_algebra.Value.t
+(** Parse with {!Xq_parser.parse} and evaluate. *)
+
+val result_trees : Xqp_physical.Executor.t -> Xqp_algebra.Value.t -> Xqp_xml.Tree.t list
+(** Serialize a result sequence: nodes are copied out of the document,
+    fragments kept, atomics become text nodes. *)
+
+val result_string : Xqp_physical.Executor.t -> Xqp_algebra.Value.t -> string
+(** XML serialization of {!result_trees} (concatenated). *)

@@ -1,0 +1,58 @@
+(** Translation of constructor-headed XQuery expressions into the algebra:
+    the output template becomes a [SchemaTree] (Fig. 1(b)) and the
+    embedded expressions become the ϕ comprehension that produces the
+    nested list of binding tuples; γ then assembles the result — the
+    backward (output-to-input) analysis sketched in §6.
+
+    The supported class is the Fig.-1 family: an element constructor whose
+    embedded expressions are either plain expressions (placeholders) or
+    FLWOR comprehensions returning further translatable expressions, to
+    any nesting depth. Evaluating the translation must coincide with
+    direct interpretation ({!Eval.eval}) — tested by differential
+    execution. *)
+
+type phi = Components of component list
+(** One group per binding tuple, holding the listed components in order. *)
+
+and component =
+  | Component_expr of Ast.expr  (** evaluated per binding; flattened items *)
+  | Comprehension of Ast.clause list * phi
+      (** a nested FLWOR: one subgroup per total variable binding *)
+
+type t = { schema : Xqp_algebra.Schema_tree.t; phi : phi }
+
+val translate : Ast.expr -> t option
+(** [None] when the expression is outside the translatable class (no
+    constructor head, or a FLWOR whose return clause is not itself
+    translatable). *)
+
+val execute :
+  Xqp_physical.Executor.t ->
+  ?strategy:Xqp_physical.Executor.strategy ->
+  t ->
+  Xqp_xml.Tree.t list
+(** Build the nested list by evaluating ϕ (the Env machinery underneath),
+    then apply γ ({!Xqp_algebra.Operators.construct}). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Generalized-tree-pattern translation}
+
+    For the core Fig.-1 shape — an element constructor wrapping a single
+    FLWOR [for $b in /abs/path] with [let $v := $b/rel/path] clauses and a
+    constructor return over those variables — the whole binding structure
+    is {e one} {!Xqp_algebra.Gtp.t}: the for-path is the skeleton, each
+    let-path a collected component (the approach of [9] that §5
+    discusses). Evaluating it is a single generalized pattern match
+    followed by γ, with no per-binding path evaluation at all. *)
+
+type gtp_translation = { gtp_schema : Xqp_algebra.Schema_tree.t; gtp : Xqp_algebra.Gtp.t }
+
+val translate_gtp : Ast.expr -> gtp_translation option
+(** [None] when the expression is outside the GTP class (where/order-by
+    clauses, non-path bindings, embedded expressions other than the bound
+    variables). *)
+
+val execute_gtp :
+  Xqp_physical.Executor.t -> gtp_translation -> Xqp_xml.Tree.t list
+(** One pattern match + γ; must coincide with {!Eval.eval} (tested). *)

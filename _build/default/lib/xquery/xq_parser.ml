@@ -1,0 +1,579 @@
+module Lp = Xqp_algebra.Logical_plan
+
+exception Parse_error of { position : int; message : string }
+
+type state = { input : string; mutable pos : int }
+
+let fail st message = raise (Parse_error { position = st.pos; message })
+let at_end st = st.pos >= String.length st.input
+let peek st = if at_end st then '\000' else st.input.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.input then '\000' else st.input.[st.pos + 1]
+
+let advance st = st.pos <- st.pos + 1
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_spaces st =
+  let rec loop () =
+    if (not (at_end st)) && is_space (peek st) then begin
+      advance st;
+      loop ()
+    end
+    else if peek st = '(' && peek2 st = ':' then begin
+      (* XQuery comment (: ... :) — may nest *)
+      advance st;
+      advance st;
+      let depth = ref 1 in
+      while !depth > 0 do
+        if at_end st then fail st "unterminated comment";
+        if peek st = '(' && peek2 st = ':' then begin
+          incr depth;
+          advance st;
+          advance st
+        end
+        else if peek st = ':' && peek2 st = ')' then begin
+          decr depth;
+          advance st;
+          advance st
+        end
+        else advance st
+      done;
+      loop ()
+    end
+  in
+  loop ()
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+let is_digit c = c >= '0' && c <= '9'
+
+let read_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (at_end st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+(* Lookahead: does a keyword (whole word) appear here? *)
+let looking_at_keyword st kw =
+  skip_spaces st;
+  let n = String.length kw in
+  st.pos + n <= String.length st.input
+  && String.equal (String.sub st.input st.pos n) kw
+  && (st.pos + n = String.length st.input || not (is_name_char st.input.[st.pos + n]))
+
+let eat_keyword st kw =
+  if looking_at_keyword st kw then begin
+    st.pos <- st.pos + String.length kw;
+    true
+  end
+  else false
+
+let expect_keyword st kw = if not (eat_keyword st kw) then fail st ("expected '" ^ kw ^ "'")
+
+let expect_char st c =
+  skip_spaces st;
+  if peek st = c then advance st else fail st (Printf.sprintf "expected %C" c)
+
+let read_string_literal st =
+  let quote = peek st in
+  advance st;
+  let start = st.pos in
+  while (not (at_end st)) && peek st <> quote do
+    advance st
+  done;
+  if at_end st then fail st "unterminated string literal";
+  let s = String.sub st.input start (st.pos - start) in
+  advance st;
+  s
+
+(* --- path carving ---------------------------------------------------- *)
+
+(* A path expression continues while we see step characters; '[' and the
+   '(' of text() open nested regions scanned verbatim (strings inside
+   predicates respected). *)
+let carve_path st =
+  let start = st.pos in
+  let depth = ref 0 in
+  let continue = ref true in
+  while !continue && not (at_end st) do
+    let c = peek st in
+    if !depth > 0 then begin
+      (match c with
+      | '[' | '(' -> incr depth
+      | ']' | ')' -> decr depth
+      | '"' | '\'' -> ignore (read_string_literal st)
+      | _ -> ());
+      if c <> '"' && c <> '\'' then advance st
+    end
+    else begin
+      match c with
+      | '[' ->
+        incr depth;
+        advance st
+      | '/' | '@' | '*' | ':' -> advance st
+      | '.' ->
+        (* '.' or '..' inside a path; a leading '.' primary is handled by
+           the caller. *)
+        advance st
+      | '(' ->
+        (* only text() — i.e. '(' immediately after a name ending in
+           "text"; otherwise stop (function call or parenthesis). *)
+        if
+          st.pos >= 4 + start
+          && String.equal (String.sub st.input (st.pos - 4) 4) "text"
+          && peek2 st = ')'
+        then begin
+          advance st;
+          advance st
+        end
+        else continue := false
+      | c when is_name_char c -> advance st
+      | _ -> continue := false
+    end
+  done;
+  let text = String.sub st.input start (st.pos - start) in
+  if String.length text = 0 then fail st "expected a path expression";
+  match Xqp_xpath.Parser.parse text with
+  | plan -> plan
+  | exception Xqp_xpath.Parser.Parse_error m ->
+    fail st (Printf.sprintf "bad path %S: %s" text m)
+  | exception Xqp_xpath.Lexer.Lex_error { message; _ } ->
+    fail st (Printf.sprintf "bad path %S: %s" text message)
+
+(* Rebase a plan parsed by the XPath parser: relative plans have base
+   Context; absolute have base Root. *)
+let path_expr_of_plan ?(base_expr : Ast.expr option) plan =
+  match (Lp.steps_of plan, base_expr) with
+  (* a carved "/steps" after $v or doc() is relative to that base, even
+     though the XPath parser saw a leading '/' *)
+  | Some (_, steps), Some e -> Ast.Path (Ast.From_expr e, Lp.of_steps ~base:Lp.Context steps)
+  | Some (Lp.Root, steps), None -> Ast.Path (Ast.From_root, Lp.of_steps ~base:Lp.Context steps)
+  | Some (Lp.Context, steps), None ->
+    Ast.Path (Ast.From_context, Lp.of_steps ~base:Lp.Context steps)
+  | _ -> invalid_arg "unexpected plan shape"
+
+(* --- expressions ------------------------------------------------------ *)
+
+let rec parse_expr st : Ast.expr =
+  skip_spaces st;
+  if looking_at_keyword st "for" || looking_at_keyword st "let" then parse_flwor st
+  else if looking_at_keyword st "if" then parse_if st
+  else if looking_at_keyword st "some" || looking_at_keyword st "every" then parse_quantified st
+  else parse_or st
+
+and parse_flwor st =
+  let clauses = ref [] in
+  let rec clause_loop () =
+    skip_spaces st;
+    if eat_keyword st "for" then begin
+      let rec vars () =
+        skip_spaces st;
+        expect_char st '$';
+        let v = read_name st in
+        let index =
+          if eat_keyword st "at" then begin
+            skip_spaces st;
+            expect_char st '$';
+            Some (read_name st)
+          end
+          else None
+        in
+        expect_keyword st "in";
+        let e = parse_single st in
+        clauses := Ast.For_clause (v, index, e) :: !clauses;
+        skip_spaces st;
+        if peek st = ',' then begin
+          advance st;
+          vars ()
+        end
+      in
+      vars ();
+      clause_loop ()
+    end
+    else if eat_keyword st "let" then begin
+      let rec vars () =
+        skip_spaces st;
+        expect_char st '$';
+        let v = read_name st in
+        skip_spaces st;
+        if peek st = ':' && peek2 st = '=' then begin
+          advance st;
+          advance st
+        end
+        else fail st "expected ':='";
+        let e = parse_single st in
+        clauses := Ast.Let_clause (v, e) :: !clauses;
+        skip_spaces st;
+        if peek st = ',' then begin
+          advance st;
+          vars ()
+        end
+      in
+      vars ();
+      clause_loop ()
+    end
+    else if eat_keyword st "where" then begin
+      let e = parse_single st in
+      clauses := Ast.Where_clause e :: !clauses;
+      clause_loop ()
+    end
+    else if looking_at_keyword st "order" then begin
+      expect_keyword st "order";
+      expect_keyword st "by";
+      let rec keys acc =
+        let e = parse_single st in
+        let dir =
+          if eat_keyword st "descending" then Ast.Descending
+          else begin
+            ignore (eat_keyword st "ascending");
+            Ast.Ascending
+          end
+        in
+        skip_spaces st;
+        if peek st = ',' then begin
+          advance st;
+          keys ((e, dir) :: acc)
+        end
+        else List.rev ((e, dir) :: acc)
+      in
+      clauses := Ast.Order_by (keys []) :: !clauses;
+      clause_loop ()
+    end
+  in
+  clause_loop ();
+  expect_keyword st "return";
+  let return_ = parse_single st in
+  Ast.Flwor { clauses = List.rev !clauses; return_ }
+
+and parse_if st =
+  expect_keyword st "if";
+  expect_char st '(';
+  let cond = parse_expr st in
+  expect_char st ')';
+  expect_keyword st "then";
+  let then_ = parse_single st in
+  expect_keyword st "else";
+  let else_ = parse_single st in
+  Ast.If_then_else (cond, then_, else_)
+
+(* exprSingle: no top-level ',' *)
+and parse_single st =
+  skip_spaces st;
+  if looking_at_keyword st "for" || looking_at_keyword st "let" then parse_flwor st
+  else if looking_at_keyword st "if" then parse_if st
+  else if looking_at_keyword st "some" || looking_at_keyword st "every" then parse_quantified st
+  else parse_or st
+
+and parse_quantified st =
+  let quantifier = if eat_keyword st "some" then Ast.Some_q else begin
+      expect_keyword st "every";
+      Ast.Every_q
+    end
+  in
+  let rec binds acc =
+    skip_spaces st;
+    expect_char st '$';
+    let v = read_name st in
+    expect_keyword st "in";
+    let e = parse_single st in
+    skip_spaces st;
+    if peek st = ',' then begin
+      advance st;
+      binds ((v, e) :: acc)
+    end
+    else List.rev ((v, e) :: acc)
+  in
+  let binds = binds [] in
+  expect_keyword st "satisfies";
+  let cond = parse_single st in
+  Ast.Quantified (quantifier, binds, cond)
+
+and parse_or st =
+  let left = parse_and st in
+  if eat_keyword st "or" then Ast.Binop (Ast.Or, left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_cmp st in
+  if eat_keyword st "and" then Ast.Binop (Ast.And, left, parse_and st) else left
+
+and parse_cmp st =
+  let left = parse_add st in
+  skip_spaces st;
+  match peek st with
+  | '=' ->
+    advance st;
+    Ast.Binop (Ast.Eq, left, parse_add st)
+  | '!' when peek2 st = '=' ->
+    advance st;
+    advance st;
+    Ast.Binop (Ast.Ne, left, parse_add st)
+  | '<' ->
+    advance st;
+    if peek st = '=' then begin
+      advance st;
+      Ast.Binop (Ast.Le, left, parse_add st)
+    end
+    else Ast.Binop (Ast.Lt, left, parse_add st)
+  | '>' ->
+    advance st;
+    if peek st = '=' then begin
+      advance st;
+      Ast.Binop (Ast.Ge, left, parse_add st)
+    end
+    else Ast.Binop (Ast.Gt, left, parse_add st)
+  | _ -> left
+
+and parse_add st =
+  let rec loop left =
+    skip_spaces st;
+    match peek st with
+    | '+' ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, left, parse_mul st))
+    | '-' ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, left, parse_mul st))
+    | _ -> left
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop left =
+    skip_spaces st;
+    if peek st = '*' then begin
+      advance st;
+      loop (Ast.Binop (Ast.Mul, left, parse_union_expr st))
+    end
+    else if eat_keyword st "div" then loop (Ast.Binop (Ast.Div, left, parse_union_expr st))
+    else if eat_keyword st "mod" then loop (Ast.Binop (Ast.Mod, left, parse_union_expr st))
+    else left
+  in
+  loop (parse_union_expr st)
+
+(* union binds tighter than arithmetic: a | b desugars to the internal
+   node-set union function *)
+and parse_union_expr st =
+  let rec loop left =
+    skip_spaces st;
+    if peek st = '|' then begin
+      advance st;
+      loop (Ast.Call ("__union", [ left; parse_unary st ]))
+    end
+    else left
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  skip_spaces st;
+  if peek st = '-' && not (is_digit (peek2 st)) then begin
+    advance st;
+    Ast.Binop (Ast.Sub, Ast.Literal_int 0, parse_primary st)
+  end
+  else parse_primary st
+
+and parse_primary st =
+  skip_spaces st;
+  match peek st with
+  | '$' ->
+    advance st;
+    let v = read_name st in
+    if peek st = '/' then begin
+      let plan = carve_path st in
+      path_expr_of_plan ~base_expr:(Ast.Var v) plan
+    end
+    else Ast.Var v
+  | '(' ->
+    advance st;
+    skip_spaces st;
+    if peek st = ')' then begin
+      advance st;
+      Ast.Sequence []
+    end
+    else begin
+      let first = parse_expr st in
+      let rec rest acc =
+        skip_spaces st;
+        if peek st = ',' then begin
+          advance st;
+          rest (parse_expr st :: acc)
+        end
+        else List.rev acc
+      in
+      let items = rest [ first ] in
+      expect_char st ')';
+      match items with [ single ] -> single | several -> Ast.Sequence several
+    end
+  | '<' -> Ast.Constructor (parse_constructor st)
+  | '"' | '\'' -> Ast.Literal_string (read_string_literal st)
+  | c when is_digit c || (c = '.' && is_digit (peek2 st)) || (c = '-' && is_digit (peek2 st)) ->
+    let start = st.pos in
+    if peek st = '-' then advance st;
+    while (not (at_end st)) && (is_digit (peek st) || peek st = '.') do
+      advance st
+    done;
+    let text = String.sub st.input start (st.pos - start) in
+    if String.contains text '.' then
+      Ast.Literal_float
+        (match float_of_string_opt text with Some f -> f | None -> fail st "bad number")
+    else
+      Ast.Literal_int
+        (match int_of_string_opt text with Some i -> i | None -> fail st "bad number")
+  | '/' -> path_expr_of_plan (carve_path st)
+  | '.' | '@' | '*' -> path_expr_of_plan (carve_path st)
+  | c when is_name_start c ->
+    (* function call, doc(), or a relative path *)
+    let save = st.pos in
+    let name = read_name st in
+    skip_spaces st;
+    if peek st = '(' && not (String.equal name "text") then begin
+      advance st;
+      if String.equal name "doc" || String.equal name "document" then begin
+        skip_spaces st;
+        let _uri = if peek st = ')' then "" else read_string_literal st in
+        expect_char st ')';
+        if peek st = '/' then path_expr_of_plan (carve_absolute st)
+        else Ast.Doc_root
+      end
+      else begin
+        skip_spaces st;
+        let args =
+          if peek st = ')' then []
+          else begin
+            let first = parse_expr st in
+            let rec rest acc =
+              skip_spaces st;
+              if peek st = ',' then begin
+                advance st;
+                rest (parse_expr st :: acc)
+              end
+              else List.rev acc
+            in
+            rest [ first ]
+          end
+        in
+        expect_char st ')';
+        Ast.Call (name, args)
+      end
+    end
+    else begin
+      (* relative path starting with this name *)
+      st.pos <- save;
+      path_expr_of_plan (carve_path st)
+    end
+  | _ -> fail st "expected an expression"
+
+(* after doc(...): the following '/path' is absolute *)
+and carve_absolute st =
+  let plan = carve_path st in
+  plan
+
+(* --- constructors ----------------------------------------------------- *)
+
+and parse_constructor st : Ast.constructor =
+  expect_char st '<';
+  let name = read_name st in
+  let rec attrs acc =
+    skip_spaces st;
+    if is_name_start (peek st) then begin
+      let key = read_name st in
+      skip_spaces st;
+      expect_char st '=';
+      skip_spaces st;
+      let quote = peek st in
+      if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute value";
+      advance st;
+      let pieces = ref [] in
+      let buffer = Buffer.create 16 in
+      let flush () =
+        if Buffer.length buffer > 0 then begin
+          pieces := Ast.Attr_text (Buffer.contents buffer) :: !pieces;
+          Buffer.clear buffer
+        end
+      in
+      let rec scan () =
+        if at_end st then fail st "unterminated attribute value"
+        else if peek st = quote then advance st
+        else if peek st = '{' then begin
+          advance st;
+          flush ();
+          let e = parse_expr st in
+          expect_char st '}';
+          pieces := Ast.Attr_expr e :: !pieces;
+          scan ()
+        end
+        else begin
+          Buffer.add_char buffer (peek st);
+          advance st;
+          scan ()
+        end
+      in
+      scan ();
+      flush ();
+      attrs ((key, List.rev !pieces) :: acc)
+    end
+    else List.rev acc
+  in
+  let attrs = attrs [] in
+  skip_spaces st;
+  if peek st = '/' && peek2 st = '>' then begin
+    advance st;
+    advance st;
+    { Ast.name; attrs; content = [] }
+  end
+  else begin
+    expect_char st '>';
+    let content = ref [] in
+    let buffer = Buffer.create 32 in
+    let flush () =
+      if Buffer.length buffer > 0 then begin
+        let text = Buffer.contents buffer in
+        Buffer.clear buffer;
+        (* whitespace-only runs between markup are formatting noise *)
+        if not (String.for_all is_space text) then content := Ast.Fixed_text text :: !content
+      end
+    in
+    let rec scan () =
+      if at_end st then fail st "unterminated element constructor"
+      else if peek st = '<' && peek2 st = '/' then begin
+        flush ();
+        advance st;
+        advance st;
+        let closing = read_name st in
+        if not (String.equal closing name) then
+          fail st (Printf.sprintf "mismatched </%s>, expected </%s>" closing name);
+        skip_spaces st;
+        expect_char st '>'
+      end
+      else if peek st = '<' then begin
+        flush ();
+        content := Ast.Nested (parse_constructor st) :: !content;
+        scan ()
+      end
+      else if peek st = '{' then begin
+        advance st;
+        flush ();
+        let e = parse_expr st in
+        skip_spaces st;
+        expect_char st '}';
+        content := Ast.Embedded e :: !content;
+        scan ()
+      end
+      else begin
+        Buffer.add_char buffer (peek st);
+        advance st;
+        scan ()
+      end
+    in
+    scan ();
+    { Ast.name; attrs; content = List.rev !content }
+  end
+
+let parse input =
+  let st = { input; pos = 0 } in
+  let e = parse_expr st in
+  skip_spaces st;
+  if not (at_end st) then fail st "trailing input";
+  e

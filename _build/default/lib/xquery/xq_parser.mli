@@ -1,0 +1,34 @@
+(** Parser for the XQuery subset (char-level recursive descent; direct
+    element constructors make the grammar context-sensitive, so there is
+    no separate token stream).
+
+    Grammar sketch:
+    {v
+    expr       ::= flwor | ifExpr | orExpr
+    flwor      ::= (forClause | letClause | whereClause | orderClause)+
+                   'return' expr
+    forClause  ::= 'for' '$'NAME 'in' expr (',' '$'NAME 'in' expr)*
+    letClause  ::= 'let' '$'NAME ':=' expr (',' '$'NAME ':=' expr)*
+    orderClause::= 'order' 'by' expr ('ascending'|'descending')?
+                   (',' expr (...)?)*
+    orExpr     ::= andExpr ('or' andExpr)*
+    andExpr    ::= cmpExpr ('and' cmpExpr)*
+    cmpExpr    ::= addExpr (('='|'!='|'<'|'<='|'>'|'>=') addExpr)?
+    addExpr    ::= mulExpr (('+'|'-') mulExpr)*
+    mulExpr    ::= unary (('*'|'div'|'mod') unary)*
+    unary      ::= '-'? primary
+    primary    ::= literal | '$'NAME path? | pathExpr
+                 | 'doc' '(' STRING ')' path? | FNAME '(' args ')'
+                 | '(' expr? ')' path? | constructor | ifExpr
+    constructor::= '<'NAME (NAME '=' attrvalue)* ('/>' | '>' content '</'NAME'>')
+    content    ::= (text | '{' expr '}' | constructor)*
+    v}
+
+    Path expressions are carved out of the input and handed to
+    {!Xqp_xpath.Parser}, so the path sub-language (axes, predicates,
+    wildcards) is exactly the XPath subset. *)
+
+exception Parse_error of { position : int; message : string }
+
+val parse : string -> Ast.expr
+(** @raise Parse_error on malformed input. *)

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_algebra Test_coverage Test_physical Test_storage Test_workload Test_xml Test_xpath Test_xquery

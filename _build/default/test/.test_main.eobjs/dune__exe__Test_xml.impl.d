@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Document Entity List Option QCheck2 QCheck_alcotest Sax Serializer String Symtab Tree Xml_parser Xqp_xml

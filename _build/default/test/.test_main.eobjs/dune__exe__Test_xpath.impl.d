@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Axis List Logical_plan Operators Pattern_graph Printexc Printf QCheck2 QCheck_alcotest String Xqp_algebra Xqp_physical Xqp_xml Xqp_xpath

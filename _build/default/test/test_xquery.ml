@@ -1,0 +1,605 @@
+(* Tests for xqp_xquery: parser, evaluator, algebraic translation. *)
+
+open Xqp_xml
+open Xqp_algebra
+open Xqp_xquery
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let bib_source =
+  {|<bib>
+      <book year="1994"><title>TCP/IP Illustrated</title><author>Stevens</author><price>65.95</price></book>
+      <book year="2000"><title>Data on the Web</title><author>Abiteboul</author><author>Buneman</author><price>39.95</price></book>
+      <book year="1999"><title>Economics</title><author>Bosak</author><price>120</price></book>
+    </bib>|}
+
+let exec () = Xqp_physical.Executor.create (Document.of_string ~strip:true bib_source)
+
+let eval_str q =
+  let e = exec () in
+  Eval.result_string e (Eval.eval_query e q)
+
+let eval_value q =
+  let e = exec () in
+  (e, Eval.eval_query e q)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_shapes () =
+  (match Xq_parser.parse "1 + 2 * 3" with
+  | Ast.Binop (Ast.Add, Ast.Literal_int 1, Ast.Binop (Ast.Mul, _, _)) -> ()
+  | other -> Alcotest.failf "precedence wrong: %a" (fun ppf -> Ast.pp ppf) other);
+  (match Xq_parser.parse "/bib/book" with
+  | Ast.Path (Ast.From_root, _) -> ()
+  | _ -> Alcotest.fail "absolute path");
+  (match Xq_parser.parse "$b/title" with
+  | Ast.Path (Ast.From_expr (Ast.Var "b"), _) -> ()
+  | _ -> Alcotest.fail "var path");
+  (match Xq_parser.parse "doc(\"bib.xml\")/bib" with
+  | Ast.Path (Ast.From_root, _) -> ()
+  | _ -> Alcotest.fail "doc path");
+  (match Xq_parser.parse "for $x in /a, $y in $x/b return $y" with
+  | Ast.Flwor { clauses = [ Ast.For_clause ("x", None, _); Ast.For_clause ("y", None, _) ]; _ } ->
+    ()
+  | _ -> Alcotest.fail "multi-var for");
+  (match Xq_parser.parse "<a x=\"1\"><b/>{ 2 }</a>" with
+  | Ast.Constructor { name = "a"; attrs = [ ("x", [ Ast.Attr_text "1" ]) ]; content = [ Ast.Nested _; Ast.Embedded _ ] } -> ()
+  | _ -> Alcotest.fail "constructor");
+  (match Xq_parser.parse "if (1 = 1) then \"y\" else \"n\"" with
+  | Ast.If_then_else (_, _, _) -> ()
+  | _ -> Alcotest.fail "if");
+  (match Xq_parser.parse "(: comment :) 42" with
+  | Ast.Literal_int 42 -> ()
+  | _ -> Alcotest.fail "comment skipped")
+
+let test_parse_errors () =
+  let bad = [ "for $x in"; "<a></b>"; "1 +"; "$"; "let $x = 3 return $x"; "if (1) then 2" ] in
+  List.iter
+    (fun q ->
+      match Xq_parser.parse q with
+      | exception Xq_parser.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %s" q)
+    bad
+
+let test_free_variables () =
+  let e = Xq_parser.parse "for $b in /bib/book where $b/price > $limit return ($b/title, $other)" in
+  Alcotest.(check (list string)) "free vars" [ "limit"; "other" ] (Ast.free_variables e)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_eval_paths_and_atoms () =
+  let e, v = eval_value "count(/bib/book)" in
+  ignore e;
+  check_bool "count" true (v = [ Value.Int 3 ]);
+  let _, v = eval_value "count(//author)" in
+  check_bool "count authors" true (v = [ Value.Int 4 ]);
+  check_string "string of title" "TCP/IP Illustrated" (eval_str "string(/bib/book[1]/title)");
+  let _, v = eval_value "sum(//price)" in
+  (match v with
+  | [ Value.Float f ] -> check_bool "sum" true (Float.abs (f -. 225.9) < 0.01)
+  | [ Value.Int _ ] -> Alcotest.fail "sum should be fractional here"
+  | _ -> Alcotest.fail "sum shape");
+  let _, v = eval_value "2 + 3 * 4 - 1" in
+  check_bool "arith" true (v = [ Value.Int 13 ]);
+  let _, v = eval_value "7 div 2" in
+  check_bool "div" true (v = [ Value.Float 3.5 ]);
+  let _, v = eval_value "7 mod 2" in
+  check_bool "mod" true (v = [ Value.Int 1 ])
+
+let test_eval_flwor_basic () =
+  let result = eval_str "for $b in /bib/book return $b/title" in
+  check_bool "three titles" true
+    (String.length result > 0
+    && List.length (String.split_on_char '<' result) = 7 (* 3 open + 3 close + leading *));
+  check_string "where filter" "<title>Economics</title>"
+    (eval_str "for $b in /bib/book where $b/price > 100 return $b/title");
+  check_string "let binding" "<title>Economics</title>"
+    (eval_str "for $b in /bib/book let $p := $b/price where $p > 100 return $b/title")
+
+let test_eval_order_by () =
+  let result =
+    eval_str "for $b in /bib/book order by number($b/price) return $b/price"
+  in
+  check_string "ascending" "<price>39.95</price><price>65.95</price><price>120</price>" result;
+  let result =
+    eval_str "for $b in /bib/book order by number($b/price) descending return $b/price"
+  in
+  check_string "descending" "<price>120</price><price>65.95</price><price>39.95</price>" result;
+  let by_title = eval_str "for $b in /bib/book order by $b/title return $b/@year" in
+  check_string "string keys" "200019991994" (by_title |> String.trim)
+
+let test_eval_constructors () =
+  check_string "static" "<a x=\"1\"><b/>t</a>" (eval_str "<a x=\"1\"><b/>t</a>");
+  check_string "embedded atomic" "<n>3</n>" (eval_str "<n>{1 + 2}</n>");
+  check_string "attr expr" "<n v=\"3\"/>" (eval_str "<n v=\"{1 + 2}\"/>");
+  check_string "node copy" "<w><title>Economics</title></w>"
+    (eval_str "<w>{/bib/book[price > 100]/title}</w>")
+
+let test_eval_fig1_query () =
+  (* The paper's Fig. 1 query (bib use case). *)
+  let q =
+    {|<results>{
+        for $b in doc("bib.xml")/bib/book
+        let $t := $b/title
+        let $a := $b/author
+        return <result>{$t}{$a}</result>
+      }</results>|}
+  in
+  let e = exec () in
+  let v = Eval.eval_query e q in
+  match Eval.result_trees e v with
+  | [ (Tree.Element root as tree) ] ->
+    check_string "root" "results" root.name;
+    let results = Tree.children tree in
+    check_int "three results" 3 (List.length results);
+    (match List.nth results 1 with
+    | Tree.Element { children; _ } ->
+      check_int "title + 2 authors" 3 (List.length children)
+    | _ -> Alcotest.fail "result shape");
+    (* output schema conforms to Fig 1(b): every result child is titled *)
+    List.iter
+      (fun r ->
+        match r with
+        | Tree.Element { name = "result"; children = Tree.Element { name = "title"; _ } :: _; _ } ->
+          ()
+        | _ -> Alcotest.fail "schema violation")
+      results
+  | _ -> Alcotest.fail "expected one tree"
+
+let test_eval_nested_flwor () =
+  let q =
+    {|<out>{
+        for $b in /bib/book
+        return <book>{
+          for $a in $b/author return <who>{string($a)}</who>
+        }</book>
+      }</out>|}
+  in
+  check_string "nested"
+    "<out><book><who>Stevens</who></book><book><who>Abiteboul</who><who>Buneman</who></book><book><who>Bosak</who></book></out>"
+    (eval_str q)
+
+let test_eval_functions () =
+  let _, v = eval_value "exists(//book[price > 500])" in
+  check_bool "exists false" true (v = [ Value.Bool false ]);
+  let _, v = eval_value "empty(//book[price > 500])" in
+  check_bool "empty true" true (v = [ Value.Bool true ]);
+  let _, v = eval_value "not(1 = 2)" in
+  check_bool "not" true (v = [ Value.Bool true ]);
+  let _, v = eval_value "contains(string(/bib/book[1]/title), \"TCP\")" in
+  check_bool "contains" true (v = [ Value.Bool true ]);
+  check_string "concat" "a-b" (eval_str "concat(\"a\", \"-\", \"b\")");
+  let _, v = eval_value "string-length(\"hello\")" in
+  check_bool "strlen" true (v = [ Value.Int 5 ]);
+  let _, v = eval_value "count(distinct-values(//author))" in
+  check_bool "distinct" true (v = [ Value.Int 4 ]);
+  let _, v = eval_value "min((3, 1, 2))" in
+  check_bool "min" true (v = [ Value.Int 1 ]);
+  let _, v = eval_value "avg((2, 4))" in
+  check_bool "avg" true (v = [ Value.Float 3.0 ]);
+  check_string "name()" "book" (eval_str "string(name(/bib/book[1]))")
+
+let test_eval_if_and_logic () =
+  check_string "if true" "yes" (eval_str "if (count(//book) = 3) then \"yes\" else \"no\"");
+  let _, v = eval_value "1 = 1 and 2 = 3" in
+  check_bool "and" true (v = [ Value.Bool false ]);
+  let _, v = eval_value "1 = 1 or 2 = 3" in
+  check_bool "or" true (v = [ Value.Bool true ]);
+  (* general comparison is existential over sequences *)
+  let _, v = eval_value "//price > 100" in
+  check_bool "existential" true (v = [ Value.Bool true ])
+
+let test_eval_quantifiers () =
+  let _, v = eval_value "some $b in /bib/book satisfies $b/price > 100" in
+  check_bool "some true" true (v = [ Value.Bool true ]);
+  let _, v = eval_value "every $b in /bib/book satisfies $b/price > 100" in
+  check_bool "every false" true (v = [ Value.Bool false ]);
+  let _, v = eval_value "every $b in /bib/book satisfies exists($b/author)" in
+  check_bool "every true" true (v = [ Value.Bool true ]);
+  (* multiple binders iterate the cartesian product *)
+  let _, v =
+    eval_value "some $a in (1, 2), $b in (3, 4) satisfies $a + $b = 6"
+  in
+  check_bool "pair some" true (v = [ Value.Bool true ]);
+  (* empty domain: some = false, every = true *)
+  let _, v = eval_value "some $x in () satisfies 1 = 1" in
+  check_bool "vacuous some" true (v = [ Value.Bool false ]);
+  let _, v = eval_value "every $x in () satisfies 1 = 2" in
+  check_bool "vacuous every" true (v = [ Value.Bool true ]);
+  check_string "quantifier in where" "<title>Economics</title>"
+    (eval_str
+       "for $b in /bib/book where every $p in $b/price satisfies $p > 100 return $b/title")
+
+let test_eval_string_functions () =
+  check_string "substring 2-arg" "llo" (eval_str "substring(\"hello\", 3)");
+  check_string "substring 3-arg" "ell" (eval_str "substring(\"hello\", 2, 3)");
+  check_string "substring clamp" "he" (eval_str "substring(\"hello\", 0, 3)");
+  check_string "upper" "ABC" (eval_str "upper-case(\"aBc\")");
+  check_string "lower" "abc" (eval_str "lower-case(\"aBc\")");
+  check_string "normalize" "a b c" (eval_str "normalize-space(\"  a  b\n c \")");
+  let _, v = eval_value "starts-with(\"hello\", \"he\")" in
+  check_bool "starts-with" true (v = [ Value.Bool true ]);
+  let _, v = eval_value "ends-with(\"hello\", \"lo\")" in
+  check_bool "ends-with" true (v = [ Value.Bool true ]);
+  check_string "string-join" "a-b-c" (eval_str "string-join((\"a\", \"b\", \"c\"), \"-\")");
+  let _, v = eval_value "floor(2.7)" in
+  check_bool "floor" true (v = [ Value.Int 2 ]);
+  let _, v = eval_value "ceiling(2.1)" in
+  check_bool "ceiling" true (v = [ Value.Int 3 ]);
+  let _, v = eval_value "round(2.5)" in
+  check_bool "round" true (v = [ Value.Int 3 ]);
+  let _, v = eval_value "abs(0 - 4)" in
+  check_bool "abs" true (v = [ Value.Int 4 ]);
+  let _, v = eval_value "boolean((1))" in
+  check_bool "boolean" true (v = [ Value.Bool true ]);
+  let _, v = eval_value "true()" in
+  check_bool "true()" true (v = [ Value.Bool true ]);
+  let _, v = eval_value "not(false())" in
+  check_bool "false()" true (v = [ Value.Bool true ])
+
+let test_eval_union () =
+  let _, v = eval_value "count(//title | //author)" in
+  check_bool "union count" true (v = [ Value.Int 7 ]);
+  let _, v = eval_value "count(//title | //title)" in
+  check_bool "union dedups" true (v = [ Value.Int 3 ]);
+  (* document order regardless of operand order *)
+  let a = eval_str "//book[1]/title | //book[1]/author" in
+  let b = eval_str "//book[1]/author | //book[1]/title" in
+  check_string "doc order" a b;
+  let e = exec () in
+  (match Eval.eval_query e "1 | 2" with
+  | exception Eval.Error _ -> ()
+  | _ -> Alcotest.fail "atomic union must fail")
+
+let test_eval_positional_for () =
+  check_string "at variable" "<i>1:TCP/IP Illustrated</i><i>2:Data on the Web</i><i>3:Economics</i>"
+    (eval_str
+       {|<o>{ for $b at $i in /bib/book return <i>{$i}{":"}{string($b/title)}</i> }</o>|}
+    |> fun s -> String.sub s 3 (String.length s - 7));
+  let _, v =
+    eval_value {|for $x at $i in ("a", "b", "c") where $i mod 2 = 1 return $x|}
+  in
+  check_bool "where on index" true (v = [ Value.Str "a"; Value.Str "c" ]);
+  (match Xq_parser.parse "for $x at $i in (1,2) return $i" with
+  | Ast.Flwor { clauses = [ Ast.For_clause ("x", Some "i", _) ]; _ } -> ()
+  | _ -> Alcotest.fail "at parse")
+
+let test_eval_errors () =
+  let expect_error q =
+    let e = exec () in
+    match Eval.eval_query e q with
+    | exception Eval.Error _ -> ()
+    | _ -> Alcotest.failf "expected Eval.Error for %s" q
+  in
+  expect_error "$nosuch";
+  expect_error "unknownfn(1)";
+  expect_error "\"a\" + 1";
+  expect_error "for $x in <a/> return $x/b"
+
+(* ------------------------------------------------------------------ *)
+(* Algebraic translation (γ / SchemaTree / Env pipeline)               *)
+(* ------------------------------------------------------------------ *)
+
+let fig1_query =
+  {|<results>{
+      for $b in doc("bib.xml")/bib/book
+      let $t := $b/title
+      let $a := $b/author
+      return <result>{$t}{$a}</result>
+    }</results>|}
+
+let test_translate_fig1_schema () =
+  let ast = Xq_parser.parse fig1_query in
+  match Translate.translate ast with
+  | None -> Alcotest.fail "fig1 should translate"
+  | Some t -> (
+    match t.Translate.schema with
+    | Schema_tree.Element { name = "results"; children = [ Schema_tree.For_component (0, [ inner ]) ]; _ } -> (
+      match inner with
+      | Schema_tree.Element { name = "result"; children = [ Schema_tree.Placeholder 0; Schema_tree.Placeholder 1 ]; _ } ->
+        check_int "two components" 2 (Schema_tree.placeholder_count inner)
+      | _ -> Alcotest.fail "inner schema shape")
+    | _ -> Alcotest.fail "outer schema shape")
+
+let translatable_queries =
+  [
+    fig1_query;
+    "<all>{ for $a in //author return <a>{string($a)}</a> }</all>";
+    "<t>{ for $b in /bib/book where $b/price > 50 return <x>{$b/title}</x> }</t>";
+    "<o><inner>{ for $b in /bib/book return $b/@year }</inner></o>";
+    "<deep>{ for $b in /bib/book return <b>{ for $a in $b/author return <n>{string($a)}</n> }</b> }</deep>";
+    "<plain><k>fixed</k></plain>";
+  ]
+
+let test_translate_matches_eval () =
+  List.iter
+    (fun q ->
+      let e = exec () in
+      let ast = Xq_parser.parse q in
+      match Translate.translate ast with
+      | None -> Alcotest.failf "should translate: %s" q
+      | Some t ->
+        let algebraic =
+          String.concat "" (List.map Serializer.to_string (Translate.execute e t))
+        in
+        let direct = Eval.result_string e (Eval.eval e ast) in
+        if not (String.equal algebraic direct) then
+          Alcotest.failf "translation diverges for %s:\n algebraic: %s\n direct: %s" q algebraic
+            direct)
+    translatable_queries
+
+let test_translate_gtp () =
+  let e = exec () in
+  (* Fig. 1 translates into one generalized tree pattern *)
+  let ast = Xq_parser.parse fig1_query in
+  (match Translate.translate_gtp ast with
+  | None -> Alcotest.fail "fig1 should GTP-translate"
+  | Some t ->
+    check_int "spine = /bib/book" 2 (Gtp.spine_length t.Translate.gtp);
+    check_int "two components" 2 (Gtp.component_count t.Translate.gtp);
+    let gtp_out =
+      String.concat "" (List.map Serializer.to_string (Translate.execute_gtp e t))
+    in
+    let direct = Eval.result_string e (Eval.eval e ast) in
+    check_string "gtp = direct" direct gtp_out);
+  (* a deeper variant: 2-step let chains and a predicate on the spine *)
+  let q =
+    {|<out>{
+        for $b in /bib/book
+        let $l := $b/author/last
+        let $p := $b/price
+        return <r>{$l}{$p}</r>
+      }</out>|}
+  in
+  (* note: generated bib has author/last; the fixture here has flat authors,
+     so the component may be empty — semantics must still agree *)
+  let ast2 = Xq_parser.parse q in
+  (match Translate.translate_gtp ast2 with
+  | None -> Alcotest.fail "variant should GTP-translate"
+  | Some t ->
+    let gtp_out = String.concat "" (List.map Serializer.to_string (Translate.execute_gtp e t)) in
+    let direct = Eval.result_string e (Eval.eval e ast2) in
+    check_string "gtp variant = direct" direct gtp_out);
+  (* rejections: where clause, non-path let, foreign embedded exprs *)
+  List.iter
+    (fun q ->
+      match Translate.translate_gtp (Xq_parser.parse q) with
+      | None -> ()
+      | Some _ -> Alcotest.failf "should not GTP-translate: %s" q)
+    [
+      "<o>{ for $b in /bib/book where $b/price > 1 return <r>{$b/title}</r> }</o>";
+      "<o>{ for $b in /bib/book let $x := 1 return <r>{$x}</r> }</o>";
+      "<o>{ for $b in /bib/book let $t := $b/title return <r>{count($t)}</r> }</o>";
+      "count(//book)";
+    ]
+
+let test_gtp_direct_api () =
+  let e = exec () in
+  let doc = Xqp_physical.Executor.doc e in
+  let gtp =
+    Gtp.make
+      ~spine:[ (Pattern_graph.Child, Pattern_graph.Tag "bib", []); (Pattern_graph.Child, Pattern_graph.Tag "book", []) ]
+      ~components:
+        [
+          [ (Pattern_graph.Child, Pattern_graph.Tag "title", []) ];
+          [ (Pattern_graph.Child, Pattern_graph.Tag "author", []) ];
+        ]
+  in
+  let groups = Gtp.match_groups doc gtp ~context:[ Operators.document_context ] in
+  (match groups with
+  | Nested_list.Group per_book ->
+    check_int "three books" 3 (List.length per_book);
+    (match List.nth per_book 1 with
+    | Nested_list.Group [ titles; authors ] ->
+      check_int "one title" 1 (List.length (Nested_list.flatten titles));
+      check_int "two authors" 2 (List.length (Nested_list.flatten authors))
+    | _ -> Alcotest.fail "component shape")
+  | Nested_list.Atom _ -> Alcotest.fail "expected groups");
+  check_bool "pp smoke" true
+    (String.length (Format.asprintf "%a" Gtp.pp gtp) > 0);
+  check_bool "rejects empty spine" true
+    (match Gtp.make ~spine:[] ~components:[] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_translate_rejects () =
+  List.iter
+    (fun q ->
+      match Translate.translate (Xq_parser.parse q) with
+      | None -> ()
+      | Some _ -> Alcotest.failf "should not translate: %s" q)
+    [ "1 + 2"; "//book"; "count(//book)" ]
+
+(* ------------------------------------------------------------------ *)
+(* Parser fuzz: print a random (path-free) AST back to surface syntax   *)
+(* and reparse; the result must be structurally identical.              *)
+(* ------------------------------------------------------------------ *)
+
+let rec to_source (e : Ast.expr) =
+  match e with
+  | Ast.Literal_int i -> string_of_int i
+  | Ast.Literal_float f -> Printf.sprintf "%.12g" f
+  | Ast.Literal_string s -> Printf.sprintf "\"%s\"" s
+  | Ast.Sequence [] -> "()"
+  | Ast.Sequence es -> "(" ^ String.concat ", " (List.map to_source es) ^ ")"
+  | Ast.Var v -> "$" ^ v
+  | Ast.Binop (op, a, b) ->
+    let op_str =
+      match op with
+      | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "div" | Ast.Mod -> "mod"
+      | Ast.Eq -> "=" | Ast.Ne -> "!=" | Ast.Lt -> "<" | Ast.Le -> "<=" | Ast.Gt -> ">"
+      | Ast.Ge -> ">=" | Ast.And -> "and" | Ast.Or -> "or"
+    in
+    Printf.sprintf "((%s) %s (%s))" (to_source a) op_str (to_source b)
+  | Ast.If_then_else (c, t, f) ->
+    Printf.sprintf "if (%s) then (%s) else (%s)" (to_source c) (to_source t) (to_source f)
+  | Ast.Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map (fun a -> to_source a) args))
+  | Ast.Quantified (q, binds, cond) ->
+    Printf.sprintf "%s %s satisfies (%s)"
+      (match q with Ast.Some_q -> "some" | Ast.Every_q -> "every")
+      (String.concat ", "
+         (List.map (fun (v, e) -> Printf.sprintf "$%s in (%s)" v (to_source e)) binds))
+      (to_source cond)
+  | Ast.Flwor f ->
+    String.concat " "
+      (List.map
+         (fun clause ->
+           match (clause : Ast.clause) with
+           | Ast.For_clause (v, None, e) -> Printf.sprintf "for $%s in (%s)" v (to_source e)
+           | Ast.For_clause (v, Some i, e) ->
+             Printf.sprintf "for $%s at $%s in (%s)" v i (to_source e)
+           | Ast.Let_clause (v, e) -> Printf.sprintf "let $%s := (%s)" v (to_source e)
+           | Ast.Where_clause e -> Printf.sprintf "where (%s)" (to_source e)
+           | Ast.Order_by keys ->
+             "order by "
+             ^ String.concat ", "
+                 (List.map
+                    (fun (e, d) ->
+                      Printf.sprintf "(%s)%s" (to_source e)
+                        (match (d : Ast.sort_direction) with
+                        | Ast.Ascending -> ""
+                        | Ast.Descending -> " descending"))
+                    keys))
+         f.Ast.clauses)
+    ^ Printf.sprintf " return (%s)" (to_source f.Ast.return_)
+  | Ast.Constructor c ->
+    let attrs =
+      String.concat ""
+        (List.map
+           (fun (k, pieces) ->
+             Printf.sprintf " %s=\"%s\"" k
+               (String.concat ""
+                  (List.map
+                     (function
+                       | Ast.Attr_text t -> t
+                       | Ast.Attr_expr e -> "{" ^ to_source e ^ "}")
+                     pieces)))
+           c.Ast.attrs)
+    in
+    let content =
+      String.concat ""
+        (List.map
+           (function
+             | Ast.Fixed_text t -> t
+             | Ast.Embedded e -> "{" ^ to_source e ^ "}"
+             | Ast.Nested n -> to_source (Ast.Constructor n))
+           c.Ast.content)
+    in
+    if c.Ast.content = [] then Printf.sprintf "<%s%s/>" c.Ast.name attrs
+    else Printf.sprintf "<%s%s>%s</%s>" c.Ast.name attrs content c.Ast.name
+  | Ast.Doc_root | Ast.Path _ -> assert false (* not generated *)
+
+let gen_ast =
+  let open QCheck2.Gen in
+  let var = oneofl [ "x"; "y"; "z" ] in
+  let safe_string = oneofl [ "abc"; "hello world"; "k1" ] in
+  let fname = oneofl [ "count"; "not"; "string"; "concat" ] in
+  fix
+    (fun self n ->
+      if n <= 0 then
+        oneof
+          [
+            map (fun i -> Ast.Literal_int i) (int_range 0 999);
+            map (fun s -> Ast.Literal_string s) safe_string;
+            map (fun v -> Ast.Var v) var;
+            return (Ast.Sequence []);
+          ]
+      else
+        let sub = self (n / 2) in
+        oneof
+          [
+            (let* op =
+               oneofl
+                 [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Eq; Ast.Lt; Ast.And; Ast.Or ]
+             in
+             let* a = sub in
+             let* b = sub in
+             return (Ast.Binop (op, a, b)));
+            (let* c = sub in
+             let* t = sub in
+             let* f = sub in
+             return (Ast.If_then_else (c, t, f)));
+            (let* f = fname in
+             let* args = list_size (int_range 1 2) sub in
+             return (Ast.Call (f, args)));
+            (let* q = oneofl [ Ast.Some_q; Ast.Every_q ] in
+             let* v = var in
+             let* e = sub in
+             let* cond = sub in
+             return (Ast.Quantified (q, [ (v, e) ], cond)));
+            (let* v = var in
+             let* e = sub in
+             let* w = sub in
+             let* r = sub in
+             return
+               (Ast.Flwor
+                  {
+                    Ast.clauses = [ Ast.For_clause (v, None, e); Ast.Where_clause w ];
+                    return_ = r;
+                  }));
+            (let* a = sub in
+             let* b = sub in
+             return (Ast.Sequence [ a; b ]));
+            (let* name = oneofl [ "el"; "row" ] in
+             let* k = oneofl [ "a"; "b" ] in
+             let* av = sub in
+             let* body = sub in
+             return
+               (Ast.Constructor
+                  {
+                    Ast.name;
+                    attrs = [ (k, [ Ast.Attr_expr av ]) ];
+                    content = [ Ast.Fixed_text "t"; Ast.Embedded body ];
+                  }));
+          ])
+    6
+
+let prop_parser_roundtrip =
+  QCheck2.Test.make ~name:"print |> parse = id (path-free ASTs)" ~count:300 gen_ast (fun e ->
+      let source = to_source e in
+      match Xq_parser.parse source with
+      | parsed -> parsed = e
+      | exception exn ->
+        QCheck2.Test.fail_reportf "failed to reparse %s: %s" source (Printexc.to_string exn))
+
+let suite =
+  [
+    ( "xquery.parser",
+      [
+        Alcotest.test_case "shapes" `Quick test_parse_shapes;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+        Alcotest.test_case "free variables" `Quick test_free_variables;
+        QCheck_alcotest.to_alcotest prop_parser_roundtrip;
+      ] );
+    ( "xquery.eval",
+      [
+        Alcotest.test_case "paths and atoms" `Quick test_eval_paths_and_atoms;
+        Alcotest.test_case "flwor basics" `Quick test_eval_flwor_basic;
+        Alcotest.test_case "order by" `Quick test_eval_order_by;
+        Alcotest.test_case "constructors" `Quick test_eval_constructors;
+        Alcotest.test_case "fig1 query" `Quick test_eval_fig1_query;
+        Alcotest.test_case "nested flwor" `Quick test_eval_nested_flwor;
+        Alcotest.test_case "functions" `Quick test_eval_functions;
+        Alcotest.test_case "if and logic" `Quick test_eval_if_and_logic;
+        Alcotest.test_case "quantifiers" `Quick test_eval_quantifiers;
+        Alcotest.test_case "string functions" `Quick test_eval_string_functions;
+        Alcotest.test_case "union operator" `Quick test_eval_union;
+        Alcotest.test_case "positional for" `Quick test_eval_positional_for;
+        Alcotest.test_case "dynamic errors" `Quick test_eval_errors;
+      ] );
+    ( "xquery.translate",
+      [
+        Alcotest.test_case "fig1 schema tree" `Quick test_translate_fig1_schema;
+        Alcotest.test_case "translation = direct eval" `Quick test_translate_matches_eval;
+        Alcotest.test_case "gtp translation" `Quick test_translate_gtp;
+        Alcotest.test_case "gtp direct api" `Quick test_gtp_direct_api;
+        Alcotest.test_case "rejects non-constructor heads" `Quick test_translate_rejects;
+      ] );
+  ]
