@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-full examples clean
+.PHONY: all build test bench bench-full bench-smoke check examples clean smoke
 
 all: build
 
@@ -13,6 +13,13 @@ bench:
 
 bench-full:
 	dune exec bench/main.exe -- --full
+
+# Quick perf gate: navigation primitives + storage size sweep at the
+# smallest scale; writes BENCH_prim_nav.json for machine consumption.
+bench-smoke:
+	dune exec bench/main.exe -- --only=PRIM,E1 --json=BENCH_prim_nav.json
+
+check: build test bench-smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -989,6 +989,268 @@ let () =
     }
 
 (* ------------------------------------------------------------------ *)
+(* PRIM: prim_nav — navigation-primitive microbenchmarks               *)
+(* ------------------------------------------------------------------ *)
+
+module Sbv = Xqp_storage.Bitvector
+module Sbp = Xqp_storage.Balanced_parens
+
+(* Faithful reimplementation of the seed (pre-broadword) primitives, kept
+   here as the comparison baseline: bit-by-bit block scans for find_close,
+   a linear backward scan for enclose, byte-scan rank within 512-bit
+   superblocks, and byte-then-bit select. *)
+module Seed_prim = struct
+  let block_bits = 256
+
+  let byte_pop =
+    Array.init 256 (fun b ->
+        let rec count b acc = if b = 0 then acc else count (b lsr 1) (acc + (b land 1)) in
+        count b 0)
+
+  type t = { bv : Sbv.t; delta : int array; min_prefix : int array; super : int array }
+
+  let of_bitvector bv =
+    let len = Sbv.length bv in
+    let nblocks = max 1 ((len + block_bits - 1) / block_bits) in
+    let delta = Array.make nblocks 0 in
+    let min_prefix = Array.make nblocks 0 in
+    for b = 0 to ((len + block_bits - 1) / block_bits) - 1 do
+      let start = b * block_bits in
+      let stop = min len (start + block_bits) in
+      let excess = ref 0 in
+      let minimum = ref max_int in
+      for i = start to stop - 1 do
+        excess := !excess + (if Sbv.get bv i then 1 else -1);
+        if !excess < !minimum then minimum := !excess
+      done;
+      delta.(b) <- !excess;
+      min_prefix.(b) <- (if !minimum = max_int then 0 else !minimum)
+    done;
+    let nbytes = (len + 7) / 8 in
+    let nsuper = ((nbytes + 63) / 64) + 1 in
+    let super = Array.make nsuper 0 in
+    let running = ref 0 in
+    for byte = 0 to nbytes - 1 do
+      if byte mod 64 = 0 then super.(byte / 64) <- !running;
+      running := !running + byte_pop.(Sbv.byte bv byte)
+    done;
+    super.(nsuper - 1) <- !running;
+    { bv; delta; min_prefix; super }
+
+  let rank1 t i =
+    if i = 0 then 0
+    else begin
+      let byte = i lsr 3 in
+      let sb = byte / 64 in
+      let acc = ref t.super.(sb) in
+      for b = sb * 64 to byte - 1 do
+        acc := !acc + byte_pop.(Sbv.byte t.bv b)
+      done;
+      let rem = i land 7 in
+      if rem > 0 && byte < (Sbv.length t.bv + 7) / 8 then
+        acc := !acc + byte_pop.(Sbv.byte t.bv byte land ((1 lsl rem) - 1));
+      !acc
+    end
+
+  let select1 t k =
+    let target = k + 1 in
+    let lo = ref 0 and hi = ref (Array.length t.super - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.super.(mid) < target then lo := mid else hi := mid
+    done;
+    let nbytes = (Sbv.length t.bv + 7) / 8 in
+    let acc = ref t.super.(!lo) in
+    let byte = ref (!lo * 64) in
+    while !byte < nbytes && !acc + byte_pop.(Sbv.byte t.bv !byte) < target do
+      acc := !acc + byte_pop.(Sbv.byte t.bv !byte);
+      incr byte
+    done;
+    let i = ref (!byte * 8) in
+    let result = ref (-1) in
+    while !result < 0 do
+      if Sbv.get t.bv !i then begin
+        incr acc;
+        if !acc = target then result := !i
+      end;
+      incr i
+    done;
+    !result
+
+  let find_close t pos =
+    let len = Sbv.length t.bv in
+    let target_block = ref ((pos / block_bits) + 1) in
+    let depth = ref 1 in
+    let result = ref (-1) in
+    let i = ref (pos + 1) in
+    let block_end = min len (!target_block * block_bits) in
+    while !result < 0 && !i < block_end do
+      depth := !depth + (if Sbv.get t.bv !i then 1 else -1);
+      if !depth = 0 then result := !i else incr i
+    done;
+    if !result >= 0 then !result
+    else begin
+      let nblocks = Array.length t.delta in
+      let b = ref !target_block in
+      while !result < 0 && !b < nblocks do
+        if !depth + t.min_prefix.(!b) <= 0 then begin
+          let start = !b * block_bits in
+          let stop = min len (start + block_bits) in
+          let j = ref start in
+          while !result < 0 && !j < stop do
+            depth := !depth + (if Sbv.get t.bv !j then 1 else -1);
+            if !depth = 0 then result := !j else incr j
+          done
+        end
+        else begin
+          depth := !depth + t.delta.(!b);
+          incr b
+        end
+      done;
+      if !result < 0 then invalid_arg "Seed_prim.find_close: unbalanced";
+      !result
+    end
+
+  let enclose t pos =
+    if pos = 0 then None
+    else begin
+      let rec scan i depth =
+        if i < 0 then None
+        else if Sbv.get t.bv i then
+          if depth = 0 then Some i else scan (i - 1) (depth - 1)
+        else scan (i - 1) (depth + 1)
+      in
+      scan (pos - 1) 0
+    end
+
+  let next_sibling t pos =
+    let after = find_close t pos + 1 in
+    if after < Sbv.length t.bv && Sbv.get t.bv after then Some after else None
+end
+
+let prim_json_path () =
+  Array.fold_left
+    (fun acc a ->
+      if String.length a > 7 && String.equal (String.sub a 0 7) "--json=" then
+        String.sub a 7 (String.length a - 7)
+      else acc)
+    "BENCH_prim_nav.json" Sys.argv
+
+(* ns per call over a fixed sample set, with an accumulator so the calls
+   are not dead code. *)
+let ns_per_op samples f =
+  let ops = Array.length samples in
+  let sink = ref 0 in
+  let run () =
+    for i = 0 to ops - 1 do
+      sink := !sink + f (Array.unsafe_get samples i)
+    done;
+    !sink
+  in
+  measure run *. 1e9 /. float_of_int ops
+
+let prim_doc_scales scale =
+  match scale with `Small -> [ 10_000; 100_000 ] | `Full -> [ 10_000; 100_000; 500_000 ]
+
+let prim_run ~scale =
+  let json = Buffer.create 1024 in
+  Buffer.add_string json "{\n  \"bench\": \"prim_nav\",\n  \"unit\": \"ns/op\",\n  \"documents\": [";
+  let first_doc = ref true in
+  List.iter
+    (fun nodes ->
+      let tree = Workload.Gen_auction.document ~scale:nodes () in
+      let bp = Sbp.of_tree tree in
+      let bits = Sbp.bits bp in
+      let seed = Seed_prim.of_bitvector bits in
+      let n = Sbp.node_count bp in
+      let len = Sbp.length bp in
+      (* sample sets: pre-order-even node positions / bit positions / ranks *)
+      let sample_opens count =
+        let count = min count n in
+        Array.init count (fun i -> Sbp.node_of_rank bp (i * n / count))
+      in
+      let opens_nav = sample_opens 500 in
+      let opens_parent = sample_opens 200 in
+      let rank_positions = Array.init 1000 (fun i -> i * len / 1000) in
+      let select_ranks = Array.init 1000 (fun i -> i * n / 1000) in
+      let opt_pos = function Some p -> p | None -> 0 in
+      let rows =
+        [
+          ( "find_close",
+            ns_per_op opens_nav (Seed_prim.find_close seed),
+            ns_per_op opens_nav (Sbp.find_close bp) );
+          ( "parent",
+            ns_per_op opens_parent (fun p -> opt_pos (Seed_prim.enclose seed p)),
+            ns_per_op opens_parent (fun p -> opt_pos (Sbp.enclose bp p)) );
+          ( "next_sibling",
+            ns_per_op opens_nav (fun p -> opt_pos (Seed_prim.next_sibling seed p)),
+            ns_per_op opens_nav (fun p -> opt_pos (Sbp.next_sibling bp p)) );
+          ( "rank", ns_per_op rank_positions (Seed_prim.rank1 seed),
+            ns_per_op rank_positions (Sbv.rank1 bits) );
+          ( "select", ns_per_op select_ranks (Seed_prim.select1 seed),
+            ns_per_op select_ranks (Sbv.select1 bits) );
+        ]
+      in
+      (* position sweep: enclose near the start vs near the end of the
+         document — the seed baseline degrades linearly, the RMM
+         directory must not *)
+      let early = sample_opens 1000 in
+      let early = Array.sub early 1 (min 100 (Array.length early - 1)) in
+      let late =
+        Array.init 100 (fun i -> Sbp.node_of_rank bp (n - 1 - (i * min 1000 (n / 2) / 100)))
+      in
+      let seed_early = ns_per_op early (fun p -> opt_pos (Seed_prim.enclose seed p)) in
+      let seed_late = ns_per_op late (fun p -> opt_pos (Seed_prim.enclose seed p)) in
+      let new_early = ns_per_op early (fun p -> opt_pos (Sbp.enclose bp p)) in
+      let new_late = ns_per_op late (fun p -> opt_pos (Sbp.enclose bp p)) in
+      Printf.printf "  document: %d nodes (%d parens)\n" n len;
+      Printf.printf "  %-14s %14s %14s %10s\n" "primitive" "seed(ns/op)" "new(ns/op)" "speedup";
+      List.iter
+        (fun (name, s, w) -> Printf.printf "  %-14s %14.1f %14.1f %9.1fx\n" name s w (s /. w))
+        rows;
+      Printf.printf "  %-14s %14.1f %14.1f   (seed: early vs late nodes)\n" "enclose-sweep"
+        seed_early seed_late;
+      Printf.printf "  %-14s %14.1f %14.1f   (new: early vs late nodes)\n" "" new_early
+        new_late;
+      if not !first_doc then Buffer.add_string json ",";
+      first_doc := false;
+      Buffer.add_string json
+        (Printf.sprintf "\n    {\n      \"nodes\": %d,\n      \"parens_bits\": %d,\n      \"primitives\": [" n len);
+      List.iteri
+        (fun i (name, s, w) ->
+          Buffer.add_string json
+            (Printf.sprintf
+               "%s\n        {\"name\": %S, \"seed_ns\": %.1f, \"new_ns\": %.1f, \"speedup\": %.2f}"
+               (if i = 0 then "" else ",")
+               name s w (s /. w)))
+        rows;
+      Buffer.add_string json
+        (Printf.sprintf
+           "\n      ],\n      \"enclose_position_sweep\": {\"seed_early_ns\": %.1f, \"seed_late_ns\": %.1f, \"new_early_ns\": %.1f, \"new_late_ns\": %.1f}\n    }"
+           seed_early seed_late new_early new_late))
+    (prim_doc_scales scale);
+  Buffer.add_string json "\n  ]\n}\n";
+  let path = prim_json_path () in
+  let oc = open_out path in
+  Buffer.output_buffer oc json;
+  close_out oc;
+  Printf.printf "  wrote %s\n" path
+
+let () =
+  register
+    {
+      id = "PRIM";
+      title = "PRIM: prim_nav — broadword navigation primitives vs seed kernels (ns/op)";
+      run = prim_run;
+      bechamel =
+        (fun () ->
+          let bp = Sbp.of_tree (Workload.Gen_auction.document ~scale:10_000 ()) in
+          let mid = Sbp.node_of_rank bp (Sbp.node_count bp / 2) in
+          Bechamel.Test.make ~name:"PRIM-enclose"
+            (Bechamel.Staged.stage (fun () -> ignore (Sbp.enclose bp mid))));
+    }
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel runner                                                     *)
 (* ------------------------------------------------------------------ *)
 

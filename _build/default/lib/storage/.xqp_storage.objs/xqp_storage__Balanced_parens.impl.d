@@ -1,1 +1,1 @@
-lib/storage/balanced_parens.ml: Array Bitvector List Xqp_xml
+lib/storage/balanced_parens.ml: Array Bitvector Bytes Char Excess_dir List Xqp_xml

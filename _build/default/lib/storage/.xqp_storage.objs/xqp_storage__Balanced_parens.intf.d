@@ -1,1 +1,1 @@
-lib/storage/balanced_parens.mli: Bitvector Xqp_xml
+lib/storage/balanced_parens.mli: Bitvector Excess_dir Xqp_xml

@@ -1,0 +1,1 @@
+lib/storage/excess_dir.ml: Array

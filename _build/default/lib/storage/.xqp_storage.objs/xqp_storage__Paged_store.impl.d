@@ -1,1 +1,1 @@
-lib/storage/paged_store.ml: Array Buffer Buffer_pool Hashtbl List Store_io String Xqp_xml
+lib/storage/paged_store.ml: Array Buffer Buffer_pool Excess_dir Hashtbl List Store_io String Xqp_xml

@@ -1,1 +1,1 @@
-lib/storage/store_io.ml: Array Bitvector Buffer Buffer_pool Bytes Char Fun Printf String Succinct_store
+lib/storage/store_io.ml: Array Bitvector Buffer Buffer_pool Bytes Char Excess_dir Fun Printf String Succinct_store

@@ -1,1 +1,1 @@
-lib/storage/store_io.mli: Buffer_pool Pager Succinct_store
+lib/storage/store_io.mli: Buffer_pool Excess_dir Pager Succinct_store

@@ -6,10 +6,10 @@
     that position, which aligns the structure with the external tag and
     content sequences.
 
-    [find_close] / navigation use a block directory (per 256-bit block:
-    excess delta and minimum prefix excess), giving block-skipping forward
-    search — the "single scan of the input data" navigation primitive that
-    NoK pattern matching is built on. *)
+    Navigation runs on an {!Excess_dir} range-min-max directory (per-byte
+    excess tables, exact per-256-bit-block bounds, segment tree over
+    blocks), so [find_close], [find_open], and [enclose] are all O(log n)
+    with byte-stepped scans, and [excess]/[depth] ride the O(1) rank. *)
 
 type t
 
@@ -27,6 +27,9 @@ val of_tree : Xqp_xml.Tree.t -> t
 val bits : t -> Bitvector.t
 (** The underlying bit string. *)
 
+val directory : t -> Excess_dir.t
+(** The RMM excess directory (serialized by {!Store_io}). *)
+
 val length : t -> int
 (** Length of the bit string (2 × node count). *)
 
@@ -42,7 +45,7 @@ val find_open : t -> int -> node
 (** Position of the open parenthesis matching the close at a position. *)
 
 val enclose : t -> node -> node option
-(** Parent node; [None] for the root. *)
+(** Parent node; [None] for the root. O(log n) via the excess directory. *)
 
 val first_child : t -> node -> node option
 val next_sibling : t -> node -> node option
@@ -61,6 +64,12 @@ val excess : t -> int -> int
 
 val depth : t -> node -> int
 (** Depth of a node; root has depth 0. *)
+
+val splice : t -> off:int -> removed:int -> insert:Bitvector.t -> t
+(** [splice bp ~off ~removed ~insert] replaces bits [[off, off+removed)]
+    with [insert]. Directory blocks before [off] are reused; only the
+    tail is rescanned (the cheap-update path behind
+    {!Succinct_store.replace_subtree}). *)
 
 val size_in_bytes : t -> int
 (** Bits plus rank and excess directories. *)

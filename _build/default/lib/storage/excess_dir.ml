@@ -1,0 +1,460 @@
+(* Range-min-max (RMM) excess directory over a balanced-parentheses bit
+   string, the broadword navigation kernel shared by [Balanced_parens]
+   (bytes in memory) and [Paged_store] (bytes faulted from a buffer pool).
+
+   The bit string is read through a byte closure (LSB-first within bytes,
+   1 = open paren = +1 excess, 0 = close = -1). Three layers:
+
+   - per-byte tables: total excess, min/max prefix excess over the 8
+     one-bit steps of every byte value, so in-block scans move 8 bits at
+     a time;
+   - a per-256-bit-block directory: excess delta plus min/max prefix
+     excess in both scan directions (forward prefixes 1..B for
+     [find_close], backward boundaries 0..B-1 for [find_open]/[enclose]
+     — the two ranges differ by one position, and storing both makes the
+     block-skip tests exact rather than conservative);
+   - a segment tree over blocks holding *absolute* excess minima/maxima,
+     so [fwd_search]/[bwd_search] locate the target block in O(log n).
+
+   All searches are phrased over excess at prefix *boundaries*:
+   excess(j) = (open - close) parens in positions [0, j). Because excess
+   is a +-1 walk, a range contains a boundary with excess = t iff t lies
+   between the range's min and max — the interval tests below are exact. *)
+
+let block_bits = 256
+let block_bytes = block_bits / 8
+
+(* --- per-byte excess tables -------------------------------------------- *)
+
+let byte_excess = Array.make 256 0
+let byte_fmin = Array.make 256 0 (* min prefix excess, prefixes 1..8 *)
+let byte_fmax = Array.make 256 0
+let byte_bmin = Array.make 256 0 (* min boundary excess, boundaries 0..7 *)
+let byte_bmax = Array.make 256 0
+
+let () =
+  for v = 0 to 255 do
+    let e = ref 0 in
+    let fmin = ref max_int and fmax = ref min_int in
+    let bmin = ref 0 and bmax = ref 0 in
+    for j = 0 to 7 do
+      if !e < !bmin then bmin := !e;
+      if !e > !bmax then bmax := !e;
+      e := !e + (if v land (1 lsl j) <> 0 then 1 else -1);
+      if !e < !fmin then fmin := !e;
+      if !e > !fmax then fmax := !e
+    done;
+    byte_excess.(v) <- !e;
+    byte_fmin.(v) <- !fmin;
+    byte_fmax.(v) <- !fmax;
+    byte_bmin.(v) <- !bmin;
+    byte_bmax.(v) <- !bmax
+  done
+
+(* --- structure ---------------------------------------------------------- *)
+
+type blocks = {
+  delta : int array; (* excess over the block *)
+  fmin : int array; (* min prefix excess, prefixes 1..B (relative) *)
+  fmax : int array;
+  bmin : int array; (* min boundary excess, boundaries 0..B-1 (relative) *)
+  bmax : int array;
+}
+
+type t = {
+  len : int; (* bits *)
+  byte : int -> int; (* payload byte i; reads stay below ceil(len/8) *)
+  blk : blocks;
+  cum : int array; (* absolute excess at block starts; length nblocks+1 *)
+  nblocks : int;
+  (* segment tree over blocks (1-based heap in arrays of size 4*nblocks),
+     absolute values *)
+  tfmin : int array;
+  tbmin : int array;
+  tbmax : int array;
+}
+
+let nblocks t = t.nblocks
+let blocks t = t.blk
+let length t = t.len
+let total_excess t = t.cum.(t.nblocks)
+
+let size_in_bytes t =
+  (Array.length t.blk.delta * 5 * 8)
+  + (Array.length t.cum * 8)
+  + ((Array.length t.tfmin + Array.length t.tbmin + Array.length t.tbmax) * 8)
+  + 48
+
+let bit t i = (t.byte (i lsr 3) lsr (i land 7)) land 1
+
+(* --- construction ------------------------------------------------------- *)
+
+let compute_block ~len ~byte blk b =
+  let s = b * block_bits in
+  let stop = min len (s + block_bits) in
+  let e = ref 0 in
+  let fmin = ref max_int and fmax = ref min_int in
+  let bmin = ref 0 and bmax = ref 0 in
+  let j = ref s in
+  while stop - !j >= 8 do
+    let v = byte (!j lsr 3) in
+    if !e + byte_bmin.(v) < !bmin then bmin := !e + byte_bmin.(v);
+    if !e + byte_bmax.(v) > !bmax then bmax := !e + byte_bmax.(v);
+    if !e + byte_fmin.(v) < !fmin then fmin := !e + byte_fmin.(v);
+    if !e + byte_fmax.(v) > !fmax then fmax := !e + byte_fmax.(v);
+    e := !e + byte_excess.(v);
+    j := !j + 8
+  done;
+  while !j < stop do
+    if !e < !bmin then bmin := !e;
+    if !e > !bmax then bmax := !e;
+    e := !e + (if (byte (!j lsr 3) lsr (!j land 7)) land 1 = 1 then 1 else -1);
+    if !e < !fmin then fmin := !e;
+    if !e > !fmax then fmax := !e;
+    incr j
+  done;
+  blk.delta.(b) <- !e;
+  blk.fmin.(b) <- (if !fmin = max_int then 0 else !fmin);
+  blk.fmax.(b) <- (if !fmax = min_int then 0 else !fmax);
+  blk.bmin.(b) <- !bmin;
+  blk.bmax.(b) <- !bmax
+
+let rec build_tree t node lo hi =
+  if hi - lo = 1 then begin
+    t.tfmin.(node) <- t.cum.(lo) + t.blk.fmin.(lo);
+    t.tbmin.(node) <- t.cum.(lo) + t.blk.bmin.(lo);
+    t.tbmax.(node) <- t.cum.(lo) + t.blk.bmax.(lo)
+  end
+  else begin
+    let mid = (lo + hi) / 2 in
+    build_tree t (2 * node) lo mid;
+    build_tree t ((2 * node) + 1) mid hi;
+    t.tfmin.(node) <- min t.tfmin.(2 * node) t.tfmin.((2 * node) + 1);
+    t.tbmin.(node) <- min t.tbmin.(2 * node) t.tbmin.((2 * node) + 1);
+    t.tbmax.(node) <- max t.tbmax.(2 * node) t.tbmax.((2 * node) + 1)
+  end
+
+let finish ~len ~byte blk nblocks =
+  let cum = Array.make (nblocks + 1) 0 in
+  for b = 0 to nblocks - 1 do
+    cum.(b + 1) <- cum.(b) + blk.delta.(b)
+  done;
+  let tree_len = 4 * max 1 nblocks in
+  let t =
+    {
+      len;
+      byte;
+      blk;
+      cum;
+      nblocks;
+      tfmin = Array.make tree_len max_int;
+      tbmin = Array.make tree_len max_int;
+      tbmax = Array.make tree_len min_int;
+    }
+  in
+  if nblocks > 0 then build_tree t 1 0 nblocks;
+  t
+
+let create ~len ~byte =
+  let nblocks = (len + block_bits - 1) / block_bits in
+  let blk =
+    {
+      delta = Array.make (max 1 nblocks) 0;
+      fmin = Array.make (max 1 nblocks) 0;
+      fmax = Array.make (max 1 nblocks) 0;
+      bmin = Array.make (max 1 nblocks) 0;
+      bmax = Array.make (max 1 nblocks) 0;
+    }
+  in
+  for b = 0 to nblocks - 1 do
+    compute_block ~len ~byte blk b
+  done;
+  finish ~len ~byte blk nblocks
+
+(* Rebuild after a splice: blocks [0, prefix_blocks) are bit-identical to
+   [prefix]'s, so their directory entries are copied instead of rescanned;
+   only the tail blocks and the (cheap, O(n/256)) cumulative sums and tree
+   are recomputed. *)
+let create_reusing ~prefix ~prefix_blocks ~len ~byte =
+  let nblocks = (len + block_bits - 1) / block_bits in
+  let keep = min prefix_blocks (min nblocks prefix.nblocks) in
+  let copy src = Array.init (max 1 nblocks) (fun b -> if b < keep then src.(b) else 0) in
+  let blk =
+    {
+      delta = copy prefix.blk.delta;
+      fmin = copy prefix.blk.fmin;
+      fmax = copy prefix.blk.fmax;
+      bmin = copy prefix.blk.bmin;
+      bmax = copy prefix.blk.bmax;
+    }
+  in
+  for b = keep to nblocks - 1 do
+    compute_block ~len ~byte blk b
+  done;
+  finish ~len ~byte blk nblocks
+
+(* Wrap an already-computed directory (deserialized from a store file): no
+   scan of the bit string at all. *)
+let of_blocks ~len ~byte blk =
+  let nblocks = (len + block_bits - 1) / block_bits in
+  if Array.length blk.delta < max 1 nblocks then invalid_arg "Excess_dir.of_blocks: short directory";
+  finish ~len ~byte blk nblocks
+
+(* --- excess at a boundary ---------------------------------------------- *)
+
+let excess t pos =
+  if pos < 0 || pos > t.len then invalid_arg "Excess_dir.excess";
+  let b = pos / block_bits in
+  if b >= t.nblocks then t.cum.(t.nblocks)
+  else begin
+    let s = b * block_bits in
+    let e = ref t.cum.(b) in
+    let full = (pos - s) lsr 3 in
+    for k = 0 to full - 1 do
+      e := !e + byte_excess.(t.byte ((s lsr 3) + k))
+    done;
+    let rem = pos land 7 in
+    if rem > 0 then begin
+      let v = t.byte (pos lsr 3) in
+      for j = 0 to rem - 1 do
+        e := !e + (if (v lsr j) land 1 = 1 then 1 else -1)
+      done
+    end;
+    !e
+  end
+
+(* --- in-block scans ----------------------------------------------------- *)
+
+type scan = Found of int | Ran_out of int (* excess at the far end *)
+
+(* Leftmost boundary j in (start, stop] with excess(j) = target, entering
+   with e = excess(start). Byte-stepped (one byte fetch per 8 bits); the
+   per-byte min-prefix test is exact because the walk enters every byte
+   above [target] (callers start above it and skipped bytes keep the
+   invariant), so a byte that passes the test always contains the hit. *)
+let scan_fwd t start stop e target =
+  let j = ref start and e = ref e in
+  let found = ref min_int in
+  (* walk up to [n] bit boundaries of cached byte [v] starting at bit !j *)
+  let walk_bits v n =
+    let k = ref 0 in
+    while !found = min_int && !k < n do
+      e := !e + (if (v lsr (!j land 7)) land 1 = 1 then 1 else -1);
+      incr j;
+      incr k;
+      if !e = target then found := !j
+    done
+  in
+  if !j land 7 <> 0 && !j < stop then
+    walk_bits (t.byte (!j lsr 3)) (min (stop - !j) (8 - (!j land 7)));
+  while !found = min_int && stop - !j >= 8 do
+    let v = t.byte (!j lsr 3) in
+    if !e + byte_fmin.(v) <= target then walk_bits v 8
+    else begin
+      e := !e + byte_excess.(v);
+      j := !j + 8
+    end
+  done;
+  if !found = min_int && !j < stop then walk_bits (t.byte (!j lsr 3)) (stop - !j);
+  if !found <> min_int then Found !found else Ran_out !e
+
+(* Rightmost boundary j in [start, stop) with excess(j) = target, entering
+   from the right with e = excess(stop). [start] is byte-aligned (block
+   starts only). *)
+let scan_bwd t start stop e target =
+  let j = ref stop and e = ref e in
+  let found = ref min_int in
+  (* walk [n] boundaries of cached byte [v] leftwards from bit !j *)
+  let walk_bits v n =
+    let k = ref 0 in
+    while !found = min_int && !k < n do
+      decr j;
+      incr k;
+      e := !e - (if (v lsr (!j land 7)) land 1 = 1 then 1 else -1);
+      if !e = target then found := !j
+    done
+  in
+  if !j land 7 <> 0 && !j > start then
+    walk_bits (t.byte ((!j - 1) lsr 3)) (min (!j - start) (!j land 7));
+  while !found = min_int && !j - start >= 8 do
+    let v = t.byte ((!j - 8) lsr 3) in
+    let e_lo = !e - byte_excess.(v) in
+    if e_lo + byte_bmin.(v) <= target && target <= e_lo + byte_bmax.(v) then begin
+      (* rightmost match inside the byte: walk its 8 boundaries forward *)
+      let best = ref min_int in
+      let er = ref e_lo in
+      for jj = 0 to 7 do
+        if !er = target then best := !j - 8 + jj;
+        er := !er + (if (v lsr jj) land 1 = 1 then 1 else -1)
+      done;
+      found := !best;
+      j := !j - 8;
+      e := e_lo
+    end
+    else begin
+      e := e_lo;
+      j := !j - 8
+    end
+  done;
+  if !found = min_int && !j > start then walk_bits (t.byte (start lsr 3)) (!j - start);
+  if !found <> min_int then Found !found else Ran_out !e
+
+(* --- tree searches ------------------------------------------------------ *)
+
+(* Leftmost boundary j in [j0, len] with excess(j) = target.
+   Precondition (maintained by the callers): excess(j0 - 1) > target, so
+   the walk is above [target] when the search starts. [?entry] is
+   excess(j0 - 1) if the caller already knows it (navigation does, via the
+   O(1) rank directory); otherwise it is recomputed with a block walk.
+   @raise Not_found if no such boundary exists. *)
+let fwd_search ?entry t j0 target =
+  if j0 < 1 || j0 > t.len then raise Not_found
+  else begin
+    let e0 = match entry with Some e -> e | None -> excess t (j0 - 1) in
+    let b1 = (j0 - 1) / block_bits in
+    let stop1 = min t.len ((b1 + 1) * block_bits) in
+    match scan_fwd t (j0 - 1) stop1 e0 target with
+    | Found j -> j
+    | Ran_out _ ->
+      let qlo = b1 + 1 in
+      let rec down node lo hi =
+        if hi <= qlo || t.tfmin.(node) > target then None
+        else if hi - lo = 1 then Some lo
+        else begin
+          let mid = (lo + hi) / 2 in
+          match down (2 * node) lo mid with
+          | Some b -> Some b
+          | None -> down ((2 * node) + 1) mid hi
+        end
+      in
+      let found = if t.nblocks = 0 then None else down 1 0 t.nblocks in
+      (match found with
+      | None -> raise Not_found
+      | Some b -> (
+        let s = b * block_bits in
+        let stop = min t.len (s + block_bits) in
+        match scan_fwd t s stop t.cum.(b) target with
+        | Found j -> j
+        | Ran_out _ -> raise Not_found (* unreachable: leaf minima are exact *)))
+  end
+
+(* Rightmost boundary j in [0, j0) with excess(j) = target. [?entry] is
+   excess(j0) if the caller already knows it.
+   @raise Not_found if no such boundary exists. *)
+let bwd_search ?entry t j0 target =
+  if j0 <= 0 || j0 > t.len then raise Not_found
+  else begin
+    let e0 = match entry with Some e -> e | None -> excess t j0 in
+    let b0 = j0 / block_bits in
+    let s0 = b0 * block_bits in
+    let in_block =
+      if b0 >= t.nblocks then Ran_out e0 (* j0 on a block boundary at the end *)
+      else scan_bwd t s0 j0 e0 target
+    in
+    match in_block with
+    | Found j -> j
+    | Ran_out _ ->
+      let qhi = b0 in
+      let rec down node lo hi =
+        if lo >= qhi || target < t.tbmin.(node) || target > t.tbmax.(node) then None
+        else if hi - lo = 1 then Some lo
+        else begin
+          let mid = (lo + hi) / 2 in
+          match down ((2 * node) + 1) mid hi with
+          | Some b -> Some b
+          | None -> down (2 * node) lo mid
+        end
+      in
+      let found = if t.nblocks = 0 then None else down 1 0 t.nblocks in
+      (match found with
+      | None -> raise Not_found
+      | Some b -> (
+        let s = b * block_bits in
+        let stop = min t.len (s + block_bits) in
+        match scan_bwd t s stop t.cum.(b + 1) target with
+        | Found j -> j
+        | Ran_out _ -> raise Not_found (* unreachable: leaf bounds are exact *)))
+  end
+
+(* --- navigation primitives --------------------------------------------- *)
+
+(* The callers may know excess(pos) in O(1) (via Bitvector.rank1); passing
+   it as [?excess_at] skips the in-block excess walk. *)
+
+let find_close ?excess_at t pos =
+  let ep = match excess_at with Some e -> e | None -> excess t pos in
+  (* [pos] is an open, so excess(pos + 1) = excess(pos) + 1 — the entry
+     excess of the forward search is known without touching the bits. *)
+  match fwd_search ~entry:(ep + 1) t (pos + 2) ep with
+  | j -> j - 1
+  | exception Not_found -> invalid_arg "Excess_dir.find_close: unbalanced"
+
+let find_open ?excess_at t pos =
+  (* [pos] is a close, so excess(pos+1) = excess(pos) - 1. *)
+  let ep = match excess_at with Some e -> e | None -> excess t pos in
+  match bwd_search ~entry:ep t pos (ep - 1) with
+  | j -> j
+  | exception Not_found -> invalid_arg "Excess_dir.find_open: unbalanced"
+
+let enclose ?excess_at t pos =
+  let ep = match excess_at with Some e -> e | None -> excess t pos in
+  if ep <= 0 then None
+  else
+    match bwd_search ~entry:ep t pos (ep - 1) with
+    | j -> Some j
+    | exception Not_found -> None
+
+(* Position of the k-th (0-based) open paren: binary-search the cumulative
+   directory (opens before block b = (bits + excess) / 2), then byte-step. *)
+let select_open t k =
+  if k < 0 then invalid_arg "Excess_dir.select_open";
+  let opens_before b = ((b * block_bits) + t.cum.(b)) / 2 in
+  if t.nblocks = 0 || opens_before t.nblocks <= k then raise Not_found;
+  let lo = ref 0 and hi = ref t.nblocks in
+  (* invariant: opens_before lo <= k < opens_before hi *)
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if opens_before mid <= k then lo := mid else hi := mid
+  done;
+  let b = !lo in
+  let s = b * block_bits in
+  let stop = min t.len (s + block_bits) in
+  let remaining = ref (k - opens_before b) in
+  let j = ref s in
+  let result = ref (-1) in
+  while !result < 0 && !j < stop do
+    if stop - !j >= 8 && !j land 7 = 0 then begin
+      let v = t.byte (!j lsr 3) in
+      let pop = (byte_excess.(v) + 8) / 2 in
+      if pop <= !remaining then begin
+        remaining := !remaining - pop;
+        j := !j + 8
+      end
+      else begin
+        let jj = ref !j in
+        while !result < 0 do
+          if (v lsr (!jj land 7)) land 1 = 1 then
+            if !remaining = 0 then result := !jj else decr remaining;
+          incr jj
+        done
+      end
+    end
+    else begin
+      if bit t !j = 1 then if !remaining = 0 then result := !j else decr remaining;
+      incr j
+    end
+  done;
+  if !result < 0 then raise Not_found else !result
+
+(* Balanced iff the excess walk never dips below zero and ends at zero —
+   O(n / block_bits) straight off the directory. *)
+let check_balanced t =
+  if t.len = 0 then true
+  else if total_excess t <> 0 then false
+  else begin
+    let ok = ref true in
+    for b = 0 to t.nblocks - 1 do
+      if t.cum.(b) + t.blk.fmin.(b) < 0 then ok := false
+    done;
+    !ok
+  end

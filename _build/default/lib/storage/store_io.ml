@@ -1,7 +1,7 @@
 let magic = "XQPSTORE"
-let version = 2
+let version = 3
 
-(* Format v2 — fixed-size header, then sections at computable offsets so a
+(* Format v3 — fixed-size header, then sections at computable offsets so a
    paged reader can address them without scanning:
 
      magic (8 bytes)          "XQPSTORE"
@@ -16,6 +16,8 @@ let version = 2
      symbol_blob_len          i64
      content_count            i64
      content_blob_len         i64
+     dir_block_count          i64 (= ceil(structure_bit_len / 256))
+     flag_sample_count        i64 (= ceil(flags_bit_len / 256) + 1)
    sections, in order:
      structure bytes          structure_byte_len
      tag bytes                n * w
@@ -24,11 +26,19 @@ let version = 2
      symbol blob              symbol_blob_len
      content offsets          (content_count + 1) × i64
      content blob             content_blob_len
+     structure excess dir     dir_block_count × 5 × i16 (delta, fmin,
+                              fmax, bmin, bmax per 256-bit block)
+     flag rank samples        flag_sample_count × i64 (rank1 of the flag
+                              bits at each 256-bit boundary, then total)
 
-   All integers little-endian. Rank/select/excess directories are derived
-   data and rebuilt by the reader. *)
+   All integers little-endian; the i16 directory entries are signed
+   (values lie in [-256, 256]). Serializing the navigation directories
+   (new in v3) lets {!Paged_store} open a file without streaming the
+   structure section; {!load} cross-checks them against recomputed ones,
+   so corruption is detected. Word-level rank directories remain derived
+   data and are rebuilt by the reader. *)
 
-let header_bytes = 8 + (8 * 11)
+let header_bytes = 8 + (8 * 13)
 
 type layout = {
   node_count : int;
@@ -46,10 +56,18 @@ type layout = {
   content_count : int;
   content_offsets_off : int;
   content_blob_off : int;
+  dir_block_count : int;
+  dir_off : int;
+  flag_sample_count : int;
+  flag_samples_off : int;
 }
 
+let dir_blocks_for bit_len = (bit_len + Excess_dir.block_bits - 1) / Excess_dir.block_bits
+let flag_samples_for bit_len = dir_blocks_for bit_len + 1
+
 let layout_of_fields ~node_count ~tag_width ~structure_bit_len ~structure_byte_len ~flags_bit_len
-    ~flags_byte_len ~symbol_count ~symbol_blob_len ~content_count ~content_blob_len =
+    ~flags_byte_len ~symbol_count ~symbol_blob_len ~content_count ~content_blob_len
+    ~dir_block_count ~flag_sample_count =
   let structure_off = header_bytes in
   let tags_off = structure_off + structure_byte_len in
   let flags_off = tags_off + (node_count * tag_width) in
@@ -57,7 +75,8 @@ let layout_of_fields ~node_count ~tag_width ~structure_bit_len ~structure_byte_l
   let symbol_blob_off = symbol_offsets_off + (8 * (symbol_count + 1)) in
   let content_offsets_off = symbol_blob_off + symbol_blob_len in
   let content_blob_off = content_offsets_off + (8 * (content_count + 1)) in
-  ignore content_blob_len;
+  let dir_off = content_blob_off + content_blob_len in
+  let flag_samples_off = dir_off + (dir_block_count * 10) in
   {
     node_count;
     tag_width;
@@ -74,6 +93,10 @@ let layout_of_fields ~node_count ~tag_width ~structure_bit_len ~structure_byte_l
     content_count;
     content_offsets_off;
     content_blob_off;
+    dir_block_count;
+    dir_off;
+    flag_sample_count;
+    flag_samples_off;
   }
 
 (* --- writing ----------------------------------------------------------- *)
@@ -82,6 +105,10 @@ let write_i64 oc v =
   for shift = 0 to 7 do
     output_char oc (Char.chr ((v lsr (8 * shift)) land 0xFF))
   done
+
+let write_i16 oc v =
+  output_char oc (Char.chr (v land 0xFF));
+  output_char oc (Char.chr ((v lsr 8) land 0xFF))
 
 let blob_of arr =
   let buffer = Buffer.create 256 in
@@ -105,6 +132,13 @@ let save store path =
   let flags_bytes, flags_bit_len = Bitvector.to_packed_bytes raw.Succinct_store.content_flags in
   let symbol_offsets, symbol_blob = blob_of raw.Succinct_store.symbols in
   let content_offsets, content_blob = blob_of raw.Succinct_store.contents in
+  let dir =
+    Excess_dir.create ~len:structure_bit_len ~byte:(fun i ->
+        Char.code (Bytes.get structure_bytes i))
+  in
+  let blk = Excess_dir.blocks dir in
+  let dir_block_count = dir_blocks_for structure_bit_len in
+  let flag_sample_count = flag_samples_for flags_bit_len in
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -121,6 +155,8 @@ let save store path =
       write_i64 oc (String.length symbol_blob);
       write_i64 oc (Array.length raw.Succinct_store.contents);
       write_i64 oc (String.length content_blob);
+      write_i64 oc dir_block_count;
+      write_i64 oc flag_sample_count;
       output_bytes oc structure_bytes;
       (* tag section *)
       Array.iter
@@ -132,7 +168,18 @@ let save store path =
       Array.iter (write_i64 oc) symbol_offsets;
       output_string oc symbol_blob;
       Array.iter (write_i64 oc) content_offsets;
-      output_string oc content_blob)
+      output_string oc content_blob;
+      for b = 0 to dir_block_count - 1 do
+        write_i16 oc blk.Excess_dir.delta.(b);
+        write_i16 oc blk.Excess_dir.fmin.(b);
+        write_i16 oc blk.Excess_dir.fmax.(b);
+        write_i16 oc blk.Excess_dir.bmin.(b);
+        write_i16 oc blk.Excess_dir.bmax.(b)
+      done;
+      for s = 0 to flag_sample_count - 1 do
+        let boundary = min flags_bit_len (s * Excess_dir.block_bits) in
+        write_i64 oc (Bitvector.rank1 raw.Succinct_store.content_flags boundary)
+      done)
 
 (* --- reading the header ------------------------------------------------ *)
 
@@ -149,17 +196,39 @@ let read_layout_from read_i64 ~path ~total_size =
   let symbol_blob_len = read_i64 64 in
   let content_count = read_i64 72 in
   let content_blob_len = read_i64 80 in
+  let dir_block_count = read_i64 88 in
+  let flag_sample_count = read_i64 96 in
   if node_count < 0 || symbol_count < 0 || content_count < 0 then corrupt path "negative count";
   if tag_width <> 1 && tag_width <> 2 then corrupt path "bad tag width";
   if structure_bit_len <> 2 * node_count then corrupt path "structure length";
   if flags_bit_len <> node_count then corrupt path "flag length";
+  if dir_block_count <> dir_blocks_for structure_bit_len then corrupt path "directory size";
+  if flag_sample_count <> flag_samples_for flags_bit_len then corrupt path "flag sample count";
   let layout =
     layout_of_fields ~node_count ~tag_width ~structure_bit_len ~structure_byte_len ~flags_bit_len
       ~flags_byte_len ~symbol_count ~symbol_blob_len ~content_count ~content_blob_len
+      ~dir_block_count ~flag_sample_count
   in
-  let expected = layout.content_blob_off + content_blob_len in
+  let expected = layout.flag_samples_off + (8 * flag_sample_count) in
   if expected <> total_size then corrupt path "size mismatch";
   layout
+
+let sign16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+
+(* Decode the serialized per-block excess directory through an arbitrary
+   byte reader (string for [load], buffer pool for [Paged_store]). *)
+let read_dir_blocks ~get_byte ~dir_off ~dir_block_count =
+  let u16 off = get_byte off lor (get_byte (off + 1) lsl 8) in
+  let field k = Array.init (max 1 dir_block_count) (fun b ->
+      if b < dir_block_count then sign16 (u16 (dir_off + (b * 10) + (2 * k))) else 0)
+  in
+  {
+    Excess_dir.delta = field 0;
+    fmin = field 1;
+    fmax = field 2;
+    bmin = field 3;
+    bmax = field 4;
+  }
 
 (* --- whole-file load (in-memory store) --------------------------------- *)
 
@@ -196,6 +265,26 @@ let load ?pager path =
           (Bytes.of_string (section layout.structure_off layout.structure_byte_len))
           layout.structure_bit_len
       in
+      (* Cross-check the serialized directories against freshly computed
+         ones: a corrupted directory must fail loudly here rather than
+         misnavigate later in a paged reader. *)
+      let stored =
+        read_dir_blocks
+          ~get_byte:(fun off -> Char.code contents_of_file.[off])
+          ~dir_off:layout.dir_off ~dir_block_count:layout.dir_block_count
+      in
+      let fresh =
+        Excess_dir.blocks
+          (Excess_dir.create ~len:layout.structure_bit_len ~byte:(Bitvector.byte structure))
+      in
+      if
+        not
+          (stored.Excess_dir.delta = fresh.Excess_dir.delta
+          && stored.Excess_dir.fmin = fresh.Excess_dir.fmin
+          && stored.Excess_dir.fmax = fresh.Excess_dir.fmax
+          && stored.Excess_dir.bmin = fresh.Excess_dir.bmin
+          && stored.Excess_dir.bmax = fresh.Excess_dir.bmax)
+      then corrupt path "excess directory mismatch";
       let tag_ids =
         Array.init layout.node_count (fun rank ->
             let off = layout.tags_off + (rank * layout.tag_width) in
@@ -208,6 +297,11 @@ let load ?pager path =
           (Bytes.of_string (section layout.flags_off layout.flags_byte_len))
           layout.flags_bit_len
       in
+      for s = 0 to layout.flag_sample_count - 1 do
+        let boundary = min layout.flags_bit_len (s * Excess_dir.block_bits) in
+        if read_i64 (layout.flag_samples_off + (8 * s)) <> Bitvector.rank1 content_flags boundary
+        then corrupt path "flag rank sample mismatch"
+      done;
       let strings ~offsets_off ~blob_off ~count =
         Array.init count (fun i ->
             let start = read_i64 (offsets_off + (8 * i)) in

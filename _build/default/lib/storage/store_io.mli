@@ -7,8 +7,12 @@
     little-endian; the file starts with a magic string and a format
     version.
 
-    Directories (rank/select/excess) are rebuilt at load time: they are
-    derived data and smaller to recompute than to store. *)
+    Since v3 the per-block excess directory of the structure bits and
+    rank1 samples of the has-content bits are serialized too (trailing
+    sections), so {!Paged_store} can open a file without streaming the
+    structure. {!load} cross-checks them against recomputed directories
+    and fails on mismatch. Word-level rank directories remain derived
+    data, rebuilt at load time. *)
 
 val magic : string
 val version : int
@@ -41,9 +45,19 @@ type layout = {
   content_count : int;
   content_offsets_off : int;
   content_blob_off : int;
+  dir_block_count : int;   (** 256-bit structure blocks *)
+  dir_off : int;           (** 5 × i16 per block: delta, fmin, fmax, bmin, bmax *)
+  flag_sample_count : int;
+  flag_samples_off : int;  (** i64 rank1 sample per 256-bit flag boundary *)
 }
 
 val header_bytes : int
+
+val read_dir_blocks :
+  get_byte:(int -> int) -> dir_off:int -> dir_block_count:int -> Excess_dir.blocks
+(** Decode the serialized structure excess directory through an arbitrary
+    byte reader (used with a {!Buffer_pool} by {!Paged_store}). *)
+
 val read_layout : Buffer_pool.t -> string -> layout
 (** Validate the header through the pool and return the directory.
     @raise Failure on a bad magic, version or inconsistent sizes. *)

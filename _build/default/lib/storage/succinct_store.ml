@@ -263,13 +263,8 @@ let splice_range t ~first_rank ~node_count_removed ~bit_off ~bit_len fragment =
   let frag = Option.map linearize_fragment fragment in
   let frag_bits = match frag with Some f -> Balanced_parens.bits f.bp | None -> Bitvector.of_bools [] in
   let frag_nodes = match frag with Some f -> node_count f | None -> 0 in
-  (* Structure bits. *)
-  let old_bits = Balanced_parens.bits t.bp in
-  let prefix = Bitvector.sub old_bits 0 bit_off in
-  let suffix =
-    Bitvector.sub old_bits (bit_off + bit_len) (Bitvector.length old_bits - bit_off - bit_len)
-  in
-  let new_bits = Bitvector.concat [ prefix; frag_bits; suffix ] in
+  (* Structure bits: one splice, reusing directory blocks before the edit. *)
+  let new_bp = Balanced_parens.splice t.bp ~off:bit_off ~removed:bit_len ~insert:frag_bits in
   (match t.pager with
   | Some pager ->
     (* The rewrite touches the spliced byte range and everything after it
@@ -277,7 +272,7 @@ let splice_range t ~first_rank ~node_count_removed ~bit_off ~bit_len fragment =
        lengths differ; when lengths match only the fragment range moves. *)
     let moved =
       if Bitvector.length frag_bits = bit_len then bit_len / 8
-      else (Bitvector.length new_bits - bit_off) / 8
+      else (Balanced_parens.length new_bp - bit_off) / 8
     in
     Pager.write pager ~region:Pager.region_structure ~off:(bit_off / 8) ~len:(max 1 moved)
   | None -> ());
@@ -327,22 +322,16 @@ let splice_range t ~first_rank ~node_count_removed ~bit_off ~bit_len fragment =
       List.rev !acc
   in
   let contents = Content_store.splice t.contents first_content removed_content frag_content_list in
-  (* has_content bitvector. *)
+  (* has_content bitvector: three byte-blitted slices. *)
   let hc = Bitvector.builder () in
-  for r = 0 to first_rank - 1 do
-    Bitvector.push hc (Bitvector.get t.has_content r)
-  done;
+  Bitvector.append_slice hc t.has_content 0 first_rank;
   (match frag with
-  | Some f ->
-    for r = 0 to frag_nodes - 1 do
-      Bitvector.push hc (Bitvector.get f.has_content r)
-    done
+  | Some f -> Bitvector.append_slice hc f.has_content 0 frag_nodes
   | None -> ());
-  for r = first_rank + node_count_removed to n_old - 1 do
-    Bitvector.push hc (Bitvector.get t.has_content r)
-  done;
+  Bitvector.append_slice hc t.has_content (first_rank + node_count_removed)
+    (n_old - first_rank - node_count_removed);
   {
-    bp = Balanced_parens.of_bitvector new_bits;
+    bp = new_bp;
     symtab = t.symtab;
     tags;
     tag_width = width;

@@ -84,7 +84,81 @@ let test_bitvector_push_many_concat_sub () =
   check_int "concat len" 8 (Bitvector.length c);
   check_bool "equal" true (Bitvector.equal c (bits_of_string "11001100"))
 
+let test_bitvector_equal_words () =
+  (* word-wise equal must catch a single differing bit anywhere, including
+     inside the padded tail word *)
+  let n = 200 in
+  let base = List.init n (fun i -> i mod 7 = 0) in
+  let bv = Bitvector.of_bools base in
+  check_bool "reflexive" true (Bitvector.equal bv (Bitvector.of_bools base));
+  check_bool "length differs" false
+    (Bitvector.equal bv (Bitvector.of_bools (base @ [ false ])));
+  List.iter
+    (fun flip ->
+      let flipped = List.mapi (fun i b -> if i = flip then not b else b) base in
+      check_bool (Printf.sprintf "bit %d differs" flip) false
+        (Bitvector.equal bv (Bitvector.of_bools flipped)))
+    [ 0; 63; 64; 127; 128; n - 1 ]
+
+let test_bitvector_push_many_bulk () =
+  (* bulk run fills agree with bit-by-bit pushes across byte/word seams *)
+  let runs = [ (true, 3); (false, 70); (true, 130); (false, 1); (true, 64); (false, 509) ] in
+  let fast = Bitvector.builder () and slow = Bitvector.builder () in
+  List.iter
+    (fun (bit, k) ->
+      Bitvector.push_many fast bit k;
+      for _ = 1 to k do
+        Bitvector.push slow bit
+      done)
+    runs;
+  let fast = Bitvector.build fast and slow = Bitvector.build slow in
+  check_bool "equal" true (Bitvector.equal fast slow);
+  check_int "pop" (Bitvector.pop_count slow) (Bitvector.pop_count fast)
+
+let prop_push_many_reference =
+  QCheck2.Test.make ~name:"push_many = repeated push" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 12) (pair bool (int_bound 600)))
+    (fun runs ->
+      let fast = Bitvector.builder () and slow = Bitvector.builder () in
+      List.iter
+        (fun (bit, k) ->
+          Bitvector.push_many fast bit k;
+          for _ = 1 to k do
+            Bitvector.push slow bit
+          done)
+        runs;
+      Bitvector.equal (Bitvector.build fast) (Bitvector.build slow))
+
 let gen_bits = QCheck2.Gen.(list_size (int_range 0 2000) bool)
+
+let prop_rank_select_boundaries =
+  (* lengths pinned to word / superblock seams, where the directory
+     hand-off between levels happens *)
+  let gen =
+    QCheck2.Gen.(
+      oneofl [ 63; 64; 65; 255; 256; 257; 511; 512; 513; 1023; 1024 ] >>= fun n ->
+      list_repeat n bool)
+  in
+  QCheck2.Test.make ~name:"rank/select at directory boundaries" ~count:150 gen (fun bools ->
+      let bv = Bitvector.of_bools bools in
+      let n = Bitvector.length bv in
+      let ok = ref true in
+      let running = ref 0 in
+      List.iteri
+        (fun i bit ->
+          if Bitvector.rank1 bv i <> !running then ok := false;
+          if bit then incr running)
+        bools;
+      if Bitvector.rank1 bv n <> !running then ok := false;
+      for k = 0 to Bitvector.pop_count bv - 1 do
+        let p = Bitvector.select1 bv k in
+        if not (Bitvector.get bv p && Bitvector.rank1 bv p = k) then ok := false
+      done;
+      for k = 0 to n - Bitvector.pop_count bv - 1 do
+        let p = Bitvector.select0 bv k in
+        if Bitvector.get bv p || Bitvector.rank0 bv p <> k then ok := false
+      done;
+      !ok)
 
 let prop_rank_select =
   QCheck2.Test.make ~name:"bitvector rank/select laws" ~count:100 gen_bits (fun bools ->
@@ -231,6 +305,110 @@ let prop_bp_matches_document =
         done;
         !ok
       end)
+
+(* Naive bit-by-bit references for the broadword navigation kernel. *)
+
+let naive_find_close bv pos =
+  let n = Bitvector.length bv in
+  let d = ref 1 and j = ref (pos + 1) and res = ref (-1) in
+  while !res < 0 && !j < n do
+    d := !d + (if Bitvector.get bv !j then 1 else -1);
+    if !d = 0 then res := !j;
+    incr j
+  done;
+  !res
+
+let naive_find_open bv pos =
+  let d = ref (-1) and j = ref (pos - 1) and res = ref (-1) in
+  while !res < 0 && !j >= 0 do
+    d := !d + (if Bitvector.get bv !j then 1 else -1);
+    if !d = 0 then res := !j;
+    decr j
+  done;
+  !res
+
+let naive_enclose bv pos =
+  (* nearest unmatched open to the left *)
+  let c = ref 0 and j = ref (pos - 1) and res = ref (-1) in
+  while !res < 0 && !j >= 0 do
+    (if Bitvector.get bv !j then begin
+       if !c = 0 then res := !j else decr c
+     end
+     else incr c);
+    decr j
+  done;
+  if !res < 0 then None else Some !res
+
+let check_bp_against_naive bp =
+  let bv = Balanced_parens.bits bp in
+  let dir = Balanced_parens.directory bp in
+  let n = Bitvector.length bv in
+  let ok = ref true in
+  let ex = ref 0 and opens = ref 0 in
+  for pos = 0 to n - 1 do
+    if Balanced_parens.depth bp pos <> !ex then ok := false;
+    if Excess_dir.excess dir pos <> !ex then ok := false;
+    if Bitvector.get bv pos then begin
+      if Balanced_parens.find_close bp pos <> naive_find_close bv pos then ok := false;
+      if Balanced_parens.enclose bp pos <> naive_enclose bv pos then ok := false;
+      if Excess_dir.select_open dir !opens <> pos then ok := false;
+      incr opens;
+      incr ex
+    end
+    else begin
+      if Balanced_parens.find_open bp pos <> naive_find_open bv pos then ok := false;
+      decr ex
+    end
+  done;
+  !ok
+
+let prop_bp_matches_naive =
+  QCheck2.Test.make ~name:"BP navigation = naive bit scan" ~count:120 gen_tree (fun tree ->
+      check_bp_against_naive (Balanced_parens.of_tree tree))
+
+let test_bp_block_boundaries () =
+  (* single node, plus spines and fans sized to straddle the 256-bit
+     directory blocks, checked exhaustively against the naive scans *)
+  check_bool "single node" true
+    (check_bp_against_naive (Balanced_parens.of_bitvector (bits_of_string "10")));
+  let spine depth =
+    let b = Bitvector.builder () in
+    Bitvector.push_many b true depth;
+    Bitvector.push_many b false depth;
+    Balanced_parens.of_bitvector (Bitvector.build b)
+  in
+  List.iter
+    (fun d ->
+      check_bool (Printf.sprintf "spine %d" d) true (check_bp_against_naive (spine d)))
+    [ 127; 128; 129; 300 ];
+  let fan kids =
+    let b = Bitvector.builder () in
+    Bitvector.push b true;
+    for _ = 1 to kids do
+      Bitvector.push b true;
+      Bitvector.push b false
+    done;
+    Bitvector.push b false;
+    Balanced_parens.of_bitvector (Bitvector.build b)
+  in
+  List.iter
+    (fun k -> check_bool (Printf.sprintf "fan %d" k) true (check_bp_against_naive (fan k)))
+    [ 127; 128; 300 ]
+
+let prop_bp_splice_directory =
+  (* splice reuses prefix directory blocks; the result must still agree
+     with the naive scans everywhere *)
+  QCheck2.Test.make ~name:"BP splice keeps directory consistent" ~count:80
+    QCheck2.Gen.(pair gen_tree gen_tree)
+    (fun (t1, t2) ->
+      let bp = Balanced_parens.of_tree (Tree.elt "r" [ t1; Tree.leaf "keep" "k" ]) in
+      let first = Option.get (Balanced_parens.first_child bp 0) in
+      let close = Balanced_parens.find_close bp first in
+      let frag = Balanced_parens.bits (Balanced_parens.of_tree t2) in
+      let spliced =
+        Balanced_parens.splice bp ~off:first ~removed:(close - first + 1) ~insert:frag
+      in
+      Balanced_parens.check_balanced spliced && check_bp_against_naive spliced)
 
 (* ------------------------------------------------------------------ *)
 (* Content_store                                                       *)
@@ -466,6 +644,75 @@ let prop_store_io_roundtrip =
       let loaded = Store_io.load temp_store_path in
       Tree.equal tree (Succinct_store.to_tree loaded))
 
+let tamper_file path off xor =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let bytes = Bytes.of_string (really_input_string ic len) in
+  close_in ic;
+  Bytes.set bytes off (Char.chr (Char.code (Bytes.get bytes off) lxor xor));
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc
+
+let test_store_io_directory_sections () =
+  let tree = Xml_parser.parse_string sample_source in
+  let store = Succinct_store.of_tree tree in
+  Store_io.save store temp_store_path;
+  let pool = Buffer_pool.open_file temp_store_path in
+  let layout = Store_io.read_layout pool temp_store_path in
+  check_bool "has dir blocks" true (layout.Store_io.dir_block_count > 0);
+  (* the serialized directory decodes to exactly what a fresh scan builds *)
+  let blk =
+    Store_io.read_dir_blocks
+      ~get_byte:(Buffer_pool.get_byte pool)
+      ~dir_off:layout.Store_io.dir_off
+      ~dir_block_count:layout.Store_io.dir_block_count
+  in
+  let fresh =
+    Excess_dir.create ~len:layout.Store_io.structure_bit_len ~byte:(fun i ->
+        Buffer_pool.get_byte pool (layout.Store_io.structure_off + i))
+  in
+  let fb = Excess_dir.blocks fresh in
+  check_bool "delta" true (blk.Excess_dir.delta = fb.Excess_dir.delta);
+  check_bool "fmin" true (blk.Excess_dir.fmin = fb.Excess_dir.fmin);
+  check_bool "fmax" true (blk.Excess_dir.fmax = fb.Excess_dir.fmax);
+  check_bool "bmin" true (blk.Excess_dir.bmin = fb.Excess_dir.bmin);
+  check_bool "bmax" true (blk.Excess_dir.bmax = fb.Excess_dir.bmax);
+  Buffer_pool.close pool;
+  (* flipping bits inside either trailing section must be caught at load *)
+  tamper_file temp_store_path layout.Store_io.dir_off 0x3f;
+  check_bool "tampered excess directory rejected" true
+    (match Store_io.load temp_store_path with exception Failure _ -> true | _ -> false);
+  Store_io.save store temp_store_path;
+  tamper_file temp_store_path layout.Store_io.flag_samples_off 0x3f;
+  check_bool "tampered flag samples rejected" true
+    (match Store_io.load temp_store_path with exception Failure _ -> true | _ -> false)
+
+let prop_store_io_directory_roundtrip =
+  QCheck2.Test.make ~name:"serialized excess directory = fresh scan" ~count:50
+    gen_tree_with_attrs (fun tree ->
+      let tree = Tree.elt "root" [ tree ] in
+      Store_io.save (Succinct_store.of_tree tree) temp_store_path;
+      let pool = Buffer_pool.open_file temp_store_path in
+      let layout = Store_io.read_layout pool temp_store_path in
+      let blk =
+        Store_io.read_dir_blocks
+          ~get_byte:(Buffer_pool.get_byte pool)
+          ~dir_off:layout.Store_io.dir_off
+          ~dir_block_count:layout.Store_io.dir_block_count
+      in
+      let fresh =
+        Excess_dir.create ~len:layout.Store_io.structure_bit_len ~byte:(fun i ->
+            Buffer_pool.get_byte pool (layout.Store_io.structure_off + i))
+      in
+      let fb = Excess_dir.blocks fresh in
+      Buffer_pool.close pool;
+      blk.Excess_dir.delta = fb.Excess_dir.delta
+      && blk.Excess_dir.fmin = fb.Excess_dir.fmin
+      && blk.Excess_dir.fmax = fb.Excess_dir.fmax
+      && blk.Excess_dir.bmin = fb.Excess_dir.bmin
+      && blk.Excess_dir.bmax = fb.Excess_dir.bmax)
+
 (* ------------------------------------------------------------------ *)
 (* Buffer_pool / Paged_store                                           *)
 (* ------------------------------------------------------------------ *)
@@ -527,6 +774,37 @@ let test_paged_store_navigation () =
   check_bool "io happened" true
     ((Buffer_pool.stats (Paged_store.pool paged)).Buffer_pool.page_faults > 0);
   Paged_store.close paged
+
+let prop_paged_navigation_matches =
+  (* the paged store navigates off the serialized directory only; it must
+     agree with the in-memory store's parenthesis navigation everywhere *)
+  QCheck2.Test.make ~name:"paged find_close/parent = in-memory" ~count:30 gen_tree_with_attrs
+    (fun tree ->
+      let tree = Tree.elt "root" [ tree ] in
+      let store = Succinct_store.of_tree tree in
+      Store_io.save store temp_store_path;
+      let paged = Paged_store.open_store ~page_size:64 ~pool_pages:8 temp_store_path in
+      let raw = Succinct_store.to_raw store in
+      let bp = Balanced_parens.of_bitvector raw.Succinct_store.structure in
+      let n = Succinct_store.node_count store in
+      let ok = ref true in
+      for rank = 0 to n - 1 do
+        let c = Paged_store.cursor_of_rank paged rank in
+        let pos = Succinct_store.node_of_rank store rank in
+        if c.Paged_store.pos <> pos then ok := false;
+        if Paged_store.find_close paged pos <> Balanced_parens.find_close bp pos then
+          ok := false;
+        let paged_parent =
+          Option.map (fun (p : Paged_store.cursor) -> p.Paged_store.rank)
+            (Paged_store.parent_cursor paged c)
+        in
+        let mem_parent =
+          Option.map (Balanced_parens.preorder_rank bp) (Balanced_parens.enclose bp pos)
+        in
+        if paged_parent <> mem_parent then ok := false
+      done;
+      Paged_store.close paged;
+      !ok)
 
 let prop_paged_store_roundtrip =
   QCheck2.Test.make ~name:"paged store = in-memory store" ~count:40 gen_tree_with_attrs
@@ -604,7 +882,11 @@ let suite =
         Alcotest.test_case "empty and bounds" `Quick test_bitvector_empty_and_bounds;
         Alcotest.test_case "large" `Quick test_bitvector_large;
         Alcotest.test_case "push_many/concat/sub" `Quick test_bitvector_push_many_concat_sub;
+        Alcotest.test_case "word-wise equal" `Quick test_bitvector_equal_words;
+        Alcotest.test_case "push_many bulk fill" `Quick test_bitvector_push_many_bulk;
+        qcheck prop_push_many_reference;
         qcheck prop_rank_select;
+        qcheck prop_rank_select_boundaries;
         qcheck prop_slice_ops;
       ] );
     ( "storage.balanced_parens",
@@ -612,7 +894,10 @@ let suite =
         Alcotest.test_case "navigation" `Quick test_bp_navigation;
         Alcotest.test_case "deep tree" `Quick test_bp_deep;
         Alcotest.test_case "wide tree" `Quick test_bp_wide;
+        Alcotest.test_case "block boundaries" `Quick test_bp_block_boundaries;
         qcheck prop_bp_matches_document;
+        qcheck prop_bp_matches_naive;
+        qcheck prop_bp_splice_directory;
       ] );
     ("storage.content_store", [ Alcotest.test_case "basic" `Quick test_content_store ]);
     ("storage.pager", [ Alcotest.test_case "counting" `Quick test_pager_counting ]);
@@ -632,13 +917,16 @@ let suite =
       [
         Alcotest.test_case "roundtrip" `Quick test_store_io_roundtrip;
         Alcotest.test_case "corrupt files" `Quick test_store_io_errors;
+        Alcotest.test_case "directory sections + tamper" `Quick test_store_io_directory_sections;
         qcheck prop_store_io_roundtrip;
+        qcheck prop_store_io_directory_roundtrip;
       ] );
     ( "storage.paged",
       [
         Alcotest.test_case "buffer pool" `Quick test_buffer_pool_behavior;
         Alcotest.test_case "paged navigation" `Quick test_paged_store_navigation;
         qcheck prop_paged_store_roundtrip;
+        qcheck prop_paged_navigation_matches;
       ] );
     ( "storage.btree",
       [

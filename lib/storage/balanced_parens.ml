@@ -1,33 +1,12 @@
-let block_bits = 256
-
 type t = {
   bv : Bitvector.t;
-  (* Per 256-bit block: excess delta over the block and minimum prefix
-     excess inside the block (both relative to the block start). *)
-  delta : int array;
-  min_prefix : int array;
+  dir : Excess_dir.t; (* RMM excess directory over the same bytes *)
 }
 
 type node = int
 
 let of_bitvector bv =
-  let len = Bitvector.length bv in
-  let nblocks = (len + block_bits - 1) / block_bits in
-  let delta = Array.make (max nblocks 1) 0 in
-  let min_prefix = Array.make (max nblocks 1) 0 in
-  for b = 0 to nblocks - 1 do
-    let start = b * block_bits in
-    let stop = min len (start + block_bits) in
-    let excess = ref 0 in
-    let minimum = ref max_int in
-    for i = start to stop - 1 do
-      excess := !excess + (if Bitvector.get bv i then 1 else -1);
-      if !excess < !minimum then minimum := !excess
-    done;
-    delta.(b) <- !excess;
-    min_prefix.(b) <- (if !minimum = max_int then 0 else !minimum)
-  done;
-  { bv; delta; min_prefix }
+  { bv; dir = Excess_dir.create ~len:(Bitvector.length bv) ~byte:(Bitvector.byte bv) }
 
 let of_tree tree =
   let b = Bitvector.builder () in
@@ -48,98 +27,136 @@ let of_tree tree =
   of_bitvector (Bitvector.build b)
 
 let bits t = t.bv
+let directory t = t.dir
 let length t = Bitvector.length t.bv
 let node_count t = Bitvector.pop_count t.bv
 let root (_ : t) = 0
 let is_open t i = Bitvector.get t.bv i
 
+(* O(1) via the rank directory — feeds every navigation call below, so the
+   byte-walking Excess_dir.excess is never needed here. *)
+let excess t i = (2 * Bitvector.rank1 t.bv i) - i
+let depth t pos = excess t pos
+
+(* In-block fast paths: within a node's own 256-bit block the search only
+   needs RELATIVE depth, so it runs straight over the packed bytes — no
+   rank call, no reader closure. Only on block exit do we anchor to
+   absolute excess (one O(1) rank) and hand over to the RMM tree. The
+   depth invariant ties the two: absolute excess at the scan frontier =
+   excess(pos) + relative depth. *)
+
+let block_bits = Excess_dir.block_bits
+
 let find_close t pos =
   let len = length t in
-  (* Scan the rest of pos's block; then skip blocks via the directory. *)
-  let target_block = ref ((pos / block_bits) + 1) in
-  let depth = ref 1 in
-  let result = ref (-1) in
-  let i = ref (pos + 1) in
-  let block_end = min len (!target_block * block_bits) in
-  while !result < 0 && !i < block_end do
-    depth := !depth + (if Bitvector.get t.bv !i then 1 else -1);
-    if !depth = 0 then result := !i else incr i
-  done;
-  if !result >= 0 then !result
+  let raw = Bitvector.raw_bytes t.bv in
+  (* leaf shortcut: a clear bit right after the open closes it *)
+  if
+    pos + 1 < len
+    && Char.code (Bytes.unsafe_get raw ((pos + 1) lsr 3)) land (1 lsl ((pos + 1) land 7)) = 0
+  then pos + 1
   else begin
-    (* Walk whole blocks while the answer cannot be inside. *)
-    let nblocks = Array.length t.delta in
-    let b = ref !target_block in
-    while !result < 0 && !b < nblocks do
-      if !depth + t.min_prefix.(!b) <= 0 then begin
-        (* The matching close is inside block !b: scan it. *)
-        let start = !b * block_bits in
-        let stop = min len (start + block_bits) in
-        let j = ref start in
-        while !result < 0 && !j < stop do
-          depth := !depth + (if Bitvector.get t.bv !j then 1 else -1);
-          if !depth = 0 then result := !j else incr j
-        done
-      end
-      else begin
-        depth := !depth + t.delta.(!b);
-        incr b
-      end
-    done;
-    if !result < 0 then invalid_arg "Balanced_parens.find_close: unbalanced";
-    !result
+  let block_end = min len ((pos lor (block_bits - 1)) + 1) in
+  let d = ref 1 and j = ref (pos + 1) and found = ref (-1) in
+  if !j land 7 <> 0 && !j < block_end then begin
+    let v = Char.code (Bytes.unsafe_get raw (!j lsr 3)) in
+    while !found < 0 && !j < block_end && !j land 7 <> 0 do
+      d := !d + (if (v lsr (!j land 7)) land 1 = 1 then 1 else -1);
+      if !d = 0 then found := !j;
+      incr j
+    done
+  end;
+  while !found < 0 && block_end - !j >= 8 do
+    let v = Char.code (Bytes.unsafe_get raw (!j lsr 3)) in
+    if !d + Excess_dir.byte_fmin.(v) <= 0 then begin
+      let jj = ref 0 in
+      while !found < 0 && !jj < 8 do
+        d := !d + (if (v lsr !jj) land 1 = 1 then 1 else -1);
+        if !d = 0 then found := !j + !jj;
+        incr jj
+      done;
+      j := !j + 8
+    end
+    else begin
+      d := !d + Excess_dir.byte_excess.(v);
+      j := !j + 8
+    end
+  done;
+  if !found < 0 && !j < block_end then begin
+    let v = Char.code (Bytes.unsafe_get raw (!j lsr 3)) in
+    while !found < 0 && !j < block_end do
+      d := !d + (if (v lsr (!j land 7)) land 1 = 1 then 1 else -1);
+      if !d = 0 then found := !j;
+      incr j
+    done
+  end;
+  if !found >= 0 then !found
+  else begin
+    let ep = excess t pos in
+    match Excess_dir.fwd_search ~entry:(ep + !d) t.dir (block_end + 1) ep with
+    | j -> j - 1
+    | exception Not_found -> invalid_arg "Balanced_parens.find_close: unbalanced"
+  end
   end
 
 let find_open t pos =
-  (* Backward scan with depth counter; blocks skipped via the directory. *)
   if is_open t pos then invalid_arg "Balanced_parens.find_open: open paren";
-  let depth = ref (-1) in
-  let result = ref (-1) in
-  let i = ref (pos - 1) in
-  let block_start = (pos / block_bits) * block_bits in
-  while !result < 0 && !i >= block_start do
-    depth := !depth + (if Bitvector.get t.bv !i then 1 else -1);
-    if !depth = 0 then result := !i else decr i
-  done;
-  if !result >= 0 then !result
-  else begin
-    let b = ref ((pos / block_bits) - 1) in
-    while !result < 0 && !b >= 0 do
-      (* Entering block !b from its right edge with running depth !depth
-         (which is negative). After adding the whole block the depth would be
-         !depth + delta. The open paren we want exists inside iff at some
-         prefix boundary the depth reaches 0 — scan when the block could
-         contain it, i.e. when depth + delta >= 0 is reachable. A sufficient
-         test: depth + delta >= 0 or the block's internal max could reach it;
-         we conservatively scan when depth + delta >= 0. *)
-      if !depth + t.delta.(!b) >= 0 then begin
-        let start = !b * block_bits in
-        let stop = min (length t) (start + block_bits) in
-        let j = ref (stop - 1) in
-        while !result < 0 && !j >= start do
-          depth := !depth + (if Bitvector.get t.bv !j then 1 else -1);
-          if !depth = 0 then result := !j else decr j
-        done
-      end
-      else depth := !depth + t.delta.(!b);
-      decr b
-    done;
-    if !result < 0 then invalid_arg "Balanced_parens.find_open: unbalanced";
-    !result
-  end
+  match Excess_dir.find_open ~excess_at:(excess t pos) t.dir pos with
+  | j -> j
+  | exception Invalid_argument _ -> invalid_arg "Balanced_parens.find_open: unbalanced"
 
+(* Backward scan for the rightmost boundary j < pos with relative excess
+   -1 (the parent's open paren), in-block over raw bytes, then the RMM
+   tree. Correct without knowing excess(pos) up front: a relative hit is
+   absolute, and a balanced prefix can never reach excess(pos) - 1 when
+   pos has no enclosing pair. *)
 let enclose t pos =
   if pos = 0 then None
   else begin
-    (* Nearest open paren to the left whose match is right of our close:
-       backward scan with a depth counter. *)
-    let rec scan i depth =
-      if i < 0 then None
-      else if Bitvector.get t.bv i then
-        if depth = 0 then Some i else scan (i - 1) (depth - 1)
-      else scan (i - 1) (depth + 1)
-    in
-    scan (pos - 1) 0
+    let raw = Bitvector.raw_bytes t.bv in
+    let block_start = pos land lnot (block_bits - 1) in
+    let j = ref pos and r = ref 0 and found = ref (-1) in
+    if !j land 7 <> 0 && !j > block_start then begin
+      let v = Char.code (Bytes.unsafe_get raw ((!j - 1) lsr 3)) in
+      let n = min (!j - block_start) (!j land 7) in
+      let k = ref 0 in
+      while !found < 0 && !k < n do
+        decr j;
+        incr k;
+        r := !r - (if (v lsr (!j land 7)) land 1 = 1 then 1 else -1);
+        if !r = -1 then found := !j
+      done
+    end;
+    while !found < 0 && !j - block_start >= 8 do
+      let v = Char.code (Bytes.unsafe_get raw ((!j - 8) lsr 3)) in
+      let r_lo = !r - Excess_dir.byte_excess.(v) in
+      if
+        r_lo + Excess_dir.byte_bmin.(v) <= -1
+        && -1 <= r_lo + Excess_dir.byte_bmax.(v)
+      then begin
+        (* rightmost hit inside the byte: walk its boundaries forward *)
+        let best = ref (-1) and er = ref r_lo in
+        for jj = 0 to 7 do
+          if !er = -1 then best := !j - 8 + jj;
+          er := !er + (if (v lsr jj) land 1 = 1 then 1 else -1)
+        done;
+        found := !best;
+        j := !j - 8;
+        r := r_lo
+      end
+      else begin
+        r := r_lo;
+        j := !j - 8
+      end
+    done;
+    if !found >= 0 then Some !found
+    else if block_start = 0 then None
+    else begin
+      let ep = excess t pos in
+      match Excess_dir.bwd_search ~entry:(ep + !r) t.dir block_start (ep - 1) with
+      | j -> Some j
+      | exception Not_found -> None
+    end
   end
 
 let first_child t pos =
@@ -153,17 +170,23 @@ let next_sibling t pos =
 let subtree_size t pos = (find_close t pos - pos + 1) / 2
 let preorder_rank t pos = Bitvector.rank1 t.bv pos
 let node_of_rank t rank = Bitvector.select1 t.bv rank
-let excess t i = (2 * Bitvector.rank1 t.bv i) - i
-let depth t pos = excess t pos
 
-let size_in_bytes t =
-  Bitvector.size_in_bytes t.bv + (Array.length t.delta + Array.length t.min_prefix) * 8
-
-let check_balanced t =
+let splice t ~off ~removed ~insert =
   let len = length t in
-  let rec loop i depth =
-    if depth < 0 then false
-    else if i >= len then depth = 0
-    else loop (i + 1) (depth + if Bitvector.get t.bv i then 1 else -1)
+  if off < 0 || removed < 0 || off + removed > len then invalid_arg "Balanced_parens.splice";
+  let b = Bitvector.builder () in
+  Bitvector.append_slice b t.bv 0 off;
+  Bitvector.append_slice b insert 0 (Bitvector.length insert);
+  Bitvector.append_slice b t.bv (off + removed) (len - off - removed);
+  let bv = Bitvector.build b in
+  (* Blocks strictly before the edit point are bit-identical — reuse their
+     directory entries instead of rescanning the whole prefix. *)
+  let dir =
+    Excess_dir.create_reusing ~prefix:t.dir
+      ~prefix_blocks:(off / Excess_dir.block_bits)
+      ~len:(Bitvector.length bv) ~byte:(Bitvector.byte bv)
   in
-  loop 0 0
+  { bv; dir }
+
+let size_in_bytes t = Bitvector.size_in_bytes t.bv + Excess_dir.size_in_bytes t.dir
+let check_balanced t = Excess_dir.check_balanced t.dir

@@ -1,9 +1,12 @@
-(** Static bit vectors with constant-time-ish [rank] and logarithmic
-    [select], the base layer of the succinct storage scheme (§4.2, [6]).
+(** Static bit vectors with constant-time [rank] and logarithmic [select],
+    the base layer of the succinct storage scheme (§4.2, [6]).
 
-    Rank uses a two-level directory: absolute counts per 512-bit superblock
-    plus byte popcounts. Select binary-searches the superblock directory and
-    scans one superblock. *)
+    Bits are packed LSB-first into bytes padded to 64-bit words. Rank uses
+    a two-level directory — absolute counts per 512-bit superblock plus a
+    16-bit delta per 64-bit word — so [rank1] is two directory reads and
+    one masked word popcount (SWAR, branchless). Select binary-searches
+    the superblock directory, steps over at most eight word popcounts, and
+    finishes with a select-in-byte table. *)
 
 type t
 
@@ -31,6 +34,21 @@ val length : t -> int
 val get : t -> int -> bool
 (** [get bv i] is bit [i].
     @raise Invalid_argument if [i] is out of bounds. *)
+
+val byte : t -> int -> int
+(** [byte bv i] is payload byte [i] (bits [8i .. 8i+7], LSB-first); bits
+    beyond [length bv] read as zero. The raw feed for {!Excess_dir}.
+    @raise Invalid_argument if [i] is outside the padded payload. *)
+
+val unsafe_byte : t -> int -> int
+(** {!byte} without the bounds check — for hot scan loops whose index is
+    already proven in range ({!Balanced_parens} navigation). *)
+
+val raw_bytes : t -> Bytes.t
+(** The padded payload itself, NOT a copy: read-only by contract, for
+    scan kernels that must avoid per-byte call overhead (the compiler
+    inlines [Bytes.unsafe_get] but not cross-module accessors). Mutating
+    it breaks the directory invariants. *)
 
 val rank1 : t -> int -> int
 (** [rank1 bv i] is the number of set bits in positions [[0, i)].

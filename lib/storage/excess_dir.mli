@@ -1,0 +1,107 @@
+(** Range-min-max excess directory over a balanced-parentheses bit string.
+
+    The broadword navigation kernel shared by {!Balanced_parens} (bytes in
+    memory) and {!Paged_store} (bytes faulted from a buffer pool): per-byte
+    excess tables for 8-bit-at-a-time scans, a per-256-bit-block directory
+    with exact forward and backward excess bounds, and a segment tree over
+    blocks giving O(log n) [find_close] / [find_open] / [enclose].
+
+    Bits are read through a byte closure, LSB-first within bytes; bit 1 is
+    an open parenthesis (+1 excess), bit 0 a close (-1). [excess t j] is
+    the excess of the prefix [0, j). *)
+
+type t
+
+type blocks = {
+  delta : int array;  (** excess over each block *)
+  fmin : int array;   (** min prefix excess within the block (prefixes 1..B) *)
+  fmax : int array;
+  bmin : int array;   (** min boundary excess within the block (boundaries 0..B-1) *)
+  bmax : int array;
+}
+(** The serializable per-block directory. All values are relative to the
+    block's starting excess and lie in [-block_bits, block_bits]. *)
+
+val block_bits : int
+(** Directory granularity in bits (256). *)
+
+val block_bytes : int
+
+(** {2 Per-byte excess tables}
+
+    Indexed by byte value (LSB-first bit order), shared with callers that
+    run their own byte-stepped scans over raw bytes (the in-block fast
+    paths in {!Balanced_parens}). *)
+
+val byte_excess : int array
+(** Total excess (+1 per set bit, -1 per clear bit) of the byte. *)
+
+val byte_fmin : int array
+(** Minimum prefix excess over the byte's prefixes of length 1..8. *)
+
+val byte_fmax : int array
+
+val byte_bmin : int array
+(** Minimum boundary excess over boundaries 0..7 (before each bit). *)
+
+val byte_bmax : int array
+
+val create : len:int -> byte:(int -> int) -> t
+(** [create ~len ~byte] scans the [len]-bit string (one pass, byte-stepped)
+    and builds the full directory. [byte i] must return payload byte [i]
+    for [i < ceil(len/8)]; bits of the last byte beyond [len] are ignored. *)
+
+val create_reusing : prefix:t -> prefix_blocks:int -> len:int -> byte:(int -> int) -> t
+(** Incremental rebuild after a splice: block entries [0, prefix_blocks)
+    are copied from [prefix] (whose underlying bits must be unchanged over
+    that range); only later blocks are rescanned. *)
+
+val of_blocks : len:int -> byte:(int -> int) -> blocks -> t
+(** Wrap a deserialized directory without scanning the bit string.
+    @raise Invalid_argument if [blocks] is too short for [len]. *)
+
+val blocks : t -> blocks
+val nblocks : t -> int
+val length : t -> int
+
+val total_excess : t -> int
+(** Excess of the whole string (0 iff balanced and never negative). *)
+
+val size_in_bytes : t -> int
+(** Directory memory footprint (excludes the bit string itself). *)
+
+val excess : t -> int -> int
+(** [excess t j] for [0 <= j <= length t]: opens minus closes in [0, j).
+    O(block_bits / 8). Callers holding an O(1) [rank1] should prefer
+    [2 * rank1 j - j] and pass the result as [?excess_at] below. *)
+
+val find_close : ?excess_at:int -> t -> int -> int
+(** Position of the close parenthesis matching the open at [pos].
+    [?excess_at] is [excess t pos] if already known. O(log n).
+    @raise Invalid_argument if the string is unbalanced at [pos]. *)
+
+val find_open : ?excess_at:int -> t -> int -> int
+(** Position of the open parenthesis matching the close at [pos]. O(log n). *)
+
+val enclose : ?excess_at:int -> t -> int -> int option
+(** Position of the open parenthesis of the nearest enclosing pair of the
+    node opening at [pos]; [None] at the root. O(log n) — this is the
+    [parent] primitive. *)
+
+val fwd_search : ?entry:int -> t -> int -> int -> int
+(** [fwd_search t j0 target]: leftmost boundary [j >= j0] with
+    [excess t j = target], given [excess t (j0-1) > target]. [?entry] is
+    [excess t (j0-1)] if already known (skips a block walk).
+    @raise Not_found if none exists. *)
+
+val bwd_search : ?entry:int -> t -> int -> int -> int
+(** [bwd_search t j0 target]: rightmost boundary [j < j0] with
+    [excess t j = target]. [?entry] is [excess t j0] if already known.
+    @raise Not_found if none exists. *)
+
+val select_open : t -> int -> int
+(** Position of the [k]-th (0-based) open parenthesis, i.e. the node with
+    pre-order rank [k]. O(log n). @raise Not_found if out of range. *)
+
+val check_balanced : t -> bool
+(** Whole-string balance check straight off the directory, O(n/block_bits). *)

@@ -1,17 +1,12 @@
 type cursor = { pos : int; rank : int }
 
-let block_bits = 256
-
 type t = {
   pool : Buffer_pool.t;
   layout : Store_io.layout;
   symbols : string array;
   by_name : (string, int) Hashtbl.t;
-  (* per 256-bit structure block: excess delta and min prefix excess *)
-  delta : int array;
-  min_prefix : int array;
-  (* rank1 of the flag bits before each 256-bit flag block *)
-  flag_rank : int array;
+  dir : Excess_dir.t; (* RMM excess directory; bytes faulted from the pool *)
+  flag_rank : int array; (* rank1 of the flag bits before each 256-bit block *)
 }
 
 let byte_pop =
@@ -45,50 +40,25 @@ let open_store ?page_size ?pool_pages path =
   in
   let by_name = Hashtbl.create (Array.length symbols) in
   Array.iteri (fun i name -> Hashtbl.replace by_name name i) symbols;
-  (* Stream the structure section once to build the excess directory. *)
-  let bit_len = layout.Store_io.structure_bit_len in
-  let nblocks = max 1 ((bit_len + block_bits - 1) / block_bits) in
-  let delta = Array.make nblocks 0 in
-  let min_prefix = Array.make nblocks 0 in
-  let t0 =
-    { pool; layout; symbols; by_name; delta; min_prefix; flag_rank = [||] }
+  (* The per-block excess directory and the flag-rank samples are stored
+     in the file (format v3): read them instead of streaming the
+     structure and flag sections. Only the directory pages are touched at
+     open; the payload sections stay cold until navigation faults them. *)
+  let blocks =
+    Store_io.read_dir_blocks
+      ~get_byte:(fun off -> Buffer_pool.get_byte pool off)
+      ~dir_off:layout.Store_io.dir_off ~dir_block_count:layout.Store_io.dir_block_count
   in
-  for b = 0 to nblocks - 1 do
-    let start = b * block_bits in
-    let stop = min bit_len (start + block_bits) in
-    let excess = ref 0 in
-    let minimum = ref max_int in
-    for i = start to stop - 1 do
-      excess := !excess + (if structure_bit t0 i then 1 else -1);
-      if !excess < !minimum then minimum := !excess
-    done;
-    delta.(b) <- !excess;
-    min_prefix.(b) <- (if !minimum = max_int then 0 else !minimum)
-  done;
-  (* And the flag section for content-id ranks. *)
-  let flag_bits = layout.Store_io.flags_bit_len in
-  let fblocks = max 1 ((flag_bits + block_bits - 1) / block_bits) + 1 in
-  let flag_rank = Array.make fblocks 0 in
-  let running = ref 0 in
-  for b = 0 to fblocks - 2 do
-    flag_rank.(b) <- !running;
-    let start = b * block_bits in
-    let stop = min flag_bits (start + block_bits) in
-    (* whole bytes inside the block *)
-    let i = ref start in
-    while !i < stop do
-      if !i land 7 = 0 && !i + 8 <= stop then begin
-        running := !running + byte_pop.(flag_byte t0 (!i lsr 3));
-        i := !i + 8
-      end
-      else begin
-        if flag_bit t0 !i then incr running;
-        incr i
-      end
-    done
-  done;
-  flag_rank.(fblocks - 1) <- !running;
-  { t0 with flag_rank }
+  let dir =
+    Excess_dir.of_blocks ~len:layout.Store_io.structure_bit_len
+      ~byte:(fun i -> Buffer_pool.get_byte pool (layout.Store_io.structure_off + i))
+      blocks
+  in
+  let flag_rank =
+    Array.init layout.Store_io.flag_sample_count (fun s ->
+        Buffer_pool.read_i64 pool (layout.Store_io.flag_samples_off + (8 * s)))
+  in
+  { pool; layout; symbols; by_name; dir; flag_rank }
 
 let close t = Buffer_pool.close t.pool
 let pool t = t.pool
@@ -99,38 +69,9 @@ let node_count t = t.layout.Store_io.node_count
 let bit_len t = t.layout.Store_io.structure_bit_len
 
 let find_close t pos =
-  let len = bit_len t in
-  let target_block = ref ((pos / block_bits) + 1) in
-  let depth = ref 1 in
-  let result = ref (-1) in
-  let i = ref (pos + 1) in
-  let block_end = min len (!target_block * block_bits) in
-  while !result < 0 && !i < block_end do
-    depth := !depth + (if structure_bit t !i then 1 else -1);
-    if !depth = 0 then result := !i else incr i
-  done;
-  if !result >= 0 then !result
-  else begin
-    let nblocks = Array.length t.delta in
-    let b = ref !target_block in
-    while !result < 0 && !b < nblocks do
-      if !depth + t.min_prefix.(!b) <= 0 then begin
-        let start = !b * block_bits in
-        let stop = min len (start + block_bits) in
-        let j = ref start in
-        while !result < 0 && !j < stop do
-          depth := !depth + (if structure_bit t !j then 1 else -1);
-          if !depth = 0 then result := !j else incr j
-        done
-      end
-      else begin
-        depth := !depth + t.delta.(!b);
-        incr b
-      end
-    done;
-    if !result < 0 then invalid_arg "Paged_store.find_close: unbalanced";
-    !result
-  end
+  match Excess_dir.find_close t.dir pos with
+  | j -> j
+  | exception Invalid_argument _ -> invalid_arg "Paged_store.find_close: unbalanced"
 
 let root_cursor (_ : t) = { pos = 0; rank = 0 }
 
@@ -146,40 +87,20 @@ let next_sibling_cursor t cursor =
     Some { pos = after; rank = cursor.rank + ((close - cursor.pos + 1) / 2) }
   else None
 
+let parent_cursor t cursor =
+  match Excess_dir.enclose t.dir cursor.pos with
+  | None -> None
+  | Some pos ->
+    (* preorder rank of an open paren = (position + excess) / 2 *)
+    Some { pos; rank = (pos + Excess_dir.excess t.dir pos) / 2 }
+
 let subtree_size t cursor = (find_close t cursor.pos - cursor.pos + 1) / 2
 
-(* cursor_of_rank: select the (rank+1)-th open paren. The excess directory
-   doubles as a rank directory: opens before block b = (b*block_bits +
-   prefix_excess(b)) / 2 where prefix_excess is the running delta sum. *)
 let cursor_of_rank t rank =
   if rank < 0 || rank >= node_count t then invalid_arg "Paged_store.cursor_of_rank";
-  let nblocks = Array.length t.delta in
-  (* find the block containing the (rank+1)-th open paren *)
-  let rec find b excess_before =
-    if b >= nblocks then invalid_arg "Paged_store.cursor_of_rank: out of range"
-    else begin
-      let bits_before = b * block_bits in
-      let opens_before = (bits_before + excess_before) / 2 in
-      let bits_next = min (bit_len t) ((b + 1) * block_bits) in
-      let opens_next = (bits_next + excess_before + t.delta.(b)) / 2 in
-      if opens_next > rank then (b, opens_before)
-      else find (b + 1) (excess_before + t.delta.(b))
-    end
-  in
-  let b, opens_before = find 0 0 in
-  let start = b * block_bits in
-  let stop = min (bit_len t) (start + block_bits) in
-  let seen = ref opens_before in
-  let result = ref (-1) in
-  let i = ref start in
-  while !result < 0 && !i < stop do
-    if structure_bit t !i then begin
-      if !seen = rank then result := !i else incr seen
-    end;
-    incr i
-  done;
-  if !result < 0 then invalid_arg "Paged_store.cursor_of_rank: scan failed";
-  { pos = !result; rank }
+  match Excess_dir.select_open t.dir rank with
+  | pos -> { pos; rank }
+  | exception Not_found -> invalid_arg "Paged_store.cursor_of_rank: out of range"
 
 (* --- tags and content --------------------------------------------------- *)
 
@@ -193,11 +114,12 @@ let tag_name t sym = t.symbols.(sym)
 let find_symbol t name = Hashtbl.find_opt t.by_name name
 let symbol_count t = Array.length t.symbols
 
-(* rank1 of the flag bits before [rank]. *)
+(* rank1 of the flag bits before [rank]: nearest serialized sample plus a
+   byte-stepped scan of at most one 256-bit block. *)
 let flag_rank1 t rank =
-  let b = rank / block_bits in
+  let b = rank / Excess_dir.block_bits in
   let acc = ref t.flag_rank.(b) in
-  let i = ref (b * block_bits) in
+  let i = ref (b * Excess_dir.block_bits) in
   while !i < rank do
     if !i land 7 = 0 && !i + 8 <= rank then begin
       acc := !acc + byte_pop.(flag_byte t (!i lsr 3));
@@ -283,5 +205,6 @@ let to_tree t =
   build (root_cursor t)
 
 let directory_bytes t =
-  (Array.length t.delta + Array.length t.min_prefix + Array.length t.flag_rank) * 8
+  Excess_dir.size_in_bytes t.dir
+  + (Array.length t.flag_rank * 8)
   + Array.fold_left (fun acc s -> acc + String.length s + 24) 0 t.symbols

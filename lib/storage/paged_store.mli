@@ -2,13 +2,16 @@
     {!Succinct_store} evaluated directly against {!Buffer_pool} pages of a
     saved [.xqdb] file.
 
-    Only the derived directories (rank / excess per block, the symbol
-    table) live in memory — about 1.5% of the data size; the
+    Only the derived directories (per-block excess, flag-rank samples,
+    the symbol table) live in memory — about 1.5% of the data size; the
     parentheses, tags and content are faulted in page by page, so the
     pool's counters measure the real I/O behaviour of navigational
-    evaluation (experiment E11). Building the directories streams the
-    structure and flag sections once at {!open_store} (the "index load");
-    call {!Buffer_pool.reset_stats} afterwards to measure queries alone. *)
+    evaluation (experiment E11). Since format v3 the directories are
+    serialized in the file, so {!open_store} reads them directly instead
+    of streaming the structure section; payload pages stay cold until
+    navigation touches them. Call {!Buffer_pool.reset_stats} after open
+    to measure queries alone. Navigation ([find_close], parent, rank ↔
+    position) runs on the {!Excess_dir} RMM kernel in O(log n). *)
 
 type t
 
@@ -28,7 +31,16 @@ val root_cursor : t -> cursor
 val cursor_of_rank : t -> int -> cursor
 val first_child_cursor : t -> cursor -> cursor option
 val next_sibling_cursor : t -> cursor -> cursor option
+
+val parent_cursor : t -> cursor -> cursor option
+(** Enclosing node; [None] at the root. O(log n) via the excess
+    directory. *)
+
 val subtree_size : t -> cursor -> int
+
+val find_close : t -> int -> int
+(** Matching close parenthesis of the open at a position (exposed for
+    benchmarks and tests). *)
 
 val tag_at : t -> cursor -> int
 val tag_name : t -> int -> string
