@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-full bench-smoke check examples clean smoke
+.PHONY: all build test bench bench-full bench-smoke lint check examples clean smoke
 
 all: build
 
@@ -19,7 +19,14 @@ bench-full:
 bench-smoke:
 	dune exec bench/main.exe -- --only=PRIM,E1 --json=BENCH_prim_nav.json
 
-check: build test bench-smoke
+# Static checks: rebuild under the stricter `lint` dune profile (key
+# warnings promoted to errors; see the root `dune` file), then run the
+# plan sort-checker over every workload query.
+lint:
+	dune build @all --profile lint
+	dune exec --no-print-directory bin/xqp.exe -- lint --workload
+
+check: build test lint bench-smoke
 
 examples:
 	dune exec examples/quickstart.exe

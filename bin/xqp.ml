@@ -5,7 +5,9 @@
      explain   show the logical plan before/after rewriting, the pattern
                graph, its NoK partition, and the cost model's estimates
      stats     print document statistics
-     generate  emit a synthetic workload document *)
+     generate  emit a synthetic workload document
+     lint      statically check queries (sort checker + schema emptiness)
+     fsck      statically validate a saved .xqdb store *)
 
 open Cmdliner
 open Xqp_xml
@@ -285,6 +287,193 @@ let repl_cmd =
   let term = Term.(const run_repl $ file_arg $ gen_arg) in
   Cmd.v (Cmd.info "repl" ~doc:"Interactive query shell") term
 
+(* --- lint --------------------------------------------------------------- *)
+
+module Analysis = Xqp_analysis
+
+(* Every path expression embedded in an XQuery AST, with the checker
+   context its base implies. *)
+let rec plans_of_expr (e : Xqp_xquery.Ast.expr) =
+  let module A = Xqp_xquery.Ast in
+  match e with
+  | A.Path (base, plan) ->
+    let context =
+      match base with
+      | A.From_root -> Analysis.Plan_check.document_context
+      | A.From_context -> Analysis.Plan_check.any_node
+      | A.From_expr sub ->
+        ignore (plans_of_expr sub);
+        Analysis.Plan_check.any_node
+    in
+    let sub = match base with A.From_expr sub -> plans_of_expr sub | _ -> [] in
+    sub @ [ (context, plan) ]
+  | A.Literal_int _ | A.Literal_float _ | A.Literal_string _ | A.Doc_root | A.Var _ -> []
+  | A.Sequence es -> List.concat_map plans_of_expr es
+  | A.Flwor f ->
+    List.concat_map
+      (fun (c : A.clause) ->
+        match c with
+        | A.For_clause (_, _, e) | A.Let_clause (_, e) | A.Where_clause e -> plans_of_expr e
+        | A.Order_by keys -> List.concat_map (fun (e, _) -> plans_of_expr e) keys)
+      f.A.clauses
+    @ plans_of_expr f.A.return_
+  | A.Constructor c -> plans_of_constructor c
+  | A.Binop (_, a, b) -> plans_of_expr a @ plans_of_expr b
+  | A.If_then_else (a, b, c) -> plans_of_expr a @ plans_of_expr b @ plans_of_expr c
+  | A.Call (_, args) -> List.concat_map plans_of_expr args
+  | A.Quantified (_, binds, body) ->
+    List.concat_map (fun (_, e) -> plans_of_expr e) binds @ plans_of_expr body
+
+and plans_of_constructor (c : Xqp_xquery.Ast.constructor) =
+  let module A = Xqp_xquery.Ast in
+  List.concat_map
+    (fun (_, pieces) ->
+      List.concat_map
+        (function A.Attr_expr e -> plans_of_expr e | A.Attr_text _ -> [])
+        pieces)
+    c.A.attrs
+  @ List.concat_map
+      (function
+        | A.Fixed_text _ -> []
+        | A.Embedded e -> plans_of_expr e
+        | A.Nested nested -> plans_of_constructor nested)
+      c.A.content
+
+(* The workload schemas the emptiness analysis runs against: summaries of
+   small auction and bib instances (the generators are deterministic and
+   structurally complete at these scales). *)
+let workload_schema () =
+  Analysis.Schema_info.merge
+    (Analysis.Schema_info.of_document (Xqp_workload.Gen_auction.packed ~scale:600 ()))
+    (Analysis.Schema_info.of_document (Xqp_workload.Gen_bib.packed ~books:8 ()))
+
+let lint_one ~schema ~strict label kind text =
+  let diags =
+    match kind with
+    | `Xpath ->
+      let plan = Xqp_xpath.Parser.parse text in
+      snd (Analysis.Lint.verified_optimize ~context:Analysis.Plan_check.document_context ~schema plan)
+    | `Xquery ->
+      let ast = Xqp_xquery.Xq_parser.parse text in
+      List.concat_map
+        (fun (context, plan) -> snd (Analysis.Lint.verified_optimize ~context ~schema plan))
+        (plans_of_expr ast)
+  in
+  (* verified_optimize checks the same plan at three rule stages; collapse
+     repeats of one finding so the report stays readable *)
+  let seen = Hashtbl.create 8 in
+  let diags =
+    List.filter
+      (fun d ->
+        let key = (d.Analysis.Diagnostic.code, d.Analysis.Diagnostic.message) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      diags
+  in
+  if diags <> [] then begin
+    Format.printf "%s: %s@." label text;
+    List.iter (fun d -> Format.printf "  %a@." Analysis.Diagnostic.pp d) diags
+  end;
+  Analysis.Lint.acceptable ~strict diags
+
+let run_lint strict xquery_mode workload queries =
+  let schema = workload_schema () in
+  let ok = ref true in
+  let catching label text f =
+    match f () with
+    | passed -> if not passed then ok := false
+    | exception Xqp_xpath.Parser.Parse_error m ->
+      ok := false;
+      Format.printf "%s: %s@.  parse error: %s@." label text m
+    | exception Xqp_xpath.Lexer.Lex_error { message; _ } ->
+      ok := false;
+      Format.printf "%s: %s@.  lex error: %s@." label text message
+    | exception Xqp_xquery.Xq_parser.Parse_error { position; message } ->
+      ok := false;
+      Format.printf "%s: %s@.  parse error at %d: %s@." label text position message
+  in
+  let checked = ref 0 in
+  if workload then begin
+    List.iter
+      (fun (q : Xqp_workload.Queries.query) ->
+        incr checked;
+        catching q.Xqp_workload.Queries.id q.Xqp_workload.Queries.xpath (fun () ->
+            lint_one ~schema ~strict q.Xqp_workload.Queries.id `Xpath q.Xqp_workload.Queries.xpath))
+      (Xqp_workload.Queries.auction_paths @ Xqp_workload.Queries.auction_complexity_sweep);
+    List.iter
+      (fun (id, text) ->
+        incr checked;
+        catching id text (fun () -> lint_one ~schema ~strict id `Xquery text))
+      Xqp_workload.Queries.bib_flwor
+  end;
+  List.iteri
+    (fun i text ->
+      incr checked;
+      let label = Printf.sprintf "query %d" (i + 1) in
+      catching label text (fun () ->
+          lint_one ~schema ~strict label (if xquery_mode then `Xquery else `Xpath) text))
+    queries;
+  if !checked = 0 then begin
+    Format.printf "nothing to lint: give queries or --workload@.";
+    1
+  end
+  else begin
+    Format.printf "%s: %d quer%s checked@."
+      (if !ok then "ok" else "FAILED")
+      !checked
+      (if !checked = 1 then "y" else "ies");
+    if !ok then 0 else 1
+  end
+
+let lint_cmd =
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings (e.g. schema emptiness) as fatal.")
+  in
+  let xquery_flag =
+    Arg.(value & flag & info [ "x"; "xquery" ] ~doc:"Treat the queries as XQuery instead of XPath.")
+  in
+  let workload =
+    Arg.(value & flag & info [ "workload" ] ~doc:"Lint every query in the built-in workload suite.")
+  in
+  let queries = Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc:"Queries to check.") in
+  let term = Term.(const run_lint $ strict $ xquery_flag $ workload $ queries) in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check queries: parse, rewrite rule by rule, sort-check every plan and \
+          pattern graph, and flag name tests unsatisfiable under the workload schemas")
+    term
+
+(* --- fsck --------------------------------------------------------------- *)
+
+let run_fsck strict file =
+  let diags = Analysis.Store_check.fsck file in
+  if diags = [] then begin
+    Format.printf "%s: clean@." file;
+    0
+  end
+  else begin
+    Format.printf "%s:@.%a" file Analysis.Diagnostic.pp_report diags;
+    if Analysis.Lint.acceptable ~strict diags then 0 else 1
+  end
+
+let fsck_cmd =
+  let strict = Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings as fatal.") in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.xqdb" ~doc:"Saved store to check.")
+  in
+  let term = Term.(const run_fsck $ strict $ file) in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Statically validate a saved .xqdb store: parenthesis balance, excess directory, tag \
+          and offset tables, content rank samples, rebuilt content B+-tree — reporting every \
+          finding, not just the first")
+    term
+
 (* --- validate ----------------------------------------------------------- *)
 
 let run_validate paths =
@@ -318,7 +507,7 @@ let () =
     Cmd.group ~default info
       [
         query_cmd; explain_cmd; stats_cmd; generate_cmd; index_cmd; pages_cmd; repl_cmd;
-        validate_cmd;
+        validate_cmd; lint_cmd; fsck_cmd;
       ]
   in
   exit (Cmd.eval' group)

@@ -1,0 +1,56 @@
+type severity = Error | Warning | Info
+
+type t = { severity : severity; code : string; path : string list; message : string }
+
+let make severity ?(path = []) ~code message = { severity; code; path; message }
+let error ?path ~code message = make Error ?path ~code message
+let warning ?path ~code message = make Warning ?path ~code message
+let info ?path ~code message = make Info ?path ~code message
+
+let kmake severity ?path ~code fmt =
+  Format.kasprintf (fun message -> make severity ?path ~code message) fmt
+
+let errorf ?path ~code fmt = kmake Error ?path ~code fmt
+let warningf ?path ~code fmt = kmake Warning ?path ~code fmt
+
+let with_path segment d = { d with path = segment :: d.path }
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let severity_compare a b = compare (severity_rank b) (severity_rank a)
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let max_severity = function
+  | [] -> None
+  | d :: ds ->
+    Some (List.fold_left (fun acc d -> if severity_compare d.severity acc > 0 then d.severity else acc) d.severity ds)
+
+let by_code ds =
+  List.fold_left
+    (fun acc d ->
+      if List.mem_assoc d.code acc then
+        List.map (fun (c, n) -> if String.equal c d.code then (c, n + 1) else (c, n)) acc
+      else acc @ [ (d.code, 1) ])
+    [] ds
+
+let sort ds = List.stable_sort (fun a b -> compare (severity_rank a.severity) (severity_rank b.severity)) ds
+
+let pp_severity ppf s =
+  Format.pp_print_string ppf (match s with Error -> "error" | Warning -> "warning" | Info -> "info")
+
+let pp ppf d =
+  Format.fprintf ppf "%a[%s]" pp_severity d.severity d.code;
+  (match d.path with
+  | [] -> ()
+  | path ->
+    Format.fprintf ppf " at %a"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " > ") Format.pp_print_string)
+      path);
+  Format.fprintf ppf ": %s" d.message
+
+let pp_report ppf ds =
+  let ds = sort ds in
+  List.iter (fun d -> Format.fprintf ppf "%a@." pp d) ds;
+  let count sev = List.length (List.filter (fun d -> d.severity = sev) ds) in
+  Format.fprintf ppf "%d error(s), %d warning(s), %d info@." (count Error) (count Warning) (count Info)

@@ -1,0 +1,55 @@
+(** Structured diagnostics for the static-analysis passes.
+
+    Every checker in this library ({!Plan_check}, {!Pattern_check},
+    {!Store_check}) reports through this one type instead of raising or
+    printing, so callers (the [xqp lint] / [xqp fsck] subcommands, the
+    executor's debug verification, the test suite) can filter by severity,
+    count by code, and render uniformly.
+
+    A diagnostic names {e where} (an operator path from the checked root,
+    e.g. ["step 3"; "predicate 1"], or a store section plus offset),
+    {e what} (a stable [code] like ["sort/empty-step"], suitable for
+    asserting on in tests), and {e how bad} ([severity]). *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;       (** stable machine name, ["pass/kind"] *)
+  path : string list;  (** operator path from the checked root, outermost first *)
+  message : string;    (** human explanation *)
+}
+
+val error : ?path:string list -> code:string -> string -> t
+val warning : ?path:string list -> code:string -> string -> t
+val info : ?path:string list -> code:string -> string -> t
+
+val errorf : ?path:string list -> code:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+val warningf : ?path:string list -> code:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val with_path : string -> t -> t
+(** Prepend one path segment (used when bubbling out of a sub-checker). *)
+
+val severity_compare : severity -> severity -> int
+(** Orders [Error > Warning > Info]. *)
+
+val errors : t list -> t list
+(** Only the [Error]-severity diagnostics. *)
+
+val max_severity : t list -> severity option
+(** [None] on an empty list. *)
+
+val has_errors : t list -> bool
+
+val by_code : t list -> (string * int) list
+(** Distinct codes with their multiplicities, in first-seen order. *)
+
+val sort : t list -> t list
+(** Stable sort, most severe first. *)
+
+val pp_severity : Format.formatter -> severity -> unit
+val pp : Format.formatter -> t -> unit
+(** Renders as [severity code at path: message]. *)
+
+val pp_report : Format.formatter -> t list -> unit
+(** One diagnostic per line, most severe first, then a summary line. *)

@@ -1,0 +1,19 @@
+module Rewrite = Xqp_algebra.Rewrite
+module D = Diagnostic
+
+let check_plan ?context ?schema plan = Plan_check.check ?context ?schema plan
+
+let verified_optimize ?context ?schema plan =
+  let tag rule ds = List.map (D.with_path rule) ds in
+  let d0 = tag "parsed plan" (check_plan ?context ?schema plan) in
+  let simplified = Rewrite.simplify plan in
+  let d1 = tag "after R0 (simplify)" (check_plan ?context ?schema simplified) in
+  let fused = Rewrite.fuse simplified in
+  let d2 = tag "after R1/R2 (fuse)" (check_plan ?context ?schema fused) in
+  (fused, d0 @ d1 @ d2)
+
+let acceptable ~strict ds =
+  match D.max_severity ds with
+  | None | Some D.Info -> true
+  | Some D.Warning -> not strict
+  | Some D.Error -> false

@@ -1,0 +1,31 @@
+(** Composition of the analysis passes — what [xqp lint] and the
+    executor's debug verification call.
+
+    {!verified_optimize} is the instrumented rewriting entry point: it
+    sort-checks the input plan, applies each rewrite rule of
+    {!Xqp_algebra.Rewrite} separately (R0 axis normalization, then R1/R2
+    fusion into τ), and re-checks after every rule, tagging each
+    diagnostic's path with the rule that produced the offending plan
+    ([after R0 (simplify)] / [after R1/R2 (fuse)]). A rewrite that breaks
+    a sort or pattern invariant is therefore caught at the rule that
+    introduced it, not at query time. The returned plan is exactly
+    {!Xqp_algebra.Rewrite.optimize}'s result. *)
+
+val check_plan :
+  ?context:Plan_check.kinds ->
+  ?schema:Schema_info.t ->
+  Xqp_algebra.Logical_plan.t ->
+  Diagnostic.t list
+(** One-shot check of a plan as-is: sort inference, embedded pattern
+    graphs, and (when [schema] is given) emptiness analysis. *)
+
+val verified_optimize :
+  ?context:Plan_check.kinds ->
+  ?schema:Schema_info.t ->
+  Xqp_algebra.Logical_plan.t ->
+  Xqp_algebra.Logical_plan.t * Diagnostic.t list
+(** Optimize with verification after each rule (see above). The plan is
+    safe to execute iff the diagnostics contain no [Error]. *)
+
+val acceptable : strict:bool -> Diagnostic.t list -> bool
+(** The lint gate: no errors — and, when [strict], no warnings either. *)

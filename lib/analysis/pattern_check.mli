@@ -1,0 +1,33 @@
+(** Static validation of pattern graphs (§3.1's PatternGraph sort).
+
+    {!Xqp_algebra.Pattern_graph.make} enforces some invariants at
+    construction time by raising; this validator re-establishes them
+    {e independently} over the accessor interface and reports {e all}
+    violations as structured diagnostics — the form the optimizer
+    instrumentation ({!Lint.verified_optimize}) and [xqp lint] need.
+
+    Checked invariants:
+    - at least one vertex and exactly one output vertex, which is not the
+      context vertex 0 ([pattern/output]);
+    - every arc's endpoints are in range, no arc enters the context vertex,
+      and no vertex has two parents ([pattern/arc]);
+    - spine connectivity and acyclicity: every vertex reaches the context
+      vertex by climbing parent arcs ([pattern/disconnected],
+      [pattern/cycle]);
+    - the adjacency views agree with the arc list ([pattern/adjacency]);
+    - a vertex reached over an [Attribute] arc is a leaf — attributes have
+      no children ([pattern/attr-internal]) — and carries no [Wildcard]-
+      incompatible structure;
+    - no vertex carries contradictory value predicates
+      ([pattern/contradiction]) or a [contains] with a numeric literal
+      ([pattern/contains-num]). *)
+
+val check : Xqp_algebra.Pattern_graph.t -> Diagnostic.t list
+(** All violations found; [[]] iff the pattern is well-formed. *)
+
+val contradiction : Xqp_algebra.Pattern_graph.predicate list -> string option
+(** [Some message] when the conjunction of value predicates is
+    unsatisfiable for every node value: disjoint numeric or string
+    intervals, [=]/[!=] clashes, a string equality whose witness fails the
+    numeric constraints, or [contains] applied to a number. Conservative —
+    [None] means "not provably empty". Shared with {!Plan_check}. *)

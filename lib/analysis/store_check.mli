@@ -1,0 +1,34 @@
+(** Offline integrity checking ("fsck") for serialized [.xqdb] stores.
+
+    {!Xqp_storage.Store_io.load} fails loudly on the {e first} problem it
+    meets; this pass instead validates a store file {e statically} —
+    without executing any query or even materializing the store — and
+    reports {e every} finding, so a corrupted file can be diagnosed in one
+    run. Checked, section by section (format v3):
+
+    - header: magic, version, field sanity, and the section layout summing
+      to the file size ([layout/*]);
+    - structure bits: balanced-parentheses excess discipline — the excess
+      never goes negative, ends at zero, opens at position 0, and the
+      population count matches the node count ([structure/*]);
+    - the serialized {!Xqp_storage.Excess_dir} block directory against a
+      fresh scan of the structure bytes ([directory/mismatch]);
+    - tag sequence: every tag id within the symbol table ([tags/*]);
+    - has-content bits: population count equals the content count, and the
+      serialized rank samples match recomputed ranks ([flags/*]);
+    - symbol and content offset directories: monotone and closing exactly
+      on their blobs ([symbols/offsets], [contents/offsets]);
+    - content-store samples: evenly sampled content ids address valid blob
+      slices and map back to in-range pre-order nodes ([contents/sample]);
+    - a content B+-tree rebuilt from the (valid) content sections passes
+      {!Xqp_storage.Btree.check_invariants} — key ordering, occupancy,
+      leaf chaining ([index/btree]). *)
+
+val check_bytes : string -> Diagnostic.t list
+(** Validate an in-memory image of a store file (the unit tests corrupt
+    images without touching disk). *)
+
+val fsck : string -> Diagnostic.t list
+(** [fsck path] reads the file and runs {!check_bytes}; I/O failures
+    become an [io/unreadable] error. A store written by
+    {!Xqp_storage.Store_io.save} yields [[]]. *)

@@ -170,7 +170,45 @@ let rec run_pattern t strategy pattern ~context =
     in
     run_pattern t concrete pattern ~context
 
+(* --- debug plan verification ------------------------------------------- *)
+
+let verify_plans =
+  ref
+    (match Sys.getenv_opt "XQP_VERIFY_PLANS" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false)
+
+exception Ill_sorted of string
+
+(* The sort checker wants the kinds of the context nodes, which we know
+   exactly here: the virtual document node plus the kinds of every real
+   context node. *)
+let context_kinds doc context =
+  let module Pc = Xqp_analysis.Plan_check in
+  Pc.kinds
+    (List.sort_uniq compare
+       (List.map
+          (fun id ->
+            if id = Ops.document_context then Pc.Doc_node
+            else
+              match Doc.kind doc id with
+              | Doc.Element -> Pc.Element
+              | Doc.Attribute -> Pc.Attribute
+              | Doc.Text | Doc.Comment | Doc.Pi -> Pc.Text)
+          context))
+
+let verify t plan ~context =
+  let diags =
+    Xqp_analysis.Lint.check_plan ~context:(context_kinds t.document context) plan
+  in
+  if Xqp_analysis.Diagnostic.has_errors diags then
+    raise
+      (Ill_sorted
+         (Format.asprintf "plan rejected by the sort checker:@.%a"
+            Xqp_analysis.Diagnostic.pp_report diags))
+
 let run t ?(strategy = Auto) plan ~context =
+  if !verify_plans then verify t plan ~context;
   let rec go plan ctx =
     match (plan : Lp.t) with
     | Lp.Root -> [ Ops.document_context ]

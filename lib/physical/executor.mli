@@ -21,6 +21,17 @@ type strategy =
 val create : Xqp_xml.Document.t -> t
 (** Store and statistics are built lazily on first use. *)
 
+val verify_plans : bool ref
+(** Debug gate: when set, {!run} sort-checks every plan (and the pattern
+    graphs inside it) with {!Xqp_analysis.Lint.check_plan} against the
+    actual kinds of the context nodes before dispatching, and raises
+    {!Ill_sorted} instead of executing an ill-formed plan. Initialized
+    from the [XQP_VERIFY_PLANS] environment variable ([1]/[true]/[yes]). *)
+
+exception Ill_sorted of string
+(** Raised by {!run} under {!verify_plans}; the message is the rendered
+    diagnostic report. *)
+
 val doc : t -> Xqp_xml.Document.t
 val store : t -> Xqp_storage.Succinct_store.t
 val statistics : t -> Statistics.t

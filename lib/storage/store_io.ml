@@ -213,6 +213,16 @@ let read_layout_from read_i64 ~path ~total_size =
   if expected <> total_size then corrupt path "size mismatch";
   layout
 
+(* Layout straight from the header fields, with no consistency checks:
+   the fsck pass wants to address sections of a possibly-corrupt file and
+   report every inconsistency itself rather than fail on the first. *)
+let layout_of_header ~read_i64 =
+  layout_of_fields ~node_count:(read_i64 16) ~tag_width:(read_i64 24)
+    ~structure_bit_len:(read_i64 32) ~structure_byte_len:(read_i64 40)
+    ~flags_bit_len:(read_i64 48) ~flags_byte_len:(read_i64 56) ~symbol_count:(read_i64 64)
+    ~symbol_blob_len:(read_i64 72) ~content_count:(read_i64 80) ~content_blob_len:(read_i64 88)
+    ~dir_block_count:(read_i64 96) ~flag_sample_count:(read_i64 104)
+
 let sign16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
 
 (* Decode the serialized per-block excess directory through an arbitrary

@@ -53,6 +53,12 @@ type layout = {
 
 val header_bytes : int
 
+val layout_of_header : read_i64:(int -> int) -> layout
+(** Compute the section directory straight from the 12 header fields
+    ([read_i64] takes an absolute file offset), with {e no} consistency
+    checks — for readers like the fsck pass that report inconsistencies
+    themselves instead of failing on the first. *)
+
 val read_dir_blocks :
   get_byte:(int -> int) -> dir_off:int -> dir_block_count:int -> Excess_dir.blocks
 (** Decode the serialized structure excess directory through an arbitrary

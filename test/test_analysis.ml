@@ -1,0 +1,432 @@
+(* Tests for xqp_analysis: the plan sort-checker, the pattern-graph
+   validator and the .xqdb fsck — plus the acceptance gates for the lint
+   pipeline: [verified_optimize] must accept every workload query and
+   every random checker-accepted plan, and the fsck must flag each
+   corruption class with a distinct code. *)
+
+open Xqp_xml
+open Xqp_storage
+open Xqp_algebra
+open Xqp_analysis
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let qcheck = QCheck_alcotest.to_alcotest
+
+let codes ds = List.sort_uniq compare (List.map (fun d -> d.Diagnostic.code) ds)
+let error_codes ds = codes (Diagnostic.errors ds)
+
+let report ds = Format.asprintf "%a" Diagnostic.pp_report ds
+
+(* ------------------------------------------------------------------ *)
+(* Random logical plans                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Unconstrained random plans: any axis, any test, value / positional /
+   existential predicates, unions. Many are deliberately ill-sorted
+   (steps below text(), attribute-of-attribute, positions < 1, ...) —
+   the properties below are conditional on the checker's verdict. *)
+
+let gen_axis =
+  QCheck2.Gen.oneofl
+    Axis.
+      [
+        Self; Child; Descendant; Descendant_or_self; Parent; Ancestor; Ancestor_or_self;
+        Attribute; Following_sibling; Preceding_sibling; Following; Preceding;
+      ]
+
+let gen_test =
+  QCheck2.Gen.(
+    frequency
+      [
+        (5, map (fun t -> Logical_plan.Name t) (oneofl [ "a"; "b"; "c"; "k" ]));
+        (2, return Logical_plan.Any);
+        (1, return Logical_plan.Text_node);
+      ])
+
+let gen_value_pred =
+  QCheck2.Gen.oneofl
+    Pattern_graph.
+      [
+        { comparison = Eq; literal = Str "1" };
+        { comparison = Eq; literal = Num 5.0 };
+        { comparison = Lt; literal = Num 5.0 };
+        { comparison = Ge; literal = Num 7.0 };
+        { comparison = Ne; literal = Str "xy" };
+        { comparison = Contains; literal = Str "ell" };
+      ]
+
+let gen_plan =
+  let open QCheck2.Gen in
+  let gen_step ~pred_depth =
+    let* axis = gen_axis in
+    let* test = gen_test in
+    let* predicates =
+      if pred_depth <= 0 then return []
+      else
+        list_size (int_range 0 2)
+          (frequency
+             [
+               (3, map (fun p -> Logical_plan.Value_pred p) gen_value_pred);
+               (1, map (fun i -> Logical_plan.Position i) (int_range 0 3));
+             ])
+    in
+    return { Logical_plan.axis; test; predicates }
+  in
+  let gen_chain ~base ~pred_depth =
+    let* n = int_range 0 4 in
+    let* steps = list_repeat n (gen_step ~pred_depth) in
+    return (Logical_plan.of_steps ~base steps)
+  in
+  let* base = oneofl [ Logical_plan.Root; Logical_plan.Context ] in
+  let* plan = gen_chain ~base ~pred_depth:1 in
+  (* Sprinkle existential predicates over one random rebuild pass. *)
+  let* with_exists = frequency [ (2, return false); (1, return true) ] in
+  if not with_exists then return plan
+  else
+    let* branch = gen_chain ~base:Logical_plan.Context ~pred_depth:0 in
+    let* union = frequency [ (3, return false); (1, return true) ] in
+    let* extra = gen_step ~pred_depth:0 in
+    let extra =
+      { extra with Logical_plan.predicates = [ Logical_plan.Exists branch ] }
+    in
+    let plan = Logical_plan.Step (plan, extra) in
+    if union then
+      let* other = gen_chain ~base:Logical_plan.Root ~pred_depth:1 in
+      return (Logical_plan.Union (plan, other))
+    else return plan
+
+(* Property: a plan the checker accepts stays accepted through the full
+   rewrite pipeline — R0 and R1/R2 cannot make a well-sorted plan
+   ill-sorted. Runs on 1200 random plans. *)
+let prop_optimize_preserves_acceptance =
+  QCheck2.Test.make ~name:"checker-accepted plans stay accepted after optimize" ~count:1200
+    gen_plan (fun plan ->
+      let before = Lint.check_plan plan in
+      if Diagnostic.has_errors before then true (* premise fails: vacuous *)
+      else begin
+        let optimized, after = Lint.verified_optimize plan in
+        if Diagnostic.has_errors after then
+          QCheck2.Test.fail_reportf "plan %a optimized to %a:@.%s" Logical_plan.pp plan
+            Logical_plan.pp optimized (report after)
+        else true
+      end)
+
+(* Property: plans built from downward, kind-correct step chains — the
+   shape every real translation has — are never rejected, before or
+   after optimization. *)
+let gen_downward_plan =
+  let open QCheck2.Gen in
+  let elt_step =
+    let* axis = oneofl Axis.[ Child; Descendant; Descendant_or_self ] in
+    let* test =
+      frequency
+        [
+          (4, map (fun t -> Logical_plan.Name t) (oneofl [ "a"; "b"; "c" ]));
+          (1, return Logical_plan.Any);
+        ]
+    in
+    let* predicates =
+      list_size (int_range 0 1)
+        (frequency
+           [
+             (3, map (fun p -> Logical_plan.Value_pred p) gen_value_pred);
+             (1, map (fun i -> Logical_plan.Position i) (int_range 1 3));
+           ])
+    in
+    return { Logical_plan.axis; test; predicates }
+  in
+  let* n = int_range 1 4 in
+  let* steps = list_repeat n elt_step in
+  (* Optionally end on a leaf step: an attribute or a text() selection. *)
+  let* leaf =
+    oneofl
+      [
+        None;
+        Some (Logical_plan.step Axis.Attribute (Logical_plan.Name "k"));
+        Some (Logical_plan.step Axis.Child Logical_plan.Text_node);
+      ]
+  in
+  let steps = match leaf with None -> steps | Some s -> steps @ [ s ] in
+  return (Logical_plan.of_steps ~base:Logical_plan.Root steps)
+
+let prop_downward_plans_accepted =
+  QCheck2.Test.make ~name:"downward step chains are never rejected" ~count:600
+    gen_downward_plan (fun plan ->
+      let _, ds = Lint.verified_optimize ~context:Plan_check.document_context plan in
+      if Diagnostic.has_errors ds then
+        QCheck2.Test.fail_reportf "plan %a:@.%s" Logical_plan.pp plan (report ds)
+      else true)
+
+(* ------------------------------------------------------------------ *)
+(* Workload acceptance: every query verifies at every rewrite stage     *)
+(* ------------------------------------------------------------------ *)
+
+(* Path expressions embedded in an XQuery AST (mirrors the CLI's walk). *)
+let rec plans_of_expr (e : Xqp_xquery.Ast.expr) =
+  let module A = Xqp_xquery.Ast in
+  match e with
+  | A.Path (base, plan) ->
+    let context =
+      match base with
+      | A.From_root -> Plan_check.document_context
+      | A.From_context | A.From_expr _ -> Plan_check.any_node
+    in
+    let sub = match base with A.From_expr sub -> plans_of_expr sub | _ -> [] in
+    sub @ [ (context, plan) ]
+  | A.Literal_int _ | A.Literal_float _ | A.Literal_string _ | A.Doc_root | A.Var _ -> []
+  | A.Sequence es -> List.concat_map plans_of_expr es
+  | A.Flwor f ->
+    List.concat_map
+      (fun (c : A.clause) ->
+        match c with
+        | A.For_clause (_, _, e) | A.Let_clause (_, e) | A.Where_clause e -> plans_of_expr e
+        | A.Order_by keys -> List.concat_map (fun (e, _) -> plans_of_expr e) keys)
+      f.A.clauses
+    @ plans_of_expr f.A.return_
+  | A.Constructor c -> plans_of_constructor c
+  | A.Binop (_, a, b) -> plans_of_expr a @ plans_of_expr b
+  | A.If_then_else (a, b, c) -> plans_of_expr a @ plans_of_expr b @ plans_of_expr c
+  | A.Call (_, args) -> List.concat_map plans_of_expr args
+  | A.Quantified (_, binds, body) ->
+    List.concat_map (fun (_, e) -> plans_of_expr e) binds @ plans_of_expr body
+
+and plans_of_constructor (c : Xqp_xquery.Ast.constructor) =
+  let module A = Xqp_xquery.Ast in
+  List.concat_map
+    (fun (_, pieces) ->
+      List.concat_map
+        (function A.Attr_expr e -> plans_of_expr e | A.Attr_text _ -> [])
+        pieces)
+    c.A.attrs
+  @ List.concat_map
+      (function
+        | A.Fixed_text _ -> []
+        | A.Embedded e -> plans_of_expr e
+        | A.Nested nested -> plans_of_constructor nested)
+      c.A.content
+
+let workload_schema =
+  lazy
+    (Schema_info.merge
+       (Schema_info.of_document (Xqp_workload.Gen_auction.packed ~scale:120 ()))
+       (Schema_info.of_document (Xqp_workload.Gen_bib.packed ~books:6 ())))
+
+let test_workload_verifies () =
+  let schema = Lazy.force workload_schema in
+  let failures = ref [] in
+  let check_one id context plan =
+    let _, ds = Lint.verified_optimize ~context ~schema plan in
+    if Diagnostic.has_errors ds then failures := (id, report ds) :: !failures
+  in
+  let xpath_queries =
+    Xqp_workload.Queries.(auction_paths @ auction_complexity_sweep)
+  in
+  List.iter
+    (fun (q : Xqp_workload.Queries.query) ->
+      check_one q.id Plan_check.document_context (Xqp_xpath.Parser.parse q.xpath))
+    xpath_queries;
+  List.iter
+    (fun (id, text) ->
+      List.iteri
+        (fun i (context, plan) -> check_one (Printf.sprintf "%s#%d" id i) context plan)
+        (plans_of_expr (Xqp_xquery.Xq_parser.parse text)))
+    Xqp_workload.Queries.bib_flwor;
+  (match !failures with
+  | [] -> ()
+  | (id, r) :: _ ->
+    Alcotest.failf "%d workload queries rejected; first %s:@.%s" (List.length !failures) id r);
+  check_bool "covered some queries" true (List.length xpath_queries >= 10)
+
+(* ------------------------------------------------------------------ *)
+(* Fusion blockers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let verify_clean plan =
+  let optimized, ds = Lint.verified_optimize ~context:Plan_check.document_context plan in
+  if Diagnostic.has_errors ds then Alcotest.failf "expected clean:@.%s" (report ds);
+  optimized
+
+let test_positional_blocks_fusion () =
+  (* A positional predicate cannot become a pattern vertex: the chain
+     stays navigational and still verifies. *)
+  let plan = Xqp_xpath.Parser.parse "/a[2]/b" in
+  let optimized = verify_clean plan in
+  check_int "no tpm" 0 (Logical_plan.tpm_count optimized)
+
+let test_text_blocks_fusion () =
+  let plan = Xqp_xpath.Parser.parse "/a/text()" in
+  let optimized = verify_clean plan in
+  check_int "no tpm" 0 (Logical_plan.tpm_count optimized)
+
+let test_upward_blocks_fusion () =
+  let plan = Xqp_xpath.Parser.parse "//a/.." in
+  let optimized = verify_clean plan in
+  check_int "no tpm" 0 (Logical_plan.tpm_count optimized)
+
+let test_fusion_resumes_after_blocker () =
+  (* Fusible runs on both sides of a positional step each become a τ;
+     the blocker survives as a navigational step between them. *)
+  let plan = Xqp_xpath.Parser.parse "/a/b/c[2]/d/e" in
+  let optimized = verify_clean plan in
+  check_int "two tpms" 2 (Logical_plan.tpm_count optimized);
+  let has_positional_step =
+    let rec walk = function
+      | Logical_plan.Step (base, s) ->
+        List.exists (function Logical_plan.Position 2 -> true | _ -> false) s.Logical_plan.predicates
+        || walk base
+      | Logical_plan.Tpm (base, _) -> walk base
+      | Logical_plan.Union (a, b) -> walk a || walk b
+      | Logical_plan.Root | Logical_plan.Context -> false
+    in
+    walk optimized
+  in
+  check_bool "positional step survives" true has_positional_step
+
+let test_union_operands_stay_unfused () =
+  (* Each Union operand is optimized independently; blocked operands
+     stay step chains and the union still verifies. *)
+  let plan = Xqp_xpath.Parser.parse "/a[3] | /b/text()" in
+  let optimized = verify_clean plan in
+  (match optimized with
+  | Logical_plan.Union (Logical_plan.Step _, Logical_plan.Step _) -> ()
+  | other -> Alcotest.failf "expected union of steps, got %a" Logical_plan.pp other);
+  check_int "no tpm" 0 (Logical_plan.tpm_count optimized)
+
+(* ------------------------------------------------------------------ *)
+(* fsck corruption classes                                             *)
+(* ------------------------------------------------------------------ *)
+
+let store_image () =
+  let tree =
+    Xml_parser.parse_string
+      {|<r><a k="5">hello</a><b>7</b><a k="9"><c>world</c><c>deep</c></a><b/></r>|}
+  in
+  let store = Succinct_store.of_tree tree in
+  let path = Filename.temp_file "xqp_fsck" ".xqdb" in
+  Store_io.save store path;
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let bytes = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  bytes
+
+let flip image pos bit =
+  let b = Bytes.of_string image in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+  Bytes.to_string b
+
+let test_fsck_clean () =
+  let image = store_image () in
+  let ds = Store_check.check_bytes image in
+  if ds <> [] then Alcotest.failf "expected clean store:@.%s" (report ds)
+
+let test_fsck_flipped_parenthesis () =
+  (* Flip one structure bit: the excess discipline breaks and the
+     serialized block directory no longer matches a fresh scan. *)
+  let image = store_image () in
+  let ds = Store_check.check_bytes (flip image Store_io.header_bytes 1) in
+  let cs = error_codes ds in
+  check_bool "structure errors" true
+    (List.exists (fun c -> String.length c >= 10 && String.sub c 0 10 = "structure/") cs);
+  check_bool "directory mismatch" true (List.mem "directory/mismatch" cs)
+
+let test_fsck_truncated_directory () =
+  (* Drop the trailing bytes (excess directory + flag rank samples):
+     the layout no longer closes on the file size. *)
+  let image = store_image () in
+  let truncated = String.sub image 0 (String.length image - 24) in
+  let ds = Store_check.check_bytes truncated in
+  check_bool "layout/size" true (List.mem "layout/size" (error_codes ds))
+
+let test_fsck_corrupt_rank_sample () =
+  (* The last section is the flag rank samples; corrupting one is caught
+     against the recomputed rank directory. *)
+  let image = store_image () in
+  let ds = Store_check.check_bytes (flip image (String.length image - 4) 0) in
+  check_bool "flags/rank-sample" true (List.mem "flags/rank-sample" (error_codes ds))
+
+let test_fsck_corrupt_content_sample () =
+  (* Corrupt a content offset so a sampled slice lands out of bounds. *)
+  let image = store_image () in
+  let layout =
+    Store_io.layout_of_header ~read_i64:(fun off ->
+        let v = ref 0 in
+        for i = 7 downto 0 do
+          v := (!v lsl 8) lor Char.code image.[off + i]
+        done;
+        !v)
+  in
+  let ds = Store_check.check_bytes (flip image layout.Store_io.content_offsets_off 6) in
+  let cs = error_codes ds in
+  check_bool "content offsets or sample" true
+    (List.mem "contents/offsets" cs || List.mem "contents/sample" cs)
+
+let test_fsck_codes_distinct () =
+  (* The three corruption classes are distinguishable by their codes. *)
+  let image = store_image () in
+  let parens = error_codes (Store_check.check_bytes (flip image Store_io.header_bytes 1)) in
+  let trunc =
+    error_codes (Store_check.check_bytes (String.sub image 0 (String.length image - 24)))
+  in
+  let sample =
+    error_codes (Store_check.check_bytes (flip image (String.length image - 4) 0))
+  in
+  check_bool "parens vs trunc" true (parens <> trunc);
+  check_bool "parens vs sample" true (parens <> sample);
+  check_bool "trunc vs sample" true (trunc <> sample)
+
+(* ------------------------------------------------------------------ *)
+(* Checker unit cases                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_checker_rejects_empty_step () =
+  let plan = Xqp_xpath.Parser.parse "/@k/a" in
+  check_bool "empty step" true (List.mem "sort/empty-step" (error_codes (Lint.check_plan plan)))
+
+let test_checker_rejects_contradiction () =
+  let plan = Xqp_xpath.Parser.parse {|/a[. > 7][. < 3]|} in
+  check_bool "contradiction" true
+    (List.mem "sort/contradiction" (error_codes (Lint.check_plan plan)))
+
+let test_schema_flags_unknown_name () =
+  let schema = Lazy.force workload_schema in
+  let plan = Xqp_xpath.Parser.parse "//nonexistent_tag" in
+  let ds = Lint.check_plan ~context:Plan_check.document_context ~schema plan in
+  check_bool "unknown name warned" true (List.mem "schema/unknown-name" (codes ds));
+  check_bool "still no errors" false (Diagnostic.has_errors ds)
+
+let suite =
+  [
+    ( "analysis",
+      [
+        Alcotest.test_case "workload queries all verify" `Quick test_workload_verifies;
+        Alcotest.test_case "positional predicate blocks fusion" `Quick
+          test_positional_blocks_fusion;
+        Alcotest.test_case "text() blocks fusion" `Quick test_text_blocks_fusion;
+        Alcotest.test_case "upward axis blocks fusion" `Quick test_upward_blocks_fusion;
+        Alcotest.test_case "fusion resumes after a blocker" `Quick
+          test_fusion_resumes_after_blocker;
+        Alcotest.test_case "union operands stay unfused" `Quick
+          test_union_operands_stay_unfused;
+        Alcotest.test_case "checker rejects step below attribute" `Quick
+          test_checker_rejects_empty_step;
+        Alcotest.test_case "checker rejects contradictions" `Quick
+          test_checker_rejects_contradiction;
+        Alcotest.test_case "schema pass warns on unknown names" `Quick
+          test_schema_flags_unknown_name;
+        qcheck prop_optimize_preserves_acceptance;
+        qcheck prop_downward_plans_accepted;
+      ] );
+    ( "analysis fsck",
+      [
+        Alcotest.test_case "fresh store is clean" `Quick test_fsck_clean;
+        Alcotest.test_case "flipped parenthesis bit" `Quick test_fsck_flipped_parenthesis;
+        Alcotest.test_case "truncated trailing directory" `Quick test_fsck_truncated_directory;
+        Alcotest.test_case "corrupt flag rank sample" `Quick test_fsck_corrupt_rank_sample;
+        Alcotest.test_case "corrupt content offsets" `Quick test_fsck_corrupt_content_sample;
+        Alcotest.test_case "corruption classes have distinct codes" `Quick
+          test_fsck_codes_distinct;
+      ] );
+  ]
