@@ -1,4 +1,5 @@
-.PHONY: all build test bench bench-full bench-smoke lint check examples clean smoke
+.PHONY: all build test bench bench-full bench-smoke lint check examples clean smoke \
+	trace-smoke calibrate
 
 all: build
 
@@ -15,9 +16,19 @@ bench-full:
 	dune exec bench/main.exe -- --full
 
 # Quick perf gate: navigation primitives + storage size sweep at the
-# smallest scale; writes BENCH_prim_nav.json for machine consumption.
+# smallest scale; writes BENCH_prim_nav.json (and BENCH_query_metrics.json
+# from the QMET experiment) for machine consumption.
 bench-smoke:
-	dune exec bench/main.exe -- --only=PRIM,E1 --json=BENCH_prim_nav.json
+	dune exec bench/main.exe -- --only=PRIM,E1,QMET --json=BENCH_prim_nav.json
+
+# Observability gate: explain --analyze over every workload query, then
+# validate the exported Chrome trace with scripts/check_trace.
+trace-smoke:
+	./scripts/trace_smoke.sh
+
+# Estimated vs actual cardinality (q-error) per workload query.
+calibrate:
+	dune exec --no-print-directory bin/xqp.exe -- calibrate
 
 # Static checks: rebuild under the stricter `lint` dune profile (key
 # warnings promoted to errors; see the root `dune` file), then run the
@@ -26,7 +37,7 @@ lint:
 	dune build @all --profile lint
 	dune exec --no-print-directory bin/xqp.exe -- lint --workload
 
-check: build test lint bench-smoke
+check: build test lint bench-smoke trace-smoke calibrate
 
 examples:
 	dune exec examples/quickstart.exe

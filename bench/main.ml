@@ -1251,6 +1251,116 @@ let () =
     }
 
 (* ------------------------------------------------------------------ *)
+(* QMET: per-query metrics — spans, pager I/O, pool hit rate           *)
+(* ------------------------------------------------------------------ *)
+
+(* One run of every workload XPath query with tracing on: per-operator
+   rows from the profiler, plus the pager counter deltas for the whole
+   query, into BENCH_query_metrics.json. *)
+let qmet_run ~scale =
+  let module J = Xqp_obs.Json in
+  let doc_scale = match scale with `Small -> 600 | `Full -> 3000 in
+  let doc = Workload.Gen_auction.packed ~scale:doc_scale () in
+  let pager = Xqp_storage.Pager.create () in
+  let exec = Executor.create ~pager doc in
+  let context = [ Operators.document_context ] in
+  let queries = Workload.Queries.auction_paths @ Workload.Queries.auction_complexity_sweep in
+  Printf.printf "  %-4s %-10s %8s %10s %10s %8s %8s\n" "id" "engine" "results" "time(ms)"
+    "pages(lr)" "faults" "hit%";
+  let query_objs =
+    List.map
+      (fun (q : Workload.Queries.query) ->
+        let optimized = Rewrite.optimize (Xqp_xpath.Parser.parse q.Workload.Queries.xpath) in
+        (* timing without tracing, on a warm pool *)
+        let time_ms = ms (measure (fun () -> Executor.run exec optimized ~context)) in
+        (* one traced run for the per-operator rows and I/O counters *)
+        Xqp_storage.Pager.reset_stats pager;
+        let result, rows = Profile.analyze exec optimized ~context in
+        let ps = Xqp_storage.Pager.stats pager in
+        let touches =
+          ps.Xqp_storage.Pager.logical_reads + ps.Xqp_storage.Pager.logical_writes
+        in
+        let hit_rate =
+          if touches = 0 then 1.0
+          else float_of_int ps.Xqp_storage.Pager.hits /. float_of_int touches
+        in
+        let engine =
+          match List.find_map (fun (r : Profile.row) -> r.Profile.engine) rows with
+          | Some e -> e
+          | None -> "navigation"
+        in
+        Printf.printf "  %-4s %-10s %8d %10.3f %10d %8d %7.1f%%\n" q.Workload.Queries.id engine
+          (List.length result) time_ms ps.Xqp_storage.Pager.logical_reads
+          ps.Xqp_storage.Pager.physical_reads (100.0 *. hit_rate);
+        let row_obj (r : Profile.row) =
+          J.Obj
+            ([
+               ("path", J.Str r.Profile.path);
+               ("op", J.Str r.Profile.op);
+               ("est_rows", J.Num r.Profile.est_rows);
+             ]
+            @ (match r.Profile.engine with Some e -> [ ("engine", J.Str e) ] | None -> [])
+            @ (match r.Profile.actual_rows with
+              | Some n -> [ ("actual_rows", J.Num (float_of_int n)) ]
+              | None -> [])
+            @ (match r.Profile.time_ms with Some t -> [ ("time_ms", J.Num t) ] | None -> [])
+            @
+            match r.Profile.io with
+            | [] -> []
+            | io ->
+              [ ("io", J.Obj (List.map (fun (k, v) -> (k, J.Num (float_of_int v))) io)) ])
+        in
+        J.Obj
+          [
+            ("id", J.Str q.Workload.Queries.id);
+            ("xpath", J.Str q.Workload.Queries.xpath);
+            ("engine", J.Str engine);
+            ("results", J.Num (float_of_int (List.length result)));
+            ("time_ms", J.Num time_ms);
+            ( "pager",
+              J.Obj
+                [
+                  ("logical_reads", J.Num (float_of_int ps.Xqp_storage.Pager.logical_reads));
+                  ("physical_reads", J.Num (float_of_int ps.Xqp_storage.Pager.physical_reads));
+                  ("hits", J.Num (float_of_int ps.Xqp_storage.Pager.hits));
+                  ("hit_rate", J.Num hit_rate);
+                ] );
+            ("operators", J.Arr (List.map row_obj rows));
+          ])
+      queries
+  in
+  let out =
+    J.Obj
+      [
+        ("bench", J.Str "query_metrics");
+        ("document", J.Str (Printf.sprintf "auction:%d" doc_scale));
+        ("queries", J.Arr query_objs);
+      ]
+  in
+  let path = "BENCH_query_metrics.json" in
+  let oc = open_out path in
+  output_string oc (J.to_string ~pretty:true out);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  wrote %s\n" path
+
+let () =
+  register
+    {
+      id = "QMET";
+      title = "QMET: per-query operator spans, pager I/O and pool hit rate";
+      run = qmet_run;
+      bechamel =
+        (fun () ->
+          let doc = Workload.Gen_auction.packed ~scale:600 () in
+          let exec = Executor.create doc in
+          let plan = Rewrite.optimize (Xqp_xpath.Parser.parse "//person[profile/@income > 60000]/name") in
+          Bechamel.Test.make ~name:"QMET-analyze"
+            (Bechamel.Staged.stage (fun () ->
+                 ignore (Profile.analyze exec plan ~context:[ Operators.document_context ]))));
+    }
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel runner                                                     *)
 (* ------------------------------------------------------------------ *)
 

@@ -100,14 +100,26 @@ let query_cmd =
 
 (* --- explain ----------------------------------------------------------- *)
 
-let run_explain file gen query =
-  let doc = load_document ~file ~gen in
-  let exec = Executor.create doc in
+(* XPath queries of the built-in workload (the FLWOR suite is XQuery and
+   has no single plan to explain). *)
+let workload_xpath_queries () =
+  List.map
+    (fun (q : Xqp_workload.Queries.query) -> (q.Xqp_workload.Queries.id, q.Xqp_workload.Queries.xpath))
+    (Xqp_workload.Queries.auction_paths @ Xqp_workload.Queries.auction_complexity_sweep)
+
+let explain_one exec ~analyze ~rewrites query =
   let plan = Xqp_xpath.Parser.parse query in
   let simplified = Rewrite.simplify plan in
-  let optimized = Rewrite.optimize plan in
+  let optimized, fires = Rewrite.optimize_traced plan in
   Format.printf "parsed plan:     %a@." Logical_plan.pp simplified;
   Format.printf "optimized plan:  %a@." Logical_plan.pp optimized;
+  if rewrites then begin
+    if fires = [] then Format.printf "rewrites:        (no rule fired)@."
+    else begin
+      Format.printf "rewrites:@.";
+      List.iter (fun f -> Format.printf "  %a@." Rewrite.pp_rule_fire f) fires
+    end
+  end;
   (match optimized with
   | Logical_plan.Tpm (_, pattern) ->
     Format.printf "pattern graph:   %a@." Pattern_graph.pp pattern;
@@ -124,15 +136,164 @@ let run_explain file gen query =
     Format.printf "chosen engine:   %s@."
       (Cost_model.engine_name (Cost_model.choose stats pattern))
   | _ -> Format.printf "(plan is not a single pattern; steps run navigationally)@.");
-  let t0 = Sys.time () in
-  let result = Executor.query exec query in
-  Format.printf "result:          %d nodes in %.1f ms@." (List.length result)
-    ((Sys.time () -. t0) *. 1000.0);
+  let context = [ Operators.document_context ] in
+  if analyze then begin
+    let t0 = Sys.time () in
+    let result, rows = Profile.analyze exec optimized ~context in
+    let elapsed_ms = (Sys.time () -. t0) *. 1000.0 in
+    Format.printf "operators:@.%a" Profile.pp_table rows;
+    Format.printf "result:          %d nodes in %.1f ms@." (List.length result) elapsed_ms;
+    result
+  end
+  else begin
+    let rows = Profile.rows_of_plan (Executor.statistics exec) optimized in
+    Format.printf "operators:@.%a" Profile.pp_table rows;
+    let t0 = Sys.time () in
+    let result = Executor.run exec optimized ~context in
+    Format.printf "result:          %d nodes in %.1f ms@." (List.length result)
+      ((Sys.time () -. t0) *. 1000.0);
+    result
+  end
+
+let run_explain file gen analyze rewrites trace_out workload query =
+  let doc = load_document ~file ~gen in
+  (* Attach a pager so the simulated-I/O counters are live under
+     --analyze; plain explain never forces the store. *)
+  let pager = Xqp_storage.Pager.create () in
+  let exec = Executor.create ~pager doc in
+  let queries =
+    match (workload, query) with
+    | true, None -> workload_xpath_queries ()
+    | false, Some q -> [ ("query", q) ]
+    | true, Some _ -> failwith "give either a QUERY or --workload, not both"
+    | false, None -> failwith "a query is required (or use --workload)"
+  in
+  let all_events = ref [] in
+  (* Each analyzed query restarts the tracer epoch, so ids and timestamps
+     begin at 0 again; shift every batch past the previous one so the
+     concatenated export still has unique ids and disjoint intervals. *)
+  let next_id = ref 0 and next_t = ref 0.0 in
+  let append_events () =
+    let module Tr = Xqp_obs.Trace in
+    let events = Tr.events Tr.default in
+    let base_id = !next_id and base_t = !next_t in
+    let shifted =
+      List.map
+        (fun (e : Tr.event) ->
+          {
+            e with
+            Tr.id = e.Tr.id + base_id;
+            parent = (if e.Tr.parent = -1 then -1 else e.Tr.parent + base_id);
+            t0 = e.Tr.t0 +. base_t;
+            t1 = e.Tr.t1 +. base_t;
+          })
+        events
+    in
+    List.iter
+      (fun (e : Tr.event) ->
+        if e.Tr.id >= !next_id then next_id := e.Tr.id + 1;
+        if e.Tr.t1 > !next_t then next_t := e.Tr.t1)
+      shifted;
+    all_events := !all_events @ shifted
+  in
+  List.iteri
+    (fun i (id, q) ->
+      if i > 0 then Format.printf "@.";
+      if List.length queries > 1 then Format.printf "=== %s: %s@." id q;
+      ignore (explain_one exec ~analyze ~rewrites q);
+      if analyze && trace_out <> None then append_events ())
+    queries;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    if not analyze then failwith "--trace-out requires --analyze";
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Xqp_obs.Export.to_chrome_json !all_events));
+    Format.printf "trace:           wrote %s (%d spans)@." path (List.length !all_events));
   0
 
 let explain_cmd =
-  let term = Term.(const run_explain $ file_arg $ gen_arg $ query_arg) in
-  Cmd.v (Cmd.info "explain" ~doc:"Show plans, rewriting, partition and cost estimates") term
+  let analyze =
+    Arg.(value & flag
+         & info [ "analyze" ]
+             ~doc:"Execute the plan with tracing and show actual per-operator cardinality, \
+                   time and I/O next to the estimates.")
+  in
+  let rewrites =
+    Arg.(value & flag
+         & info [ "rewrites" ] ~doc:"Show each rewrite rule that fired (stage, rule, operator counts).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"With --analyze: write the recorded spans as Chrome trace_event JSON \
+                   (load in chrome://tracing or Perfetto).")
+  in
+  let workload =
+    Arg.(value & flag
+         & info [ "workload" ] ~doc:"Explain every XPath query of the built-in workload suite.")
+  in
+  let query =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"The query text.")
+  in
+  let term =
+    Term.(const run_explain $ file_arg $ gen_arg $ analyze $ rewrites $ trace_out $ workload $ query)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show plans, rewriting, partition, cost estimates and (with --analyze) measured \
+             per-operator cardinality, time and I/O")
+    term
+
+(* --- calibrate ---------------------------------------------------------- *)
+
+let run_calibrate file gen threshold =
+  let doc =
+    match (file, gen) with
+    | None, None -> Xqp_workload.Gen_auction.packed ~scale:600 ()
+    | _ -> load_document ~file ~gen
+  in
+  let exec = Executor.create doc in
+  let stats = Executor.statistics exec in
+  let rows =
+    List.map
+      (fun (id, xpath) ->
+        let optimized = Rewrite.optimize (Xqp_xpath.Parser.parse xpath) in
+        let est = Cost_model.estimate_plan stats optimized in
+        let actual = List.length (Executor.run exec optimized ~context:[ Operators.document_context ]) in
+        (* q-error: multiplicative distance between estimate and truth,
+           with both sides floored at 1 so empty results stay finite *)
+        let q_error =
+          let e = Float.max 1.0 est and a = Float.max 1.0 (float_of_int actual) in
+          Float.max (e /. a) (a /. e)
+        in
+        (id, xpath, est, actual, q_error))
+      (workload_xpath_queries ())
+  in
+  Format.printf "%-4s  %10s  %8s  %8s  %s@." "id" "est" "actual" "q-error" "";
+  let flagged = ref 0 in
+  List.iter
+    (fun (id, _, est, actual, q) ->
+      let flag = if q > threshold then Printf.sprintf "  <-- q-error > %.0f" threshold else "" in
+      if q > threshold then incr flagged;
+      Format.printf "%-4s  %10.1f  %8d  %8.2f%s@." id est actual q flag)
+    rows;
+  let worst = List.fold_left (fun acc (_, _, _, _, q) -> Float.max acc q) 1.0 rows in
+  Format.printf "%d queries, %d flagged (q-error > %.0f), worst q-error %.2f@."
+    (List.length rows) !flagged threshold worst;
+  0
+
+let calibrate_cmd =
+  let threshold =
+    Arg.(value & opt float 10.0
+         & info [ "threshold" ] ~docv:"Q" ~doc:"Flag queries whose q-error exceeds $(docv).")
+  in
+  let term = Term.(const run_calibrate $ file_arg $ gen_arg $ threshold) in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Compare the cost model's estimated cardinality with actual results over the \
+             workload queries (q-error per query; default document auction:600)")
+    term
 
 (* --- stats ------------------------------------------------------------- *)
 
@@ -347,17 +508,26 @@ let workload_schema () =
     (Analysis.Schema_info.of_document (Xqp_workload.Gen_auction.packed ~scale:600 ()))
     (Analysis.Schema_info.of_document (Xqp_workload.Gen_bib.packed ~books:8 ()))
 
-let lint_one ~schema ~strict label kind text =
-  let diags =
+let lint_one ~schema ~strict ~verbose label kind text =
+  let plans =
     match kind with
     | `Xpath ->
-      let plan = Xqp_xpath.Parser.parse text in
-      snd (Analysis.Lint.verified_optimize ~context:Analysis.Plan_check.document_context ~schema plan)
-    | `Xquery ->
-      let ast = Xqp_xquery.Xq_parser.parse text in
-      List.concat_map
-        (fun (context, plan) -> snd (Analysis.Lint.verified_optimize ~context ~schema plan))
-        (plans_of_expr ast)
+      [ (Analysis.Plan_check.document_context, Xqp_xpath.Parser.parse text) ]
+    | `Xquery -> plans_of_expr (Xqp_xquery.Xq_parser.parse text)
+  in
+  if verbose then begin
+    Format.printf "%s: %s@." label text;
+    List.iter
+      (fun (_, plan) ->
+        let _, fires = Rewrite.optimize_traced plan in
+        if fires = [] then Format.printf "  (no rewrite rule fired)@."
+        else List.iter (fun f -> Format.printf "  %a@." Rewrite.pp_rule_fire f) fires)
+      plans
+  end;
+  let diags =
+    List.concat_map
+      (fun (context, plan) -> snd (Analysis.Lint.verified_optimize ~context ~schema plan))
+      plans
   in
   (* verified_optimize checks the same plan at three rule stages; collapse
      repeats of one finding so the report stays readable *)
@@ -379,7 +549,7 @@ let lint_one ~schema ~strict label kind text =
   end;
   Analysis.Lint.acceptable ~strict diags
 
-let run_lint strict xquery_mode workload queries =
+let run_lint strict verbose xquery_mode workload queries =
   let schema = workload_schema () in
   let ok = ref true in
   let catching label text f =
@@ -401,12 +571,13 @@ let run_lint strict xquery_mode workload queries =
       (fun (q : Xqp_workload.Queries.query) ->
         incr checked;
         catching q.Xqp_workload.Queries.id q.Xqp_workload.Queries.xpath (fun () ->
-            lint_one ~schema ~strict q.Xqp_workload.Queries.id `Xpath q.Xqp_workload.Queries.xpath))
+            lint_one ~schema ~strict ~verbose q.Xqp_workload.Queries.id `Xpath
+              q.Xqp_workload.Queries.xpath))
       (Xqp_workload.Queries.auction_paths @ Xqp_workload.Queries.auction_complexity_sweep);
     List.iter
       (fun (id, text) ->
         incr checked;
-        catching id text (fun () -> lint_one ~schema ~strict id `Xquery text))
+        catching id text (fun () -> lint_one ~schema ~strict ~verbose id `Xquery text))
       Xqp_workload.Queries.bib_flwor
   end;
   List.iteri
@@ -414,7 +585,7 @@ let run_lint strict xquery_mode workload queries =
       incr checked;
       let label = Printf.sprintf "query %d" (i + 1) in
       catching label text (fun () ->
-          lint_one ~schema ~strict label (if xquery_mode then `Xquery else `Xpath) text))
+          lint_one ~schema ~strict ~verbose label (if xquery_mode then `Xquery else `Xpath) text))
     queries;
   if !checked = 0 then begin
     Format.printf "nothing to lint: give queries or --workload@.";
@@ -432,6 +603,11 @@ let lint_cmd =
   let strict =
     Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings (e.g. schema emptiness) as fatal.")
   in
+  let verbose =
+    Arg.(value & flag
+         & info [ "v"; "verbose" ]
+             ~doc:"Also print the rewrite trace (which rules fired) for every query.")
+  in
   let xquery_flag =
     Arg.(value & flag & info [ "x"; "xquery" ] ~doc:"Treat the queries as XQuery instead of XPath.")
   in
@@ -439,7 +615,7 @@ let lint_cmd =
     Arg.(value & flag & info [ "workload" ] ~doc:"Lint every query in the built-in workload suite.")
   in
   let queries = Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc:"Queries to check.") in
-  let term = Term.(const run_lint $ strict $ xquery_flag $ workload $ queries) in
+  let term = Term.(const run_lint $ strict $ verbose $ xquery_flag $ workload $ queries) in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
@@ -506,8 +682,8 @@ let () =
   let group =
     Cmd.group ~default info
       [
-        query_cmd; explain_cmd; stats_cmd; generate_cmd; index_cmd; pages_cmd; repl_cmd;
-        validate_cmd; lint_cmd; fsck_cmd;
+        query_cmd; explain_cmd; calibrate_cmd; stats_cmd; generate_cmd; index_cmd; pages_cmd;
+        repl_cmd; validate_cmd; lint_cmd; fsck_cmd;
       ]
   in
   exit (Cmd.eval' group)

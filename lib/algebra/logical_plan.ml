@@ -86,6 +86,13 @@ and pp ppf = function
     Format.fprintf ppf "tpm(%a)" Pattern_graph.pp pattern
   | Union (a, b) -> Format.fprintf ppf "(%a | %a)" pp a pp b
 
+let op_label = function
+  | Root -> "root"
+  | Context -> "context"
+  | Union _ -> "union"
+  | Tpm (_, pattern) -> Format.asprintf "tau(%dv)" (Pattern_graph.vertex_count pattern)
+  | Step (_, s) -> Format.asprintf "step %a" pp_step s
+
 let rec equal a b =
   match (a, b) with
   | Root, Root | Context, Context -> true

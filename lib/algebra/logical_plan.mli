@@ -40,5 +40,11 @@ val size : t -> int
 (** Number of operators (steps and τ nodes). *)
 
 val tpm_count : t -> int
+
+val op_label : t -> string
+(** Short label for the plan's {e top} operator only (["root"],
+    ["step /name"], ["tau(3v)"], ["union"]) — used as the span name and
+    profile-row label for that operator. *)
+
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool

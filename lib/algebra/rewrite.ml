@@ -1,6 +1,41 @@
 module Lp = Logical_plan
 module Pg = Pattern_graph
 
+(* --- rewrite tracing -------------------------------------------------- *)
+
+type rule_fire = { stage : string; rule : string; before_ops : int; after_ops : int }
+
+(* Operator count of a plan fragment, predicates included — the
+   before/after sizes a rule fire reports. *)
+let rec op_count plan =
+  match (plan : Lp.t) with
+  | Lp.Root | Lp.Context -> 1
+  | Lp.Union (a, b) -> 1 + op_count a + op_count b
+  | Lp.Tpm (base, _) -> 1 + op_count base
+  | Lp.Step (base, s) ->
+    1 + op_count base
+    + List.fold_left
+        (fun acc p -> match p with Lp.Exists sub -> acc + op_count sub | _ -> acc)
+        0 s.Lp.predicates
+
+(* The collector is installed only by the [*_traced] entry points, so the
+   plain [simplify]/[fuse]/[optimize] pay one ref read per rule site. *)
+let collector : rule_fire list ref option ref = ref None
+
+let fire stage rule ~before ~after =
+  match !collector with
+  | None -> ()
+  | Some fires ->
+    fires :=
+      { stage; rule; before_ops = op_count before; after_ops = op_count after } :: !fires
+
+let collect_fires f =
+  let fires = ref [] in
+  let saved = !collector in
+  collector := Some fires;
+  Fun.protect ~finally:(fun () -> collector := saved) f |> fun result ->
+  (result, List.rev !fires)
+
 (* --- R0: axis normalization ----------------------------------------- *)
 
 let rec simplify plan =
@@ -15,7 +50,9 @@ let rec simplify plan =
     (* descendant-or-self::* / child::T  ==>  descendant::T *)
     | ( Lp.Step (inner, { axis = Axis.Descendant_or_self; test = Lp.Any; predicates = [] }),
         { axis = Axis.Child; test; predicates } ) ->
-      Lp.Step (inner, { Lp.axis = Axis.Descendant; test; predicates })
+      let result = Lp.Step (inner, { Lp.axis = Axis.Descendant; test; predicates }) in
+      fire "simplify" "collapse-desc-or-self-child" ~before:(Lp.Step (base, s)) ~after:result;
+      result
     | ( Lp.Step (inner, { axis = Axis.Descendant_or_self; test = Lp.Any; predicates = [] }),
         { axis = Axis.Attribute; test; predicates } ) ->
       (* //@a: any attribute of any descendant-or-self element *)
@@ -23,7 +60,9 @@ let rec simplify plan =
         ( Lp.Step (inner, { Lp.axis = Axis.Descendant_or_self; test = Lp.Any; predicates = [] }),
           { Lp.axis = Axis.Attribute; test; predicates } )
     (* self::* with no predicates is the identity *)
-    | base, { axis = Axis.Self; test = Lp.Any; predicates = [] } -> base
+    | base, { axis = Axis.Self; test = Lp.Any; predicates = [] } ->
+      fire "simplify" "drop-self-any" ~before:(Lp.Step (base, s)) ~after:base;
+      base
     | base, s -> Lp.Step (base, s))
 
 and simplify_predicate = function
@@ -141,7 +180,10 @@ let rec fuse plan =
       in
       if List.length run >= 2 || has_branch then
         match pattern_of_steps run with
-        | Some pg -> Lp.Tpm (base, pg)
+        | Some pg ->
+          let result = Lp.Tpm (base, pg) in
+          fire "fuse" "fuse-steps-into-tau" ~before:(Lp.of_steps ~base run) ~after:result;
+          result
         | None -> Lp.of_steps ~base run
       else Lp.of_steps ~base run
     in
@@ -165,3 +207,9 @@ and fuse_predicate = function
   | (Lp.Value_pred _ | Lp.Position _) as p -> p
 
 let optimize plan = fuse (simplify plan)
+
+let simplify_traced plan = collect_fires (fun () -> simplify plan)
+let optimize_traced plan = collect_fires (fun () -> optimize plan)
+
+let pp_rule_fire ppf f =
+  Format.fprintf ppf "[%s] %-28s %d -> %d ops" f.stage f.rule f.before_ops f.after_ops

@@ -18,6 +18,30 @@ val simplify : Logical_plan.t -> Logical_plan.t
 val fuse : Logical_plan.t -> Logical_plan.t
 val optimize : Logical_plan.t -> Logical_plan.t
 
+(** {2 Rewrite tracing}
+
+    Each rule application records the stage it fired in ([simplify] or
+    [fuse]), the rule name, and the operator count of the rewritten
+    fragment before and after. Tracing costs one ref read per rule site
+    when off; the traced entry points produce identical plans. *)
+
+type rule_fire = {
+  stage : string;        (** ["simplify"] or ["fuse"] *)
+  rule : string;         (** e.g. ["fuse-steps-into-tau"] *)
+  before_ops : int;      (** operator count of the fragment rewritten *)
+  after_ops : int;       (** operator count of the replacement *)
+}
+
+val simplify_traced : Logical_plan.t -> Logical_plan.t * rule_fire list
+val optimize_traced : Logical_plan.t -> Logical_plan.t * rule_fire list
+(** Same result as {!simplify}/{!optimize}, plus the rule fires in
+    application order. *)
+
+val op_count : Logical_plan.t -> int
+(** Number of plan operators, counting nested existential predicates. *)
+
+val pp_rule_fire : Format.formatter -> rule_fire -> unit
+
 val pattern_of_steps : Logical_plan.step list -> Pattern_graph.t option
 (** Build the pattern graph for a fusible step chain ([None] when some
     step cannot be expressed as a pattern vertex: non-downward axis,

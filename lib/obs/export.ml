@@ -1,0 +1,144 @@
+let value_to_string = function
+  | Trace.Int i -> string_of_int i
+  | Trace.Float f -> Printf.sprintf "%g" f
+  | Trace.Str s -> s
+  | Trace.Bool b -> string_of_bool b
+
+(* --- profile tree ------------------------------------------------------ *)
+
+let pp_profile_tree ppf events =
+  List.iter
+    (fun (e : Trace.event) ->
+      let attrs =
+        String.concat " "
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (value_to_string v)) e.Trace.attrs)
+      in
+      Format.fprintf ppf "%10.3fms  %s%s%s%s@."
+        (Trace.duration_us e /. 1000.0)
+        (String.make (2 * e.Trace.depth) ' ')
+        e.Trace.name
+        (if attrs = "" then "" else "  ")
+        attrs)
+    events
+
+(* --- Chrome trace_event ------------------------------------------------ *)
+
+let value_to_json = function
+  | Trace.Int i -> Json.Num (float_of_int i)
+  | Trace.Float f -> Json.Num f
+  | Trace.Str s -> Json.Str s
+  | Trace.Bool b -> Json.Bool b
+
+let json_to_value = function
+  | Json.Num f -> if Float.is_integer f then Trace.Int (int_of_float f) else Trace.Float f
+  | Json.Str s -> Trace.Str s
+  | Json.Bool b -> Trace.Bool b
+  | Json.Null | Json.Arr _ | Json.Obj _ -> Trace.Str "?"
+
+let to_chrome_json ?(process_name = "xqp") events =
+  let metadata =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Num 1.0);
+        ("tid", Json.Num 1.0);
+        ("args", Json.Obj [ ("name", Json.Str process_name) ]);
+      ]
+  in
+  let of_event (e : Trace.event) =
+    Json.Obj
+      [
+        ("name", Json.Str e.Trace.name);
+        ("cat", Json.Str "xqp");
+        ("ph", Json.Str "X");
+        ("ts", Json.Num (e.Trace.t0 *. 1e6));
+        ("dur", Json.Num (Trace.duration_us e));
+        ("pid", Json.Num 1.0);
+        ("tid", Json.Num 1.0);
+        ( "args",
+          Json.Obj
+            ([
+               ("span_id", Json.Num (float_of_int e.Trace.id));
+               ("span_parent", Json.Num (float_of_int e.Trace.parent));
+               ("span_depth", Json.Num (float_of_int e.Trace.depth));
+             ]
+            @ List.map (fun (k, v) -> (k, value_to_json v)) e.Trace.attrs) );
+      ]
+  in
+  Json.to_string ~pretty:true
+    (Json.Obj
+       [
+         ("traceEvents", Json.Arr (metadata :: List.map of_event events));
+         ("displayTimeUnit", Json.Str "ms");
+       ])
+
+let of_chrome_json text =
+  let root = Json.parse text in
+  let entries =
+    match Option.bind (Json.member "traceEvents" root) Json.to_arr with
+    | Some entries -> entries
+    | None -> failwith "Export.of_chrome_json: no traceEvents array"
+  in
+  let field name entry = Json.member name entry in
+  let num name entry =
+    match Option.bind (field name entry) Json.to_num with
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "Export.of_chrome_json: missing numeric %s" name)
+  in
+  let events =
+    List.filter_map
+      (fun entry ->
+        match Option.bind (field "ph" entry) Json.to_str with
+        | Some "X" ->
+          let name =
+            match Option.bind (field "name" entry) Json.to_str with
+            | Some n -> n
+            | None -> failwith "Export.of_chrome_json: event without a name"
+          in
+          let ts = num "ts" entry and dur = num "dur" entry in
+          let args = match field "args" entry with Some (Json.Obj fields) -> fields | _ -> [] in
+          let arg_num key fallback =
+            match List.assoc_opt key args with
+            | Some (Json.Num f) -> int_of_float f
+            | _ -> fallback
+          in
+          let attrs =
+            List.filter_map
+              (fun (k, v) ->
+                match k with
+                | "span_id" | "span_parent" | "span_depth" -> None
+                | _ -> Some (k, json_to_value v))
+              args
+          in
+          Some
+            {
+              Trace.id = arg_num "span_id" 0;
+              parent = arg_num "span_parent" (-1);
+              depth = arg_num "span_depth" 0;
+              name;
+              t0 = ts /. 1e6;
+              t1 = (ts +. dur) /. 1e6;
+              attrs;
+            }
+        | _ -> None)
+      entries
+  in
+  List.sort (fun (a : Trace.event) b -> compare a.Trace.id b.Trace.id) events
+
+(* --- TSV --------------------------------------------------------------- *)
+
+let to_tsv events =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "id\tparent\tdepth\tname\tstart_us\tdur_us\tattrs\n";
+  List.iter
+    (fun (e : Trace.event) ->
+      let attrs =
+        String.concat ";"
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (value_to_string v)) e.Trace.attrs)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%d\t%d\t%d\t%s\t%.1f\t%.1f\t%s\n" e.Trace.id e.Trace.parent
+           e.Trace.depth e.Trace.name (e.Trace.t0 *. 1e6) (Trace.duration_us e) attrs))
+    events;
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Exporters for recorded trace events.
+
+    Three renderings of one {!Trace.events} list:
+
+    - {!pp_profile_tree} — indented human-readable tree (explain/REPL);
+    - {!to_chrome_json} — Chrome [trace_event] format (the JSON Object
+      Format: [{"traceEvents": [...]}] with complete ["ph": "X"] events),
+      loadable in [chrome://tracing] or Perfetto;
+    - {!to_tsv} — one row per span for the bench harness.
+
+    {!of_chrome_json} parses the Chrome export back (the span tree is
+    carried in [args.span_id]/[args.span_parent]/[args.span_depth]), so
+    exports round-trip and the trace checker in [scripts/] can validate
+    files structurally. *)
+
+val pp_profile_tree : Format.formatter -> Trace.event list -> unit
+(** Indented tree, one line per span: duration, name, attributes. *)
+
+val to_chrome_json : ?process_name:string -> Trace.event list -> string
+(** Chrome trace_event JSON ([pid] 1, [tid] 1, timestamps in
+    microseconds since the tracer epoch). [process_name] emits a
+    [process_name] metadata event (default ["xqp"]). *)
+
+val of_chrome_json : string -> Trace.event list
+(** Rebuild events from {!to_chrome_json} output (metadata events are
+    ignored). @raise Json.Parse_error on malformed JSON;
+    @raise Failure on well-formed JSON that is not a trace export. *)
+
+val to_tsv : Trace.event list -> string
+(** Header + one [id, parent, depth, name, start_us, dur_us, attrs] row
+    per event; attributes are packed [k=v] pairs separated by [;]. *)

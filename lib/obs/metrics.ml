@@ -1,0 +1,148 @@
+type counter = { mutable c_value : int }
+type gauge = { mutable g_value : float }
+
+let bucket_count = 64
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array; (* log2 buckets: sample s lands in bucket ⌈log2 s⌉, clamped *)
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { table : (string, metric) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+let default = create ()
+
+let register t name make cast kind_name =
+  match Hashtbl.find_opt t.table name with
+  | Some m -> (
+    match cast m with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Metrics: %s is not a %s" name kind_name))
+  | None ->
+    let v = make () in
+    Hashtbl.add t.table name v;
+    match cast v with Some v -> v | None -> assert false
+
+let counter t name =
+  register t name
+    (fun () -> Counter { c_value = 0 })
+    (function Counter c -> Some c | _ -> None)
+    "counter"
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let value c = c.c_value
+
+let gauge t name =
+  register t name
+    (fun () -> Gauge { g_value = 0.0 })
+    (function Gauge g -> Some g | _ -> None)
+    "gauge"
+
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let histogram t name =
+  register t name
+    (fun () ->
+      Histogram
+        {
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+          h_buckets = Array.make bucket_count 0;
+        })
+    (function Histogram h -> Some h | _ -> None)
+    "histogram"
+
+let bucket_index v =
+  if v <= 1.0 then 0
+  else min (bucket_count - 1) (1 + int_of_float (Float.log2 v |> Float.floor))
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let i = bucket_index v in
+  h.h_buckets.(i) <- h.h_buckets.(i) + 1
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) list;
+}
+
+let summary h =
+  let buckets = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then
+      buckets := (Float.pow 2.0 (float_of_int i), h.h_buckets.(i)) :: !buckets
+  done;
+  { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max; buckets = !buckets }
+
+type reading =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of histogram_summary
+
+let reading_of = function
+  | Counter c -> Counter_v c.c_value
+  | Gauge g -> Gauge_v g.g_value
+  | Histogram h -> Histogram_v (summary h)
+
+let snapshot t =
+  Hashtbl.fold (fun name m acc -> (name, reading_of m) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find t name = Option.map reading_of (Hashtbl.find_opt t.table name)
+
+let reset t =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+        h.h_count <- 0;
+        h.h_sum <- 0.0;
+        h.h_min <- infinity;
+        h.h_max <- neg_infinity;
+        Array.fill h.h_buckets 0 bucket_count 0)
+    t.table
+
+let pp ppf t =
+  List.iter
+    (fun (name, reading) ->
+      match reading with
+      | Counter_v v -> Format.fprintf ppf "%-40s %d@." name v
+      | Gauge_v v -> Format.fprintf ppf "%-40s %g@." name v
+      | Histogram_v s ->
+        Format.fprintf ppf "%-40s count=%d sum=%g min=%g max=%g@." name s.count s.sum
+          (if s.count = 0 then 0.0 else s.min)
+          (if s.count = 0 then 0.0 else s.max))
+    (snapshot t)
+
+let to_tsv t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, reading) ->
+      match reading with
+      | Counter_v v -> Buffer.add_string buf (Printf.sprintf "%s\tcounter\t%d\n" name v)
+      | Gauge_v v -> Buffer.add_string buf (Printf.sprintf "%s\tgauge\t%g\n" name v)
+      | Histogram_v s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s\thistogram\tcount=%d sum=%g min=%g max=%g\n" name s.count s.sum
+             (if s.count = 0 then 0.0 else s.min)
+             (if s.count = 0 then 0.0 else s.max)))
+    (snapshot t);
+  Buffer.contents buf

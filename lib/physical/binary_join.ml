@@ -49,6 +49,12 @@ let candidates ?content_index doc pattern ~context v =
 
 type semijoin_stats = { scanned : int }
 
+module M = Xqp_obs.Metrics
+
+let m_semijoin_scanned = M.counter M.default "engine.binary.semijoin_scanned"
+let m_joins = M.counter M.default "engine.binary.joins"
+let m_intermediate = M.counter M.default "engine.binary.intermediate_tuples"
+
 let match_pattern_with_stats ?content_index doc pattern ~context =
   let n = Pg.vertex_count pattern in
   let cand = Array.init n (fun v -> candidates ?content_index doc pattern ~context v) in
@@ -75,6 +81,7 @@ let match_pattern_with_stats ?content_index doc pattern ~context =
       (Pg.children pattern v)
   in
   reduce_down 0;
+  M.add m_semijoin_scanned !scanned;
   (List.map (fun v -> (v, Array.to_list cand.(v))) (Pg.outputs pattern), { scanned = !scanned })
 
 let match_pattern ?content_index doc pattern ~context =
@@ -166,6 +173,8 @@ let evaluate_with_order doc pattern ~context ~order =
         (v, List.sort_uniq compare nodes))
       (Pg.outputs pattern)
   in
+  M.add m_joins !joins;
+  M.add m_intermediate !intermediate;
   (outputs, { intermediate_tuples = !intermediate; peak_tuples = !peak; joins = !joins })
 
 let default_order pattern =

@@ -37,9 +37,14 @@ let build doc =
   done;
   { tree; indexed = !indexed; dirty_tags }
 
-let lookup_eq t key = List.sort compare (Xqp_storage.Btree.find t.tree key)
+let m_lookups = Xqp_obs.Metrics.counter Xqp_obs.Metrics.default "index.lookups"
+
+let lookup_eq t key =
+  Xqp_obs.Metrics.incr m_lookups;
+  List.sort compare (Xqp_storage.Btree.find t.tree key)
 
 let lookup_range t ?lo ?hi () =
+  Xqp_obs.Metrics.incr m_lookups;
   Xqp_storage.Btree.fold_range t.tree ?lo ?hi (fun acc _ posts -> List.rev_append posts acc) []
   |> List.sort_uniq compare
 

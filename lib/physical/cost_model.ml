@@ -165,6 +165,66 @@ let estimate stats pattern engine =
                      (float_of_int (Statistics.element_count stats) *. 4.0))
       0.0 (vertices pattern)
 
+(* --- plan-level cardinality estimation --------------------------------- *)
+
+module Lp = Xqp_algebra.Logical_plan
+
+(* Estimated output cardinality of each plan operator, the "est" column
+   of [explain]. Steps multiply the base cardinality by the average
+   per-node fan-out of the (axis, test) relation — derived from the same
+   tag-pair statistics the engine chooser uses — capped by the target
+   tag's total count; τ defers to {!Statistics.estimate_result}. *)
+let rec estimate_plan stats ?(context_card = 1.0) plan =
+  let est p = estimate_plan stats ~context_card p in
+  match (plan : Lp.t) with
+  | Lp.Root -> 1.0
+  | Lp.Context -> context_card
+  | Lp.Union (a, b) -> est a +. est b
+  | Lp.Tpm (base, pattern) ->
+    if est base <= 0.0 then 0.0 else Statistics.estimate_result stats pattern
+  | Lp.Step (base, s) ->
+    let base_card = est base in
+    let elements = Float.max 1.0 (float_of_int (Statistics.element_count stats)) in
+    let label_total = function
+      | Lp.Name n -> float_of_int (Statistics.tag_count stats n)
+      | Lp.Any | Lp.Text_node -> elements
+    in
+    let rel_estimate rel =
+      let child =
+        match s.Lp.test with Lp.Name n -> Pg.Tag n | Lp.Any | Lp.Text_node -> Pg.Wildcard
+      in
+      let pairs = Statistics.estimate_rel stats rel ~parent:Pg.Wildcard ~child in
+      Float.min (base_card *. (pairs /. elements)) (label_total s.Lp.test)
+    in
+    let nav =
+      match s.Lp.axis with
+      | Xqp_algebra.Axis.Child -> rel_estimate Pg.Child
+      | Xqp_algebra.Axis.Descendant | Xqp_algebra.Axis.Descendant_or_self ->
+        rel_estimate Pg.Descendant
+      | Xqp_algebra.Axis.Attribute -> rel_estimate Pg.Attribute
+      | Xqp_algebra.Axis.Following_sibling | Xqp_algebra.Axis.Preceding_sibling ->
+        rel_estimate Pg.Following_sibling
+      | Xqp_algebra.Axis.Self -> base_card
+      | Xqp_algebra.Axis.Parent | Xqp_algebra.Axis.Ancestor
+      | Xqp_algebra.Axis.Ancestor_or_self ->
+        base_card
+      | Xqp_algebra.Axis.Following | Xqp_algebra.Axis.Preceding ->
+        Float.min (base_card *. Statistics.avg_fanout stats) (label_total s.Lp.test)
+    in
+    let selectivity =
+      List.fold_left
+        (fun acc p ->
+          match (p : Lp.predicate) with
+          | Lp.Value_pred vp -> acc *. Statistics.predicate_selectivity vp
+          | Lp.Exists _ -> acc *. 0.5
+          | Lp.Position _ -> acc)
+        1.0 s.Lp.predicates
+    in
+    let card = nav *. selectivity in
+    if List.exists (function Lp.Position _ -> true | _ -> false) s.Lp.predicates then
+      Float.min card 1.0
+    else card
+
 let choose stats pattern =
   let supported = List.filter (supports pattern) all_engines in
   match supported with

@@ -25,6 +25,14 @@ val estimate : Statistics.t -> Xqp_algebra.Pattern_graph.t -> engine -> float
 val choose : Statistics.t -> Xqp_algebra.Pattern_graph.t -> engine
 (** Lowest-estimate engine among the supported ones. *)
 
+val estimate_plan :
+  Statistics.t -> ?context_card:float -> Xqp_algebra.Logical_plan.t -> float
+(** Estimated output {e cardinality} (not cost) of a plan's top operator:
+    steps scale the base cardinality by per-arc tag-pair statistics and
+    predicate selectivities, τ uses {!Statistics.estimate_result},
+    [Context] estimates to [context_card] (default 1). The "est" column
+    of [xqp explain] and the baseline of [xqp calibrate]'s q-error. *)
+
 val estimate_join_order :
   Statistics.t -> Xqp_algebra.Pattern_graph.t -> (int * int) list -> float
 (** Estimated cost of a specific binary-join order: Σ per join of (left

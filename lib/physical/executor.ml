@@ -22,10 +22,10 @@ type strategy =
   | Binary_best
   | Auto
 
-let create document =
+let create ?pager document =
   {
     document;
-    store_lazy = lazy (Store.of_document document);
+    store_lazy = lazy (Store.of_document ?pager document);
     stats_lazy = lazy (Statistics.build document);
     engine_cache = Hashtbl.create 16;
     content_index_lazy = lazy (Content_index.build document);
@@ -129,8 +129,36 @@ let steps_of_pattern pattern =
   in
   leading @ build (List.tl spine)
 
-let rec run_pattern t strategy pattern ~context =
+(* Resolve [Auto] to the cost model's choice (cached per pattern); every
+   other strategy is already concrete. *)
+let concrete_strategy t strategy pattern =
   match strategy with
+  | Auto ->
+    let engine =
+      match Hashtbl.find_opt t.engine_cache pattern with
+      | Some engine -> engine
+      | None ->
+        let engine = Cost_model.choose (statistics t) pattern in
+        Hashtbl.add t.engine_cache pattern engine;
+        engine
+    in
+    (match engine with
+    | Cost_model.Naive_nav -> Navigation
+    | Cost_model.Nok_navigation -> Nok
+    | Cost_model.Twig_join -> Twigstack
+    | Cost_model.Binary_joins -> Binary_default)
+  | other -> other
+
+(* The engine that will actually run the pattern, with the PathStack →
+   TwigStack fallback applied — what [explain] and span attributes
+   report. *)
+let effective_strategy t strategy pattern =
+  match concrete_strategy t strategy pattern with
+  | Pathstack when not (Path_stack.supported pattern) -> Twigstack
+  | concrete -> concrete
+
+let run_pattern t strategy pattern ~context =
+  match concrete_strategy t strategy pattern with
   | Reference -> Ops.pattern_match t.document pattern ~context
   | Nok -> Nok.match_pattern t.document (store t) pattern ~context
   | Pathstack ->
@@ -152,23 +180,7 @@ let rec run_pattern t strategy pattern ~context =
     let nodes = Navigation.eval_plan t.document plan ~context in
     let output = match Pg.outputs pattern with v :: _ -> v | [] -> 0 in
     [ (output, nodes) ]
-  | Auto ->
-    let engine =
-      match Hashtbl.find_opt t.engine_cache pattern with
-      | Some engine -> engine
-      | None ->
-        let engine = Cost_model.choose (statistics t) pattern in
-        Hashtbl.add t.engine_cache pattern engine;
-        engine
-    in
-    let concrete =
-      match engine with
-      | Cost_model.Naive_nav -> Navigation
-      | Cost_model.Nok_navigation -> Nok
-      | Cost_model.Twig_join -> Twigstack
-      | Cost_model.Binary_joins -> Binary_default
-    in
-    run_pattern t concrete pattern ~context
+  | Auto -> assert false (* concrete_strategy never returns Auto *)
 
 (* --- debug plan verification ------------------------------------------- *)
 
@@ -207,32 +219,78 @@ let verify t plan ~context =
          (Format.asprintf "plan rejected by the sort checker:@.%a"
             Xqp_analysis.Diagnostic.pp_report diags))
 
+(* --- instrumented plan interpretation ---------------------------------- *)
+
+module Tr = Xqp_obs.Trace
+module M = Xqp_obs.Metrics
+
+(* The storage counters whose per-operator deltas become span attributes
+   (DESIGN.md §7). Registration is get-or-create, so the handles are the
+   same objects the storage layer bumps. *)
+let io_counters =
+  List.map
+    (fun name -> (name, M.counter M.default name))
+    [
+      "pager.logical_reads";
+      "pager.physical_reads";
+      "pager.hits";
+      "pool.requests";
+      "pool.page_faults";
+      "pool.hits";
+    ]
+
 let run t ?(strategy = Auto) plan ~context =
   if !verify_plans then verify t plan ~context;
-  let rec go plan ctx =
-    match (plan : Lp.t) with
-    | Lp.Root -> [ Ops.document_context ]
-    | Lp.Union (a, b) -> List.sort_uniq compare (go a ctx @ go b ctx)
-    | Lp.Context -> List.sort_uniq compare ctx
-    | Lp.Step _ ->
-      (* navigational steps (with recursive handling of nested Tpm bases
-         inside the plan via Navigation's own recursion would bypass the
-         strategy, so unwind manually) *)
-      let rec eval_plan plan =
-        match (plan : Lp.t) with
-        | Lp.Step (base, s) ->
-          let base_nodes = eval_plan base in
-          Navigation.eval_plan t.document (Lp.Step (Lp.Context, s)) ~context:base_nodes
-        | other -> go other ctx
-      in
-      eval_plan plan
-    | Lp.Tpm (base, pattern) -> (
-      let base_nodes = go base ctx in
-      match run_pattern t strategy pattern ~context:base_nodes with
-      | [ (_, nodes) ] -> nodes
-      | several -> List.sort_uniq compare (List.concat_map snd several))
+  let tr = Tr.default in
+  (* One span per plan operator. [path] names the operator's position in
+     the plan tree ("0" = the whole plan, children at "<path>.<i>") with
+     the same scheme as [Profile.rows_of_plan], so --analyze can join
+     estimated and measured rows. When tracing is off this is a bool
+     check and a direct call. *)
+  let instr path plan f =
+    if not (Tr.enabled tr) then f Tr.null_span
+    else begin
+      let before = List.map (fun (_, c) -> M.value c) io_counters in
+      Tr.with_span tr
+        ~attrs:[ ("path", Tr.Str path) ]
+        (Lp.op_label plan)
+        (fun span ->
+          let out = f span in
+          let deltas =
+            List.filter_map
+              (fun ((name, c), v0) ->
+                let d = M.value c - v0 in
+                if d = 0 then None else Some (name, Tr.Int d))
+              (List.combine io_counters before)
+          in
+          Tr.add_attrs span (("out", Tr.Int (List.length out)) :: deltas);
+          out)
+    end
   in
-  go plan context
+  let rec go path plan ctx =
+    instr path plan (fun span ->
+        match (plan : Lp.t) with
+        | Lp.Root -> [ Ops.document_context ]
+        | Lp.Union (a, b) ->
+          List.sort_uniq compare (go (path ^ ".0") a ctx @ go (path ^ ".1") b ctx)
+        | Lp.Context -> List.sort_uniq compare ctx
+        | Lp.Step (base, s) ->
+          let base_nodes = go (path ^ ".0") base ctx in
+          if Tr.enabled tr then Tr.add_attrs span [ ("in", Tr.Int (List.length base_nodes)) ];
+          Navigation.eval_plan t.document (Lp.Step (Lp.Context, s)) ~context:base_nodes
+        | Lp.Tpm (base, pattern) -> (
+          let base_nodes = go (path ^ ".0") base ctx in
+          if Tr.enabled tr then
+            Tr.add_attrs span
+              [
+                ("in", Tr.Int (List.length base_nodes));
+                ("engine", Tr.Str (strategy_name (effective_strategy t strategy pattern)));
+              ];
+          match run_pattern t strategy pattern ~context:base_nodes with
+          | [ (_, nodes) ] -> nodes
+          | several -> List.sort_uniq compare (List.concat_map snd several)))
+  in
+  go "0" plan context
 
 let query t ?(strategy = Auto) ?(optimize = true) path =
   let plan = Xqp_xpath.Parser.parse path in

@@ -18,8 +18,12 @@ type strategy =
   | Binary_best    (** binary joins in the cost-model-chosen order *)
   | Auto           (** cost-model choice per pattern *)
 
-val create : Xqp_xml.Document.t -> t
-(** Store and statistics are built lazily on first use. *)
+val create : ?pager:Xqp_storage.Pager.t -> Xqp_xml.Document.t -> t
+(** Store and statistics are built lazily on first use. When [pager] is
+    given, the succinct store charges its accesses to it, so the
+    simulated I/O counters ([pager.*] in [Xqp_obs.Metrics.default]) are
+    live during execution — [explain --analyze] and the bench harness
+    attach one; the default path stays pager-free. *)
 
 val verify_plans : bool ref
 (** Debug gate: when set, {!run} sort-checks every plan (and the pattern
@@ -44,6 +48,11 @@ val run_pattern :
   t -> strategy -> Xqp_algebra.Pattern_graph.t ->
   context:Xqp_xml.Document.node list -> (int * Xqp_xml.Document.node list) list
 (** Evaluate τ with a specific engine (per-output-vertex sets). *)
+
+val effective_strategy : t -> strategy -> Xqp_algebra.Pattern_graph.t -> strategy
+(** The engine {!run_pattern} will actually use for this pattern: [Auto]
+    resolved through the cost model, and the PathStack → TwigStack
+    fallback applied for unsupported patterns. Never returns [Auto]. *)
 
 val run :
   t -> ?strategy:strategy -> Xqp_algebra.Logical_plan.t ->

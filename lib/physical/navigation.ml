@@ -6,6 +6,11 @@ module Axis = Xqp_algebra.Axis
 
 type stats = { nodes_visited : int; steps_evaluated : int }
 
+module M = Xqp_obs.Metrics
+
+let m_nodes_visited = M.counter M.default "engine.navigation.nodes_visited"
+let m_steps_evaluated = M.counter M.default "engine.navigation.steps_evaluated"
+
 let axis_nodes_all doc axis id =
   if id = Ops.document_context then
     match (axis : Axis.t) with
@@ -123,6 +128,8 @@ let eval_plan_with_stats doc plan ~context =
       List.sort_uniq compare (List.concat_map per_context c)
   in
   let result = go plan context in
+  M.add m_nodes_visited !visited;
+  M.add m_steps_evaluated !steps;
   (result, { nodes_visited = !visited; steps_evaluated = !steps })
 
 let eval_plan doc plan ~context = fst (eval_plan_with_stats doc plan ~context)

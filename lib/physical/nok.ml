@@ -11,6 +11,7 @@ module Memory_store = struct
   type t = Store.t
   type cursor = Store.cursor
 
+  let label = "nok"
   let rank (c : cursor) = c.Store.rank
   let root_cursor store = { Store.pos = Store.root store; rank = 0 }
   let cursor_of_rank = Store.cursor_of_rank

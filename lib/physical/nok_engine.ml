@@ -14,6 +14,10 @@ module type STORE = sig
   type t
   type cursor
 
+  val label : string
+  (** Metric namespace for this store kind: counters are registered as
+      [engine.<label>.*] (e.g. ["nok"], ["nok-paged"]). *)
+
   val rank : cursor -> int
   val root_cursor : t -> cursor
   val cursor_of_rank : t -> int -> cursor
@@ -69,6 +73,12 @@ let predicate_holds_on value pred =
   | Pg.Ge -> ( match compare_result with Some c -> c >= 0 | None -> false)
 
 module Make (S : STORE) = struct
+  module M = Xqp_obs.Metrics
+
+  let m_nodes_visited = M.counter M.default ("engine." ^ S.label ^ ".nodes_visited")
+  let m_fragment_matches = M.counter M.default ("engine." ^ S.label ^ ".fragment_matches")
+  let m_join_pairs = M.counter M.default ("engine." ^ S.label ^ ".join_pairs")
+
   let match_pattern_with_stats doc store pattern ~context =
   let parts = Nok_partition.partition pattern in
   let n = Pg.vertex_count pattern in
@@ -390,6 +400,9 @@ module Make (S : STORE) = struct
         (v, List.sort_uniq compare nodes))
       (Pg.outputs pattern)
   in
+  M.add m_nodes_visited !visited;
+  M.add m_fragment_matches !fragment_matches;
+  M.add m_join_pairs !join_pairs;
   ( outputs,
     { nodes_visited = !visited; fragment_matches = !fragment_matches; join_pairs = !join_pairs } )
 

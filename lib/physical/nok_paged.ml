@@ -10,6 +10,7 @@ module Disk_store = struct
   type t = Paged.t
   type cursor = Paged.cursor
 
+  let label = "nok-paged"
   let rank (c : cursor) = c.Paged.rank
   let root_cursor = Paged.root_cursor
   let cursor_of_rank = Paged.cursor_of_rank

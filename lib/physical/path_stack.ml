@@ -4,6 +4,11 @@ module Ops = Xqp_algebra.Operators
 
 type stats = { pushes : int; emitted : int }
 
+module M = Xqp_obs.Metrics
+
+let m_pushes = M.counter M.default "engine.pathstack.pushes"
+let m_emitted = M.counter M.default "engine.pathstack.emitted"
+
 let chain_of pattern =
   let rec walk v acc =
     match Pg.children pattern v with
@@ -121,6 +126,8 @@ let match_pattern_with_stats doc pattern ~context =
     end;
     cursors.(i) <- cursors.(i) + 1
   done;
+  M.add m_pushes !pushes;
+  M.add m_emitted !emitted;
   ( [ (leaf, List.rev !results) ],
     { pushes = !pushes; emitted = !emitted } )
 

@@ -6,6 +6,10 @@ module Axis = Xqp_algebra.Axis
 
 type stats = { nodes_pulled : int }
 
+module M = Xqp_obs.Metrics
+
+let m_nodes_pulled = M.counter M.default "engine.pipelined.nodes_pulled"
+
 let axis_ok = function
   | Axis.Child | Axis.Descendant | Axis.Descendant_or_self | Axis.Attribute | Axis.Self -> true
   | Axis.Parent | Axis.Ancestor | Axis.Ancestor_or_self | Axis.Following_sibling
@@ -97,6 +101,7 @@ let eval_seq_with_stats doc plan ~context =
     Seq.map
       (fun x ->
         incr pulled;
+        M.incr m_nodes_pulled;
         x)
       seq
   in

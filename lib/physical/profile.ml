@@ -1,0 +1,115 @@
+module Lp = Xqp_algebra.Logical_plan
+module Tr = Xqp_obs.Trace
+
+type row = {
+  path : string;
+  depth : int;
+  op : string;
+  engine : string option;
+  est_rows : float;
+  actual_rows : int option;
+  time_ms : float option;
+  io : (string * int) list;
+}
+
+let rows_of_plan stats ?(context_card = 1) plan =
+  let context_card = float_of_int context_card in
+  let rec walk path depth plan acc =
+    (* children first: rows come out in execution order *)
+    let acc =
+      match (plan : Lp.t) with
+      | Lp.Root | Lp.Context -> acc
+      | Lp.Step (base, _) | Lp.Tpm (base, _) -> walk (path ^ ".0") (depth + 1) base acc
+      | Lp.Union (a, b) ->
+        walk (path ^ ".1") (depth + 1) b (walk (path ^ ".0") (depth + 1) a acc)
+    in
+    let engine =
+      match (plan : Lp.t) with
+      | Lp.Tpm (_, pattern) ->
+        Some (Cost_model.engine_name (Cost_model.choose stats pattern))
+      | Lp.Root | Lp.Context | Lp.Step _ | Lp.Union _ -> None
+    in
+    {
+      path;
+      depth;
+      op = Lp.op_label plan;
+      engine;
+      est_rows = Cost_model.estimate_plan stats ~context_card plan;
+      actual_rows = None;
+      time_ms = None;
+      io = [];
+    }
+    :: acc
+  in
+  List.rev (walk "0" 0 plan [])
+
+let is_io_attr name =
+  String.length name > 5
+  && (String.sub name 0 6 = "pager." || (String.length name > 4 && String.sub name 0 5 = "pool."))
+
+let analyze exec ?strategy plan ~context =
+  let tr = Tr.default in
+  let was_enabled = Tr.enabled tr in
+  Tr.clear tr;
+  Tr.set_enabled tr true;
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Tr.set_enabled tr was_enabled)
+      (fun () -> Executor.run exec ?strategy plan ~context)
+  in
+  let events = Tr.events tr in
+  let by_path = Hashtbl.create 16 in
+  List.iter
+    (fun e -> match Tr.attr_str e "path" with Some p -> Hashtbl.replace by_path p e | None -> ())
+    events;
+  let stats = Executor.statistics exec in
+  let rows =
+    List.map
+      (fun row ->
+        match Hashtbl.find_opt by_path row.path with
+        | None -> row
+        | Some e ->
+          {
+            row with
+            engine = (match Tr.attr_str e "engine" with Some _ as s -> s | None -> row.engine);
+            actual_rows = Tr.attr_int e "out";
+            time_ms = Some (Tr.duration_us e /. 1000.0);
+            io =
+              List.filter_map
+                (fun (name, v) ->
+                  match v with Tr.Int d when is_io_attr name -> Some (name, d) | _ -> None)
+                e.Tr.attrs;
+          })
+      (rows_of_plan stats ~context_card:(List.length context) plan)
+  in
+  (result, rows)
+
+let pp_table ppf rows =
+  let opt_str f = function Some v -> f v | None -> "-" in
+  let io_str io =
+    if io = [] then "-"
+    else String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) io)
+  in
+  let cells =
+    List.map
+      (fun r ->
+        ( String.make (2 * r.depth) ' ' ^ r.op,
+          opt_str Fun.id r.engine,
+          Printf.sprintf "%.1f" r.est_rows,
+          opt_str string_of_int r.actual_rows,
+          opt_str (Printf.sprintf "%.3f") r.time_ms,
+          io_str r.io ))
+      rows
+  in
+  let header = ("operator", "engine", "est", "actual", "ms", "io") in
+  let width f = List.fold_left (fun w row -> max w (String.length (f row))) 0 (header :: cells) in
+  let w1 = width (fun (a, _, _, _, _, _) -> a)
+  and w2 = width (fun (_, b, _, _, _, _) -> b)
+  and w3 = width (fun (_, _, c, _, _, _) -> c)
+  and w4 = width (fun (_, _, _, d, _, _) -> d)
+  and w5 = width (fun (_, _, _, _, e, _) -> e) in
+  let line (a, b, c, d, e, f) =
+    Format.fprintf ppf "%-*s  %-*s  %*s  %*s  %*s  %s@." w1 a w2 b w3 c w4 d w5 e f
+  in
+  line header;
+  List.iter line cells

@@ -1,0 +1,44 @@
+(** Per-operator execution profiles: the machinery behind
+    [xqp explain --analyze].
+
+    A profile is a list of {!row}s, one per plan operator, in execution
+    order (an operator's base precedes it). {!rows_of_plan} produces the
+    static half — operator labels and estimated cardinalities from the
+    cost model; {!analyze} runs the plan under the default tracer and
+    joins the recorded spans onto those rows by operator path, adding
+    actual cardinality, wall-clock time and the I/O counter deltas. *)
+
+type row = {
+  path : string;  (** position in the plan tree: "0" is the whole plan,
+                      children at ["<path>.<i>"] — the same scheme the
+                      executor writes into span [path] attributes *)
+  depth : int;    (** nesting depth (number of dots in [path]) *)
+  op : string;    (** {!Xqp_algebra.Logical_plan.op_label} of the operator *)
+  engine : string option;  (** for τ operators: the engine that ran it *)
+  est_rows : float;        (** cost-model estimate of the output cardinality *)
+  actual_rows : int option;   (** measured output cardinality ({!analyze} only) *)
+  time_ms : float option;     (** inclusive wall-clock time ({!analyze} only) *)
+  io : (string * int) list;   (** nonzero storage-counter deltas, e.g.
+                                  [("pager.logical_reads", 410)] *)
+}
+
+val rows_of_plan :
+  Statistics.t -> ?context_card:int -> Xqp_algebra.Logical_plan.t -> row list
+(** Estimate-only rows in execution order; [engine], [actual_rows],
+    [time_ms] are empty and [io] is [[]]. *)
+
+val analyze :
+  Executor.t ->
+  ?strategy:Executor.strategy ->
+  Xqp_algebra.Logical_plan.t ->
+  context:Xqp_xml.Document.node list ->
+  Xqp_xml.Document.node list * row list
+(** Run the plan with tracing enabled on [Xqp_obs.Trace.default] and
+    return the result nodes plus fully-populated rows. The tracer is
+    cleared first (events recorded earlier are discarded) and its enabled
+    flag restored afterwards; the run's events stay on the tracer until
+    the next clear, so callers can still export them. *)
+
+val pp_table : Format.formatter -> row list -> unit
+(** Render rows as an aligned table (est/actual/time/IO columns are shown
+    only when some row has them). *)

@@ -3,6 +3,18 @@ module Pg = Xqp_algebra.Pattern_graph
 
 type stats = { ancestors_scanned : int; descendants_scanned : int; pairs_emitted : int }
 
+module M = Xqp_obs.Metrics
+
+let m_ancestors = M.counter M.default "engine.structural.ancestors_scanned"
+let m_descendants = M.counter M.default "engine.structural.descendants_scanned"
+let m_pairs = M.counter M.default "engine.structural.pairs_emitted"
+
+let emit_stats (s : stats) =
+  M.add m_ancestors s.ancestors_scanned;
+  M.add m_descendants s.descendants_scanned;
+  M.add m_pairs s.pairs_emitted;
+  s
+
 (* The virtual document node (Operators.document_context = -1) may appear on
    the ancestor side: it spans the whole document one level above the root. *)
 let node_end doc a =
@@ -41,11 +53,12 @@ let join_with_stats doc rel ancestors descendants =
   if rel = Pg.Following_sibling then
     let pairs = sibling_join doc ancestors descendants in
     ( pairs,
-      {
-        ancestors_scanned = Array.length ancestors;
-        descendants_scanned = Array.length descendants;
-        pairs_emitted = List.length pairs;
-      } )
+      emit_stats
+        {
+          ancestors_scanned = Array.length ancestors;
+          descendants_scanned = Array.length descendants;
+          pairs_emitted = List.length pairs;
+        } )
   else begin
     let na = Array.length ancestors and nd = Array.length descendants in
     let stack = ref [] in
@@ -86,7 +99,7 @@ let join_with_stats doc rel ancestors descendants =
       end
     done;
     ( List.sort compare !pairs,
-      { ancestors_scanned = !ai; descendants_scanned = !di; pairs_emitted = !emitted } )
+      emit_stats { ancestors_scanned = !ai; descendants_scanned = !di; pairs_emitted = !emitted } )
   end
 
 let join doc rel ancestors descendants = fst (join_with_stats doc rel ancestors descendants)

@@ -4,6 +4,12 @@ module Ops = Xqp_algebra.Operators
 
 type stats = { pushes : int; path_solutions : int; merged_solutions : int }
 
+module M = Xqp_obs.Metrics
+
+let m_pushes = M.counter M.default "engine.twigstack.pushes"
+let m_path_solutions = M.counter M.default "engine.twigstack.path_solutions"
+let m_merged_solutions = M.counter M.default "engine.twigstack.merged_solutions"
+
 (* Growable stack of entries (node, pointer into parent's stack). *)
 type stack = {
   mutable nodes : int array;
@@ -196,6 +202,9 @@ let match_pattern_with_stats doc pattern ~context =
         (v, List.sort_uniq compare nodes))
       (Pg.outputs pattern)
   in
+  M.add m_pushes !pushes;
+  M.add m_path_solutions !path_count;
+  M.add m_merged_solutions (List.length merged);
   ( outputs,
     { pushes = !pushes; path_solutions = !path_count; merged_solutions = List.length merged } )
 

@@ -1,5 +1,14 @@
 type stats = { requests : int; page_faults : int; hits : int; evictions : int }
 
+(* Mirror every counter into the unified metrics registry (operator
+   spans read the [pool.*] counters to attribute real page I/O). *)
+module M = Xqp_obs.Metrics
+
+let m_requests = M.counter M.default "pool.requests"
+let m_page_faults = M.counter M.default "pool.page_faults"
+let m_hits = M.counter M.default "pool.hits"
+let m_evictions = M.counter M.default "pool.evictions"
+
 type frame = { data : Bytes.t; mutable stamp : int }
 
 type t = {
@@ -46,7 +55,8 @@ let evict_if_full t =
     match !victim with
     | Some (page, _) ->
       Hashtbl.remove t.frames page;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      M.incr m_evictions
     | None -> ()
   end
 
@@ -55,10 +65,12 @@ let page t number =
   match Hashtbl.find_opt t.frames number with
   | Some frame ->
     t.hits <- t.hits + 1;
+    M.incr m_hits;
     frame.stamp <- t.clock;
     frame.data
   | None ->
     t.page_faults <- t.page_faults + 1;
+    M.incr m_page_faults;
     evict_if_full t;
     let off = number * t.page_size in
     let len = min t.page_size (t.size - off) in
@@ -72,12 +84,14 @@ let page t number =
 let get_byte t off =
   if off < 0 || off >= t.size then invalid_arg "Buffer_pool.get_byte";
   t.requests <- t.requests + 1;
+  M.incr m_requests;
   let data = page t (off / t.page_size) in
   Char.code (Bytes.unsafe_get data (off mod t.page_size))
 
 let read_string t ~off ~len =
   if off < 0 || len < 0 || off + len > t.size then invalid_arg "Buffer_pool.read_string";
   t.requests <- t.requests + 1;
+  M.incr m_requests;
   let buffer = Buffer.create len in
   let remaining = ref len in
   let cursor = ref off in

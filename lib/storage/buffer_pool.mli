@@ -36,8 +36,11 @@ val read_i64 : t -> int -> int
 
 val stats : t -> stats
 val reset_stats : t -> unit
-(** Zero the counters; the cached pages stay resident (use {!drop_cache}
-    for a cold start). *)
+(** Zero the counters only; the cached pages stay resident (use
+    {!drop_cache} for a cold start) — the same counters-only contract as
+    {!Pager.reset_stats}. Counters are also mirrored into
+    [Xqp_obs.Metrics.default] under [pool.*]; those are process-wide and
+    not affected by this call. *)
 
 val drop_cache : t -> unit
 (** Evict every page (simulates a cold buffer pool). *)

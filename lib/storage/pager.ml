@@ -7,6 +7,17 @@ type stats = {
   hits : int;
 }
 
+(* Every pager also emits into the unified metrics registry, so the
+   profiler can attribute simulated I/O to operator spans without
+   knowing which pager instance a store carries. *)
+module M = Xqp_obs.Metrics
+
+let m_logical_reads = M.counter M.default "pager.logical_reads"
+let m_logical_writes = M.counter M.default "pager.logical_writes"
+let m_physical_reads = M.counter M.default "pager.physical_reads"
+let m_physical_writes = M.counter M.default "pager.physical_writes"
+let m_hits = M.counter M.default "pager.hits"
+
 (* The LRU pool is a doubly-linked list threaded through a hashtable keyed by
    (region, page number). A generation counter orders recency cheaply: each
    touch stamps the entry; eviction scans for the minimum stamp only when the
@@ -53,7 +64,10 @@ let evict_if_full t =
       t.pool;
     match !victim with
     | Some (key, entry) ->
-      if entry.dirty then t.physical_writes <- t.physical_writes + 1;
+      if entry.dirty then begin
+        t.physical_writes <- t.physical_writes + 1;
+        M.incr m_physical_writes
+      end;
       Hashtbl.remove t.pool key
     | None -> ()
   end
@@ -64,14 +78,22 @@ let touch t ~region ~page ~write =
   (match Hashtbl.find_opt t.pool key with
   | Some entry ->
     t.hits <- t.hits + 1;
+    M.incr m_hits;
     entry.stamp <- t.clock;
     if write then entry.dirty <- true
   | None ->
     t.physical_reads <- t.physical_reads + 1;
+    M.incr m_physical_reads;
     evict_if_full t;
     Hashtbl.add t.pool key { stamp = t.clock; dirty = write });
-  if write then t.logical_writes <- t.logical_writes + 1
-  else t.logical_reads <- t.logical_reads + 1
+  if write then begin
+    t.logical_writes <- t.logical_writes + 1;
+    M.incr m_logical_writes
+  end
+  else begin
+    t.logical_reads <- t.logical_reads + 1;
+    M.incr m_logical_reads
+  end
 
 let span t ~off ~len =
   let first = off / t.page_size in
@@ -95,7 +117,8 @@ let flush t =
   List.iter
     (fun e ->
       e.dirty <- false;
-      t.physical_writes <- t.physical_writes + 1)
+      t.physical_writes <- t.physical_writes + 1;
+      M.incr m_physical_writes)
     dirty
 
 let stats t =
@@ -108,14 +131,17 @@ let stats t =
     hits = t.hits;
   }
 
-let reset t =
-  Hashtbl.reset t.pool;
-  t.clock <- 0;
+let reset_stats t =
   t.logical_reads <- 0;
   t.logical_writes <- 0;
   t.physical_reads <- 0;
   t.physical_writes <- 0;
   t.hits <- 0
+
+let reset t =
+  Hashtbl.reset t.pool;
+  t.clock <- 0;
+  reset_stats t
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf "page=%dB lr=%d lw=%d pr=%d pw=%d hits=%d" s.page_size s.logical_reads

@@ -32,8 +32,16 @@ val flush : t -> unit
 (** Write back every dirty page (counted as physical writes). *)
 
 val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zero the counters only; cached pages stay resident (and keep their
+    recency stamps), so subsequent accesses are measured against a warm
+    pool — the counterpart of {!Buffer_pool.reset_stats}. *)
+
 val reset : t -> unit
-(** Clear counters and empty the pool. *)
+(** Zero the counters {e and} empty the pool: the next accesses run
+    cold, every touch is a physical read. Use {!reset_stats} to measure
+    warm behaviour. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 

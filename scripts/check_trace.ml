@@ -1,0 +1,118 @@
+(* check_trace FILE.json — structural validator for the Chrome trace_event
+   exports written by `xqp explain --analyze --trace-out`.
+
+   Checks, in order:
+   - the file parses as JSON and has the Object Format shape
+     ({"traceEvents": [...]});
+   - every event is an object with "name"/"ph"/"pid"/"tid", and every
+     "X" event carries numeric "ts"/"dur" >= 0 and span args;
+   - span ids are unique, parents reference earlier spans (or -1), and a
+     child's depth is parent depth + 1;
+   - child intervals nest inside their parent's interval (1us slack for
+     float rounding);
+   - the export round-trips through Xqp_obs.Export.of_chrome_json.
+
+   Exit 0 and a one-line summary when clean; exit 1 with one line per
+   problem otherwise. *)
+
+module J = Xqp_obs.Json
+module Export = Xqp_obs.Export
+module Trace = Xqp_obs.Trace
+
+let errors = ref 0
+
+let fail fmt =
+  incr errors;
+  Printf.eprintf "check_trace: ";
+  Printf.kfprintf (fun oc -> output_char oc '\n') stderr fmt
+
+let check_event i json =
+  match json with
+  | J.Obj fields ->
+    let str name =
+      match List.assoc_opt name fields with Some (J.Str s) -> Some s | _ -> None
+    in
+    let num name =
+      match List.assoc_opt name fields with Some (J.Num n) -> Some n | _ -> None
+    in
+    if str "name" = None then fail "event %d: missing \"name\"" i;
+    (match str "ph" with
+    | None -> fail "event %d: missing \"ph\"" i
+    | Some "M" -> ()
+    | Some "X" ->
+      (match num "ts" with
+      | Some ts when ts >= 0.0 -> ()
+      | Some _ -> fail "event %d: negative \"ts\"" i
+      | None -> fail "event %d: \"X\" event without numeric \"ts\"" i);
+      (match num "dur" with
+      | Some dur when dur >= 0.0 -> ()
+      | Some _ -> fail "event %d: negative \"dur\"" i
+      | None -> fail "event %d: \"X\" event without numeric \"dur\"" i);
+      (match List.assoc_opt "args" fields with
+      | Some (J.Obj args) ->
+        List.iter
+          (fun key ->
+            match List.assoc_opt key args with
+            | Some (J.Num _) -> ()
+            | Some _ -> fail "event %d: args.%s is not a number" i key
+            | None -> fail "event %d: missing args.%s" i key)
+          [ "span_id"; "span_parent"; "span_depth" ]
+      | Some _ | None -> fail "event %d: \"X\" event without an args object" i)
+    | Some ph -> fail "event %d: unexpected phase %S" i ph);
+    if num "pid" = None then fail "event %d: missing \"pid\"" i;
+    if num "tid" = None then fail "event %d: missing \"tid\"" i
+  | _ -> fail "event %d: not an object" i
+
+let check_tree events =
+  let by_id = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.event) ->
+      if Hashtbl.mem by_id e.Trace.id then fail "span id %d is not unique" e.Trace.id
+      else Hashtbl.add by_id e.Trace.id e)
+    events;
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.t1 < e.Trace.t0 then fail "span %d: t1 < t0" e.Trace.id;
+      if e.Trace.parent = -1 then begin
+        if e.Trace.depth <> 0 then fail "span %d: root span with depth %d" e.Trace.id e.Trace.depth
+      end
+      else
+        match Hashtbl.find_opt by_id e.Trace.parent with
+        | None -> fail "span %d: parent %d not in the trace" e.Trace.id e.Trace.parent
+        | Some p ->
+          if p.Trace.id >= e.Trace.id then
+            fail "span %d: parent %d does not precede it" e.Trace.id p.Trace.id;
+          if e.Trace.depth <> p.Trace.depth + 1 then
+            fail "span %d: depth %d but parent depth %d" e.Trace.id e.Trace.depth p.Trace.depth;
+          (* 1us slack: timestamps round to 0.001us in the export *)
+          let slack = 1e-6 in
+          if e.Trace.t0 +. slack < p.Trace.t0 || e.Trace.t1 > p.Trace.t1 +. slack then
+            fail "span %d: interval [%f, %f] outside parent %d's [%f, %f]" e.Trace.id e.Trace.t0
+              e.Trace.t1 p.Trace.id p.Trace.t0 p.Trace.t1)
+    events
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+      prerr_endline "usage: check_trace FILE.json";
+      exit 2
+  in
+  let text = In_channel.with_open_text path In_channel.input_all in
+  (match J.parse text with
+  | exception J.Parse_error m -> fail "%s: JSON parse error: %s" path m
+  | J.Obj fields as json -> (
+    (match List.assoc_opt "traceEvents" fields with
+    | Some (J.Arr events) -> List.iteri check_event events
+    | Some _ -> fail "%s: \"traceEvents\" is not an array" path
+    | None -> fail "%s: no \"traceEvents\" field" path);
+    if !errors = 0 then
+      match Export.of_chrome_json (J.to_string json) with
+      | exception Failure m -> fail "%s: does not round-trip: %s" path m
+      | events ->
+        check_tree events;
+        if !errors = 0 then
+          Printf.printf "%s: ok (%d spans)\n" path (List.length events))
+  | _ -> fail "%s: top level is not an object" path);
+  exit (if !errors = 0 then 0 else 1)

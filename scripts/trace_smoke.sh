@@ -1,0 +1,28 @@
+#!/bin/sh
+# Observability smoke test: run `explain --analyze` over every workload
+# XPath query, export the combined Chrome trace, and validate it with the
+# structural checker. Exits non-zero if any query fails to analyze, the
+# per-operator table is missing, or the trace file does not validate.
+set -e
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+run() { dune exec --no-print-directory bin/xqp.exe -- "$@"; }
+
+out="$dir/explain.txt"
+run explain -g auction:600 --analyze --rewrites --workload \
+  --trace-out "$dir/trace.json" > "$out"
+
+# every workload query produced an analyzed operator table and a result line
+queries=$(grep -c '^=== ' "$out")
+tables=$(grep -c '^operators:' "$out")
+results=$(grep -c '^result:' "$out")
+[ "$queries" -ge 13 ] || { echo "trace-smoke: expected >= 13 queries, saw $queries"; exit 1; }
+[ "$tables" = "$queries" ] || { echo "trace-smoke: $tables operator tables for $queries queries"; exit 1; }
+[ "$results" = "$queries" ] || { echo "trace-smoke: $results result lines for $queries queries"; exit 1; }
+# actual cardinality and per-span timing columns are populated somewhere
+grep -q 'pager\.' "$out" || { echo "trace-smoke: no pager I/O attributed to any operator"; exit 1; }
+
+dune exec --no-print-directory scripts/check_trace.exe -- "$dir/trace.json"
+
+echo "trace-smoke: explain --analyze + trace export OK"

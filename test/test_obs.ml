@@ -1,0 +1,332 @@
+(* Tests for xqp_obs (json, metrics, trace, export) and its integration:
+   span nesting invariants under random workloads, zero allocation while
+   disabled, Chrome trace round-trips, profile actuals vs Executor.run,
+   pager reset semantics and rewrite tracing. *)
+
+open Xqp_obs
+module Lp = Xqp_algebra.Logical_plan
+module Ops = Xqp_algebra.Operators
+module Rewrite = Xqp_algebra.Rewrite
+module Executor = Xqp_physical.Executor
+module Profile = Xqp_physical.Profile
+module Queries = Xqp_workload.Queries
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let qcheck = QCheck_alcotest.to_alcotest
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* --- json -------------------------------------------------------------- *)
+
+let test_json_round_trip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Num 1.0);
+        ("b", Json.Str "quote \" backslash \\ newline \n tab \t");
+        ("c", Json.Arr [ Json.Bool true; Json.Bool false; Json.Null ]);
+        ("d", Json.Num 3.5);
+        ("empty", Json.Obj []);
+      ]
+  in
+  let s = Json.to_string v in
+  check_string "fixpoint" s (Json.to_string (Json.parse s));
+  let pretty = Json.to_string ~pretty:true v in
+  check_string "pretty parses back" s (Json.to_string (Json.parse pretty))
+
+let test_json_escapes () =
+  (match Json.parse "\"\\u00e9A\"" with
+  | Json.Str s -> check_string "\\u escape is UTF-8 encoded" "\xc3\xa9A" s
+  | _ -> Alcotest.fail "expected a string");
+  (match Json.parse "\"\\\"\\\\\\n\\t\"" with
+  | Json.Str s -> check_string "control escapes" "\"\\\n\t" s
+  | _ -> Alcotest.fail "expected a string");
+  check_bool "rejects garbage" true
+    (match Json.parse "{broken" with
+    | exception Json.Parse_error _ -> true
+    | _ -> false)
+
+(* --- metrics ------------------------------------------------------------ *)
+
+let test_metrics_basics () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "test.counter" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  check_int "counter" 42 (Metrics.value c);
+  check_int "same handle" 42 (Metrics.value (Metrics.counter reg "test.counter"));
+  let g = Metrics.gauge reg "test.gauge" in
+  Metrics.set g 2.5;
+  Alcotest.(check (float 0.0)) "gauge" 2.5 (Metrics.gauge_value g);
+  let h = Metrics.histogram reg "test.histogram" in
+  List.iter (Metrics.observe h) [ 1.0; 2.0; 100.0 ];
+  let s = Metrics.summary h in
+  check_int "histogram count" 3 s.Metrics.count;
+  Alcotest.(check (float 0.0)) "histogram sum" 103.0 s.Metrics.sum;
+  check_bool "kind mismatch raises" true
+    (match Metrics.gauge reg "test.counter" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let names = List.map fst (Metrics.snapshot reg) in
+  check_bool "snapshot sorted" true (names = List.sort compare names);
+  check_int "snapshot size" 3 (List.length names);
+  check_bool "find counter" true (Metrics.find reg "test.counter" = Some (Metrics.Counter_v 42));
+  Metrics.reset reg;
+  check_int "reset zeroes but keeps the handle" 0 (Metrics.value c);
+  Metrics.incr c;
+  check_int "handle still live after reset" 1 (Metrics.value c)
+
+(* --- trace ring and nesting --------------------------------------------- *)
+
+(* A random tree of spans: at each node open a span, recurse into the
+   children, close. The record must balance: every span's interval inside
+   its parent's, depth = parent depth + 1, parents (smaller ids) first. *)
+let rec gen_tree depth =
+  let open QCheck2.Gen in
+  if depth = 0 then pure []
+  else list_size (int_range 0 3) (gen_tree (depth - 1) >|= fun children -> `Node children)
+
+let rec run_tree tr trees =
+  List.iter
+    (fun (`Node children) -> Trace.with_span tr "node" (fun _ -> run_tree tr children))
+    trees
+
+let rec count_nodes trees =
+  List.fold_left (fun acc (`Node children) -> acc + 1 + count_nodes children) 0 trees
+
+let events_balance events =
+  List.for_all
+    (fun (e : Trace.event) ->
+      e.Trace.t1 >= e.Trace.t0
+      &&
+      if e.Trace.parent = -1 then e.Trace.depth = 0
+      else
+        match List.find_opt (fun (p : Trace.event) -> p.Trace.id = e.Trace.parent) events with
+        | None -> false
+        | Some p ->
+          p.Trace.id < e.Trace.id
+          && e.Trace.depth = p.Trace.depth + 1
+          && e.Trace.t0 >= p.Trace.t0
+          && e.Trace.t1 <= p.Trace.t1)
+    events
+
+let test_span_nesting_qcheck =
+  QCheck2.Test.make ~name:"random span trees balance" ~count:100 (gen_tree 4) (fun trees ->
+      let tr = Trace.create () in
+      Trace.set_enabled tr true;
+      run_tree tr trees;
+      let events = Trace.events tr in
+      List.length events = count_nodes trees && events_balance events)
+
+let test_unclosed_spans_balance () =
+  let tr = Trace.create () in
+  Trace.set_enabled tr true;
+  let outer = Trace.start tr "outer" in
+  let _inner = Trace.start tr "inner" in
+  (* finishing the outer span must close the forgotten inner one first *)
+  Trace.finish tr outer;
+  let events = Trace.events tr in
+  check_int "both recorded" 2 (List.length events);
+  check_bool "balanced" true (events_balance events);
+  match events with
+  | [ o; i ] ->
+    check_string "outer first" "outer" o.Trace.name;
+    check_int "inner nested under outer" o.Trace.id i.Trace.parent
+  | _ -> Alcotest.fail "expected exactly two events"
+
+let test_ring_overflow () =
+  let tr = Trace.create ~capacity:4 () in
+  Trace.set_enabled tr true;
+  for _ = 1 to 10 do
+    Trace.with_span tr "s" (fun _ -> ())
+  done;
+  check_int "ring keeps capacity" 4 (List.length (Trace.events tr));
+  check_int "dropped counted" 6 (Trace.dropped tr);
+  let ids = List.map (fun (e : Trace.event) -> e.Trace.id) (Trace.events tr) in
+  check_bool "newest survive in order" true (ids = [ 6; 7; 8; 9 ]);
+  Trace.clear tr;
+  check_int "clear restarts" 0 (List.length (Trace.events tr) + Trace.dropped tr)
+
+let test_disabled_tracer_no_allocation () =
+  let tr = Trace.create () in
+  let body _ = 7 in
+  (* warm up so the closure and any one-time setup are allocated *)
+  ignore (Trace.with_span tr "warm" body);
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    ignore (Sys.opaque_identity (Trace.with_span tr "hot" body))
+  done;
+  let w1 = Gc.minor_words () in
+  (* the measurement itself allocates a couple of boxed floats; anything
+     beyond that means the disabled path allocates per call *)
+  check_bool
+    (Printf.sprintf "disabled with_span allocates nothing per call (%.0f words)" (w1 -. w0))
+    true
+    (w1 -. w0 < 100.0);
+  check_int "nothing recorded" 0 (List.length (Trace.events tr))
+
+(* --- chrome export round-trip ------------------------------------------- *)
+
+let sample_events () =
+  let tr = Trace.create () in
+  Trace.set_enabled tr true;
+  Trace.with_span tr ~attrs:[ ("q", Trace.Str "//a[b]") ] "query" (fun outer ->
+      Trace.add_attrs outer [ ("out", Trace.Int 3) ];
+      Trace.with_span tr "step" (fun s ->
+          Trace.add_attrs s
+            [ ("f", Trace.Float 1.5); ("flag", Trace.Bool true); ("in", Trace.Int 12) ]));
+  Trace.events tr
+
+let test_chrome_round_trip () =
+  let events = sample_events () in
+  let json = Export.to_chrome_json events in
+  (match Json.parse json with
+  | Json.Obj fields -> (
+    match List.assoc_opt "traceEvents" fields with
+    | Some (Json.Arr l) ->
+      check_int "metadata + one event per span" (1 + List.length events) (List.length l)
+    | _ -> Alcotest.fail "no traceEvents array")
+  | _ -> Alcotest.fail "top level not an object");
+  let back = Export.of_chrome_json json in
+  check_int "same span count" (List.length events) (List.length back);
+  List.iter2
+    (fun (a : Trace.event) (b : Trace.event) ->
+      check_int "id" a.Trace.id b.Trace.id;
+      check_int "parent" a.Trace.parent b.Trace.parent;
+      check_int "depth" a.Trace.depth b.Trace.depth;
+      check_string "name" a.Trace.name b.Trace.name;
+      check_bool "attrs survive" true (a.Trace.attrs = b.Trace.attrs))
+    events back;
+  (* exporting the parsed events again is a fixpoint *)
+  check_string "export fixpoint" json (Export.to_chrome_json back)
+
+let test_export_tsv_and_tree () =
+  let events = sample_events () in
+  let tsv = Export.to_tsv events in
+  (match String.split_on_char '\n' (String.trim tsv) with
+  | header :: rows ->
+    check_bool "tsv header" true (contains header "id\tparent\tdepth");
+    check_int "tsv rows" (List.length events) (List.length rows)
+  | [] -> Alcotest.fail "empty tsv");
+  let tree = Format.asprintf "%a" Export.pp_profile_tree events in
+  check_bool "tree mentions both spans" true (contains tree "query" && contains tree "step");
+  check_bool "tree shows attributes" true (contains tree "in=12")
+
+(* --- profile / --analyze ------------------------------------------------- *)
+
+let auction_exec () = Executor.create (Xqp_workload.Gen_auction.packed ~scale:300 ())
+
+let test_analyze_matches_run () =
+  let exec = auction_exec () in
+  let context = [ Ops.document_context ] in
+  List.iter
+    (fun (q : Queries.query) ->
+      let plan = Rewrite.optimize (Xqp_xpath.Parser.parse q.Queries.xpath) in
+      let expected = Executor.run exec plan ~context in
+      let actual, rows = Profile.analyze exec plan ~context in
+      check_bool (q.Queries.id ^ " same nodes") true (expected = actual);
+      (* rows come in execution order: the last row is the whole plan *)
+      (match List.rev rows with
+      | last :: _ ->
+        check_string "root path" "0" last.Profile.path;
+        check_int
+          (q.Queries.id ^ " root actual")
+          (List.length expected)
+          (Option.value ~default:(-1) last.Profile.actual_rows);
+        check_bool (q.Queries.id ^ " root timed") true (last.Profile.time_ms <> None)
+      | [] -> Alcotest.fail "no rows");
+      (* every operator row was matched to a recorded span *)
+      List.iter
+        (fun (r : Profile.row) ->
+          check_bool
+            (q.Queries.id ^ " row measured at " ^ r.Profile.path)
+            true (r.Profile.actual_rows <> None))
+        rows)
+    (Queries.auction_paths @ Queries.auction_complexity_sweep)
+
+let test_analyze_restores_tracer () =
+  let exec = auction_exec () in
+  let plan = Rewrite.optimize (Xqp_xpath.Parser.parse "//person/name") in
+  check_bool "tracer off before" false (Trace.enabled Trace.default);
+  let _ = Profile.analyze exec plan ~context:[ Ops.document_context ] in
+  check_bool "tracer off after" false (Trace.enabled Trace.default)
+
+(* --- pager reset semantics ---------------------------------------------- *)
+
+let test_pager_reset_stats_keeps_pool_warm () =
+  let module P = Xqp_storage.Pager in
+  let pager = P.create ~page_size:64 ~pool_pages:8 () in
+  P.read pager ~region:0 ~off:0 ~len:256;
+  let cold = P.stats pager in
+  check_int "cold faults" 4 cold.P.physical_reads;
+  P.reset_stats pager;
+  let zeroed = P.stats pager in
+  check_int "counters zeroed" 0 zeroed.P.logical_reads;
+  P.read pager ~region:0 ~off:0 ~len:256;
+  let warm = P.stats pager in
+  check_int "warm run hits the pool" 4 warm.P.hits;
+  check_int "no faults after reset_stats" 0 warm.P.physical_reads;
+  (* reset (not reset_stats) also empties the pool *)
+  P.reset pager;
+  P.read pager ~region:0 ~off:0 ~len:256;
+  check_int "reset runs cold again" 4 (P.stats pager).P.physical_reads
+
+(* --- rewrite tracing ----------------------------------------------------- *)
+
+let test_rewrite_tracing () =
+  let plan = Xqp_xpath.Parser.parse "/site/people/person[address/city][profile]/name" in
+  let plain = Rewrite.optimize plan in
+  let traced, fires = Rewrite.optimize_traced plan in
+  check_bool "traced result identical" true (Lp.equal plain traced);
+  check_bool "fusion fired" true
+    (List.exists (fun f -> f.Rewrite.rule = "fuse-steps-into-tau") fires);
+  List.iter
+    (fun f ->
+      check_bool "stage named" true (f.Rewrite.stage = "simplify" || f.Rewrite.stage = "fuse");
+      check_bool "op counts positive" true (f.Rewrite.before_ops > 0 && f.Rewrite.after_ops > 0);
+      if f.Rewrite.rule = "fuse-steps-into-tau" then
+        check_bool "fusion reduces operators" true (f.Rewrite.after_ops < f.Rewrite.before_ops))
+    fires;
+  (* the collapse rule fires on an explicit descendant-or-self step
+     (the parser desugars plain [//] straight to the descendant axis) *)
+  let _, fires2 = Rewrite.optimize_traced (Xqp_xpath.Parser.parse "/descendant-or-self::*/item/name") in
+  check_bool "collapse fired" true
+    (List.exists (fun f -> f.Rewrite.rule = "collapse-desc-or-self-child") fires2);
+  (* tracing is per-call, not accumulated in a global *)
+  let _, fires3 = Rewrite.optimize_traced plan in
+  check_int "no accumulation across calls" (List.length fires) (List.length fires3)
+
+let test_metric_emission_from_engines () =
+  let c = Metrics.counter Metrics.default "engine.navigation.nodes_visited" in
+  let before = Metrics.value c in
+  let exec = auction_exec () in
+  let _ = Executor.query exec ~strategy:Executor.Navigation "/site/people/person/name" in
+  check_bool "navigation emitted nodes_visited" true (Metrics.value c > before)
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+        Alcotest.test_case "json escapes" `Quick test_json_escapes;
+        Alcotest.test_case "metrics basics" `Quick test_metrics_basics;
+        qcheck test_span_nesting_qcheck;
+        Alcotest.test_case "unclosed spans balance" `Quick test_unclosed_spans_balance;
+        Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+        Alcotest.test_case "disabled tracer allocates nothing" `Quick
+          test_disabled_tracer_no_allocation;
+        Alcotest.test_case "chrome export round trip" `Quick test_chrome_round_trip;
+        Alcotest.test_case "tsv and profile tree" `Quick test_export_tsv_and_tree;
+        Alcotest.test_case "analyze matches Executor.run" `Quick test_analyze_matches_run;
+        Alcotest.test_case "analyze restores tracer" `Quick test_analyze_restores_tracer;
+        Alcotest.test_case "pager reset_stats keeps pool warm" `Quick
+          test_pager_reset_stats_keeps_pool_warm;
+        Alcotest.test_case "rewrite tracing" `Quick test_rewrite_tracing;
+        Alcotest.test_case "engines emit metrics" `Quick test_metric_emission_from_engines;
+      ] );
+  ]
