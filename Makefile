@@ -16,10 +16,10 @@ bench-full:
 	dune exec bench/main.exe -- --full
 
 # Quick perf gate: navigation primitives + storage size sweep at the
-# smallest scale; writes BENCH_prim_nav.json (and BENCH_query_metrics.json
-# from the QMET experiment) for machine consumption.
+# smallest scale; writes BENCH_prim_nav.json (plus BENCH_query_metrics.json
+# from QMET and BENCH_plan_cache.json from PCACHE) for machine consumption.
 bench-smoke:
-	dune exec bench/main.exe -- --only=PRIM,E1,QMET --json=BENCH_prim_nav.json
+	dune exec bench/main.exe -- --only=PRIM,E1,QMET,PCACHE --json=BENCH_prim_nav.json
 
 # Observability gate: explain --analyze over every workload query, then
 # validate the exported Chrome trace with scripts/check_trace.

@@ -41,28 +41,34 @@ let gen_arg =
   let doc = "Generate a synthetic document instead: auction:N, bib:N or chain:N." in
   Arg.(value & opt (some string) None & info [ "g"; "gen" ] ~docv:"SPEC" ~doc)
 
-let strategy_arg =
-  let strategies =
-    [
-      ("auto", Executor.Auto);
-      ("reference", Executor.Reference);
-      ("navigation", Executor.Navigation);
-      ("nok", Executor.Nok);
-      ("pathstack", Executor.Pathstack);
-      ("twigstack", Executor.Twigstack);
-      ("binary", Executor.Binary_default);
-      ("binary-best", Executor.Binary_best);
-    ]
+(* Engine names come from the executor itself (strategy_of_string is the
+   inverse of strategy_name), so the CLI can never drift from the engine
+   list. *)
+let strategy_conv =
+  let parse s =
+    match Executor.strategy_of_string s with Ok v -> Ok v | Error m -> Error (`Msg m)
   in
-  let doc = "Physical engine: auto, reference, navigation, nok, pathstack, twigstack, binary, binary-best." in
-  Arg.(value & opt (enum strategies) Executor.Auto & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+  let print ppf s = Format.pp_print_string ppf (Executor.strategy_name s) in
+  Arg.conv (parse, print)
+
+let strategy_arg =
+  let names =
+    String.concat ", "
+      (List.map Executor.strategy_name (Executor.Auto :: Executor.Reference :: Executor.all_strategies))
+  in
+  let doc = Printf.sprintf "Physical engine: %s." names in
+  Arg.(value & opt strategy_conv Executor.Auto & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let no_cache_arg =
+  let doc = "Bypass the plan cache: parse, rewrite and plan on every execution." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
 
 let query_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"The query text.")
 
 (* --- query ------------------------------------------------------------ *)
 
-let run_query file gen strategy xquery_mode limit query =
+let run_query file gen strategy no_cache xquery_mode limit query =
   let doc = load_document ~file ~gen in
   let exec = Executor.create doc in
   if xquery_mode then begin
@@ -73,7 +79,7 @@ let run_query file gen strategy xquery_mode limit query =
     Printf.printf "(%d items)\n" (List.length trees)
   end
   else begin
-    let nodes = Executor.query exec ~strategy query in
+    let nodes = Executor.query exec ~strategy ~use_cache:(not no_cache) query in
     let shown = match limit with Some k -> List.filteri (fun i _ -> i < k) nodes | None -> nodes in
     List.iter
       (fun id ->
@@ -95,7 +101,7 @@ let query_cmd =
   let limit_arg =
     Arg.(value & opt (some int) None & info [ "n"; "limit" ] ~docv:"N" ~doc:"Print at most $(docv) results.")
   in
-  let term = Term.(const run_query $ file_arg $ gen_arg $ strategy_arg $ xquery_flag $ limit_arg $ query_arg) in
+  let term = Term.(const run_query $ file_arg $ gen_arg $ strategy_arg $ no_cache_arg $ xquery_flag $ limit_arg $ query_arg) in
   Cmd.v (Cmd.info "query" ~doc:"Run a query against a document") term
 
 (* --- explain ----------------------------------------------------------- *)
@@ -107,7 +113,7 @@ let workload_xpath_queries () =
     (fun (q : Xqp_workload.Queries.query) -> (q.Xqp_workload.Queries.id, q.Xqp_workload.Queries.xpath))
     (Xqp_workload.Queries.auction_paths @ Xqp_workload.Queries.auction_complexity_sweep)
 
-let explain_one exec ~analyze ~rewrites query =
+let explain_one exec ~analyze ~rewrites ~use_cache query =
   let plan = Xqp_xpath.Parser.parse query in
   let simplified = Rewrite.simplify plan in
   let optimized, fires = Rewrite.optimize_traced plan in
@@ -136,37 +142,50 @@ let explain_one exec ~analyze ~rewrites query =
     Format.printf "chosen engine:   %s@."
       (Cost_model.engine_name (Cost_model.choose stats pattern))
   | _ -> Format.printf "(plan is not a single pattern; steps run navigationally)@.");
+  (* The plan the executor will actually run: compiled through the plan
+     cache, every τ bound to a concrete engine. A repeated query in the
+     same process reports a hit and skips parse/rewrite/costing. *)
+  let module M = Xqp_obs.Metrics in
+  let hits = M.counter M.default "plan_cache.hits" in
+  let hits_before = M.value hits in
+  let physical = Executor.compile_query exec ~use_cache query in
+  Format.printf "plan cache:      %s@."
+    (if not use_cache then "bypassed"
+     else if M.value hits > hits_before then "hit"
+     else "miss");
+  Format.printf "physical plan:@.%a@." Physical_plan.pp physical;
   let context = [ Operators.document_context ] in
   if analyze then begin
     let t0 = Sys.time () in
-    let result, rows = Profile.analyze exec optimized ~context in
+    let result, rows = Profile.analyze_physical exec physical ~context in
     let elapsed_ms = (Sys.time () -. t0) *. 1000.0 in
     Format.printf "operators:@.%a" Profile.pp_table rows;
     Format.printf "result:          %d nodes in %.1f ms@." (List.length result) elapsed_ms;
     result
   end
   else begin
-    let rows = Profile.rows_of_plan (Executor.statistics exec) optimized in
+    let rows = Profile.rows_of_physical physical in
     Format.printf "operators:@.%a" Profile.pp_table rows;
     let t0 = Sys.time () in
-    let result = Executor.run exec optimized ~context in
+    let result = Executor.run_physical exec physical ~context in
     Format.printf "result:          %d nodes in %.1f ms@." (List.length result)
       ((Sys.time () -. t0) *. 1000.0);
     result
   end
 
-let run_explain file gen analyze rewrites trace_out workload query =
+let run_explain file gen analyze rewrites trace_out no_cache workload queries =
   let doc = load_document ~file ~gen in
   (* Attach a pager so the simulated-I/O counters are live under
      --analyze; plain explain never forces the store. *)
   let pager = Xqp_storage.Pager.create () in
   let exec = Executor.create ~pager doc in
   let queries =
-    match (workload, query) with
-    | true, None -> workload_xpath_queries ()
-    | false, Some q -> [ ("query", q) ]
-    | true, Some _ -> failwith "give either a QUERY or --workload, not both"
-    | false, None -> failwith "a query is required (or use --workload)"
+    match (workload, queries) with
+    | true, [] -> workload_xpath_queries ()
+    | false, [ q ] -> [ ("query", q) ]
+    | false, (_ :: _ as qs) -> List.mapi (fun i q -> (Printf.sprintf "query %d" (i + 1), q)) qs
+    | true, _ :: _ -> failwith "give either QUERY arguments or --workload, not both"
+    | false, [] -> failwith "a query is required (or use --workload)"
   in
   let all_events = ref [] in
   (* Each analyzed query restarts the tracer epoch, so ids and timestamps
@@ -200,7 +219,7 @@ let run_explain file gen analyze rewrites trace_out workload query =
     (fun i (id, q) ->
       if i > 0 then Format.printf "@.";
       if List.length queries > 1 then Format.printf "=== %s: %s@." id q;
-      ignore (explain_one exec ~analyze ~rewrites q);
+      ignore (explain_one exec ~analyze ~rewrites ~use_cache:(not no_cache) q);
       if analyze && trace_out <> None then append_events ())
     queries;
   (match trace_out with
@@ -233,11 +252,15 @@ let explain_cmd =
     Arg.(value & flag
          & info [ "workload" ] ~doc:"Explain every XPath query of the built-in workload suite.")
   in
-  let query =
-    Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"The query text.")
+  let queries =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"QUERY"
+             ~doc:"Query text; repeat to explain several in one process (a repeated query \
+                   demonstrates a plan-cache hit).")
   in
   let term =
-    Term.(const run_explain $ file_arg $ gen_arg $ analyze $ rewrites $ trace_out $ workload $ query)
+    Term.(const run_explain $ file_arg $ gen_arg $ analyze $ rewrites $ trace_out $ no_cache_arg
+          $ workload $ queries)
   in
   Cmd.v
     (Cmd.info "explain"

@@ -110,3 +110,68 @@ and predicate_equal p1 p2 =
   | Position a, Position b -> a = b
   | Exists a, Exists b -> equal a b
   | (Value_pred _ | Position _ | Exists _), _ -> false
+
+(* An injective textual encoding: every constructor gets a distinct tag
+   and every variable-length field is delimited, so distinct plans cannot
+   collide. [pp] is unsuitable as a key — it drops bases and renders
+   distinct literals identically ([%g]). *)
+let fingerprint plan =
+  let buf = Buffer.create 128 in
+  let add = Buffer.add_string buf in
+  let add_test = function
+    | Name n -> add (Printf.sprintf "n%S" n)
+    | Any -> add "*"
+    | Text_node -> add "#"
+  in
+  let add_value_pred p =
+    (match p.Pattern_graph.comparison with
+    | Pattern_graph.Eq -> add "eq"
+    | Ne -> add "ne"
+    | Lt -> add "lt"
+    | Le -> add "le"
+    | Gt -> add "gt"
+    | Ge -> add "ge"
+    | Contains -> add "ct");
+    match p.Pattern_graph.literal with
+    | Pattern_graph.Num n -> add (Printf.sprintf "n%h" n)
+    | Pattern_graph.Str s -> add (Printf.sprintf "s%S" s)
+  in
+  let rec go = function
+    | Root -> add "R"
+    | Context -> add "C"
+    | Step (base, s) ->
+      add "S(";
+      go base;
+      add ";";
+      add (Axis.to_string s.axis);
+      add ":";
+      add_test s.test;
+      List.iter add_pred s.predicates;
+      add ")"
+    | Tpm (base, pattern) ->
+      add "T(";
+      go base;
+      add ";";
+      add (Pattern_graph.fingerprint pattern);
+      add ")"
+    | Union (a, b) ->
+      add "U(";
+      go a;
+      add ",";
+      go b;
+      add ")"
+  and add_pred = function
+    | Value_pred p ->
+      add "[v";
+      add_value_pred p;
+      add "]"
+    | Exists sub ->
+      add "[e";
+      go sub;
+      add "]"
+    | Position k -> add (Printf.sprintf "[p%d]" k)
+  in
+  go plan;
+  Buffer.contents buf
+
+let compare a b = String.compare (fingerprint a) (fingerprint b)

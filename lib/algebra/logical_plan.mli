@@ -48,3 +48,14 @@ val op_label : t -> string
 
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
+
+val fingerprint : t -> string
+(** Stable injective serialization of the plan's structure (including
+    nested pattern graphs via {!Pattern_graph.fingerprint}): two plans
+    have the same fingerprint exactly when {!equal} holds (up to the
+    textual representation of float literals). Plan caches key on this;
+    {!pp} is for humans and is not injective. *)
+
+val compare : t -> t -> int
+(** Total order on plans via {!fingerprint}; [compare a b = 0] iff the
+    fingerprints coincide. *)

@@ -175,3 +175,40 @@ let pp ppf t =
 
 let equal a b =
   a.vertices = b.vertices && a.arc_list = b.arc_list
+
+let fingerprint t =
+  let buf = Buffer.create 64 in
+  let add = Buffer.add_string buf in
+  let add_label = function
+    | Wildcard -> add "*"
+    | Tag name -> add (Printf.sprintf "t%S" name)
+  in
+  let add_pred p =
+    (match p.comparison with
+    | Eq -> add "eq"
+    | Ne -> add "ne"
+    | Lt -> add "lt"
+    | Le -> add "le"
+    | Gt -> add "gt"
+    | Ge -> add "ge"
+    | Contains -> add "ct");
+    match p.literal with
+    | Num n -> add (Printf.sprintf "n%h" n)
+    | Str s -> add (Printf.sprintf "s%S" s)
+  in
+  Array.iter
+    (fun vx ->
+      add "v(";
+      add_label vx.label;
+      List.iter add_pred vx.predicates;
+      if vx.output then add "!";
+      add ")")
+    t.vertices;
+  List.iter
+    (fun (s, d, rel) ->
+      let r =
+        match rel with Child -> "c" | Descendant -> "d" | Attribute -> "@" | Following_sibling -> "f"
+      in
+      add (Printf.sprintf "a(%d,%d,%s)" s d r))
+    t.arc_list;
+  Buffer.contents buf

@@ -82,3 +82,10 @@ val pp : Format.formatter -> t -> unit
     vertices marked. *)
 
 val equal : t -> t -> bool
+
+val fingerprint : t -> string
+(** Stable injective serialization of the pattern's structure: two
+    patterns have the same fingerprint exactly when {!equal} holds (up to
+    the textual representation of float literals). Used for plan-cache
+    keys and stable plan comparison — unlike {!pp}, which elides
+    structure for readability. *)

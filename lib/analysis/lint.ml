@@ -12,6 +12,55 @@ let verified_optimize ?context ?schema plan =
   let d2 = tag "after R1/R2 (fuse)" (check_plan ?context ?schema fused) in
   (fused, d0 @ d1 @ d2)
 
+type physical_tau = {
+  tau_pattern : Xqp_algebra.Pattern_graph.t;
+  tau_engine : string;
+  tau_supported : bool;
+  tau_estimate : float;
+}
+
+(* The compile-time gate over a physical plan. The physical IR lives in
+   xqp_physical (which depends on this library), so the caller projects
+   it: the logical erasure for the sort checker plus one summary record
+   per τ binding. *)
+let check_physical ?context ?schema ~logical taus =
+  let base = check_plan ?context ?schema logical in
+  let tau_diags =
+    List.concat
+      (List.mapi
+         (fun i pt ->
+           let path =
+             [ Format.asprintf "tau %d (%a)" i Xqp_algebra.Pattern_graph.pp pt.tau_pattern ]
+           in
+           let auto =
+             if String.equal pt.tau_engine "auto" then
+               [
+                 D.error ~path ~code:"physical/auto-engine"
+                   "unresolved Auto engine in a compiled plan";
+               ]
+             else []
+           in
+           let unsupported =
+             if pt.tau_supported then []
+             else
+               [
+                 D.errorf ~path ~code:"physical/unsupported-engine"
+                   "bound engine %S cannot evaluate this pattern" pt.tau_engine;
+               ]
+           in
+           let estimate =
+             if Float.is_finite pt.tau_estimate && pt.tau_estimate >= 0.0 then []
+             else
+               [
+                 D.warningf ~path ~code:"physical/estimate"
+                   "cardinality estimate %g is not a finite non-negative number" pt.tau_estimate;
+               ]
+           in
+           auto @ unsupported @ estimate)
+         taus)
+  in
+  base @ tau_diags
+
 let acceptable ~strict ds =
   match D.max_severity ds with
   | None | Some D.Info -> true

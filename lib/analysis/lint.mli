@@ -27,5 +27,28 @@ val verified_optimize :
 (** Optimize with verification after each rule (see above). The plan is
     safe to execute iff the diagnostics contain no [Error]. *)
 
+type physical_tau = {
+  tau_pattern : Xqp_algebra.Pattern_graph.t;
+  tau_engine : string;   (** the bound engine's strategy name *)
+  tau_supported : bool;  (** the planner's capability predicate for it *)
+  tau_estimate : float;  (** the τ operator's cardinality annotation *)
+}
+(** Per-τ summary of a compiled physical plan. The physical IR itself
+    lives in [xqp_physical], which depends on this library, so the
+    executor projects each binding into this record before calling
+    {!check_physical}. *)
+
+val check_physical :
+  ?context:Plan_check.kinds ->
+  ?schema:Schema_info.t ->
+  logical:Xqp_algebra.Logical_plan.t ->
+  physical_tau list ->
+  Diagnostic.t list
+(** Compile-time check of a physical plan: {!check_plan} over the logical
+    erasure, plus per-τ invariants — errors [physical/auto-engine] (a τ
+    bound to [auto]) and [physical/unsupported-engine] (binding violates
+    the engine's capability predicate), warning [physical/estimate]
+    (non-finite or negative cardinality annotation). *)
+
 val acceptable : strict:bool -> Diagnostic.t list -> bool
 (** The lint gate: no errors — and, when [strict], no warnings either. *)

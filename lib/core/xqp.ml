@@ -83,5 +83,7 @@ let explain t q =
     Format.fprintf ppf "chosen:    %s@."
       (Physical.Cost_model.engine_name (Physical.Cost_model.choose stats pattern))
   | _ -> Format.fprintf ppf "(steps run navigationally)@.");
+  Format.fprintf ppf "physical:@.%a@." Physical.Physical_plan.pp
+    (Physical.Executor.compile t.exec optimized);
   Format.pp_print_flush ppf ();
   Buffer.contents buffer

@@ -1,9 +1,11 @@
 module Doc = Xqp_xml.Document
 module Pg = Xqp_algebra.Pattern_graph
-module Ops = Xqp_algebra.Operators
 
 type doc = Doc.t
 type node = Doc.node
+
+(* Semijoin reduction and ordered joins both cover every arc relation. *)
+let supported (_ : Pg.t) = true
 
 let candidates ?content_index doc pattern ~context v =
   if v = 0 then Array.of_list (List.sort_uniq compare context)

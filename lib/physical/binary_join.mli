@@ -18,6 +18,10 @@
 type doc = Xqp_xml.Document.t
 type node = Xqp_xml.Document.node
 
+val supported : Xqp_algebra.Pattern_graph.t -> bool
+(** Always true: every arc relation has a binary structural join. The
+    planner's capability predicate for this engine. *)
+
 val candidates :
   ?content_index:Content_index.t ->
   doc -> Xqp_algebra.Pattern_graph.t -> context:node list -> int -> node array

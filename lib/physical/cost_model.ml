@@ -10,10 +10,14 @@ let engine_name = function
   | Twig_join -> "twigstack"
   | Binary_joins -> "binary-join"
 
+(* Delegates to each engine's own capability predicate so that the cost
+   model, the planner and the engines themselves cannot disagree about
+   what runs where. *)
 let supports pattern = function
-  | Twig_join ->
-    not (List.exists (fun (_, _, rel) -> rel = Pg.Following_sibling) (Pg.arcs pattern))
-  | Naive_nav | Nok_navigation | Binary_joins -> true
+  | Twig_join -> Twig_stack.supported pattern
+  | Nok_navigation -> Nok.supported pattern
+  | Binary_joins -> Binary_join.supported pattern
+  | Naive_nav -> true
 
 let stream_size stats pattern v =
   if v = 0 then 1.0

@@ -3,16 +3,19 @@ module Store = Xqp_storage.Succinct_store
 module Lp = Xqp_algebra.Logical_plan
 module Pg = Xqp_algebra.Pattern_graph
 module Ops = Xqp_algebra.Operators
+module Pp = Physical_plan
 
 type t = {
+  id : int;
   document : Doc.t;
   store_lazy : Store.t Lazy.t;
-  stats_lazy : Statistics.t Lazy.t;
+  mutable stats_lazy : Statistics.t Lazy.t;
+  mutable stats_version : int;
   engine_cache : (Pg.t, Cost_model.engine) Hashtbl.t;
   content_index_lazy : Content_index.t Lazy.t;
 }
 
-type strategy =
+type strategy = Pp.strategy =
   | Reference
   | Navigation
   | Nok
@@ -22,165 +25,48 @@ type strategy =
   | Binary_best
   | Auto
 
+let strategy_name = Pp.strategy_name
+let all_strategies = Pp.all_strategies
+let strategy_of_string = Pp.strategy_of_string
+
+let next_id = ref 0
+
 let create ?pager document =
+  incr next_id;
   {
+    id = !next_id;
     document;
     store_lazy = lazy (Store.of_document ?pager document);
     stats_lazy = lazy (Statistics.build document);
+    stats_version = 0;
     engine_cache = Hashtbl.create 16;
     content_index_lazy = lazy (Content_index.build document);
   }
 
+let id t = t.id
 let doc t = t.document
 let store t = Lazy.force t.store_lazy
 let statistics t = Lazy.force t.stats_lazy
+let stats_version t = t.stats_version
 let content_index t = Lazy.force t.content_index_lazy
 
-(* The content index pays off only when some vertex carries an index-
-   answerable predicate; otherwise do not even force its construction. *)
-let index_for t pattern =
-  let answerable v =
-    let vx = Pg.vertex pattern v in
-    vx.Pg.predicates <> []
-    && List.exists
-         (fun p ->
-           match (p.Pg.comparison, p.Pg.literal) with
-           | (Pg.Eq | Pg.Le | Pg.Ge), Pg.Str _ -> true
-           | _ -> false)
-         vx.Pg.predicates
-  in
-  if List.exists answerable (List.init (Pg.vertex_count pattern) (fun i -> i)) then
-    Some (content_index t)
-  else None
+let refresh_statistics t =
+  t.stats_lazy <- lazy (Statistics.build t.document);
+  t.stats_version <- t.stats_version + 1;
+  Hashtbl.reset t.engine_cache
 
-let strategy_name = function
-  | Reference -> "reference"
-  | Navigation -> "navigation"
-  | Nok -> "nok"
-  | Pathstack -> "pathstack"
-  | Twigstack -> "twigstack"
-  | Binary_default -> "binary-default"
-  | Binary_best -> "binary-best"
-  | Auto -> "auto"
+(* The executor's memoized cost-model chooser: [Auto] resolution per
+   distinct pattern is paid once per statistics version. *)
+let cached_choose t pattern =
+  match Hashtbl.find_opt t.engine_cache pattern with
+  | Some engine -> engine
+  | None ->
+    let engine = Cost_model.choose (statistics t) pattern in
+    Hashtbl.add t.engine_cache pattern engine;
+    engine
 
-let all_strategies = [ Navigation; Nok; Pathstack; Twigstack; Binary_default; Binary_best ]
-
-(* Expand a pattern back into navigational steps (used by the Navigation
-   strategy so that it really is the step-at-a-time baseline): the spine is
-   the root-to-output path, every off-spine subtree becomes an Exists
-   predicate. *)
-let axis_of_rel = function
-  | Pg.Child -> Xqp_algebra.Axis.Child
-  | Pg.Descendant -> Xqp_algebra.Axis.Descendant
-  | Pg.Attribute -> Xqp_algebra.Axis.Attribute
-  | Pg.Following_sibling -> Xqp_algebra.Axis.Following_sibling
-
-let steps_of_pattern pattern =
-  let test_of v =
-    match (Pg.vertex pattern v).Pg.label with
-    | Pg.Tag name -> Lp.Name name
-    | Pg.Wildcard -> Lp.Any
-  in
-  let value_preds v = List.map (fun p -> Lp.Value_pred p) (Pg.vertex pattern v).Pg.predicates in
-  (* Whole subtree at v (reached via rel) as a relative existence plan. *)
-  let rec branch_plan v rel =
-    let branch_preds =
-      List.map (fun (c, rel') -> Lp.Exists (branch_plan c rel')) (Pg.children pattern v)
-    in
-    Lp.Step
-      ( Lp.Context,
-        { Lp.axis = axis_of_rel rel; test = test_of v; predicates = value_preds v @ branch_preds }
-      )
-  in
-  let output = match Pg.outputs pattern with v :: _ -> v | [] -> 0 in
-  let rec spine_path v =
-    match Pg.parent pattern v with None -> [ v ] | Some (p, _) -> v :: spine_path p
-  in
-  let spine = List.rev (spine_path output) in
-  (* Step navigating into spine vertex [v]; its off-spine subtrees (all of
-     them when [v] is the output) become existence predicates on the step. *)
-  let step_into v ~next_on_spine =
-    let rel = match Pg.parent pattern v with Some (_, r) -> r | None -> Pg.Child in
-    let branch_preds =
-      List.filter_map
-        (fun (c, rel') ->
-          if Some c = next_on_spine then None else Some (Lp.Exists (branch_plan c rel')))
-        (Pg.children pattern v)
-    in
-    { Lp.axis = axis_of_rel rel; test = test_of v; predicates = value_preds v @ branch_preds }
-  in
-  let rec build = function
-    | v :: (next :: _ as rest) -> step_into v ~next_on_spine:(Some next) :: build rest
-    | [ v ] -> [ step_into v ~next_on_spine:None ]
-    | [] -> []
-  in
-  (* Off-spine branches of the context vertex constrain the context itself:
-     a leading self::* step carries them. *)
-  let context_branches =
-    List.filter_map
-      (fun (c, rel') ->
-        if (match spine with _ :: s1 :: _ -> c = s1 | _ -> false) then None
-        else Some (Lp.Exists (branch_plan c rel')))
-      (Pg.children pattern 0)
-  in
-  let leading =
-    if context_branches = [] then []
-    else [ { Lp.axis = Xqp_algebra.Axis.Self; test = Lp.Any; predicates = context_branches } ]
-  in
-  leading @ build (List.tl spine)
-
-(* Resolve [Auto] to the cost model's choice (cached per pattern); every
-   other strategy is already concrete. *)
-let concrete_strategy t strategy pattern =
-  match strategy with
-  | Auto ->
-    let engine =
-      match Hashtbl.find_opt t.engine_cache pattern with
-      | Some engine -> engine
-      | None ->
-        let engine = Cost_model.choose (statistics t) pattern in
-        Hashtbl.add t.engine_cache pattern engine;
-        engine
-    in
-    (match engine with
-    | Cost_model.Naive_nav -> Navigation
-    | Cost_model.Nok_navigation -> Nok
-    | Cost_model.Twig_join -> Twigstack
-    | Cost_model.Binary_joins -> Binary_default)
-  | other -> other
-
-(* The engine that will actually run the pattern, with the PathStack →
-   TwigStack fallback applied — what [explain] and span attributes
-   report. *)
 let effective_strategy t strategy pattern =
-  match concrete_strategy t strategy pattern with
-  | Pathstack when not (Path_stack.supported pattern) -> Twigstack
-  | concrete -> concrete
-
-let run_pattern t strategy pattern ~context =
-  match concrete_strategy t strategy pattern with
-  | Reference -> Ops.pattern_match t.document pattern ~context
-  | Nok -> Nok.match_pattern t.document (store t) pattern ~context
-  | Pathstack ->
-    (* PathStack covers chains; other patterns fall back to TwigStack *)
-    if Path_stack.supported pattern then Path_stack.match_pattern t.document pattern ~context
-    else Twig_stack.match_pattern t.document pattern ~context
-  | Twigstack -> Twig_stack.match_pattern t.document pattern ~context
-  | Binary_default ->
-    Binary_join.match_pattern ?content_index:(index_for t pattern) t.document pattern ~context
-  | Binary_best ->
-    (* semijoin reduction is order-insensitive; the "best order" strategy
-       matters for the tuple-materializing mode *)
-    fst
-      (Binary_join.evaluate_with_order t.document pattern ~context
-         ~order:(Cost_model.best_join_order (statistics t) pattern))
-  | Navigation ->
-    let steps = steps_of_pattern pattern in
-    let plan = Lp.of_steps ~base:Lp.Context steps in
-    let nodes = Navigation.eval_plan t.document plan ~context in
-    let output = match Pg.outputs pattern with v :: _ -> v | [] -> 0 in
-    [ (output, nodes) ]
-  | Auto -> assert false (* concrete_strategy never returns Auto *)
+  Planner.effective ~choose:(cached_choose t) strategy pattern
 
 (* --- debug plan verification ------------------------------------------- *)
 
@@ -209,17 +95,111 @@ let context_kinds doc context =
               | Doc.Text | Doc.Comment | Doc.Pi -> Pc.Text)
           context))
 
-let verify t plan ~context =
+let verify_physical t physical ~context =
+  (* Estimates live on the operator, the binding on the tau; collect both
+     in execution order. *)
+  let rec tau_summaries p acc =
+    match p.Pp.op with
+    | Pp.Root | Pp.Context -> acc
+    | Pp.Step (base, _) -> tau_summaries base acc
+    | Pp.Tau (base, tau) ->
+      tau_summaries base acc
+      @ [
+          {
+            Xqp_analysis.Lint.tau_pattern = tau.Pp.pattern;
+            tau_engine = Pp.engine_label tau.Pp.engine;
+            tau_supported = Planner.supports (Pp.engine_strategy tau.Pp.engine) tau.Pp.pattern;
+            tau_estimate = p.Pp.est_rows;
+          };
+        ]
+    | Pp.Union (a, b) -> tau_summaries b (tau_summaries a acc)
+  in
   let diags =
-    Xqp_analysis.Lint.check_plan ~context:(context_kinds t.document context) plan
+    Xqp_analysis.Lint.check_physical
+      ~context:(context_kinds t.document context)
+      ~logical:(Pp.to_logical physical) (tau_summaries physical [])
   in
   if Xqp_analysis.Diagnostic.has_errors diags then
     raise
       (Ill_sorted
-         (Format.asprintf "plan rejected by the sort checker:@.%a"
+         (Format.asprintf "plan rejected by the physical checker:@.%a"
             Xqp_analysis.Diagnostic.pp_report diags))
 
-(* --- instrumented plan interpretation ---------------------------------- *)
+(* --- compilation -------------------------------------------------------- *)
+
+let compile t ?(strategy = Auto) ?(context_card = 1.0) plan =
+  Planner.compile ~strategy ~context_card ~choose:(cached_choose t) (statistics t) plan
+
+(* One process-wide cache: plans are small and keys carry the executor's
+   identity, so sharing beats per-executor bookkeeping. *)
+let shared_plan_cache : Pp.t Plan_cache.t = Plan_cache.create ~capacity:256 ()
+
+let cache_key t ~strategy ~optimize query =
+  {
+    Plan_cache.query;
+    optimize;
+    strategy = strategy_name strategy;
+    doc_id = t.id;
+    stats_version = t.stats_version;
+  }
+
+let with_cache t ~strategy ~optimize ~use_cache query build =
+  if not use_cache then build ()
+  else begin
+    let key = cache_key t ~strategy ~optimize query in
+    match Plan_cache.find shared_plan_cache key with
+    | Some physical -> physical
+    | None ->
+      let physical = build () in
+      Plan_cache.add shared_plan_cache key physical;
+      physical
+  end
+
+(* Unlike queries, a plan handed to us as a value is compiled {e as
+   given} when [optimize] is false — [run] must execute exactly the plan
+   it received. The cache key is the fingerprint of the input plan, so a
+   hit also skips the rewriting when [optimize] is set. *)
+let compile_plan t ?(strategy = Auto) ?(optimize = false) ?(use_cache = true) plan =
+  with_cache t ~strategy ~optimize ~use_cache ("plan:" ^ Lp.fingerprint plan) (fun () ->
+      let plan = if optimize then Xqp_algebra.Rewrite.optimize plan else plan in
+      compile t ~strategy plan)
+
+let compile_query t ?(strategy = Auto) ?(optimize = true) ?(use_cache = true) path =
+  with_cache t ~strategy ~optimize ~use_cache path (fun () ->
+      let plan = Xqp_xpath.Parser.parse path in
+      let plan =
+        if optimize then Xqp_algebra.Rewrite.optimize plan else Xqp_algebra.Rewrite.simplify plan
+      in
+      compile t ~strategy plan)
+
+(* --- execution ---------------------------------------------------------- *)
+
+(* τ dispatch is a direct jump to the bound engine: every decision —
+   engine, join order, index use, step expansion — was fixed by the
+   planner, so nothing here consults the cost model or resolves [Auto]. *)
+let run_tau t (tau : Pp.tau) ~context =
+  match tau.Pp.engine with
+  | Pp.Reference_match -> Ops.pattern_match t.document tau.Pp.pattern ~context
+  | Pp.Nok_store -> Nok.match_pattern t.document (store t) tau.Pp.pattern ~context
+  | Pp.Path_stack_join -> Path_stack.match_pattern t.document tau.Pp.pattern ~context
+  | Pp.Twig_stack_join -> Twig_stack.match_pattern t.document tau.Pp.pattern ~context
+  | Pp.Binary_semijoin { use_index } ->
+    let index = if use_index then Some (content_index t) else None in
+    Binary_join.match_pattern ?content_index:index t.document tau.Pp.pattern ~context
+  | Pp.Binary_ordered order ->
+    (* semijoin reduction is order-insensitive; the "best order" strategy
+       matters for the tuple-materializing mode *)
+    fst (Binary_join.evaluate_with_order t.document tau.Pp.pattern ~context ~order)
+  | Pp.Navigation_steps plan ->
+    let nodes = Navigation.eval_plan t.document plan ~context in
+    let output = match Pg.outputs tau.Pp.pattern with v :: _ -> v | [] -> 0 in
+    [ (output, nodes) ]
+
+let run_pattern t strategy pattern ~context =
+  run_tau t (Planner.compile_tau ~choose:(cached_choose t) (statistics t) strategy pattern)
+    ~context
+
+(* --- instrumented physical-plan interpretation -------------------------- *)
 
 module Tr = Xqp_obs.Trace
 module M = Xqp_obs.Metrics
@@ -239,21 +219,21 @@ let io_counters =
       "pool.hits";
     ]
 
-let run t ?(strategy = Auto) plan ~context =
-  if !verify_plans then verify t plan ~context;
+let run_physical t physical ~context =
+  if !verify_plans then verify_physical t physical ~context;
   let tr = Tr.default in
   (* One span per plan operator. [path] names the operator's position in
      the plan tree ("0" = the whole plan, children at "<path>.<i>") with
-     the same scheme as [Profile.rows_of_plan], so --analyze can join
+     the same scheme as [Profile.rows_of_physical], so --analyze can join
      estimated and measured rows. When tracing is off this is a bool
      check and a direct call. *)
-  let instr path plan f =
+  let instr path (p : Pp.t) f =
     if not (Tr.enabled tr) then f Tr.null_span
     else begin
       let before = List.map (fun (_, c) -> M.value c) io_counters in
       Tr.with_span tr
-        ~attrs:[ ("path", Tr.Str path) ]
-        (Lp.op_label plan)
+        ~attrs:[ ("path", Tr.Str path); ("est", Tr.Float p.Pp.est_rows) ]
+        (Pp.op_label p)
         (fun span ->
           let out = f span in
           let deltas =
@@ -267,32 +247,35 @@ let run t ?(strategy = Auto) plan ~context =
           out)
     end
   in
-  let rec go path plan ctx =
-    instr path plan (fun span ->
-        match (plan : Lp.t) with
-        | Lp.Root -> [ Ops.document_context ]
-        | Lp.Union (a, b) ->
+  let rec go path (p : Pp.t) ctx =
+    instr path p (fun span ->
+        match p.Pp.op with
+        | Pp.Root -> [ Ops.document_context ]
+        | Pp.Union (a, b) ->
           List.sort_uniq compare (go (path ^ ".0") a ctx @ go (path ^ ".1") b ctx)
-        | Lp.Context -> List.sort_uniq compare ctx
-        | Lp.Step (base, s) ->
+        | Pp.Context -> List.sort_uniq compare ctx
+        | Pp.Step (base, s) ->
           let base_nodes = go (path ^ ".0") base ctx in
           if Tr.enabled tr then Tr.add_attrs span [ ("in", Tr.Int (List.length base_nodes)) ];
           Navigation.eval_plan t.document (Lp.Step (Lp.Context, s)) ~context:base_nodes
-        | Lp.Tpm (base, pattern) -> (
+        | Pp.Tau (base, tau) -> (
           let base_nodes = go (path ^ ".0") base ctx in
           if Tr.enabled tr then
             Tr.add_attrs span
               [
                 ("in", Tr.Int (List.length base_nodes));
-                ("engine", Tr.Str (strategy_name (effective_strategy t strategy pattern)));
+                ("engine", Tr.Str (Pp.engine_label tau.Pp.engine));
               ];
-          match run_pattern t strategy pattern ~context:base_nodes with
+          match run_tau t tau ~context:base_nodes with
           | [ (_, nodes) ] -> nodes
           | several -> List.sort_uniq compare (List.concat_map snd several)))
   in
-  go "0" plan context
+  go "0" physical context
 
-let query t ?(strategy = Auto) ?(optimize = true) path =
-  let plan = Xqp_xpath.Parser.parse path in
-  let plan = if optimize then Xqp_algebra.Rewrite.optimize plan else Xqp_algebra.Rewrite.simplify plan in
-  run t ~strategy plan ~context:[ Ops.document_context ]
+let run t ?(strategy = Auto) plan ~context =
+  run_physical t (compile_plan t ~strategy plan) ~context
+
+let query t ?(strategy = Auto) ?(optimize = true) ?(use_cache = true) path =
+  run_physical t
+    (compile_query t ~strategy ~optimize ~use_cache path)
+    ~context:[ Ops.document_context ]

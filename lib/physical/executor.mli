@@ -1,14 +1,18 @@
-(** Plan execution: dispatch logical plans onto physical engines.
+(** Plan execution: a thin driver over compiled {!Physical_plan}s.
 
     An executor bundles a packed document with the lazily-built artifacts
     the engines need (the succinct store for NoK, statistics for the cost
-    model). Step operators run navigationally; each τ operator is
-    dispatched to the selected pattern-matching engine — [Auto] asks the
-    cost model. *)
+    model, the content index). All planning — engine selection, join
+    orders, fallbacks, estimates — happens once in {!compile} (via
+    {!Planner}); {!run_physical} just interprets the resulting IR, never
+    consulting the cost model or resolving [Auto]. {!query} and
+    {!compile_query} memoize compiled plans in a process-wide
+    {!Plan_cache}, so repeated queries skip parsing, rewriting and
+    costing entirely. *)
 
 type t
 
-type strategy =
+type strategy = Physical_plan.strategy =
   | Reference   (** the algebra's executable specification *)
   | Navigation  (** naive navigational evaluation (τ expanded to steps) *)
   | Nok         (** NoK fragments over the succinct store *)
@@ -16,7 +20,7 @@ type strategy =
   | Twigstack
   | Binary_default (** binary structural joins, arcs in pattern order *)
   | Binary_best    (** binary joins in the cost-model-chosen order *)
-  | Auto           (** cost-model choice per pattern *)
+  | Auto           (** cost-model choice per pattern, resolved at compile time *)
 
 val create : ?pager:Xqp_storage.Pager.t -> Xqp_xml.Document.t -> t
 (** Store and statistics are built lazily on first use. When [pager] is
@@ -25,46 +29,99 @@ val create : ?pager:Xqp_storage.Pager.t -> Xqp_xml.Document.t -> t
     live during execution — [explain --analyze] and the bench harness
     attach one; the default path stays pager-free. *)
 
+val id : t -> int
+(** Process-unique identity of this executor (and hence its document) —
+    the [doc_id] component of {!Plan_cache.key}s. *)
+
 val verify_plans : bool ref
-(** Debug gate: when set, {!run} sort-checks every plan (and the pattern
-    graphs inside it) with {!Xqp_analysis.Lint.check_plan} against the
-    actual kinds of the context nodes before dispatching, and raises
-    {!Ill_sorted} instead of executing an ill-formed plan. Initialized
-    from the [XQP_VERIFY_PLANS] environment variable ([1]/[true]/[yes]). *)
+(** Debug gate: when set, {!run_physical} checks every compiled plan with
+    {!Xqp_analysis.Lint.check_physical} (sort inference over the logical
+    erasure against the actual context-node kinds, plus per-τ binding
+    invariants) and raises {!Ill_sorted} instead of executing an
+    ill-formed plan. Initialized from the [XQP_VERIFY_PLANS] environment
+    variable ([1]/[true]/[yes]). *)
 
 exception Ill_sorted of string
-(** Raised by {!run} under {!verify_plans}; the message is the rendered
-    diagnostic report. *)
+(** Raised under {!verify_plans}; the message is the rendered diagnostic
+    report. *)
 
 val doc : t -> Xqp_xml.Document.t
 val store : t -> Xqp_storage.Succinct_store.t
 val statistics : t -> Statistics.t
+
+val stats_version : t -> int
+(** Bumped by {!refresh_statistics}; part of the plan-cache key, so plans
+    costed against stale statistics are never served. *)
+
+val refresh_statistics : t -> unit
+(** Drop the memoized statistics (rebuilt lazily on next use), bump
+    {!stats_version} and clear the per-pattern engine memo — cached plans
+    for this executor become unreachable. *)
+
 val content_index : t -> Content_index.t
 (** The value index over attribute and simple-element content (built
     lazily; the binary-join engine consults it for covered string
     predicates). *)
 
+val compile :
+  t -> ?strategy:strategy -> ?context_card:float -> Xqp_algebra.Logical_plan.t ->
+  Physical_plan.t
+(** Compile a logical plan as given (no rewriting, no caching):
+    {!Planner.compile} with this executor's statistics and memoized
+    engine chooser. *)
+
+val compile_plan :
+  t -> ?strategy:strategy -> ?optimize:bool -> ?use_cache:bool ->
+  Xqp_algebra.Logical_plan.t -> Physical_plan.t
+(** Cached compilation keyed by the plan's
+    {!Xqp_algebra.Logical_plan.fingerprint}. [optimize] (default false)
+    applies R0+R1/R2 rewriting first — a cache hit skips that too. *)
+
+val compile_query :
+  t -> ?strategy:strategy -> ?optimize:bool -> ?use_cache:bool -> string ->
+  Physical_plan.t
+(** Cached compilation keyed by the query text: parse, rewrite
+    ([optimize] default true: R0+R1/R2; otherwise R0 only), compile. *)
+
+val run_physical :
+  t -> Physical_plan.t -> context:Xqp_xml.Document.node list ->
+  Xqp_xml.Document.node list
+(** Interpret a compiled plan: each operator gets a span (when tracing is
+    on) carrying its tree [path], the IR's [est] annotation, input/output
+    cardinalities, the bound [engine] for τ, and storage-counter deltas.
+    Dispatch reads the baked-in bindings only — no cost model, no [Auto],
+    no fallback decisions at run time. *)
+
 val run_pattern :
   t -> strategy -> Xqp_algebra.Pattern_graph.t ->
   context:Xqp_xml.Document.node list -> (int * Xqp_xml.Document.node list) list
-(** Evaluate τ with a specific engine (per-output-vertex sets). *)
+(** Evaluate τ with a specific engine (per-output-vertex sets): binds the
+    pattern with {!Planner.compile_tau} and dispatches. *)
 
 val effective_strategy : t -> strategy -> Xqp_algebra.Pattern_graph.t -> strategy
 (** The engine {!run_pattern} will actually use for this pattern: [Auto]
-    resolved through the cost model, and the PathStack → TwigStack
-    fallback applied for unsupported patterns. Never returns [Auto]. *)
+    resolved through the cost model, capability fallbacks applied
+    ({!Planner.effective}). Never returns [Auto]. *)
 
 val run :
   t -> ?strategy:strategy -> Xqp_algebra.Logical_plan.t ->
   context:Xqp_xml.Document.node list -> Xqp_xml.Document.node list
-(** Evaluate a plan; default strategy [Auto]. The result is the
+(** [run_physical] ∘ [compile_plan] (the plan executes as given; the
+    compiled form is cached by fingerprint). The result is the
     document-ordered distinct node list of the plan's final operator. *)
 
 val query :
-  t -> ?strategy:strategy -> ?optimize:bool -> string -> Xqp_xml.Document.node list
-(** Parse an XPath string, optionally optimize (default true: R0+R1/R2
-    rewriting), and run it from the document root. *)
+  t -> ?strategy:strategy -> ?optimize:bool -> ?use_cache:bool -> string ->
+  Xqp_xml.Document.node list
+(** [run_physical] ∘ [compile_query] from the document root. With the
+    cache warm (default [use_cache:true]) this skips parsing, rewriting
+    and planning. *)
 
 val strategy_name : strategy -> string
+
 val all_strategies : strategy list
 (** The concrete engines (everything except [Reference] and [Auto]). *)
+
+val strategy_of_string : string -> (strategy, string) result
+(** Inverse of {!strategy_name} (see {!Physical_plan.strategy_of_string});
+    the error message lists the valid names. *)

@@ -6,6 +6,9 @@ type stats = Nok_engine.stats = {
   join_pairs : int;
 }
 
+(* Partitioning + link joins handle any twig, so NoK is total. *)
+let supported (_ : Xqp_algebra.Pattern_graph.t) = true
+
 (* Adapter: the in-memory succinct store as a NoK navigation provider. *)
 module Memory_store = struct
   type t = Store.t

@@ -24,6 +24,11 @@ type stats = {
   join_pairs : int;        (** structural-join output pairs across links *)
 }
 
+val supported : Xqp_algebra.Pattern_graph.t -> bool
+(** Always true: the partitioner splits any twig into NoK fragments and
+    the link joins recombine them. The planner's capability predicate for
+    this engine. *)
+
 val match_pattern :
   Xqp_xml.Document.t ->
   Xqp_storage.Succinct_store.t ->

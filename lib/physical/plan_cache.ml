@@ -1,0 +1,75 @@
+module M = Xqp_obs.Metrics
+
+type key = {
+  query : string;
+  optimize : bool;
+  strategy : string;
+  doc_id : int;
+  stats_version : int;
+}
+
+(* All caches share the process-wide metrics (the registry is the
+   observability surface, not a per-cache one); practically there is one
+   shared cache plus short-lived test instances. *)
+let m_hits = M.counter M.default "plan_cache.hits"
+let m_misses = M.counter M.default "plan_cache.misses"
+let m_evictions = M.counter M.default "plan_cache.evictions"
+let m_size = M.gauge M.default "plan_cache.size"
+
+type 'a entry = { value : 'a; mutable stamp : int }
+
+type 'a t = {
+  table : (key, 'a entry) Hashtbl.t;
+  capacity : int;
+  mutable clock : int;
+}
+
+let create ?(capacity = 128) () =
+  if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be positive";
+  { table = Hashtbl.create (min capacity 64); capacity; clock = 0 }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some entry ->
+    entry.stamp <- tick t;
+    M.incr m_hits;
+    Some entry.value
+  | None ->
+    M.incr m_misses;
+    None
+
+(* O(capacity) victim scan; capacities are small (hundreds) and eviction
+   only happens on insert past capacity, so this never shows up next to
+   the parse+rewrite+costing work a hit saves. *)
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key entry acc ->
+        match acc with
+        | Some (_, best) when best.stamp <= entry.stamp -> acc
+        | _ -> Some (key, entry))
+      t.table None
+  in
+  match victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.table key;
+    M.incr m_evictions
+  | None -> ()
+
+let add t key value =
+  (match Hashtbl.find_opt t.table key with
+  | Some _ -> Hashtbl.remove t.table key
+  | None -> if Hashtbl.length t.table >= t.capacity then evict_lru t);
+  Hashtbl.replace t.table key { value; stamp = tick t };
+  M.set m_size (float_of_int (Hashtbl.length t.table))
+
+let clear t =
+  Hashtbl.reset t.table;
+  M.set m_size 0.0

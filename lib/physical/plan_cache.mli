@@ -1,0 +1,38 @@
+(** Bounded LRU cache for compiled physical plans.
+
+    Keyed by everything that determines the compiled artifact: the query
+    (or plan fingerprint), the optimize flag, the requested strategy, the
+    document's identity and the version of the statistics the planner
+    consulted — so a statistics rebuild or a different document can never
+    serve a stale plan. A hit skips parsing, rewriting and costing
+    entirely.
+
+    Lookups and inserts bump [plan_cache.{hits,misses,evictions}] and the
+    [plan_cache.size] gauge in {!Xqp_obs.Metrics.default} (shared by all
+    instances). Not thread-safe, like the rest of the engine. *)
+
+type key = {
+  query : string;      (** query text, or ["plan:" ^ fingerprint] for
+                           pre-built logical plans *)
+  optimize : bool;
+  strategy : string;   (** {!Physical_plan.strategy_name} of the request *)
+  doc_id : int;        (** {!Executor.id} — per-executor identity *)
+  stats_version : int; (** bumped by [Executor.refresh_statistics] *)
+}
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity 128 entries.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val find : 'a t -> key -> 'a option
+(** Counts a hit or a miss; a hit refreshes the entry's recency. *)
+
+val add : 'a t -> key -> 'a -> unit
+(** Insert (or overwrite) an entry, evicting the least recently used one
+    when the cache is full. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val clear : 'a t -> unit

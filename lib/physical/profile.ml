@@ -43,11 +43,44 @@ let rows_of_plan stats ?(context_card = 1) plan =
   in
   List.rev (walk "0" 0 plan [])
 
+(* The static half from the IR: engines and estimates are read off the
+   compiled plan's annotations, never re-derived through the cost
+   model — what the planner bound is what the profile reports. *)
+let rows_of_physical physical =
+  let module Pp = Physical_plan in
+  let rec walk path depth (p : Pp.t) acc =
+    (* children first: rows come out in execution order *)
+    let acc =
+      match p.Pp.op with
+      | Pp.Root | Pp.Context -> acc
+      | Pp.Step (base, _) | Pp.Tau (base, _) -> walk (path ^ ".0") (depth + 1) base acc
+      | Pp.Union (a, b) ->
+        walk (path ^ ".1") (depth + 1) b (walk (path ^ ".0") (depth + 1) a acc)
+    in
+    let engine =
+      match p.Pp.op with
+      | Pp.Tau (_, tau) -> Some (Pp.engine_label tau.Pp.engine)
+      | Pp.Root | Pp.Context | Pp.Step _ | Pp.Union _ -> None
+    in
+    {
+      path;
+      depth;
+      op = Pp.op_label p;
+      engine;
+      est_rows = p.Pp.est_rows;
+      actual_rows = None;
+      time_ms = None;
+      io = [];
+    }
+    :: acc
+  in
+  List.rev (walk "0" 0 physical [])
+
 let is_io_attr name =
   String.length name > 5
   && (String.sub name 0 6 = "pager." || (String.length name > 4 && String.sub name 0 5 = "pool."))
 
-let analyze exec ?strategy plan ~context =
+let analyze_physical exec physical ~context =
   let tr = Tr.default in
   let was_enabled = Tr.enabled tr in
   Tr.clear tr;
@@ -55,14 +88,13 @@ let analyze exec ?strategy plan ~context =
   let result =
     Fun.protect
       ~finally:(fun () -> Tr.set_enabled tr was_enabled)
-      (fun () -> Executor.run exec ?strategy plan ~context)
+      (fun () -> Executor.run_physical exec physical ~context)
   in
   let events = Tr.events tr in
   let by_path = Hashtbl.create 16 in
   List.iter
     (fun e -> match Tr.attr_str e "path" with Some p -> Hashtbl.replace by_path p e | None -> ())
     events;
-  let stats = Executor.statistics exec in
   let rows =
     List.map
       (fun row ->
@@ -80,9 +112,15 @@ let analyze exec ?strategy plan ~context =
                   match v with Tr.Int d when is_io_attr name -> Some (name, d) | _ -> None)
                 e.Tr.attrs;
           })
-      (rows_of_plan stats ~context_card:(List.length context) plan)
+      (rows_of_physical physical)
   in
   (result, rows)
+
+let analyze exec ?strategy plan ~context =
+  let physical =
+    Executor.compile exec ?strategy ~context_card:(float_of_int (List.length context)) plan
+  in
+  analyze_physical exec physical ~context
 
 let pp_table ppf rows =
   let opt_str f = function Some v -> f v | None -> "-" in

@@ -24,8 +24,26 @@ type row = {
 
 val rows_of_plan :
   Statistics.t -> ?context_card:int -> Xqp_algebra.Logical_plan.t -> row list
-(** Estimate-only rows in execution order; [engine], [actual_rows],
-    [time_ms] are empty and [io] is [[]]. *)
+(** Estimate-only rows for a {e logical} plan in execution order;
+    [engine] is the cost model's choice, [actual_rows]/[time_ms] are
+    empty and [io] is [[]]. Prefer {!rows_of_physical} when a compiled
+    plan is available. *)
+
+val rows_of_physical : Physical_plan.t -> row list
+(** Static rows read off a compiled plan: [engine] is the τ's bound
+    engine and [est_rows] the planner's annotation — nothing is
+    re-derived through the cost model. *)
+
+val analyze_physical :
+  Executor.t ->
+  Physical_plan.t ->
+  context:Xqp_xml.Document.node list ->
+  Xqp_xml.Document.node list * row list
+(** Run a compiled plan with tracing enabled on [Xqp_obs.Trace.default]
+    and return the result nodes plus fully-populated rows. The tracer is
+    cleared first (events recorded earlier are discarded) and its enabled
+    flag restored afterwards; the run's events stay on the tracer until
+    the next clear, so callers can still export them. *)
 
 val analyze :
   Executor.t ->
@@ -33,11 +51,8 @@ val analyze :
   Xqp_algebra.Logical_plan.t ->
   context:Xqp_xml.Document.node list ->
   Xqp_xml.Document.node list * row list
-(** Run the plan with tracing enabled on [Xqp_obs.Trace.default] and
-    return the result nodes plus fully-populated rows. The tracer is
-    cleared first (events recorded earlier are discarded) and its enabled
-    flag restored afterwards; the run's events stay on the tracer until
-    the next clear, so callers can still export them. *)
+(** {!Executor.compile} (with [context_card] from the context length)
+    followed by {!analyze_physical}. *)
 
 val pp_table : Format.formatter -> row list -> unit
 (** Render rows as an aligned table (est/actual/time/IO columns are shown

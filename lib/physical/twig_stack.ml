@@ -35,11 +35,13 @@ let push_entry st node ptr =
 let node_end doc x = if x = Ops.document_context then max_int else Doc.subtree_end doc x
 let node_level doc x = if x = Ops.document_context then -1 else Doc.level doc x
 
+let supported pattern =
+  not (List.exists (fun (_, _, rel) -> rel = Pg.Following_sibling) (Pg.arcs pattern))
+
 let match_pattern_with_stats doc pattern ~context =
   let n = Pg.vertex_count pattern in
-  if
-    List.exists (fun (_, _, rel) -> rel = Pg.Following_sibling) (Pg.arcs pattern)
-  then invalid_arg "Twig_stack: following-sibling arcs are not supported";
+  if not (supported pattern) then
+    invalid_arg "Twig_stack: following-sibling arcs are not supported";
   let streams = Array.init n (fun v -> Binary_join.candidates doc pattern ~context v) in
   let cursors = Array.make n 0 in
   let stacks = Array.init n (fun _ -> new_stack ()) in

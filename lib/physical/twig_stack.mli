@@ -19,13 +19,19 @@ type stats = {
   merged_solutions : int; (** full twig matches after phase 2 *)
 }
 
+val supported : Xqp_algebra.Pattern_graph.t -> bool
+(** No sibling arcs: the linked-stack encoding covers ancestor/descendant
+    (and child/attribute) containment only. The planner's capability
+    predicate for this engine. *)
+
 val match_pattern :
   Xqp_xml.Document.t ->
   Xqp_algebra.Pattern_graph.t ->
   context:Xqp_xml.Document.node list ->
   (int * Xqp_xml.Document.node list) list
 (** Per-output-vertex match sets (same contract as
-    {!Xqp_algebra.Operators.pattern_match}). *)
+    {!Xqp_algebra.Operators.pattern_match}).
+    @raise Invalid_argument when the pattern is not {!supported}. *)
 
 val match_pattern_with_stats :
   Xqp_xml.Document.t ->

@@ -3,8 +3,6 @@ module Tree = Xqp_xml.Tree
 module Value = Xqp_algebra.Value
 module Env = Xqp_algebra.Env
 module Ops = Xqp_algebra.Operators
-module Lp = Xqp_algebra.Logical_plan
-module Rewrite = Xqp_algebra.Rewrite
 module Executor = Xqp_physical.Executor
 
 exception Error of string
@@ -25,12 +23,12 @@ let result_trees exec value = List.map (item_to_tree (Executor.doc exec)) value
 let result_string exec value =
   String.concat "" (List.map (fun t -> Xqp_xml.Serializer.to_string t) (result_trees exec value))
 
-(* Plans inside the AST have base Context; optimize once per occurrence.
-   Memoizing by physical equality would need a table; plans are small, so
-   we optimize on the fly. *)
+(* Plans inside the AST have base Context and are re-evaluated once per
+   FLWOR binding; the plan cache (keyed by the raw plan's fingerprint)
+   makes the rewrite + planning a one-time cost per distinct path. *)
 let run_path exec strategy plan ~context =
-  let optimized = Rewrite.optimize plan in
-  let nodes = Executor.run exec ~strategy optimized ~context in
+  let physical = Executor.compile_plan exec ~strategy ~optimize:true plan in
+  let nodes = Executor.run_physical exec physical ~context in
   (* the virtual document node may flow out of a bare "/" *)
   List.map
     (fun id -> if id = Ops.document_context then Doc.root (Executor.doc exec) else id)

@@ -1,0 +1,249 @@
+(* Tests for the physical planning layer: Planner.compile determinism,
+   compiled-plan execution against the reference engine, plan-cache
+   keying (hits/misses across documents, statistics versions and the
+   optimize flag), LRU eviction, and the strategy-name round-trip. *)
+
+open Xqp_xml
+open Xqp_algebra
+open Xqp_physical
+module M = Xqp_obs.Metrics
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let qcheck = QCheck_alcotest.to_alcotest
+let hits () = M.value (M.counter M.default "plan_cache.hits")
+let misses () = M.value (M.counter M.default "plan_cache.misses")
+let evictions () = M.value (M.counter M.default "plan_cache.evictions")
+
+let auction = lazy (Xqp_workload.Gen_auction.packed ~scale:400 ())
+
+(* run [f] with the physical sort-checker enabled; the workload queries
+   compiled in this suite must all pass it *)
+let with_verify f () =
+  let saved = !Executor.verify_plans in
+  Executor.verify_plans := true;
+  Fun.protect ~finally:(fun () -> Executor.verify_plans := saved) f
+
+let workload_queries =
+  [
+    "/site/regions/africa/item/name";
+    "//item/name";
+    "/site/people/person[address/city][profile]/name";
+    "//open_auction[bidder/increase > 20]/current";
+    "//description//listitem//text";
+    "//person[profile/@income > 60000]/name";
+    "//regions//item[location][quantity]/description//text";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Compile determinism and structure                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_compile_deterministic =
+  QCheck2.Test.make ~name:"Planner.compile is deterministic" ~count:200
+    QCheck2.Gen.(pair Test_physical.gen_doc Test_xpath.gen_plan)
+    (fun (doc, plan) ->
+      let exec = Executor.create doc in
+      let plan = Rewrite.optimize plan in
+      Physical_plan.equal (Executor.compile exec plan) (Executor.compile exec plan))
+
+let test_compile_resolves_auto () =
+  let exec = Executor.create (Lazy.force auction) in
+  List.iter
+    (fun q ->
+      let physical = Executor.compile_query exec ~use_cache:false q in
+      List.iter
+        (fun (tau : Physical_plan.tau) ->
+          (* tau_engine has no Auto constructor; check the strategy
+             projection stays concrete and supported *)
+          let strategy = Physical_plan.engine_strategy tau.Physical_plan.engine in
+          check_bool "engine is concrete" false (strategy = Physical_plan.Auto);
+          check_bool "engine supports its pattern" true
+            (Planner.supports strategy tau.Physical_plan.pattern))
+        (Physical_plan.taus physical))
+    workload_queries
+
+let test_unsupported_explicit_strategy_falls_back () =
+  (* a pattern with a following-sibling arc is outside TwigStack's class;
+     an explicit Twigstack request must fall back, not fail *)
+  let doc = Document.of_string ~strip:true "<r><a/><b/><a/><b/></r>" in
+  let exec = Executor.create doc in
+  let vertices =
+    [|
+      { Pattern_graph.label = Wildcard; predicates = []; output = false };
+      { Pattern_graph.label = Tag "a"; predicates = []; output = false };
+      { Pattern_graph.label = Tag "b"; predicates = []; output = true };
+    |]
+  in
+  let pattern =
+    Pattern_graph.make ~vertices
+      ~arcs:[ (0, 1, Pattern_graph.Descendant); (1, 2, Pattern_graph.Following_sibling) ]
+  in
+  check_bool "TwigStack rejects sibling arcs" false (Twig_stack.supported pattern);
+  let plan = Logical_plan.Tpm (Logical_plan.Context, pattern) in
+  let physical = Executor.compile exec ~strategy:Executor.Twigstack plan in
+  List.iter
+    (fun (tau : Physical_plan.tau) ->
+      check_bool "fell back off TwigStack" false
+        (Physical_plan.engine_strategy tau.Physical_plan.engine = Physical_plan.Twigstack))
+    (Physical_plan.taus physical);
+  let context = [ Operators.document_context ] in
+  let reference = Executor.run exec ~strategy:Executor.Reference plan ~context in
+  check_bool "fallback result = reference" true
+    (Executor.run_physical exec physical ~context = reference)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled plans execute like the one-shot paths, on every engine      *)
+(* ------------------------------------------------------------------ *)
+
+let test_compiled_plans_agree () =
+  let exec = Executor.create (Lazy.force auction) in
+  let context = [ Operators.document_context ] in
+  List.iter
+    (fun q ->
+      let reference = Executor.query exec ~strategy:Executor.Reference q in
+      List.iter
+        (fun strategy ->
+          let physical = Executor.compile_query exec ~strategy ~use_cache:false q in
+          let via_ir = Executor.run_physical exec physical ~context in
+          let via_query = Executor.query exec ~strategy ~use_cache:false q in
+          check_bool
+            (Printf.sprintf "compiled %s on %s = reference" (Executor.strategy_name strategy) q)
+            true (via_ir = reference);
+          check_bool
+            (Printf.sprintf "query %s on %s = compiled" (Executor.strategy_name strategy) q)
+            true (via_query = via_ir))
+        (Executor.Auto :: Executor.all_strategies))
+    workload_queries
+
+(* ------------------------------------------------------------------ *)
+(* Plan-cache keying                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_same_query_hits () =
+  let exec = Executor.create (Lazy.force auction) in
+  let q = "//person[profile/@income > 60000]/name" in
+  let h0 = hits () and m0 = misses () in
+  let p1 = Executor.compile_query exec q in
+  check_int "first compile misses" 1 (misses () - m0);
+  let p2 = Executor.compile_query exec q in
+  check_int "second compile hits" 1 (hits () - h0);
+  check_int "no further miss" 1 (misses () - m0);
+  check_bool "cached plan is the same plan" true (Physical_plan.equal p1 p2)
+
+let test_cache_distinguishes_documents () =
+  let doc = Lazy.force auction in
+  let exec1 = Executor.create doc and exec2 = Executor.create doc in
+  let q = "//item/name" in
+  let m0 = misses () in
+  ignore (Executor.compile_query exec1 q);
+  ignore (Executor.compile_query exec2 q);
+  (* same document contents, different executor identity: both miss *)
+  check_int "each executor misses once" 2 (misses () - m0)
+
+let test_cache_invalidated_by_stats_refresh () =
+  let exec = Executor.create (Lazy.force auction) in
+  let q = "//open_auction[bidder/increase > 20]/current" in
+  ignore (Executor.compile_query exec q);
+  let h0 = hits () and m0 = misses () in
+  ignore (Executor.compile_query exec q);
+  check_int "warm hit before refresh" 1 (hits () - h0);
+  let v0 = Executor.stats_version exec in
+  Executor.refresh_statistics exec;
+  check_int "stats version bumped" (v0 + 1) (Executor.stats_version exec);
+  ignore (Executor.compile_query exec q);
+  check_int "refresh invalidates the entry" 1 (misses () - m0)
+
+let test_cache_distinguishes_optimize_flag () =
+  let exec = Executor.create (Lazy.force auction) in
+  let q = "/site/people/person[address]/name" in
+  let m0 = misses () in
+  ignore (Executor.compile_query exec ~optimize:true q);
+  ignore (Executor.compile_query exec ~optimize:false q);
+  check_int "optimize flag is part of the key" 2 (misses () - m0);
+  let m1 = misses () in
+  ignore (Executor.compile_query exec ~strategy:Executor.Nok q);
+  check_int "strategy is part of the key" 1 (misses () - m1)
+
+let test_cache_bypass () =
+  let exec = Executor.create (Lazy.force auction) in
+  let q = "//description//listitem//text" in
+  ignore (Executor.compile_query exec q);
+  let h0 = hits () and m0 = misses () in
+  ignore (Executor.compile_query exec ~use_cache:false q);
+  check_int "bypass counts no hit" 0 (hits () - h0);
+  check_int "bypass counts no miss" 0 (misses () - m0)
+
+(* ------------------------------------------------------------------ *)
+(* LRU eviction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let key q : Plan_cache.key =
+  { query = q; optimize = true; strategy = "auto"; doc_id = 0; stats_version = 0 }
+
+let test_lru_eviction () =
+  let cache : int Plan_cache.t = Plan_cache.create ~capacity:2 () in
+  let e0 = evictions () in
+  Plan_cache.add cache (key "a") 1;
+  Plan_cache.add cache (key "b") 2;
+  (* touch "a" so "b" becomes the least recently used entry *)
+  check_bool "a present" true (Plan_cache.find cache (key "a") = Some 1);
+  Plan_cache.add cache (key "c") 3;
+  check_int "capacity respected" 2 (Plan_cache.length cache);
+  check_int "one eviction" 1 (evictions () - e0);
+  check_bool "b evicted" true (Plan_cache.find cache (key "b") = None);
+  check_bool "a survives" true (Plan_cache.find cache (key "a") = Some 1);
+  check_bool "c present" true (Plan_cache.find cache (key "c") = Some 3)
+
+let test_cache_rejects_zero_capacity () =
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Plan_cache.create: capacity must be positive") (fun () ->
+      ignore (Plan_cache.create ~capacity:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Strategy names                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_strategy_name_round_trip () =
+  List.iter
+    (fun s ->
+      match Executor.strategy_of_string (Executor.strategy_name s) with
+      | Ok s' -> check_bool (Executor.strategy_name s ^ " round-trips") true (s = s')
+      | Error e -> Alcotest.fail e)
+    (Executor.Auto :: Executor.Reference :: Executor.all_strategies);
+  match Executor.strategy_of_string "no-such-engine" with
+  | Ok _ -> Alcotest.fail "unknown engine accepted"
+  | Error msg ->
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    check_bool "error names the valid engines" true (contains msg "auto")
+
+let suite =
+  [
+    ( "planner",
+      [
+        qcheck prop_compile_deterministic;
+        Alcotest.test_case "compile resolves Auto to supported engines" `Quick
+          test_compile_resolves_auto;
+        Alcotest.test_case "unsupported explicit strategy falls back" `Quick
+          (with_verify test_unsupported_explicit_strategy_falls_back);
+        Alcotest.test_case "compiled plans agree with reference on every engine" `Quick
+          (with_verify test_compiled_plans_agree);
+        Alcotest.test_case "strategy names round-trip" `Quick test_strategy_name_round_trip;
+      ] );
+    ( "plan cache",
+      [
+        Alcotest.test_case "same query hits" `Quick test_cache_same_query_hits;
+        Alcotest.test_case "different documents miss" `Quick test_cache_distinguishes_documents;
+        Alcotest.test_case "statistics refresh invalidates" `Quick
+          test_cache_invalidated_by_stats_refresh;
+        Alcotest.test_case "optimize flag and strategy key" `Quick
+          test_cache_distinguishes_optimize_flag;
+        Alcotest.test_case "use_cache:false bypasses" `Quick test_cache_bypass;
+        Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+        Alcotest.test_case "zero capacity rejected" `Quick test_cache_rejects_zero_capacity;
+      ] );
+  ]
