@@ -17,18 +17,21 @@ bench-full:
 
 # Quick perf gate: navigation primitives + storage size sweep at the
 # smallest scale; writes BENCH_prim_nav.json (plus BENCH_query_metrics.json
-# from QMET and BENCH_plan_cache.json from PCACHE) for machine consumption.
+# from QMET, BENCH_plan_cache.json from PCACHE and BENCH_path_summary.json
+# from PSUM) for machine consumption.
 bench-smoke:
-	dune exec bench/main.exe -- --only=PRIM,E1,QMET,PCACHE --json=BENCH_prim_nav.json
+	dune exec bench/main.exe -- --only=PRIM,E1,QMET,PCACHE,PSUM --json=BENCH_prim_nav.json
 
 # Observability gate: explain --analyze over every workload query, then
 # validate the exported Chrome trace with scripts/check_trace.
 trace-smoke:
 	./scripts/trace_smoke.sh
 
-# Estimated vs actual cardinality (q-error) per workload query.
+# Estimated vs actual cardinality (q-error) per workload query. The gate
+# fails if any downward-only query — the ones the path summary answers
+# with exact path counts — drifts past q-error 1.1.
 calibrate:
-	dune exec --no-print-directory bin/xqp.exe -- calibrate
+	dune exec --no-print-directory bin/xqp.exe -- calibrate --gate-downward 1.1
 
 # Static checks: rebuild under the stricter `lint` dune profile (key
 # warnings promoted to errors; see the root `dune` file), then run the

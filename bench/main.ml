@@ -1475,6 +1475,165 @@ let () =
     }
 
 (* ------------------------------------------------------------------ *)
+(* PSUM: path-summary synopsis                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Three claims, one experiment: (a) summary-sourced estimates beat the
+   legacy tag-pair statistics on q-error across the workload; (b) a query
+   whose pattern has an empty path set compiles to [Empty] and is
+   answered without any pager I/O; (c) descendant navigation with
+   summary skip-ahead visits far fewer nodes for the same answer.
+   Results go to BENCH_path_summary.json. *)
+
+(* items never occur under people: provably empty from the summary *)
+let psum_empty_query = "/site/people/item"
+
+(* deep // chain whose tags live under few subtrees: skip-heavy *)
+let psum_skip_query = "//description//listitem//text"
+
+let psum_run ~scale =
+  let module J = Xqp_obs.Json in
+  let module M = Xqp_obs.Metrics in
+  let doc_scale = match scale with `Small -> 600 | `Full -> 3000 in
+  let doc = Workload.Gen_auction.packed ~scale:doc_scale () in
+  let exec = Executor.create doc in
+  let stats = Executor.statistics exec in
+  let ctx = [ Operators.document_context ] in
+  (* --- (a) q-error, legacy statistics vs path summary --------------- *)
+  let queries = Workload.Queries.auction_paths @ Workload.Queries.auction_complexity_sweep in
+  Printf.printf "  %-6s %10s %10s %8s %10s %10s\n" "id" "est-old" "est-new" "actual" "q-old"
+    "q-new";
+  let qrows =
+    List.map
+      (fun (q : Workload.Queries.query) ->
+        let xpath = q.Workload.Queries.xpath in
+        let optimized = Rewrite.optimize (Xqp_xpath.Parser.parse xpath) in
+        let est_old = Cost_model.estimate_plan stats ~use_summary:false optimized in
+        let est_new, src = Cost_model.estimate_plan_detail stats optimized in
+        let actual = List.length (Executor.run exec optimized ~context:ctx) in
+        let q_of est =
+          let e = Float.max 1.0 est and a = Float.max 1.0 (float_of_int actual) in
+          Float.max (e /. a) (a /. e)
+        in
+        let q_old = q_of est_old and q_new = q_of est_new in
+        Printf.printf "  %-6s %10.1f %10.1f %8d %10.2f %10.2f\n" q.Workload.Queries.id est_old
+          est_new actual q_old q_new;
+        J.Obj
+          [
+            ("id", J.Str q.Workload.Queries.id);
+            ("xpath", J.Str xpath);
+            ("actual", J.Num (float_of_int actual));
+            ("est_legacy", J.Num est_old);
+            ("est_summary", J.Num est_new);
+            ("q_error_legacy", J.Num q_old);
+            ("q_error_summary", J.Num q_new);
+            ("source", J.Str (Statistics.source_label src));
+          ])
+      queries
+  in
+  let fold sel init f =
+    List.fold_left
+      (fun acc o ->
+        match o with
+        | J.Obj fields -> (
+          match List.assoc sel fields with J.Num n -> f acc n | _ -> acc)
+        | _ -> acc)
+      init qrows
+  in
+  let worst_old = fold "q_error_legacy" 1.0 Float.max in
+  let worst_new = fold "q_error_summary" 1.0 Float.max in
+  Printf.printf "  worst q-error: legacy %.2f -> summary %.2f\n" worst_old worst_new;
+  if worst_new > worst_old then failwith "PSUM: summary estimates worse than legacy";
+  (* --- (b) plan-time pruning: no pager I/O for an empty path set ---- *)
+  let pager = Xqp_storage.Pager.create () in
+  let pexec = Executor.create ~pager doc in
+  ignore (Executor.store pexec);
+  let physical = Executor.compile_query pexec psum_empty_query in
+  (match physical.Physical_plan.op with
+  | Physical_plan.Empty _ -> ()
+  | _ -> failwith "PSUM: empty-path query did not compile to Empty");
+  let m_reads = M.counter M.default "pager.logical_reads" in
+  let r0 = M.value m_reads in
+  let res = Executor.run_physical pexec physical ~context:ctx in
+  let pruned_reads = M.value m_reads - r0 in
+  if res <> [] then failwith "PSUM: pruned query returned nodes";
+  if pruned_reads <> 0 then failwith "PSUM: pruned query touched the pager";
+  let t_pruned = ms (measure (fun () -> Executor.query pexec psum_empty_query)) in
+  Printf.printf "  pruned %-28s %.4f ms, pager reads: %d (plan: Empty)\n" psum_empty_query
+    t_pruned pruned_reads;
+  (* --- (c) skip-ahead navigation ------------------------------------ *)
+  let hints = Navigation.make_hints doc (Statistics.summary stats) in
+  let plan = Rewrite.simplify (Xqp_xpath.Parser.parse psum_skip_query) in
+  let without () = Navigation.eval_plan_with_stats doc plan ~context:ctx in
+  let with_h () = Navigation.eval_plan_with_stats ~hints doc plan ~context:ctx in
+  let m_skip = M.counter M.default "engine.navigation.skipped_subtrees" in
+  let s0 = M.value m_skip in
+  let r_with, st_with = with_h () in
+  let skipped = M.value m_skip - s0 in
+  let r_without, st_without = without () in
+  if r_with <> r_without then failwith "PSUM: hinted navigation diverges";
+  if skipped = 0 then failwith "PSUM: no subtrees skipped on a skip-heavy query";
+  let t_without = ms (measure (fun () -> fst (without ()))) in
+  let t_with = ms (measure (fun () -> fst (with_h ()))) in
+  Printf.printf
+    "  skip   %-28s %.3f ms -> %.3f ms (%.2fx), visited %d -> %d, %d subtrees skipped\n"
+    psum_skip_query t_without t_with
+    (t_without /. Float.max 1e-9 t_with)
+    st_without.Navigation.nodes_visited st_with.Navigation.nodes_visited skipped;
+  let out =
+    J.Obj
+      [
+        ("bench", J.Str "path_summary");
+        ("document", J.Str (Printf.sprintf "auction:%d" doc_scale));
+        ("worst_q_error_legacy", J.Num worst_old);
+        ("worst_q_error_summary", J.Num worst_new);
+        ("queries", J.Arr qrows);
+        ( "pruned",
+          J.Obj
+            [
+              ("query", J.Str psum_empty_query);
+              ("pager_logical_reads", J.Num (float_of_int pruned_reads));
+              ("latency_ms", J.Num t_pruned);
+            ] );
+        ( "skip_ahead",
+          J.Obj
+            [
+              ("query", J.Str psum_skip_query);
+              ("no_hints_ms", J.Num t_without);
+              ("hints_ms", J.Num t_with);
+              ("speedup", J.Num (t_without /. Float.max 1e-9 t_with));
+              ("nodes_visited_no_hints", J.Num (float_of_int st_without.Navigation.nodes_visited));
+              ("nodes_visited_hints", J.Num (float_of_int st_with.Navigation.nodes_visited));
+              ("skipped_subtrees", J.Num (float_of_int skipped));
+            ] );
+      ]
+  in
+  let path = "BENCH_path_summary.json" in
+  let oc = open_out path in
+  output_string oc (J.to_string ~pretty:true out);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  wrote %s\n" path
+
+let () =
+  register
+    {
+      id = "PSUM";
+      title = "PSUM: path-summary estimates, plan-time pruning, skip-ahead navigation";
+      run = psum_run;
+      bechamel =
+        (fun () ->
+          let doc = Workload.Gen_auction.packed ~scale:600 () in
+          let stats = Statistics.build doc in
+          let hints = Navigation.make_hints doc (Statistics.summary stats) in
+          let plan = Rewrite.simplify (Xqp_xpath.Parser.parse psum_skip_query) in
+          let ctx = [ Operators.document_context ] in
+          Bechamel.Test.make ~name:"PSUM-skip-ahead-nav"
+            (Bechamel.Staged.stage (fun () ->
+                 ignore (Navigation.eval_plan ~hints doc plan ~context:ctx))));
+    }
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel runner                                                     *)
 (* ------------------------------------------------------------------ *)
 

@@ -113,7 +113,7 @@ let workload_xpath_queries () =
     (fun (q : Xqp_workload.Queries.query) -> (q.Xqp_workload.Queries.id, q.Xqp_workload.Queries.xpath))
     (Xqp_workload.Queries.auction_paths @ Xqp_workload.Queries.auction_complexity_sweep)
 
-let explain_one exec ~analyze ~rewrites ~use_cache query =
+let explain_one exec ?(strategy = Executor.Auto) ~analyze ~rewrites ~use_cache query =
   let plan = Xqp_xpath.Parser.parse query in
   let simplified = Rewrite.simplify plan in
   let optimized, fires = Rewrite.optimize_traced plan in
@@ -131,7 +131,8 @@ let explain_one exec ~analyze ~rewrites ~use_cache query =
     Format.printf "pattern graph:   %a@." Pattern_graph.pp pattern;
     Format.printf "NoK partition:   %a@." Nok_partition.pp (Nok_partition.partition pattern);
     let stats = Executor.statistics exec in
-    Format.printf "estimated rows:  %.1f@." (Statistics.estimate_result stats pattern);
+    let est, src = Cost_model.estimate_plan_detail stats optimized in
+    Format.printf "estimated rows:  %.1f (%s)@." est (Statistics.source_label src);
     List.iter
       (fun engine ->
         if Cost_model.supports pattern engine then
@@ -148,7 +149,7 @@ let explain_one exec ~analyze ~rewrites ~use_cache query =
   let module M = Xqp_obs.Metrics in
   let hits = M.counter M.default "plan_cache.hits" in
   let hits_before = M.value hits in
-  let physical = Executor.compile_query exec ~use_cache query in
+  let physical = Executor.compile_query exec ~strategy ~use_cache query in
   Format.printf "plan cache:      %s@."
     (if not use_cache then "bypassed"
      else if M.value hits > hits_before then "hit"
@@ -173,7 +174,7 @@ let explain_one exec ~analyze ~rewrites ~use_cache query =
     result
   end
 
-let run_explain file gen analyze rewrites trace_out no_cache workload queries =
+let run_explain file gen strategy analyze rewrites trace_out no_cache workload queries =
   let doc = load_document ~file ~gen in
   (* Attach a pager so the simulated-I/O counters are live under
      --analyze; plain explain never forces the store. *)
@@ -219,7 +220,7 @@ let run_explain file gen analyze rewrites trace_out no_cache workload queries =
     (fun i (id, q) ->
       if i > 0 then Format.printf "@.";
       if List.length queries > 1 then Format.printf "=== %s: %s@." id q;
-      ignore (explain_one exec ~analyze ~rewrites ~use_cache:(not no_cache) q);
+      ignore (explain_one exec ~strategy ~analyze ~rewrites ~use_cache:(not no_cache) q);
       if analyze && trace_out <> None then append_events ())
     queries;
   (match trace_out with
@@ -259,8 +260,8 @@ let explain_cmd =
                    demonstrates a plan-cache hit).")
   in
   let term =
-    Term.(const run_explain $ file_arg $ gen_arg $ analyze $ rewrites $ trace_out $ no_cache_arg
-          $ workload $ queries)
+    Term.(const run_explain $ file_arg $ gen_arg $ strategy_arg $ analyze $ rewrites
+          $ trace_out $ no_cache_arg $ workload $ queries)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -270,7 +271,28 @@ let explain_cmd =
 
 (* --- calibrate ---------------------------------------------------------- *)
 
-let run_calibrate file gen threshold =
+(* Downward plans — child/attribute/self axes only, no // anywhere — are
+   the ones the path summary answers with exact path counts, so they get
+   their own (much tighter) q-error gate. *)
+let rec downward_plan (p : Logical_plan.t) =
+  match p with
+  | Logical_plan.Root | Logical_plan.Context -> true
+  | Logical_plan.Union (a, b) -> downward_plan a && downward_plan b
+  | Logical_plan.Step (base, s) ->
+    downward_plan base
+    && (match s.Logical_plan.axis with
+       | Xqp_algebra.Axis.Child | Xqp_algebra.Axis.Attribute | Xqp_algebra.Axis.Self -> true
+       | _ -> false)
+  | Logical_plan.Tpm (base, pattern) ->
+    downward_plan base
+    && List.for_all
+         (fun v ->
+           match Pattern_graph.parent pattern v with
+           | Some (_, (Pattern_graph.Child | Pattern_graph.Attribute)) | None -> true
+           | Some (_, _) -> false)
+         (List.init (Pattern_graph.vertex_count pattern) (fun i -> i))
+
+let run_calibrate file gen threshold gate worst_n no_summary =
   let doc =
     match (file, gen) with
     | None, None -> Xqp_workload.Gen_auction.packed ~scale:600 ()
@@ -282,7 +304,9 @@ let run_calibrate file gen threshold =
     List.map
       (fun (id, xpath) ->
         let optimized = Rewrite.optimize (Xqp_xpath.Parser.parse xpath) in
-        let est = Cost_model.estimate_plan stats optimized in
+        let est, src =
+          Cost_model.estimate_plan_detail stats ~use_summary:(not no_summary) optimized
+        in
         let actual = List.length (Executor.run exec optimized ~context:[ Operators.document_context ]) in
         (* q-error: multiplicative distance between estimate and truth,
            with both sides floored at 1 so empty results stay finite *)
@@ -290,28 +314,79 @@ let run_calibrate file gen threshold =
           let e = Float.max 1.0 est and a = Float.max 1.0 (float_of_int actual) in
           Float.max (e /. a) (a /. e)
         in
-        (id, xpath, est, actual, q_error))
+        (id, xpath, est, actual, q_error, src, downward_plan optimized))
       (workload_xpath_queries ())
   in
-  Format.printf "%-4s  %10s  %8s  %8s  %s@." "id" "est" "actual" "q-error" "";
+  Format.printf "%-4s  %10s  %8s  %8s  %-6s  %s@." "id" "est" "actual" "q-error" "source" "";
   let flagged = ref 0 in
   List.iter
-    (fun (id, _, est, actual, q) ->
+    (fun (id, _, est, actual, q, src, _) ->
       let flag = if q > threshold then Printf.sprintf "  <-- q-error > %.0f" threshold else "" in
       if q > threshold then incr flagged;
-      Format.printf "%-4s  %10.1f  %8d  %8.2f%s@." id est actual q flag)
+      Format.printf "%-4s  %10.1f  %8d  %8.2f  %-6s%s@." id est actual q
+        (Statistics.source_label src) flag)
     rows;
-  let worst = List.fold_left (fun acc (_, _, _, _, q) -> Float.max acc q) 1.0 rows in
+  let worst = List.fold_left (fun acc (_, _, _, _, q, _, _) -> Float.max acc q) 1.0 rows in
   Format.printf "%d queries, %d flagged (q-error > %.0f), worst q-error %.2f@."
     (List.length rows) !flagged threshold worst;
-  0
+  (match worst_n with
+  | None -> ()
+  | Some n ->
+    (* markdown worst-N table, ready to paste into EXPERIMENTS.md *)
+    let sorted =
+      List.sort (fun (_, _, _, _, qa, _, _) (_, _, _, _, qb, _, _) -> compare qb qa) rows
+    in
+    let top = List.filteri (fun i _ -> i < n) sorted in
+    Format.printf "@.worst %d patterns by q-error:@." (List.length top);
+    Format.printf "| id | xpath | est | actual | q-error | source |@.";
+    Format.printf "|----|-------|----:|-------:|--------:|--------|@.";
+    List.iter
+      (fun (id, xpath, est, actual, q, src, _) ->
+        Format.printf "| %s | `%s` | %.1f | %d | %.2f | %s |@." id xpath est actual q
+          (Statistics.source_label src))
+      top);
+  match gate with
+  | None -> 0
+  | Some g ->
+    let bad = List.filter (fun (_, _, _, _, q, _, down) -> down && q > g) rows in
+    if bad = [] then begin
+      Format.printf "gate: all downward-path queries within q-error %.2f@." g;
+      0
+    end
+    else begin
+      List.iter
+        (fun (id, xpath, _, _, q, _, _) ->
+          Format.printf "gate: %s (%s) has q-error %.2f > %.2f@." id xpath q g)
+        bad;
+      1
+    end
 
 let calibrate_cmd =
   let threshold =
     Arg.(value & opt float 10.0
          & info [ "threshold" ] ~docv:"Q" ~doc:"Flag queries whose q-error exceeds $(docv).")
   in
-  let term = Term.(const run_calibrate $ file_arg $ gen_arg $ threshold) in
+  let gate =
+    Arg.(value & opt (some float) None
+         & info [ "gate-downward" ] ~docv:"Q"
+             ~doc:"Exit non-zero if any downward-only (child/attribute axes) query has \
+                   q-error above $(docv); these are exactly the queries the path summary \
+                   should answer (near-)exactly.")
+  in
+  let worst_n =
+    Arg.(value & opt (some int) None
+         & info [ "worst" ] ~docv:"N"
+             ~doc:"Also print the $(docv) worst patterns as a markdown table.")
+  in
+  let no_summary =
+    Arg.(value & flag
+         & info [ "no-summary" ]
+             ~doc:"Estimate with the legacy tag-pair statistics only (ignore the path \
+                   summary) — the before side of the PSUM experiment.")
+  in
+  let term =
+    Term.(const run_calibrate $ file_arg $ gen_arg $ threshold $ gate $ worst_n $ no_summary)
+  in
   Cmd.v
     (Cmd.info "calibrate"
        ~doc:"Compare the cost model's estimated cardinality with actual results over the \

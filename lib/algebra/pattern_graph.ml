@@ -65,6 +65,14 @@ let is_nok t =
       match rel with Child | Attribute | Following_sibling -> true | Descendant -> false)
     t.arc_list
 
+let vertex_path t v =
+  let rec up v acc =
+    match t.parents.(v) with
+    | None -> acc
+    | Some (p, rel) -> up p ((rel, t.vertices.(v).label) :: acc)
+  in
+  up v []
+
 let vertices_in_document_order t =
   let rec walk v acc = List.fold_left (fun acc (c, _) -> walk c acc) (v :: acc) t.children.(v) in
   List.rev (walk 0 [])

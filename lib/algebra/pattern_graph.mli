@@ -56,6 +56,13 @@ val is_nok : t -> bool
 val vertices_in_document_order : t -> int list
 (** Pre-order traversal of the pattern tree. *)
 
+val vertex_path : t -> int -> (rel * label) list
+(** [vertex_path t v] is the arc relation and vertex label along the
+    unique context-to-[v] path (patterns are trees), outermost first and
+    empty for the context vertex. This is the pattern's projection onto a
+    linear path — what a structural summary can answer about [v] while
+    ignoring predicates and sibling branches. *)
+
 val label_matches :
   Xqp_xml.Document.t -> label -> Xqp_xml.Document.node -> bool
 (** Does a document node's name satisfy a label? (Wildcards match any

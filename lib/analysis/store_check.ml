@@ -2,6 +2,7 @@ module Io = Xqp_storage.Store_io
 module Bitvector = Xqp_storage.Bitvector
 module Excess_dir = Xqp_storage.Excess_dir
 module Btree = Xqp_storage.Btree
+module Ps = Xqp_storage.Path_summary
 module D = Diagnostic
 
 let read_i64_at s off =
@@ -58,11 +59,14 @@ let check_bytes s =
         let want_samples = ((l.Io.flags_bit_len + Excess_dir.block_bits - 1) / Excess_dir.block_bits) + 1 in
         if l.Io.flag_sample_count <> want_samples then
           header_err "flag rank directory has %d samples (expected %d)" l.Io.flag_sample_count
-            want_samples
+            want_samples;
+        if l.Io.psum_count < 0 || l.Io.psum_count > l.Io.node_count then
+          header_err "path summary has %d nodes for a %d-node document" l.Io.psum_count
+            l.Io.node_count
       end;
       if not !header_ok then finish ()
       else begin
-        let expected_size = l.Io.flag_samples_off + (8 * l.Io.flag_sample_count) in
+        let expected_size = l.Io.psum_off + (Io.psum_row_bytes * l.Io.psum_count) in
         if expected_size <> len then
           report
             (D.errorf ~path:[ "layout" ] ~code:"layout/size"
@@ -303,6 +307,116 @@ let check_bytes s =
              report
                (D.errorf ~path:[ "content index" ] ~code:"index/btree"
                   "content B+-tree rebuild failed: %s" (Printexc.to_string e))
+         end);
+        (* --- path summary ---------------------------------------------- *)
+        (if not (have l.Io.psum_off (Io.psum_row_bytes * l.Io.psum_count)) then
+           report
+             (D.error ~path:[ "path summary" ] ~code:"layout/size"
+                "path summary section lies outside the file")
+         else begin
+           let np = l.Io.psum_count in
+           let rows =
+             Array.init np (fun i ->
+                 let off = l.Io.psum_off + (Io.psum_row_bytes * i) in
+                 {
+                   Ps.r_parent = read_i64_at s off;
+                   r_label = read_i64_at s (off + 8);
+                   r_count = read_i64_at s (off + 16);
+                   r_flags = read_i64_at s (off + 24);
+                 })
+           in
+           (* One code per row invariant, reporting the first offender. *)
+           let rows_ok = ref true in
+           let first_bad p =
+             let rec go i = if i >= np then None else if p i rows.(i) then Some i else go (i + 1) in
+             go 0
+           in
+           let row_err code fmt =
+             Format.kasprintf
+               (fun m ->
+                 rows_ok := false;
+                 report (D.error ~path:[ "path summary" ] ~code m))
+               fmt
+           in
+           (match first_bad (fun i r -> r.Ps.r_parent < 0 || r.Ps.r_parent > i) with
+           | Some i ->
+             row_err "summary/parent-order" "node %d has parent link %d (parents must precede)" i
+               rows.(i).Ps.r_parent
+           | None -> ());
+           (match first_bad (fun _ r -> r.Ps.r_label < 0 || r.Ps.r_label >= l.Io.symbol_count) with
+           | Some i ->
+             row_err "summary/tag-range" "node %d labels symbol %d of a %d-entry table" i
+               rows.(i).Ps.r_label l.Io.symbol_count
+           | None -> ());
+           (match first_bad (fun _ r -> r.Ps.r_count < 1) with
+           | Some i -> row_err "summary/count" "node %d has non-positive count %d" i rows.(i).Ps.r_count
+           | None -> ());
+           (match first_bad (fun _ r -> r.Ps.r_flags land lnot 1 <> 0) with
+           | Some i -> row_err "summary/flags" "node %d carries unknown flag bits %#x" i rows.(i).Ps.r_flags
+           | None -> ());
+           if !rows_ok && symbols_ok then begin
+             let symbol_name i =
+               let start = read_i64_at s (l.Io.symbol_offsets_off + (8 * i)) in
+               let stop = read_i64_at s (l.Io.symbol_offsets_off + (8 * (i + 1))) in
+               String.sub s (l.Io.symbol_blob_off + start) (stop - start)
+             in
+             (* canonical form: siblings strictly label-sorted *)
+             let last = Hashtbl.create 16 in
+             (match
+                first_bad (fun _ r ->
+                    let bad =
+                      match Hashtbl.find_opt last r.Ps.r_parent with
+                      | Some prev ->
+                        String.compare (symbol_name prev) (symbol_name r.Ps.r_label) >= 0
+                      | None -> false
+                    in
+                    Hashtbl.replace last r.Ps.r_parent r.Ps.r_label;
+                    bad)
+              with
+             | Some i ->
+               report
+                 (D.errorf ~path:[ "path summary" ] ~code:"summary/sort-order"
+                    "node %d breaks the label-sorted sibling order" i)
+             | None ->
+               (* counts and shape vs a summary rebuilt from the tag
+                  sequence — the serialized synopsis must never drift from
+                  the data it summarizes *)
+               (match structure with
+               | Some bits when have l.Io.tags_off (l.Io.node_count * l.Io.tag_width) -> (
+                 let tag_at rank =
+                   let off = l.Io.tags_off + (rank * l.Io.tag_width) in
+                   let lo = Char.code s.[off] in
+                   if l.Io.tag_width = 1 then lo else lo lor (Char.code s.[off + 1] lsl 8)
+                 in
+                 try
+                   let b = Ps.Builder.create () in
+                   let rank = ref 0 in
+                   for i = 0 to Bitvector.length bits - 1 do
+                     if Bitvector.get bits i then begin
+                       let tag = tag_at !rank in
+                       if tag < 0 || tag >= l.Io.symbol_count then raise Exit;
+                       Ps.Builder.open_node b (symbol_name tag);
+                       incr rank
+                     end
+                     else Ps.Builder.close_node b
+                   done;
+                   let fresh = Ps.Builder.finish b in
+                   let ids = Hashtbl.create 16 in
+                   for i = 0 to l.Io.symbol_count - 1 do
+                     Hashtbl.replace ids (symbol_name i) i
+                   done;
+                   let fresh_rows = Ps.to_rows fresh ~label_id:(Hashtbl.find ids) in
+                   if fresh_rows <> rows then
+                     report
+                       (D.errorf ~path:[ "path summary" ] ~code:"summary/count-mismatch"
+                          "serialized summary (%d nodes) disagrees with one rebuilt from the tag \
+                           sequence (%d nodes)"
+                          np (Array.length fresh_rows))
+                 with Exit | Not_found | Failure _ | Invalid_argument _ ->
+                   (* structure/tag corruption reported by earlier passes *)
+                   ())
+               | _ -> ()))
+           end
          end);
         finish ()
       end

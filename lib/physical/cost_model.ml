@@ -172,62 +172,202 @@ let estimate stats pattern engine =
 (* --- plan-level cardinality estimation --------------------------------- *)
 
 module Lp = Xqp_algebra.Logical_plan
+module Ps = Xqp_storage.Path_summary
 
-(* Estimated output cardinality of each plan operator, the "est" column
-   of [explain]. Steps multiply the base cardinality by the average
-   per-node fan-out of the (axis, test) relation — derived from the same
-   tag-pair statistics the engine chooser uses — capped by the target
-   tag's total count; τ defers to {!Statistics.estimate_result}. *)
-let rec estimate_plan stats ?(context_card = 1.0) plan =
-  let est p = estimate_plan stats ~context_card p in
-  match (plan : Lp.t) with
-  | Lp.Root -> 1.0
-  | Lp.Context -> context_card
-  | Lp.Union (a, b) -> est a +. est b
-  | Lp.Tpm (base, pattern) ->
-    if est base <= 0.0 then 0.0 else Statistics.estimate_result stats pattern
-  | Lp.Step (base, s) ->
-    let base_card = est base in
-    let elements = Float.max 1.0 (float_of_int (Statistics.element_count stats)) in
-    let label_total = function
-      | Lp.Name n -> float_of_int (Statistics.tag_count stats n)
-      | Lp.Any | Lp.Text_node -> elements
+(* Legacy per-step estimate: base cardinality × average per-node fan-out of
+   the (axis, test) relation, capped by the target tag's total count. Used
+   when the path summary cannot answer (unknown context paths, upward or
+   sideways axes) and for the PSUM before/after comparison. *)
+let step_estimate_stats stats ~base_card (s : Lp.step) =
+  let elements = Float.max 1.0 (float_of_int (Statistics.element_count stats)) in
+  let label_total = function
+    | Lp.Name n -> float_of_int (Statistics.tag_count stats n)
+    | Lp.Any | Lp.Text_node -> elements
+  in
+  let rel_estimate rel =
+    let child =
+      match s.Lp.test with Lp.Name n -> Pg.Tag n | Lp.Any | Lp.Text_node -> Pg.Wildcard
     in
-    let rel_estimate rel =
-      let child =
-        match s.Lp.test with Lp.Name n -> Pg.Tag n | Lp.Any | Lp.Text_node -> Pg.Wildcard
+    let pairs = Statistics.estimate_rel stats rel ~parent:Pg.Wildcard ~child in
+    Float.min (base_card *. (pairs /. elements)) (label_total s.Lp.test)
+  in
+  match s.Lp.axis with
+  | Xqp_algebra.Axis.Child -> rel_estimate Pg.Child
+  | Xqp_algebra.Axis.Descendant | Xqp_algebra.Axis.Descendant_or_self ->
+    rel_estimate Pg.Descendant
+  | Xqp_algebra.Axis.Attribute -> rel_estimate Pg.Attribute
+  | Xqp_algebra.Axis.Following_sibling | Xqp_algebra.Axis.Preceding_sibling ->
+    rel_estimate Pg.Following_sibling
+  | Xqp_algebra.Axis.Self -> base_card
+  | Xqp_algebra.Axis.Parent | Xqp_algebra.Axis.Ancestor | Xqp_algebra.Axis.Ancestor_or_self ->
+    base_card
+  | Xqp_algebra.Axis.Following | Xqp_algebra.Axis.Preceding ->
+    Float.min (base_card *. Statistics.avg_fanout stats) (label_total s.Lp.test)
+
+let step_selectivity (s : Lp.step) =
+  List.fold_left
+    (fun acc p ->
+      match (p : Lp.predicate) with
+      | Lp.Value_pred vp -> acc *. Statistics.predicate_selectivity vp
+      | Lp.Exists _ -> acc *. 0.5
+      | Lp.Position _ -> acc)
+    1.0 s.Lp.predicates
+
+let step_test_selector = function
+  | Lp.Name n -> Some (Ps.Label n)
+  | Lp.Any -> Some Ps.Any_element
+  | Lp.Text_node -> None
+
+let worse (a : Statistics.source) (b : Statistics.source) =
+  match (a, b) with
+  | Statistics.Stats, _ | _, Statistics.Stats -> Statistics.Stats
+  | Statistics.Bound, _ | _, Statistics.Bound -> Statistics.Bound
+  | Statistics.Exact, Statistics.Exact -> Statistics.Exact
+
+(* Estimated output cardinality of each plan operator, the "est" column of
+   [explain], with its provenance. The path-summary node set reachable by
+   the plan is threaded through Root/Step/Tpm chains: while it is known,
+   downward steps are answered exactly (summed path counts); predicates
+   keep the set as a sound superset but degrade the source to [Bound]; any
+   unprojectable axis drops to the legacy tag-pair estimator ([Stats]). *)
+let m_summary_exact = Xqp_obs.Metrics.counter Xqp_obs.Metrics.default "cost.summary_exact"
+let m_summary_bound = Xqp_obs.Metrics.counter Xqp_obs.Metrics.default "cost.summary_bound"
+let m_summary_fallback = Xqp_obs.Metrics.counter Xqp_obs.Metrics.default "cost.summary_fallback"
+
+let estimate_plan_detail stats ?(context_card = 1.0) ?(use_summary = true) plan =
+  let summary = Statistics.summary stats in
+  let anywhere = Ps.super_root :: List.init (Ps.length summary) (fun i -> i) in
+  (* (cardinality, summary nodes reachable (sound superset) or None, source) *)
+  let rec go plan =
+    match (plan : Lp.t) with
+    | Lp.Root ->
+      (1.0, (if use_summary then Some [ Ps.super_root ] else None), Statistics.Exact)
+    | Lp.Context -> (context_card, None, Statistics.Stats)
+    | Lp.Union (a, b) ->
+      let ca, pa, sa = go a and cb, pb, sb = go b in
+      let paths =
+        match (pa, pb) with
+        | Some a', Some b' -> Some (List.sort_uniq compare (a' @ b'))
+        | _ -> None
       in
-      let pairs = Statistics.estimate_rel stats rel ~parent:Pg.Wildcard ~child in
-      Float.min (base_card *. (pairs /. elements)) (label_total s.Lp.test)
+      (ca +. cb, paths, worse sa sb)
+    | Lp.Tpm (base, pattern) -> (
+      let bcard, bpaths, bsrc = go base in
+      if bcard <= 0.0 then
+        (0.0, (if bsrc = Statistics.Exact then Some [] else None), bsrc)
+      else if use_summary && Statistics.pattern_certainly_empty ~anywhere:true stats pattern
+      then (0.0, Some [], Statistics.Exact)
+      else
+        match bpaths with
+        | Some [ root ] when root = Ps.super_root ->
+          let est, src = Statistics.estimate_result_detail stats pattern in
+          let out_paths =
+            match Pg.outputs pattern with
+            | v :: _ -> Statistics.vertex_summary_nodes stats pattern v
+            | [] -> None
+          in
+          (est, out_paths, worse bsrc src)
+        | _ ->
+          let est =
+            if use_summary then Statistics.estimate_result stats pattern
+            else Statistics.estimate_result_stats stats pattern
+          in
+          (est, None, Statistics.Stats))
+    | Lp.Step (base, s) ->
+      let bcard, bpaths, bsrc = go base in
+      let selectivity = step_selectivity s in
+      let positional = List.exists (function Lp.Position _ -> true | _ -> false) s.Lp.predicates in
+      let cap card = if positional then Float.min card 1.0 else card in
+      let fallback () =
+        let from = if use_summary then Some anywhere else None in
+        legacy ~from ~bcard s ~selectivity ~cap
+      in
+      if bcard <= 0.0 && bsrc = Statistics.Exact then (0.0, Some [], Statistics.Exact)
+      else (
+        match bpaths with
+        | None -> fallback ()
+        | Some ids -> (
+          match project ids s with
+          | None -> fallback ()
+          | Some [] -> (0.0, Some [], Statistics.Exact)
+          | Some ids' ->
+            (* When the incoming cardinality is already below the incoming
+               set's path count (upstream predicates), scale proportionally
+               — exact bases have ratio 1, so pure downward chains stay
+               exact. *)
+            let base_total = Float.max 1.0 (float_of_int (Ps.total_count summary ids)) in
+            let ratio = Float.min 1.0 (bcard /. base_total) in
+            let card = float_of_int (Ps.total_count summary ids') *. ratio *. selectivity in
+            let src =
+              if selectivity < 1.0 || positional || ratio < 1.0 then Statistics.Bound
+              else worse bsrc Statistics.Exact
+            in
+            (cap card, Some ids', src)))
+  (* Project one navigation step over a known summary node set. *)
+  and project ids (s : Lp.step) =
+    match (s.Lp.axis, step_test_selector s.Lp.test) with
+    | Xqp_algebra.Axis.Child, Some sel ->
+      Some (Ps.matching_from summary ids [ { Ps.descendant = false; selector = sel } ])
+    | Xqp_algebra.Axis.Descendant, Some sel ->
+      Some (Ps.matching_from summary ids [ { Ps.descendant = true; selector = sel } ])
+    | Xqp_algebra.Axis.Descendant_or_self, Some sel ->
+      let below = Ps.matching_from summary ids [ { Ps.descendant = true; selector = sel } ] in
+      let self =
+        List.filter
+          (fun id ->
+            id <> Ps.super_root
+            &&
+            match sel with
+            | Ps.Label n -> String.equal (Ps.label summary id) n
+            | Ps.Any_element -> Ps.is_element_label (Ps.label summary id)
+            | Ps.Any_attribute ->
+              let l = Ps.label summary id in
+              String.length l > 0 && l.[0] = '@')
+          ids
+      in
+      Some (List.sort_uniq compare (self @ below))
+    | Xqp_algebra.Axis.Attribute, _ ->
+      let sel =
+        match s.Lp.test with
+        | Lp.Name n -> Some (Ps.Label ("@" ^ n))
+        | Lp.Any -> Some Ps.Any_attribute
+        | Lp.Text_node -> None
+      in
+      Option.map
+        (fun sel -> Ps.matching_from summary ids [ { Ps.descendant = false; selector = sel } ])
+        sel
+    | Xqp_algebra.Axis.Self, Some (Ps.Label n) ->
+      Some (List.filter (fun id -> id <> Ps.super_root && String.equal (Ps.label summary id) n) ids)
+    | Xqp_algebra.Axis.Self, Some Ps.Any_element -> Some ids
+    | _ -> None
+  (* No usable context path set: legacy estimate, but still use the summary
+     for a document-wide emptiness check (sound from any context). *)
+  and legacy ~from ~bcard s ~selectivity ~cap =
+    let empty_anywhere =
+      match from with
+      | Some anywhere -> ( match project anywhere s with Some [] -> true | _ -> false)
+      | None -> false
     in
-    let nav =
-      match s.Lp.axis with
-      | Xqp_algebra.Axis.Child -> rel_estimate Pg.Child
-      | Xqp_algebra.Axis.Descendant | Xqp_algebra.Axis.Descendant_or_self ->
-        rel_estimate Pg.Descendant
-      | Xqp_algebra.Axis.Attribute -> rel_estimate Pg.Attribute
-      | Xqp_algebra.Axis.Following_sibling | Xqp_algebra.Axis.Preceding_sibling ->
-        rel_estimate Pg.Following_sibling
-      | Xqp_algebra.Axis.Self -> base_card
-      | Xqp_algebra.Axis.Parent | Xqp_algebra.Axis.Ancestor
-      | Xqp_algebra.Axis.Ancestor_or_self ->
-        base_card
-      | Xqp_algebra.Axis.Following | Xqp_algebra.Axis.Preceding ->
-        Float.min (base_card *. Statistics.avg_fanout stats) (label_total s.Lp.test)
-    in
-    let selectivity =
-      List.fold_left
-        (fun acc p ->
-          match (p : Lp.predicate) with
-          | Lp.Value_pred vp -> acc *. Statistics.predicate_selectivity vp
-          | Lp.Exists _ -> acc *. 0.5
-          | Lp.Position _ -> acc)
-        1.0 s.Lp.predicates
-    in
-    let card = nav *. selectivity in
-    if List.exists (function Lp.Position _ -> true | _ -> false) s.Lp.predicates then
-      Float.min card 1.0
-    else card
+    if empty_anywhere then (0.0, Some [], Statistics.Exact)
+    else
+      let card = step_estimate_stats stats ~base_card:bcard s *. selectivity in
+      (cap card, None, Statistics.Stats)
+  in
+  let card, _, src = go plan in
+  Xqp_obs.Metrics.incr
+    (match src with
+    | Statistics.Exact -> m_summary_exact
+    | Statistics.Bound -> m_summary_bound
+    | Statistics.Stats -> m_summary_fallback);
+  (card, src)
+
+let estimate_plan stats ?context_card ?use_summary plan =
+  fst (estimate_plan_detail stats ?context_card ?use_summary plan)
+
+let plan_certainly_empty stats plan =
+  match estimate_plan_detail stats plan with
+  | 0.0, Statistics.Exact -> true
+  | _ -> false
 
 let choose stats pattern =
   let supported = List.filter (supports pattern) all_engines in

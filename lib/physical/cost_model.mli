@@ -26,12 +26,26 @@ val choose : Statistics.t -> Xqp_algebra.Pattern_graph.t -> engine
 (** Lowest-estimate engine among the supported ones. *)
 
 val estimate_plan :
-  Statistics.t -> ?context_card:float -> Xqp_algebra.Logical_plan.t -> float
-(** Estimated output {e cardinality} (not cost) of a plan's top operator:
-    steps scale the base cardinality by per-arc tag-pair statistics and
-    predicate selectivities, τ uses {!Statistics.estimate_result},
-    [Context] estimates to [context_card] (default 1). The "est" column
-    of [xqp explain] and the baseline of [xqp calibrate]'s q-error. *)
+  Statistics.t -> ?context_card:float -> ?use_summary:bool ->
+  Xqp_algebra.Logical_plan.t -> float
+(** Estimated output {e cardinality} (not cost) of a plan's top operator.
+    While the chain from [Root] stays within downward axes, the path
+    summary answers each operator exactly (summed path counts); predicates
+    degrade the estimate to an upper bound; unprojectable axes or unknown
+    contexts fall back to the legacy tag-pair statistics scaled by
+    predicate selectivities ([Context] estimates to [context_card],
+    default 1). [~use_summary:false] forces the legacy estimator
+    throughout (the PSUM before/after comparison). The "est" column of
+    [xqp explain] and the baseline of [xqp calibrate]'s q-error. *)
+
+val estimate_plan_detail :
+  Statistics.t -> ?context_card:float -> ?use_summary:bool ->
+  Xqp_algebra.Logical_plan.t -> float * Statistics.source
+(** {!estimate_plan} plus the estimate's provenance. *)
+
+val plan_certainly_empty : Statistics.t -> Xqp_algebra.Logical_plan.t -> bool
+(** The summary proves the plan's result empty (estimate 0 with [Exact]
+    provenance) — the planner's licence to compile an [Empty] operator. *)
 
 val estimate_join_order :
   Statistics.t -> Xqp_algebra.Pattern_graph.t -> (int * int) list -> float

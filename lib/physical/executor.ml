@@ -4,6 +4,7 @@ module Lp = Xqp_algebra.Logical_plan
 module Pg = Xqp_algebra.Pattern_graph
 module Ops = Xqp_algebra.Operators
 module Pp = Physical_plan
+module Ps = Xqp_storage.Path_summary
 
 type t = {
   id : int;
@@ -13,6 +14,7 @@ type t = {
   mutable stats_version : int;
   engine_cache : (Pg.t, Cost_model.engine) Hashtbl.t;
   content_index_lazy : Content_index.t Lazy.t;
+  mutable hints_lazy : Navigation.hints Lazy.t;
 }
 
 type strategy = Pp.strategy =
@@ -33,14 +35,17 @@ let next_id = ref 0
 
 let create ?pager document =
   incr next_id;
+  let stats_lazy = lazy (Statistics.build document) in
   {
     id = !next_id;
     document;
     store_lazy = lazy (Store.of_document ?pager document);
-    stats_lazy = lazy (Statistics.build document);
+    stats_lazy;
     stats_version = 0;
     engine_cache = Hashtbl.create 16;
     content_index_lazy = lazy (Content_index.build document);
+    hints_lazy =
+      lazy (Navigation.make_hints document (Statistics.summary (Lazy.force stats_lazy)));
   }
 
 let id t = t.id
@@ -53,7 +58,45 @@ let content_index t = Lazy.force t.content_index_lazy
 let refresh_statistics t =
   t.stats_lazy <- lazy (Statistics.build t.document);
   t.stats_version <- t.stats_version + 1;
-  Hashtbl.reset t.engine_cache
+  Hashtbl.reset t.engine_cache;
+  let stats_lazy = t.stats_lazy in
+  t.hints_lazy <-
+    lazy (Navigation.make_hints t.document (Statistics.summary (Lazy.force stats_lazy)))
+
+let hints t = Lazy.force t.hints_lazy
+
+(* Path-partition pruning for the stack engines: a vertex's candidate
+   stream keeps only nodes whose summary path id lies in the vertex's
+   matched summary-node set. Only sound when matching starts at the
+   document root — the summary projects paths from there. *)
+let summary_prune t pattern ~context =
+  if context <> [ Ops.document_context ] then None
+  else begin
+    let stats = statistics t in
+    let summary = Statistics.summary stats in
+    let per_vertex =
+      Array.init (Pg.vertex_count pattern) (fun v ->
+          match Statistics.vertex_summary_nodes stats pattern v with
+          | None -> None
+          | Some ids ->
+            let marks = Array.make (Ps.length summary) false in
+            List.iter (fun i -> if i >= 0 then marks.(i) <- true) ids;
+            Some (marks, List.mem Ps.super_root ids))
+    in
+    Some
+      (fun v ->
+        match per_vertex.(v) with
+        | None -> None
+        | Some (marks, has_super) ->
+          Some
+            (fun rank ->
+              (* the virtual document node has no path id; it matches a
+                 vertex exactly when the projection kept the super-root *)
+              if rank = Ops.document_context then has_super
+              else
+                let pid = Statistics.path_id stats rank in
+                pid >= 0 && marks.(pid)))
+  end
 
 (* The executor's memoized cost-model chooser: [Auto] resolution per
    distinct pattern is paid once per statistics version. *)
@@ -100,7 +143,7 @@ let verify_physical t physical ~context =
      in execution order. *)
   let rec tau_summaries p acc =
     match p.Pp.op with
-    | Pp.Root | Pp.Context -> acc
+    | Pp.Root | Pp.Context | Pp.Empty _ -> acc
     | Pp.Step (base, _) -> tau_summaries base acc
     | Pp.Tau (base, tau) ->
       tau_summaries base acc
@@ -180,8 +223,14 @@ let compile_query t ?(strategy = Auto) ?(optimize = true) ?(use_cache = true) pa
 let run_tau t (tau : Pp.tau) ~context =
   match tau.Pp.engine with
   | Pp.Reference_match -> Ops.pattern_match t.document tau.Pp.pattern ~context
-  | Pp.Nok_store -> Nok.match_pattern t.document (store t) tau.Pp.pattern ~context
-  | Pp.Path_stack_join -> Path_stack.match_pattern t.document tau.Pp.pattern ~context
+  | Pp.Nok_store ->
+    Nok.match_pattern
+      ?prune:(summary_prune t tau.Pp.pattern ~context)
+      t.document (store t) tau.Pp.pattern ~context
+  | Pp.Path_stack_join ->
+    Path_stack.match_pattern
+      ?prune:(summary_prune t tau.Pp.pattern ~context)
+      t.document tau.Pp.pattern ~context
   | Pp.Twig_stack_join -> Twig_stack.match_pattern t.document tau.Pp.pattern ~context
   | Pp.Binary_semijoin { use_index } ->
     let index = if use_index then Some (content_index t) else None in
@@ -191,7 +240,7 @@ let run_tau t (tau : Pp.tau) ~context =
        matters for the tuple-materializing mode *)
     fst (Binary_join.evaluate_with_order t.document tau.Pp.pattern ~context ~order)
   | Pp.Navigation_steps plan ->
-    let nodes = Navigation.eval_plan t.document plan ~context in
+    let nodes = Navigation.eval_plan ~hints:(hints t) t.document plan ~context in
     let output = match Pg.outputs tau.Pp.pattern with v :: _ -> v | [] -> 0 in
     [ (output, nodes) ]
 
@@ -251,13 +300,15 @@ let run_physical t physical ~context =
     instr path p (fun span ->
         match p.Pp.op with
         | Pp.Root -> [ Ops.document_context ]
+        | Pp.Empty _ -> []
         | Pp.Union (a, b) ->
           List.sort_uniq compare (go (path ^ ".0") a ctx @ go (path ^ ".1") b ctx)
         | Pp.Context -> List.sort_uniq compare ctx
         | Pp.Step (base, s) ->
           let base_nodes = go (path ^ ".0") base ctx in
           if Tr.enabled tr then Tr.add_attrs span [ ("in", Tr.Int (List.length base_nodes)) ];
-          Navigation.eval_plan t.document (Lp.Step (Lp.Context, s)) ~context:base_nodes
+          Navigation.eval_plan ~hints:(hints t) t.document (Lp.Step (Lp.Context, s))
+            ~context:base_nodes
         | Pp.Tau (base, tau) -> (
           let base_nodes = go (path ^ ".0") base ctx in
           if Tr.enabled tr then

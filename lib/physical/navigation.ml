@@ -7,9 +7,51 @@ module Axis = Xqp_algebra.Axis
 type stats = { nodes_visited : int; steps_evaluated : int }
 
 module M = Xqp_obs.Metrics
+module Ps = Xqp_storage.Path_summary
 
 let m_nodes_visited = M.counter M.default "engine.navigation.nodes_visited"
 let m_steps_evaluated = M.counter M.default "engine.navigation.steps_evaluated"
+let m_skipped_subtrees = M.counter M.default "engine.navigation.skipped_subtrees"
+
+(* --- summary-derived skip-ahead ----------------------------------------- *)
+
+(* For a descendant(-or-self) step, the path summary tells which element
+   tags can have a matching node strictly below them; subtrees rooted at
+   any other tag are jumped over wholesale ([subtree_end + 1] — the
+   document-array equivalent of a find_close jump). The per-test skip set
+   is materialized once as a bool array over the document's symbol ids and
+   cached in the hints value. *)
+type hints = {
+  h_summary : Ps.t;
+  h_symtab : Xqp_xml.Symtab.t;
+  h_skip : (string, bool array) Hashtbl.t;
+}
+
+let make_hints doc summary =
+  { h_summary = summary; h_symtab = Doc.symtab doc; h_skip = Hashtbl.create 8 }
+
+let skip_array h (test : Lp.node_test) =
+  let key = match test with Lp.Name n -> "n:" ^ n | Lp.Any -> "*" | Lp.Text_node -> "#" in
+  match Hashtbl.find_opt h.h_skip key with
+  | Some arr -> arr
+  | None ->
+    let summary = h.h_summary in
+    let ids p =
+      List.filter p (List.init (Ps.length summary) (fun i -> i))
+    in
+    let targets, self =
+      match test with
+      | Lp.Name n -> (ids (fun i -> String.equal (Ps.label summary i) n), false)
+      | Lp.Any -> (ids (fun i -> Ps.is_element_label (Ps.label summary i)), false)
+      | Lp.Text_node -> (ids (fun i -> Ps.has_text summary i), true)
+    in
+    let skip = Ps.skip_labels summary ~targets ~self in
+    let arr =
+      Array.init (Xqp_xml.Symtab.cardinal h.h_symtab) (fun s ->
+          skip (Xqp_xml.Symtab.name h.h_symtab s))
+    in
+    Hashtbl.add h.h_skip key arr;
+    arr
 
 let axis_nodes_all doc axis id =
   if id = Ops.document_context then
@@ -84,9 +126,46 @@ let test_matches doc axis test id =
     | Doc.Attribute -> axis = Axis.Attribute && String.equal (Doc.name doc id) name
     | Doc.Text | Doc.Comment | Doc.Pi -> false)
 
-let eval_plan_with_stats doc plan ~context =
+let eval_plan_with_stats ?hints doc plan ~context =
   let visited = ref 0 in
   let steps = ref 0 in
+  (* Descendant scan with summary skip-ahead: walk the pre-order id range,
+     jumping over the whole subtree of any element whose tag provably has
+     no matching node below it. Candidate semantics match
+     [axis_nodes_all]: attributes excluded, text/comment/PI included. *)
+  let descendant_candidates skip id ~or_self =
+    let lo, hi =
+      if id = Ops.document_context then (0, Doc.node_count doc - 1)
+      else (id + 1, Doc.subtree_end doc id)
+    in
+    let acc = ref [] in
+    let i = ref lo in
+    while !i <= hi do
+      let d = !i in
+      (match Doc.kind doc d with
+      | Doc.Attribute -> incr i
+      | Doc.Element ->
+        acc := d :: !acc;
+        let sym = Doc.name_id doc d in
+        if sym >= 0 && sym < Array.length skip && skip.(sym) then begin
+          M.incr m_skipped_subtrees;
+          i := Doc.subtree_end doc d + 1
+        end
+        else incr i
+      | Doc.Text | Doc.Comment | Doc.Pi ->
+        acc := d :: !acc;
+        incr i)
+    done;
+    let below = List.rev !acc in
+    if or_self && id <> Ops.document_context then id :: below else below
+  in
+  let candidates (s : Lp.step) id =
+    match (s.Lp.axis, hints) with
+    | (Axis.Descendant | Axis.Descendant_or_self), Some h ->
+      descendant_candidates (skip_array h s.Lp.test) id
+        ~or_self:(s.Lp.axis = Axis.Descendant_or_self)
+    | _ -> axis_nodes_all doc s.Lp.axis id
+  in
   (* The virtual document node's string value is the whole document's text
      (XPath: the string-value of the root node), so value predicates on it
      are evaluated against the document element. *)
@@ -112,7 +191,7 @@ let eval_plan_with_stats doc plan ~context =
             (fun cand ->
               incr visited;
               test_matches doc s.Lp.axis s.Lp.test cand)
-            (axis_nodes_all doc s.Lp.axis id)
+            (candidates s id)
         in
         (* Sequential predicate filtering: each predicate sees the list
            left by the previous one, so positions re-rank. *)
@@ -132,4 +211,4 @@ let eval_plan_with_stats doc plan ~context =
   M.add m_steps_evaluated !steps;
   (result, { nodes_visited = !visited; steps_evaluated = !steps })
 
-let eval_plan doc plan ~context = fst (eval_plan_with_stats doc plan ~context)
+let eval_plan ?hints doc plan ~context = fst (eval_plan_with_stats ?hints doc plan ~context)

@@ -10,7 +10,21 @@
 
 type stats = { nodes_visited : int; steps_evaluated : int }
 
+type hints
+(** Summary-derived skip-ahead sets for descendant steps: subtrees rooted
+    at a tag the {!Xqp_storage.Path_summary} proves cannot contain a
+    matching node are jumped over ([subtree_end + 1]) instead of walked.
+    Per-test skip sets are materialized lazily and cached inside the
+    value, so reuse it across evaluations (the executor keeps one per
+    statistics version). Results are identical with or without hints;
+    only [engine.navigation.nodes_visited] shrinks (and
+    [engine.navigation.skipped_subtrees] counts the jumps). *)
+
+val make_hints : Xqp_xml.Document.t -> Xqp_storage.Path_summary.t -> hints
+(** The summary must describe the given document. *)
+
 val eval_plan :
+  ?hints:hints ->
   Xqp_xml.Document.t ->
   Xqp_algebra.Logical_plan.t ->
   context:Xqp_xml.Document.node list ->
@@ -21,6 +35,7 @@ val eval_plan :
     (callers wanting a specific engine go through {!Executor}). *)
 
 val eval_plan_with_stats :
+  ?hints:hints ->
   Xqp_xml.Document.t ->
   Xqp_algebra.Logical_plan.t ->
   context:Xqp_xml.Document.node list ->

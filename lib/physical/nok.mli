@@ -30,6 +30,7 @@ val supported : Xqp_algebra.Pattern_graph.t -> bool
     this engine. *)
 
 val match_pattern :
+  ?prune:(int -> (Xqp_xml.Document.node -> bool) option) ->
   Xqp_xml.Document.t ->
   Xqp_storage.Succinct_store.t ->
   Xqp_algebra.Pattern_graph.t ->
@@ -37,9 +38,14 @@ val match_pattern :
   (int * Xqp_xml.Document.node list) list
 (** Per-output-vertex match sets (same contract as
     {!Xqp_algebra.Operators.pattern_match}). The store must be built from
-    the same document (ranks must agree). *)
+    the same document (ranks must agree). [?prune] maps a pattern vertex
+    to an optional node filter (path-partition membership from the path
+    summary); fragment-root candidate streams drop nodes failing it before
+    any subtree navigation. Filters must be sound — rejecting only nodes
+    that cannot occur in any embedding. *)
 
 val match_pattern_with_stats :
+  ?prune:(int -> (Xqp_xml.Document.node -> bool) option) ->
   Xqp_xml.Document.t ->
   Xqp_storage.Succinct_store.t ->
   Xqp_algebra.Pattern_graph.t ->

@@ -78,8 +78,9 @@ module Make (S : STORE) = struct
   let m_nodes_visited = M.counter M.default ("engine." ^ S.label ^ ".nodes_visited")
   let m_fragment_matches = M.counter M.default ("engine." ^ S.label ^ ".fragment_matches")
   let m_join_pairs = M.counter M.default ("engine." ^ S.label ^ ".join_pairs")
+  let m_pruned = M.counter M.default ("engine." ^ S.label ^ ".pruned")
 
-  let match_pattern_with_stats doc store pattern ~context =
+  let match_pattern_with_stats ?prune doc store pattern ~context =
   let parts = Nok_partition.partition pattern in
   let n = Pg.vertex_count pattern in
   let visited = ref 0 in
@@ -88,6 +89,20 @@ module Make (S : STORE) = struct
   (* --- precomputation -------------------------------------------- *)
   let is_attr_vertex v =
     match Pg.parent pattern v with Some (_, Pg.Attribute) -> true | _ -> false
+  in
+  (* Summary-derived path-partition filter on a fragment root's candidate
+     stream: drop ranks whose root-to-node path cannot embed the vertex.
+     Sound, so applied before any navigation is paid for the candidate. *)
+  let prune_ranks v ranks =
+    match prune with
+    | None -> ranks
+    | Some f -> (
+      match f v with
+      | None -> ranks
+      | Some keep ->
+        let kept = List.filter keep ranks in
+        M.add m_pruned (List.length ranks - List.length kept);
+        kept)
   in
   let tests =
     Array.init n (fun v ->
@@ -250,6 +265,7 @@ module Make (S : STORE) = struct
             | None -> [])
           | Pg.Wildcard -> List.init (Doc.node_count doc) (fun i -> i)
         in
+        let ranks = prune_ranks r ranks in
         let want_attr = is_attr_vertex r in
         let kind_ok rank =
           match Doc.kind doc rank with
@@ -300,6 +316,7 @@ module Make (S : STORE) = struct
           | None -> [])
         | Pg.Wildcard -> List.init (Doc.node_count doc) (fun i -> i)
       in
+      let ranks = prune_ranks r ranks in
       let want_attr = is_attr_vertex r in
       let keep rank =
         incr visited;
@@ -406,6 +423,6 @@ module Make (S : STORE) = struct
   ( outputs,
     { nodes_visited = !visited; fragment_matches = !fragment_matches; join_pairs = !join_pairs } )
 
-  let match_pattern doc store pattern ~context =
-    fst (match_pattern_with_stats doc store pattern ~context)
+  let match_pattern ?prune doc store pattern ~context =
+    fst (match_pattern_with_stats ?prune doc store pattern ~context)
 end

@@ -14,6 +14,7 @@ type stats = Nok_engine.stats = {
 }
 
 val match_pattern :
+  ?prune:(int -> (Xqp_xml.Document.node -> bool) option) ->
   Xqp_xml.Document.t ->
   Xqp_storage.Paged_store.t ->
   Xqp_algebra.Pattern_graph.t ->
@@ -21,6 +22,7 @@ val match_pattern :
   (int * Xqp_xml.Document.node list) list
 
 val match_pattern_with_stats :
+  ?prune:(int -> (Xqp_xml.Document.node -> bool) option) ->
   Xqp_xml.Document.t ->
   Xqp_storage.Paged_store.t ->
   Xqp_algebra.Pattern_graph.t ->

@@ -8,6 +8,7 @@ module M = Xqp_obs.Metrics
 
 let m_pushes = M.counter M.default "engine.pathstack.pushes"
 let m_emitted = M.counter M.default "engine.pathstack.emitted"
+let m_pruned = M.counter M.default "engine.pathstack.pruned"
 
 let chain_of pattern =
   let rec walk v acc =
@@ -40,13 +41,26 @@ let push st node =
 let node_end doc x = if x = Ops.document_context then max_int else Doc.subtree_end doc x
 let node_level doc x = if x = Ops.document_context then -1 else Doc.level doc x
 
-let match_pattern_with_stats doc pattern ~context =
+let match_pattern_with_stats ?prune doc pattern ~context =
   if not (supported pattern) then invalid_arg "Path_stack: not a chain pattern";
   let chain = Array.of_list (Option.get (chain_of pattern)) in
   let k = Array.length chain in
   let leaf = chain.(k - 1) in
+  (* Path-partition pruning: drop stream entries whose root path the
+     summary proves incompatible with the vertex's projected path, before
+     the merge ever sees them. *)
+  let vertex_prune v =
+    match prune with None -> None | Some f -> f v
+  in
   let streams =
-    Array.init k (fun i -> Binary_join.candidates doc pattern ~context chain.(i))
+    Array.init k (fun i ->
+        let stream = Binary_join.candidates doc pattern ~context chain.(i) in
+        match vertex_prune chain.(i) with
+        | None -> stream
+        | Some keep ->
+          let kept = Array.of_list (List.filter keep (Array.to_list stream)) in
+          M.add m_pruned (Array.length stream - Array.length kept);
+          kept)
   in
   let cursors = Array.make k 0 in
   let stacks = Array.init k (fun _ -> { nodes = Array.make 8 0; len = 0 }) in
@@ -131,4 +145,5 @@ let match_pattern_with_stats doc pattern ~context =
   ( [ (leaf, List.rev !results) ],
     { pushes = !pushes; emitted = !emitted } )
 
-let match_pattern doc pattern ~context = fst (match_pattern_with_stats doc pattern ~context)
+let match_pattern ?prune doc pattern ~context =
+  fst (match_pattern_with_stats ?prune doc pattern ~context)

@@ -16,15 +16,21 @@ val supported : Xqp_algebra.Pattern_graph.t -> bool
 (** Linear pattern, no sibling arcs, output = the final vertex. *)
 
 val match_pattern :
+  ?prune:(int -> (Xqp_xml.Document.node -> bool) option) ->
   Xqp_xml.Document.t ->
   Xqp_algebra.Pattern_graph.t ->
   context:Xqp_xml.Document.node list ->
   (int * Xqp_xml.Document.node list) list
 (** Per-output-vertex match sets (same contract as
-    {!Xqp_algebra.Operators.pattern_match}).
+    {!Xqp_algebra.Operators.pattern_match}). [?prune] maps a pattern
+    vertex to an optional node filter (path-partition membership derived
+    from the path summary); entries failing it are dropped from that
+    vertex's input stream before the merge. The filter must be sound —
+    only reject nodes that cannot occur in any embedding.
     @raise Invalid_argument when the pattern is not {!supported}. *)
 
 val match_pattern_with_stats :
+  ?prune:(int -> (Xqp_xml.Document.node -> bool) option) ->
   Xqp_xml.Document.t ->
   Xqp_algebra.Pattern_graph.t ->
   context:Xqp_xml.Document.node list ->

@@ -62,6 +62,7 @@ and op =
   | Step of t * Lp.step
   | Tau of t * tau
   | Union of t * t
+  | Empty of Lp.t
 
 let rec to_logical p =
   match p.op with
@@ -70,19 +71,21 @@ let rec to_logical p =
   | Step (base, s) -> Lp.Step (to_logical base, s)
   | Tau (base, tau) -> Lp.Tpm (to_logical base, tau.pattern)
   | Union (a, b) -> Lp.Union (to_logical a, to_logical b)
+  | Empty lp -> lp
 
 let rec taus p =
   match p.op with
-  | Root | Context -> []
+  | Root | Context | Empty _ -> []
   | Step (base, _) -> taus base
   | Tau (base, tau) -> taus base @ [ tau ]
   | Union (a, b) -> taus a @ taus b
 
-let op_label p = Lp.op_label (to_logical p)
+let op_label p = match p.op with Empty _ -> "empty" | _ -> Lp.op_label (to_logical p)
 
 let rec size p =
   match p.op with
   | Root | Context -> 0
+  | Empty _ -> 1
   | Step (base, _) -> size base + 1
   | Tau (base, _) -> size base + 1
   | Union (a, b) -> size a + size b + 1
@@ -116,7 +119,8 @@ let rec equal a b =
     equal b1 b2 && Lp.equal (Lp.Step (Lp.Context, s1)) (Lp.Step (Lp.Context, s2))
   | Tau (b1, t1), Tau (b2, t2) -> equal b1 b2 && tau_equal t1 t2
   | Union (a1, a2), Union (b1, b2) -> equal a1 b1 && equal a2 b2
-  | (Root | Context | Step _ | Tau _ | Union _), _ -> false
+  | Empty l1, Empty l2 -> Lp.equal l1 l2
+  | (Root | Context | Step _ | Tau _ | Union _ | Empty _), _ -> false
 
 (* One line per operator, indented by depth, annotations on τ — the
    [xqp explain] "physical plan" section. Children print below their
@@ -136,10 +140,11 @@ let pp ppf plan =
         Format.asprintf "tau %a  engine=%s  est=%.1f%s" Pg.pp tau.pattern
           (engine_label tau.engine) p.est_rows cost
       | Union (_, _) -> Printf.sprintf "union  est=%.1f" p.est_rows
+      | Empty _ -> "empty  est=0.0  (pruned: no matching document path)"
     in
     lines := (depth, text) :: !lines;
     match p.op with
-    | Root | Context -> ()
+    | Root | Context | Empty _ -> ()
     | Step (base, _) | Tau (base, _) -> go (depth + 1) base
     | Union (a, b) ->
       go (depth + 1) a;

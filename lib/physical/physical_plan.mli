@@ -67,6 +67,10 @@ and op =
   | Step of t * Xqp_algebra.Logical_plan.step
   | Tau of t * tau
   | Union of t * t
+  | Empty of Xqp_algebra.Logical_plan.t
+      (** proven-empty subplan, carrying the logical plan it replaced: the
+          path summary showed some required path has no instance, so the
+          executor answers [[]] without touching the store *)
 
 val to_logical : t -> Xqp_algebra.Logical_plan.t
 (** Erase the physical annotations (engines become plain [Tpm] nodes) —

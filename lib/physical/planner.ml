@@ -147,17 +147,27 @@ let compile_tau ?choose stats strategy pattern =
   in
   { Pp.pattern; engine; est_cost }
 
+let m_empty_plans = Xqp_obs.Metrics.counter Xqp_obs.Metrics.default "planner.empty_plans"
+
 let compile ?(strategy = Pp.Auto) ?(context_card = 1.0) ?choose stats plan =
   let rec go lp =
-    let est_rows = Cost_model.estimate_plan stats ~context_card lp in
-    let op =
-      match (lp : Lp.t) with
-      | Lp.Root -> Pp.Root
-      | Lp.Context -> Pp.Context
-      | Lp.Step (base, s) -> Pp.Step (go base, s)
-      | Lp.Tpm (base, pattern) -> Pp.Tau (go base, compile_tau ?choose stats strategy pattern)
-      | Lp.Union (a, b) -> Pp.Union (go a, go b)
-    in
-    { Pp.op; est_rows }
+    (* Plan-time pruning: when the path summary proves a subplan can match
+       no document path, compile the whole subtree to [Empty] — the
+       executor answers [] without touching any store. *)
+    if Cost_model.plan_certainly_empty stats lp then begin
+      Xqp_obs.Metrics.incr m_empty_plans;
+      { Pp.op = Pp.Empty lp; est_rows = 0.0 }
+    end
+    else
+      let est_rows = Cost_model.estimate_plan stats ~context_card lp in
+      let op =
+        match (lp : Lp.t) with
+        | Lp.Root -> Pp.Root
+        | Lp.Context -> Pp.Context
+        | Lp.Step (base, s) -> Pp.Step (go base, s)
+        | Lp.Tpm (base, pattern) -> Pp.Tau (go base, compile_tau ?choose stats strategy pattern)
+        | Lp.Union (a, b) -> Pp.Union (go a, go b)
+      in
+      { Pp.op; est_rows }
   in
   go plan

@@ -52,7 +52,7 @@ let rows_of_physical physical =
     (* children first: rows come out in execution order *)
     let acc =
       match p.Pp.op with
-      | Pp.Root | Pp.Context -> acc
+      | Pp.Root | Pp.Context | Pp.Empty _ -> acc
       | Pp.Step (base, _) | Pp.Tau (base, _) -> walk (path ^ ".0") (depth + 1) base acc
       | Pp.Union (a, b) ->
         walk (path ^ ".1") (depth + 1) b (walk (path ^ ".0") (depth + 1) a acc)
@@ -60,7 +60,7 @@ let rows_of_physical physical =
     let engine =
       match p.Pp.op with
       | Pp.Tau (_, tau) -> Some (Pp.engine_label tau.Pp.engine)
-      | Pp.Root | Pp.Context | Pp.Step _ | Pp.Union _ -> None
+      | Pp.Root | Pp.Context | Pp.Step _ | Pp.Union _ | Pp.Empty _ -> None
     in
     {
       path;

@@ -1,5 +1,6 @@
 module Doc = Xqp_xml.Document
 module Pg = Xqp_algebra.Pattern_graph
+module Ps = Xqp_storage.Path_summary
 
 type t = {
   doc_nodes : int;
@@ -10,6 +11,8 @@ type t = {
   max_depth : int;
   fanout_sum : int;
   fanout_nodes : int;
+  summary : Ps.t;
+  pids : int array; (* node id -> summary node (path partition), -1 for text/comment/PI *)
 }
 
 let bump table key = Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
@@ -47,6 +50,7 @@ let build doc =
         stack := (Doc.subtree_end doc id, name) :: !stack
     | Doc.Text | Doc.Comment | Doc.Pi -> ()
   done;
+  let summary = Ps.of_document doc in
   {
     doc_nodes = n;
     elements = !elements;
@@ -56,6 +60,8 @@ let build doc =
     max_depth = !max_depth;
     fanout_sum = !fanout_sum;
     fanout_nodes = !fanout_nodes;
+    summary;
+    pids = Ps.annotate summary doc;
   }
 
 let tag_count t name = Option.value ~default:0 (Hashtbl.find_opt t.tag_counts name)
@@ -141,10 +147,125 @@ let estimate_vertex_cardinality t pattern v =
   in
   card v *. branch_factor v
 
-let estimate_result t pattern =
+let estimate_result_stats t pattern =
   match Pg.outputs pattern with
   | v :: _ -> estimate_vertex_cardinality t pattern v
   | [] -> 0.0
+
+(* --- path-summary synopsis ---------------------------------------------- *)
+
+type source = Exact | Bound | Stats
+
+let source_label = function Exact -> "exact" | Bound -> "bound" | Stats -> "stats"
+let summary t = t.summary
+let path_id t node = if node < 0 || node >= Array.length t.pids then -1 else t.pids.(node)
+
+(* Project a pattern arc onto a summary step. [None] when the relation is
+   not a downward one the summary can answer (following-sibling). *)
+let step_of_arc (rel : Pg.rel) (label : Pg.label) =
+  match (rel, label) with
+  | Pg.Child, Pg.Tag n -> Some { Ps.descendant = false; selector = Ps.Label n }
+  | Pg.Child, Pg.Wildcard -> Some { Ps.descendant = false; selector = Ps.Any_element }
+  | Pg.Descendant, Pg.Tag n -> Some { Ps.descendant = true; selector = Ps.Label n }
+  | Pg.Descendant, Pg.Wildcard -> Some { Ps.descendant = true; selector = Ps.Any_element }
+  | Pg.Attribute, Pg.Tag n -> Some { Ps.descendant = false; selector = Ps.Label ("@" ^ n) }
+  | Pg.Attribute, Pg.Wildcard -> Some { Ps.descendant = false; selector = Ps.Any_attribute }
+  | Pg.Following_sibling, _ -> None
+
+let steps_of_path arcs =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | (rel, label) :: rest -> (
+      match step_of_arc rel label with None -> None | Some s -> go (s :: acc) rest)
+  in
+  go [] arcs
+
+let vertex_steps pattern v = steps_of_path (Pg.vertex_path pattern v)
+
+let vertex_summary_nodes ?(from = [ Ps.super_root ]) t pattern v =
+  Option.map (Ps.matching_from t.summary from) (vertex_steps pattern v)
+
+let anywhere_context t =
+  Ps.super_root :: List.init (Ps.length t.summary) (fun i -> i)
+
+let pattern_certainly_empty ?(anywhere = false) t pattern =
+  let from = if anywhere then anywhere_context t else [ Ps.super_root ] in
+  (* Empty path set for any projectable vertex means no embedding exists,
+     predicates and the rest of the twig notwithstanding. *)
+  let rec any_vertex v =
+    (match vertex_summary_nodes ~from t pattern v with Some [] -> true | _ -> false)
+    || List.exists (fun (c, _) -> any_vertex c) (Pg.children pattern v)
+  in
+  any_vertex 0
+
+let pattern_upper_bound t pattern =
+  (* Every match of the output vertex lies on a root path matching its
+     projection, so the summed path count is a sound upper bound —
+     regardless of predicates or sibling branches. *)
+  match Pg.outputs pattern with
+  | [] -> Some 0.0
+  | v :: _ ->
+    Option.map
+      (fun ids -> float_of_int (Ps.total_count t.summary ids))
+      (vertex_summary_nodes t pattern v)
+
+let estimate_result_detail t pattern =
+  let fallback () = (estimate_result_stats t pattern, Stats) in
+  match Pg.outputs pattern with
+  | [] -> (0.0, Exact)
+  | v :: _ -> (
+    match vertex_summary_nodes t pattern v with
+    | None -> fallback ()
+    | Some [] -> (0.0, Exact)
+    | Some out_ids ->
+      (* Spine = context-to-output chain; everything else is an existence
+         branch scaling the exact spine count down. *)
+      let spine = Array.make (Pg.vertex_count pattern) false in
+      let rec mark v =
+        spine.(v) <- true;
+        match Pg.parent pattern v with None -> () | Some (p, _) -> mark p
+      in
+      mark v;
+      let exception Fallback in
+      let exception Empty in
+      let card w =
+        match vertex_summary_nodes t pattern w with
+        | None -> raise Fallback
+        | Some [] -> raise Empty
+        | Some ids -> float_of_int (Ps.total_count t.summary ids)
+      in
+      (* P(one node of [w] has a matching branch below [c]) ≈
+         min(1, card c / card w), recursively down the branch. *)
+      let rec branch_factor w =
+        List.fold_left
+          (fun acc (c, _) ->
+            if spine.(c) then acc
+            else acc *. Float.min 1.0 (card c /. Float.max 1.0 (card w) *. branch_factor c))
+          1.0 (Pg.children pattern w)
+      in
+      let selectivity = ref 1.0 in
+      let branched = ref false in
+      Array.iteri
+        (fun w on_spine ->
+          if not on_spine then branched := true;
+          List.iter
+            (fun pred -> selectivity := !selectivity *. predicate_selectivity pred)
+            (Pg.vertex pattern w).Pg.predicates)
+        spine;
+      match
+        let base = float_of_int (Ps.total_count t.summary out_ids) in
+        let factor =
+          Array.to_list spine
+          |> List.mapi (fun w on_spine -> if on_spine then branch_factor w else 1.0)
+          |> List.fold_left ( *. ) 1.0
+        in
+        base *. factor *. !selectivity
+      with
+      | est -> (est, (if !branched || !selectivity < 1.0 then Bound else Exact))
+      | exception Empty -> (0.0, Exact)
+      | exception Fallback -> fallback ())
+
+let estimate_result t pattern = fst (estimate_result_detail t pattern)
 
 let pp ppf t =
   Format.fprintf ppf "nodes=%d elements=%d tags=%d max_depth=%d avg_fanout=%.2f" t.doc_nodes

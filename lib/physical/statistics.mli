@@ -39,7 +39,53 @@ val estimate_vertex_cardinality :
     independence, capped by the vertex's tag count. The context vertex
     estimates to 1. *)
 
+(** {2 Path-summary synopsis}
+
+    {!build} also computes the document's {!Xqp_storage.Path_summary} and
+    the per-node path partition (node → summary node). Downward linear
+    paths are answered {e exactly} from the summary; twigs get an exact
+    spine count scaled by branch-existence factors, still bounded above by
+    the spine count. *)
+
+type source =
+  | Exact  (** summed path counts, no approximation *)
+  | Bound  (** summary spine count scaled by branch/predicate factors *)
+  | Stats  (** legacy tag-pair estimator (summary not applicable) *)
+
+val source_label : source -> string
+val summary : t -> Xqp_storage.Path_summary.t
+val path_id : t -> Xqp_xml.Document.node -> int
+(** Summary node of a document node ([-1] for text/comment/PI). *)
+
+val vertex_steps :
+  Xqp_algebra.Pattern_graph.t -> int -> Xqp_storage.Path_summary.step list option
+(** Projection of a pattern vertex's context-to-vertex path onto summary
+    steps; [None] when an arc is not downward (following-sibling). *)
+
+val vertex_summary_nodes :
+  ?from:int list -> t -> Xqp_algebra.Pattern_graph.t -> int -> int list option
+(** Summary nodes matching a vertex's projected path, from the document
+    context by default. *)
+
+val pattern_certainly_empty : ?anywhere:bool -> t -> Xqp_algebra.Pattern_graph.t -> bool
+(** No document node can match some vertex's projected path, so the
+    pattern's result is empty whatever the predicates say. [~anywhere:true]
+    evaluates from every summary node instead of the document root — the
+    sound test when the evaluation context is not the root. *)
+
+val pattern_upper_bound : t -> Xqp_algebra.Pattern_graph.t -> float option
+(** Sound upper bound on the result cardinality: the output vertex's
+    summed path count ignores predicates and branches, both of which only
+    filter. [None] when the output path is not projectable. *)
+
+val estimate_result_detail : t -> Xqp_algebra.Pattern_graph.t -> float * source
 val estimate_result : t -> Xqp_algebra.Pattern_graph.t -> float
-(** Estimated output-vertex cardinality (the first output vertex). *)
+(** Estimated output-vertex cardinality (the first output vertex):
+    summary-based when the output path projects onto the summary, the
+    legacy estimator otherwise. *)
+
+val estimate_result_stats : t -> Xqp_algebra.Pattern_graph.t -> float
+(** The pre-summary estimator ({!estimate_vertex_cardinality} of the
+    output), kept for before/after comparison. *)
 
 val pp : Format.formatter -> t -> unit

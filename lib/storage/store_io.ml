@@ -1,7 +1,7 @@
 let magic = "XQPSTORE"
-let version = 3
+let version = 4
 
-(* Format v3 — fixed-size header, then sections at computable offsets so a
+(* Format v4 — fixed-size header, then sections at computable offsets so a
    paged reader can address them without scanning:
 
      magic (8 bytes)          "XQPSTORE"
@@ -18,6 +18,7 @@ let version = 3
      content_blob_len         i64
      dir_block_count          i64 (= ceil(structure_bit_len / 256))
      flag_sample_count        i64 (= ceil(flags_bit_len / 256) + 1)
+     psum_count               i64 (path-summary nodes)
    sections, in order:
      structure bytes          structure_byte_len
      tag bytes                n * w
@@ -30,15 +31,20 @@ let version = 3
                               fmax, bmin, bmax per 256-bit block)
      flag rank samples        flag_sample_count × i64 (rank1 of the flag
                               bits at each 256-bit boundary, then total)
+     path summary             psum_count × 4 × i64 (parent + 1, label
+                              symbol id, exact count, flags; canonical
+                              pre-order, siblings label-sorted)
 
    All integers little-endian; the i16 directory entries are signed
    (values lie in [-256, 256]). Serializing the navigation directories
-   (new in v3) lets {!Paged_store} open a file without streaming the
-   structure section; {!load} cross-checks them against recomputed ones,
-   so corruption is detected. Word-level rank directories remain derived
-   data and are rebuilt by the reader. *)
+   (v3) lets {!Paged_store} open a file without streaming the structure
+   section; {!load} cross-checks them against recomputed ones, so
+   corruption is detected. The path summary (v4) is the planner's
+   cardinality synopsis, likewise recomputed and cross-checked at load.
+   Word-level rank directories remain derived data and are rebuilt by the
+   reader. *)
 
-let header_bytes = 8 + (8 * 13)
+let header_bytes = 8 + (8 * 14)
 
 type layout = {
   node_count : int;
@@ -60,14 +66,17 @@ type layout = {
   dir_off : int;
   flag_sample_count : int;
   flag_samples_off : int;
+  psum_count : int;
+  psum_off : int;
 }
 
 let dir_blocks_for bit_len = (bit_len + Excess_dir.block_bits - 1) / Excess_dir.block_bits
 let flag_samples_for bit_len = dir_blocks_for bit_len + 1
+let psum_row_bytes = 32
 
 let layout_of_fields ~node_count ~tag_width ~structure_bit_len ~structure_byte_len ~flags_bit_len
     ~flags_byte_len ~symbol_count ~symbol_blob_len ~content_count ~content_blob_len
-    ~dir_block_count ~flag_sample_count =
+    ~dir_block_count ~flag_sample_count ~psum_count =
   let structure_off = header_bytes in
   let tags_off = structure_off + structure_byte_len in
   let flags_off = tags_off + (node_count * tag_width) in
@@ -77,6 +86,7 @@ let layout_of_fields ~node_count ~tag_width ~structure_bit_len ~structure_byte_l
   let content_blob_off = content_offsets_off + (8 * (content_count + 1)) in
   let dir_off = content_blob_off + content_blob_len in
   let flag_samples_off = dir_off + (dir_block_count * 10) in
+  let psum_off = flag_samples_off + (8 * flag_sample_count) in
   {
     node_count;
     tag_width;
@@ -97,7 +107,29 @@ let layout_of_fields ~node_count ~tag_width ~structure_bit_len ~structure_byte_l
     dir_off;
     flag_sample_count;
     flag_samples_off;
+    psum_count;
+    psum_off;
   }
+
+(* Rebuild the path summary from the raw sections — a single pass over the
+   balanced-parentheses bits driving the builder with the store labels. Used
+   by [save] (to serialize it) and by [load] (to cross-check the serialized
+   copy, like the excess directory). *)
+let summary_of_raw (raw : Succinct_store.raw) =
+  let b = Path_summary.Builder.create () in
+  let bits = Bitvector.length raw.Succinct_store.structure in
+  let rank = ref 0 in
+  for i = 0 to bits - 1 do
+    if Bitvector.get raw.Succinct_store.structure i then begin
+      Path_summary.Builder.open_node b
+        raw.Succinct_store.symbols.(raw.Succinct_store.tag_ids.(!rank));
+      incr rank
+    end
+    else Path_summary.Builder.close_node b
+  done;
+  Path_summary.Builder.finish b
+
+let summary_of_store store = summary_of_raw (Succinct_store.to_raw store)
 
 (* --- writing ----------------------------------------------------------- *)
 
@@ -139,6 +171,10 @@ let save store path =
   let blk = Excess_dir.blocks dir in
   let dir_block_count = dir_blocks_for structure_bit_len in
   let flag_sample_count = flag_samples_for flags_bit_len in
+  let summary = summary_of_raw raw in
+  let label_ids = Hashtbl.create (max 16 symbol_count) in
+  Array.iteri (fun i s -> Hashtbl.replace label_ids s i) raw.Succinct_store.symbols;
+  let psum_rows = Path_summary.to_rows summary ~label_id:(Hashtbl.find label_ids) in
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -157,6 +193,7 @@ let save store path =
       write_i64 oc (String.length content_blob);
       write_i64 oc dir_block_count;
       write_i64 oc flag_sample_count;
+      write_i64 oc (Array.length psum_rows);
       output_bytes oc structure_bytes;
       (* tag section *)
       Array.iter
@@ -179,7 +216,14 @@ let save store path =
       for s = 0 to flag_sample_count - 1 do
         let boundary = min flags_bit_len (s * Excess_dir.block_bits) in
         write_i64 oc (Bitvector.rank1 raw.Succinct_store.content_flags boundary)
-      done)
+      done;
+      Array.iter
+        (fun r ->
+          write_i64 oc r.Path_summary.r_parent;
+          write_i64 oc r.Path_summary.r_label;
+          write_i64 oc r.Path_summary.r_count;
+          write_i64 oc r.Path_summary.r_flags)
+        psum_rows)
 
 (* --- reading the header ------------------------------------------------ *)
 
@@ -198,18 +242,20 @@ let read_layout_from read_i64 ~path ~total_size =
   let content_blob_len = read_i64 80 in
   let dir_block_count = read_i64 88 in
   let flag_sample_count = read_i64 96 in
+  let psum_count = read_i64 104 in
   if node_count < 0 || symbol_count < 0 || content_count < 0 then corrupt path "negative count";
   if tag_width <> 1 && tag_width <> 2 then corrupt path "bad tag width";
   if structure_bit_len <> 2 * node_count then corrupt path "structure length";
   if flags_bit_len <> node_count then corrupt path "flag length";
   if dir_block_count <> dir_blocks_for structure_bit_len then corrupt path "directory size";
   if flag_sample_count <> flag_samples_for flags_bit_len then corrupt path "flag sample count";
+  if psum_count < 0 || psum_count > node_count then corrupt path "summary count";
   let layout =
     layout_of_fields ~node_count ~tag_width ~structure_bit_len ~structure_byte_len ~flags_bit_len
       ~flags_byte_len ~symbol_count ~symbol_blob_len ~content_count ~content_blob_len
-      ~dir_block_count ~flag_sample_count
+      ~dir_block_count ~flag_sample_count ~psum_count
   in
-  let expected = layout.flag_samples_off + (8 * flag_sample_count) in
+  let expected = layout.psum_off + (psum_row_bytes * psum_count) in
   if expected <> total_size then corrupt path "size mismatch";
   layout
 
@@ -221,7 +267,7 @@ let layout_of_header ~read_i64 =
     ~structure_bit_len:(read_i64 32) ~structure_byte_len:(read_i64 40)
     ~flags_bit_len:(read_i64 48) ~flags_byte_len:(read_i64 56) ~symbol_count:(read_i64 64)
     ~symbol_blob_len:(read_i64 72) ~content_count:(read_i64 80) ~content_blob_len:(read_i64 88)
-    ~dir_block_count:(read_i64 96) ~flag_sample_count:(read_i64 104)
+    ~dir_block_count:(read_i64 96) ~flag_sample_count:(read_i64 104) ~psum_count:(read_i64 112)
 
 let sign16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
 
@@ -327,10 +373,29 @@ let load ?pager path =
         strings ~offsets_off:layout.content_offsets_off ~blob_off:layout.content_blob_off
           ~count:layout.content_count
       in
-      match
-        Succinct_store.of_raw ?pager
-          { Succinct_store.structure; tag_ids; symbols; content_flags; contents }
-      with
+      let raw = { Succinct_store.structure; tag_ids; symbols; content_flags; contents } in
+      (* Cross-check the serialized path summary against a recomputed one,
+         like the excess directory: a stale or corrupted synopsis must not
+         silently feed the planner wrong cardinalities. *)
+      let stored_rows =
+        Array.init layout.psum_count (fun i ->
+            let base = layout.psum_off + (psum_row_bytes * i) in
+            {
+              Path_summary.r_parent = read_i64 base;
+              r_label = read_i64 (base + 8);
+              r_count = read_i64 (base + 16);
+              r_flags = read_i64 (base + 24);
+            })
+      in
+      let label_ids = Hashtbl.create (max 16 layout.symbol_count) in
+      Array.iteri (fun i s -> Hashtbl.replace label_ids s i) symbols;
+      let fresh_rows =
+        match Path_summary.to_rows (summary_of_raw raw) ~label_id:(Hashtbl.find label_ids) with
+        | rows -> rows
+        | exception Failure _ | exception Not_found -> corrupt path "path summary rebuild"
+      in
+      if stored_rows <> fresh_rows then corrupt path "path summary mismatch";
+      match Succinct_store.of_raw ?pager raw with
       | store -> store
       | exception Invalid_argument reason -> corrupt path reason)
 

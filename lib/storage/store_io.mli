@@ -12,7 +12,13 @@
     sections), so {!Paged_store} can open a file without streaming the
     structure. {!load} cross-checks them against recomputed directories
     and fails on mismatch. Word-level rank directories remain derived
-    data, rebuilt at load time. *)
+    data, rebuilt at load time.
+
+    Since v4 the {!Path_summary} of the document — every distinct
+    root-to-node label path with its exact count — is serialized as a
+    trailing section (4 × i64 per summary node) and cross-checked against
+    a recomputed summary at load time, so the planner's cardinality
+    synopsis can never silently drift from the data. *)
 
 val magic : string
 val version : int
@@ -49,12 +55,20 @@ type layout = {
   dir_off : int;           (** 5 × i16 per block: delta, fmin, fmax, bmin, bmax *)
   flag_sample_count : int;
   flag_samples_off : int;  (** i64 rank1 sample per 256-bit flag boundary *)
+  psum_count : int;        (** path-summary nodes *)
+  psum_off : int;          (** 4 × i64 per node: parent + 1, label sym, count, flags *)
 }
 
 val header_bytes : int
+val psum_row_bytes : int
+
+val summary_of_store : Succinct_store.t -> Path_summary.t
+(** Recompute the path summary from the store's raw sections — one pass
+    over the balanced-parentheses bits. This is what [save] serializes and
+    what [load] checks the serialized section against. *)
 
 val layout_of_header : read_i64:(int -> int) -> layout
-(** Compute the section directory straight from the 12 header fields
+(** Compute the section directory straight from the 13 header fields
     ([read_i64] takes an absolute file offset), with {e no} consistency
     checks — for readers like the fsck pass that report inconsistencies
     themselves instead of failing on the first. *)

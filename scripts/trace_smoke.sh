@@ -20,8 +20,12 @@ results=$(grep -c '^result:' "$out")
 [ "$queries" -ge 13 ] || { echo "trace-smoke: expected >= 13 queries, saw $queries"; exit 1; }
 [ "$tables" = "$queries" ] || { echo "trace-smoke: $tables operator tables for $queries queries"; exit 1; }
 [ "$results" = "$queries" ] || { echo "trace-smoke: $results result lines for $queries queries"; exit 1; }
-# actual cardinality and per-span timing columns are populated somewhere
-grep -q 'pager\.' "$out" || { echo "trace-smoke: no pager I/O attributed to any operator"; exit 1; }
+# pager I/O attribution: force a query through the store-backed NoK
+# engine (the cost model is free to prefer in-memory engines otherwise)
+nok_out="$dir/explain_nok.txt"
+run explain -g auction:600 --analyze -e nok \
+  "//person[profile/@income > 60000]/name" > "$nok_out"
+grep -q 'pager\.' "$nok_out" || { echo "trace-smoke: no pager I/O attributed to any operator"; exit 1; }
 
 dune exec --no-print-directory scripts/check_trace.exe -- "$dir/trace.json"
 

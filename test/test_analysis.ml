@@ -340,42 +340,68 @@ let test_fsck_truncated_directory () =
   let ds = Store_check.check_bytes truncated in
   check_bool "layout/size" true (List.mem "layout/size" (error_codes ds))
 
+let layout_of image =
+  Store_io.layout_of_header ~read_i64:(fun off ->
+      let v = ref 0 in
+      for i = 7 downto 0 do
+        v := (!v lsl 8) lor Char.code image.[off + i]
+      done;
+      !v)
+
 let test_fsck_corrupt_rank_sample () =
-  (* The last section is the flag rank samples; corrupting one is caught
-     against the recomputed rank directory. *)
+  (* Corrupting a flag rank sample is caught against the recomputed rank
+     directory. *)
   let image = store_image () in
-  let ds = Store_check.check_bytes (flip image (String.length image - 4) 0) in
+  let layout = layout_of image in
+  let ds = Store_check.check_bytes (flip image layout.Store_io.flag_samples_off 0) in
   check_bool "flags/rank-sample" true (List.mem "flags/rank-sample" (error_codes ds))
 
 let test_fsck_corrupt_content_sample () =
   (* Corrupt a content offset so a sampled slice lands out of bounds. *)
   let image = store_image () in
-  let layout =
-    Store_io.layout_of_header ~read_i64:(fun off ->
-        let v = ref 0 in
-        for i = 7 downto 0 do
-          v := (!v lsl 8) lor Char.code image.[off + i]
-        done;
-        !v)
-  in
+  let layout = layout_of image in
   let ds = Store_check.check_bytes (flip image layout.Store_io.content_offsets_off 6) in
   let cs = error_codes ds in
   check_bool "content offsets or sample" true
     (List.mem "contents/offsets" cs || List.mem "contents/sample" cs)
 
-let test_fsck_codes_distinct () =
-  (* The three corruption classes are distinguishable by their codes. *)
+let test_fsck_summary_codes () =
+  (* Each path-summary invariant has its own corruption code. *)
   let image = store_image () in
+  let layout = layout_of image in
+  let off = layout.Store_io.psum_off in
+  let codes_after pos bit = error_codes (Store_check.check_bytes (flip image pos bit)) in
+  (* row 0 parent field gains a high bit: forward parent link *)
+  check_bool "summary/parent-order" true
+    (List.mem "summary/parent-order" (codes_after off 6));
+  (* row 0 label id gains bit 24: beyond the symbol table *)
+  check_bool "summary/tag-range" true (List.mem "summary/tag-range" (codes_after (off + 11) 0));
+  (* row 0 count flips bit 1: disagrees with the tag sequence *)
+  check_bool "summary/count-mismatch" true
+    (List.mem "summary/count-mismatch" (codes_after (off + 16) 1));
+  (* last row flags field gains bit 32: unknown flag *)
+  check_bool "summary/flags" true
+    (List.mem "summary/flags" (codes_after (String.length image - 4) 0))
+
+let test_fsck_codes_distinct () =
+  (* The corruption classes are distinguishable by their codes. *)
+  let image = store_image () in
+  let layout = layout_of image in
   let parens = error_codes (Store_check.check_bytes (flip image Store_io.header_bytes 1)) in
   let trunc =
     error_codes (Store_check.check_bytes (String.sub image 0 (String.length image - 24)))
   in
   let sample =
-    error_codes (Store_check.check_bytes (flip image (String.length image - 4) 0))
+    error_codes (Store_check.check_bytes (flip image layout.Store_io.flag_samples_off 0))
+  in
+  let summary =
+    error_codes (Store_check.check_bytes (flip image layout.Store_io.psum_off 6))
   in
   check_bool "parens vs trunc" true (parens <> trunc);
   check_bool "parens vs sample" true (parens <> sample);
-  check_bool "trunc vs sample" true (trunc <> sample)
+  check_bool "trunc vs sample" true (trunc <> sample);
+  check_bool "summary vs others" true
+    (summary <> parens && summary <> trunc && summary <> sample)
 
 (* ------------------------------------------------------------------ *)
 (* Checker unit cases                                                  *)
@@ -426,6 +452,7 @@ let suite =
         Alcotest.test_case "truncated trailing directory" `Quick test_fsck_truncated_directory;
         Alcotest.test_case "corrupt flag rank sample" `Quick test_fsck_corrupt_rank_sample;
         Alcotest.test_case "corrupt content offsets" `Quick test_fsck_corrupt_content_sample;
+        Alcotest.test_case "corrupt path summary" `Quick test_fsck_summary_codes;
         Alcotest.test_case "corruption classes have distinct codes" `Quick
           test_fsck_codes_distinct;
       ] );

@@ -117,6 +117,63 @@ let test_compiled_plans_agree () =
     workload_queries
 
 (* ------------------------------------------------------------------ *)
+(* Summary-driven pruning: proven-empty plans compile to Empty          *)
+(* ------------------------------------------------------------------ *)
+
+let rec has_empty (p : Physical_plan.t) =
+  match p.Physical_plan.op with
+  | Physical_plan.Empty _ -> true
+  | Physical_plan.Root | Physical_plan.Context -> false
+  | Physical_plan.Step (b, _) | Physical_plan.Tau (b, _) -> has_empty b
+  | Physical_plan.Union (a, b) -> has_empty a || has_empty b
+
+let test_empty_path_set_compiles_to_empty () =
+  let exec = Executor.create (Lazy.force auction) in
+  (* /site/people has person children, never item: no instance path *)
+  let physical = Executor.compile_query exec ~use_cache:false "/site/people/item" in
+  check_bool "proven-empty query compiles to Empty" true (has_empty physical);
+  check_bool "Empty executes to []" true
+    (Executor.run_physical exec physical ~context:[ Operators.document_context ] = []);
+  let live = Executor.compile_query exec ~use_cache:false "/site/people/person" in
+  check_bool "satisfiable sibling query is not pruned" false (has_empty live)
+
+let prop_summary_bounds_sound =
+  (* every pattern reachable from a random optimized plan: the summary
+     upper bound dominates the true root-context cardinality, and
+     certainly-empty implies an empty result *)
+  QCheck2.Test.make ~name:"summary upper bound >= true count" ~count:200
+    QCheck2.Gen.(pair Test_physical.gen_doc Test_xpath.gen_plan)
+    (fun (doc, plan) ->
+      let stats = Statistics.build doc in
+      let exec = Executor.create doc in
+      let context = [ Operators.document_context ] in
+      let rec patterns lp acc =
+        match lp with
+        | Logical_plan.Root | Logical_plan.Context -> acc
+        | Logical_plan.Step (base, _) -> patterns base acc
+        | Logical_plan.Tpm (base, p) -> patterns base (p :: acc)
+        | Logical_plan.Union (a, b) -> patterns a (patterns b acc)
+      in
+      List.for_all
+        (fun pattern ->
+          let actual =
+            Executor.run exec ~strategy:Executor.Reference
+              (Logical_plan.Tpm (Logical_plan.Context, pattern))
+              ~context
+            |> List.sort_uniq compare |> List.length
+          in
+          let bound_ok =
+            match Statistics.pattern_upper_bound stats pattern with
+            | None -> true
+            | Some b -> b +. 1e-9 >= float_of_int actual
+          in
+          let empty_ok =
+            (not (Statistics.pattern_certainly_empty stats pattern)) || actual = 0
+          in
+          bound_ok && empty_ok)
+        (patterns (Rewrite.optimize plan) []))
+
+(* ------------------------------------------------------------------ *)
 (* Plan-cache keying                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -153,6 +210,23 @@ let test_cache_invalidated_by_stats_refresh () =
   check_int "stats version bumped" (v0 + 1) (Executor.stats_version exec);
   ignore (Executor.compile_query exec q);
   check_int "refresh invalidates the entry" 1 (misses () - m0)
+
+let test_summary_rebuild_spares_unrelated_entries () =
+  (* refresh_statistics rebuilds the path summary and bumps the stats
+     version: the refreshed executor's entries go stale, entries keyed to
+     other executors survive untouched *)
+  let doc = Lazy.force auction in
+  let exec1 = Executor.create doc and exec2 = Executor.create doc in
+  let q = "//item/name" in
+  ignore (Executor.compile_query exec1 q);
+  ignore (Executor.compile_query exec2 q);
+  Executor.refresh_statistics exec1;
+  let h0 = hits () and m0 = misses () in
+  ignore (Executor.compile_query exec1 q);
+  check_int "rebuilt summary forces a recompile" 1 (misses () - m0);
+  ignore (Executor.compile_query exec2 q);
+  check_int "unrelated executor's entry still hits" 1 (hits () - h0);
+  check_int "no extra miss for the survivor" 1 (misses () - m0)
 
 let test_cache_distinguishes_optimize_flag () =
   let exec = Executor.create (Lazy.force auction) in
@@ -233,6 +307,9 @@ let suite =
         Alcotest.test_case "compiled plans agree with reference on every engine" `Quick
           (with_verify test_compiled_plans_agree);
         Alcotest.test_case "strategy names round-trip" `Quick test_strategy_name_round_trip;
+        Alcotest.test_case "empty path set compiles to Empty" `Quick
+          test_empty_path_set_compiles_to_empty;
+        qcheck prop_summary_bounds_sound;
       ] );
     ( "plan cache",
       [
@@ -240,6 +317,8 @@ let suite =
         Alcotest.test_case "different documents miss" `Quick test_cache_distinguishes_documents;
         Alcotest.test_case "statistics refresh invalidates" `Quick
           test_cache_invalidated_by_stats_refresh;
+        Alcotest.test_case "summary rebuild spares unrelated entries" `Quick
+          test_summary_rebuild_spares_unrelated_entries;
         Alcotest.test_case "optimize flag and strategy key" `Quick
           test_cache_distinguishes_optimize_flag;
         Alcotest.test_case "use_cache:false bypasses" `Quick test_cache_bypass;

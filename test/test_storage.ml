@@ -713,6 +713,71 @@ let prop_store_io_directory_roundtrip =
       && blk.Excess_dir.bmin = fb.Excess_dir.bmin
       && blk.Excess_dir.bmax = fb.Excess_dir.bmax)
 
+let test_store_io_path_summary_section () =
+  let tree = Xml_parser.parse_string sample_source in
+  let store = Succinct_store.of_tree tree in
+  Store_io.save store temp_store_path;
+  let pool = Buffer_pool.open_file temp_store_path in
+  let layout = Store_io.read_layout pool temp_store_path in
+  Buffer_pool.close pool;
+  check_bool "has summary rows" true (layout.Store_io.psum_count > 0);
+  let summary = Store_io.summary_of_store (Store_io.load temp_store_path) in
+  check_int "row count = distinct paths" layout.Store_io.psum_count (Path_summary.length summary);
+  (* a flipped parent link breaks the pre-order invariant *)
+  tamper_file temp_store_path layout.Store_io.psum_off 0x40;
+  check_bool "tampered summary parent rejected" true
+    (match Store_io.load temp_store_path with exception Failure _ -> true | _ -> false);
+  Store_io.save store temp_store_path;
+  (* a flipped count no longer matches the recomputed summary *)
+  tamper_file temp_store_path (layout.Store_io.psum_off + 16) 0x02;
+  check_bool "tampered summary count rejected" true
+    (match Store_io.load temp_store_path with exception Failure _ -> true | _ -> false)
+
+let prop_path_summary_counts =
+  QCheck2.Test.make ~name:"path summary counts = naive scan" ~count:100 gen_tree_with_attrs
+    (fun tree ->
+      let tree = Tree.elt "root" [ tree ] in
+      let doc = Document.of_tree tree in
+      let summary = Path_summary.of_document doc in
+      let label id =
+        match Document.kind doc id with
+        | Document.Element -> Some (Document.name doc id)
+        | Document.Attribute -> Some ("@" ^ Document.name doc id)
+        | Document.Text | Document.Comment | Document.Pi -> None
+      in
+      let rec path_of id =
+        match label id with
+        | None -> None
+        | Some l -> (
+          match Document.parent doc id with
+          | None -> Some [ l ]
+          | Some p -> (
+            match path_of p with Some ps -> Some (ps @ [ l ]) | None -> None))
+      in
+      let naive = Hashtbl.create 32 in
+      for id = 0 to Document.node_count doc - 1 do
+        match path_of id with
+        | Some p ->
+          Hashtbl.replace naive p (1 + Option.value ~default:0 (Hashtbl.find_opt naive p))
+        | None -> ()
+      done;
+      let n = Path_summary.length summary in
+      let ok = ref (Hashtbl.length naive = n) in
+      for i = 0 to n - 1 do
+        match Hashtbl.find_opt naive (Path_summary.node_path summary i) with
+        | Some c when c = Path_summary.count summary i -> ()
+        | _ -> ok := false
+      done;
+      (* annotate partitions document nodes by path; per-id tallies must
+         reproduce the stored counts *)
+      let pids = Path_summary.annotate summary doc in
+      let tally = Array.make (max 1 n) 0 in
+      Array.iter (fun pid -> if pid >= 0 then tally.(pid) <- tally.(pid) + 1) pids;
+      for i = 0 to n - 1 do
+        if tally.(i) <> Path_summary.count summary i then ok := false
+      done;
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Buffer_pool / Paged_store                                           *)
 (* ------------------------------------------------------------------ *)
@@ -918,8 +983,11 @@ let suite =
         Alcotest.test_case "roundtrip" `Quick test_store_io_roundtrip;
         Alcotest.test_case "corrupt files" `Quick test_store_io_errors;
         Alcotest.test_case "directory sections + tamper" `Quick test_store_io_directory_sections;
+        Alcotest.test_case "path summary section + tamper" `Quick
+          test_store_io_path_summary_section;
         qcheck prop_store_io_roundtrip;
         qcheck prop_store_io_directory_roundtrip;
+        qcheck prop_path_summary_counts;
       ] );
     ( "storage.paged",
       [
