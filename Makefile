@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-full bench-smoke lint check examples clean smoke \
+.PHONY: all build test bench bench-full bench-smoke lint mutaudit check examples clean smoke \
 	trace-smoke calibrate
 
 all: build
@@ -17,10 +17,12 @@ bench-full:
 
 # Quick perf gate: navigation primitives + storage size sweep at the
 # smallest scale; writes BENCH_prim_nav.json (plus BENCH_query_metrics.json
-# from QMET, BENCH_plan_cache.json from PCACHE and BENCH_path_summary.json
-# from PSUM) for machine consumption.
+# from QMET, BENCH_plan_cache.json from PCACHE, BENCH_path_summary.json
+# from PSUM and BENCH_domain_safety.json from DSAFE) for machine
+# consumption. DSAFE also gates: single-domain overhead of the
+# domain-safe structures must stay <= 2% of a warm workload round.
 bench-smoke:
-	dune exec bench/main.exe -- --only=PRIM,E1,QMET,PCACHE,PSUM --json=BENCH_prim_nav.json
+	dune exec bench/main.exe -- --only=PRIM,E1,QMET,PCACHE,PSUM,DSAFE --json=BENCH_prim_nav.json
 
 # Observability gate: explain --analyze over every workload query, then
 # validate the exported Chrome trace with scripts/check_trace.
@@ -35,12 +37,19 @@ calibrate:
 
 # Static checks: rebuild under the stricter `lint` dune profile (key
 # warnings promoted to errors; see the root `dune` file), then run the
-# plan sort-checker over every workload query.
+# plan sort-checker over every workload query and the domain-safety
+# audit over lib/.
 lint:
 	dune build @all --profile lint
-	dune exec --no-print-directory bin/xqp.exe -- lint --workload
+	dune exec --no-print-directory bin/xqp.exe -- lint --workload --domains
 
-check: build test lint bench-smoke trace-smoke calibrate
+# Domain-safety audit alone (the CI mutaudit job): every toplevel
+# mutable site under lib/ must carry an annotation in
+# Domain_check.annotations; --strict also fails on stale rows.
+mutaudit:
+	dune exec --no-print-directory scripts/mutaudit.exe -- --strict lib
+
+check: build test lint mutaudit bench-smoke trace-smoke calibrate
 
 examples:
 	dune exec examples/quickstart.exe

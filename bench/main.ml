@@ -1634,6 +1634,178 @@ let () =
     }
 
 (* ------------------------------------------------------------------ *)
+(* DSAFE: domain-safety machinery overhead and shard contention        *)
+(* ------------------------------------------------------------------ *)
+
+(* The domain-safe structures (atomic metric counters, mutex-sharded
+   plan cache, Dsan guards) must be near-free on the single-domain path.
+   Three measurements, written to BENCH_domain_safety.json:
+   (a) the primitive price: plain mutable-int increment vs
+       Atomic.fetch_and_add;
+   (b) single-domain overhead: that price times the counter increments a
+       warm workload round actually performs, as a fraction of the
+       round's wall time — gated at ≤ 2% — plus the warm round timed
+       with the sanitizer off vs on;
+   (c) the contention curve: 4 domains hammering the shared cache at 1,
+       2, 4 and 8 shards. *)
+
+type plain_counter = { mutable pc : int }
+
+let dsafe_plain_incr_ns () =
+  let p = { pc = 0 } in
+  let n = 5_000_000 in
+  let t =
+    measure (fun () ->
+        for _ = 1 to n do
+          p.pc <- p.pc + 1
+        done;
+        Sys.opaque_identity p.pc)
+  in
+  t /. float_of_int n *. 1e9
+
+let dsafe_atomic_incr_ns () =
+  let a = Atomic.make 0 in
+  let n = 5_000_000 in
+  let t =
+    measure (fun () ->
+        for _ = 1 to n do
+          ignore (Atomic.fetch_and_add a 1)
+        done;
+        Sys.opaque_identity (Atomic.get a))
+  in
+  t /. float_of_int n *. 1e9
+
+let dsafe_contention ~shards ~domains ~ops =
+  let cache : int Plan_cache.t = Plan_cache.create ~capacity:256 ~shards () in
+  let key i =
+    {
+      Plan_cache.query = Printf.sprintf "//q[%d]" i;
+      optimize = false;
+      strategy = "auto";
+      doc_id = 1;
+      stats_version = 0;
+    }
+  in
+  let universe = 512 in
+  let t0 = Unix.gettimeofday () in
+  let ds =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for round = 1 to ops do
+              let i = (round * (d + 13)) mod universe in
+              match Plan_cache.find cache (key i) with
+              | Some _ -> ()
+              | None -> Plan_cache.add cache (key i) i
+            done))
+  in
+  Array.iter Domain.join ds;
+  Unix.gettimeofday () -. t0
+
+let dsafe_run ~scale =
+  let module J = Xqp_obs.Json in
+  let module M = Xqp_obs.Metrics in
+  let doc_scale = match scale with `Small -> 600 | `Full -> 3000 in
+  let doc = Workload.Gen_auction.packed ~scale:doc_scale () in
+  let exec = Executor.create doc in
+  ignore (Executor.store exec);
+  let xpaths =
+    List.map
+      (fun (q : Workload.Queries.query) -> q.Workload.Queries.xpath)
+      (Workload.Queries.auction_paths @ Workload.Queries.auction_complexity_sweep)
+  in
+  let round () = List.iter (fun q -> ignore (Executor.query exec q)) xpaths in
+  round ();
+  (* warm the plan cache *)
+  (* (a) primitive price of the atomic counters *)
+  let plain_ns = dsafe_plain_incr_ns () in
+  let atomic_ns = dsafe_atomic_incr_ns () in
+  Printf.printf "  counter increment: plain %.2f ns, atomic %.2f ns\n" plain_ns atomic_ns;
+  (* (b) how many counter increments one warm round performs *)
+  let count_events () =
+    List.fold_left
+      (fun acc (_, r) -> match r with M.Counter_v v -> acc + v | _ -> acc)
+      0 (M.snapshot M.default)
+  in
+  let e0 = count_events () in
+  round ();
+  let increments = count_events () - e0 in
+  let warm_s = measure round in
+  let machinery_s = float_of_int increments *. Float.max 0.0 (atomic_ns -. plain_ns) *. 1e-9 in
+  let overhead_pct = 100.0 *. machinery_s /. warm_s in
+  Printf.printf
+    "  warm workload round: %.3f ms, %d counter increments -> atomic machinery %.4f ms \
+     (%.3f%% of round)\n"
+    (ms warm_s) increments (ms machinery_s) overhead_pct;
+  let saved = Xqp_obs.Dsan.enabled () in
+  Xqp_obs.Dsan.set_enabled false;
+  let t_off = measure round in
+  Xqp_obs.Dsan.set_enabled true;
+  let t_on = measure round in
+  Xqp_obs.Dsan.set_enabled saved;
+  let dsan_pct = 100.0 *. (t_on -. t_off) /. t_off in
+  Printf.printf "  sanitizer: off %.3f ms, on %.3f ms (%+.2f%%)\n" (ms t_off) (ms t_on) dsan_pct;
+  if overhead_pct > 2.0 then
+    failwith
+      (Printf.sprintf "DSAFE: single-domain atomic-counter overhead %.3f%% exceeds 2%%"
+         overhead_pct);
+  (* (c) shard contention: fixed op count per domain, varying shards *)
+  let domains = 4 in
+  let ops = match scale with `Small -> 30_000 | `Full -> 120_000 in
+  Printf.printf "  contention (%d domains x %d cache ops):\n" domains ops;
+  let curve =
+    List.map
+      (fun shards ->
+        let elapsed = dsafe_contention ~shards ~domains ~ops in
+        let mops = float_of_int (domains * ops) /. elapsed /. 1e6 in
+        Printf.printf "    %d shard%s %10.3f ms  %8.2f Mops/s\n" shards
+          (if shards = 1 then ": " else "s:")
+          (ms elapsed) mops;
+        J.Obj
+          [
+            ("shards", J.Num (float_of_int shards));
+            ("elapsed_ms", J.Num (ms elapsed));
+            ("mops_per_s", J.Num mops);
+          ])
+      [ 1; 2; 4; 8 ]
+  in
+  let out =
+    J.Obj
+      [
+        ("bench", J.Str "domain_safety");
+        ("document", J.Str (Printf.sprintf "auction:%d" doc_scale));
+        ("plain_incr_ns", J.Num plain_ns);
+        ("atomic_incr_ns", J.Num atomic_ns);
+        ("counter_increments_per_round", J.Num (float_of_int increments));
+        ("warm_round_ms", J.Num (ms warm_s));
+        ("single_domain_overhead_pct", J.Num overhead_pct);
+        ("dsan_off_ms", J.Num (ms t_off));
+        ("dsan_on_ms", J.Num (ms t_on));
+        ("dsan_overhead_pct", J.Num dsan_pct);
+        ("contention_domains", J.Num (float_of_int domains));
+        ("contention", J.Arr curve);
+      ]
+  in
+  let path = "BENCH_domain_safety.json" in
+  let oc = open_out path in
+  output_string oc (J.to_string ~pretty:true out);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  wrote %s\n" path
+
+let () =
+  register
+    {
+      id = "DSAFE";
+      title = "DSAFE: domain-safety machinery overhead and plan-cache shard contention";
+      run = dsafe_run;
+      bechamel =
+        (fun () ->
+          let a = Atomic.make 0 in
+          Bechamel.Test.make ~name:"DSAFE-atomic-incr"
+            (Bechamel.Staged.stage (fun () -> ignore (Atomic.fetch_and_add a 1))));
+    }
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel runner                                                     *)
 (* ------------------------------------------------------------------ *)
 

@@ -606,7 +606,16 @@ let workload_schema () =
     (Analysis.Schema_info.of_document (Xqp_workload.Gen_auction.packed ~scale:600 ()))
     (Analysis.Schema_info.of_document (Xqp_workload.Gen_bib.packed ~books:8 ()))
 
-let lint_one ~schema ~strict ~verbose label kind text =
+(* With --json every diagnostic becomes one object per line (the query or
+   audit label is prepended to [path]), so CI and editors can consume the
+   report without scraping the human rendering. *)
+let emit_diag ~json ~label d =
+  let d = Analysis.Diagnostic.with_path label d in
+  if json then
+    Format.printf "%s@." (Xqp_obs.Json.to_string (Analysis.Diagnostic.to_json d))
+  else Format.printf "  %a@." Analysis.Diagnostic.pp d
+
+let lint_one ~schema ~strict ~verbose ~json label kind text =
   let plans =
     match kind with
     | `Xpath ->
@@ -642,40 +651,49 @@ let lint_one ~schema ~strict ~verbose label kind text =
       diags
   in
   if diags <> [] then begin
-    Format.printf "%s: %s@." label text;
-    List.iter (fun d -> Format.printf "  %a@." Analysis.Diagnostic.pp d) diags
+    if not json then Format.printf "%s: %s@." label text;
+    List.iter (emit_diag ~json ~label) diags
   end;
   Analysis.Lint.acceptable ~strict diags
 
-let run_lint strict verbose xquery_mode workload queries =
+let run_lint strict verbose json domains xquery_mode workload queries =
   let schema = workload_schema () in
   let ok = ref true in
   let catching label text f =
+    let parse_failure what msg =
+      ok := false;
+      if json then emit_diag ~json ~label (Analysis.Diagnostic.error ~code:what msg)
+      else Format.printf "%s: %s@.  %s: %s@." label text what msg
+    in
     match f () with
     | passed -> if not passed then ok := false
-    | exception Xqp_xpath.Parser.Parse_error m ->
-      ok := false;
-      Format.printf "%s: %s@.  parse error: %s@." label text m
-    | exception Xqp_xpath.Lexer.Lex_error { message; _ } ->
-      ok := false;
-      Format.printf "%s: %s@.  lex error: %s@." label text message
+    | exception Xqp_xpath.Parser.Parse_error m -> parse_failure "parse/error" m
+    | exception Xqp_xpath.Lexer.Lex_error { message; _ } -> parse_failure "lex/error" message
     | exception Xqp_xquery.Xq_parser.Parse_error { position; message } ->
-      ok := false;
-      Format.printf "%s: %s@.  parse error at %d: %s@." label text position message
+      parse_failure "parse/error" (Printf.sprintf "at %d: %s" position message)
   in
   let checked = ref 0 in
+  if domains then begin
+    incr checked;
+    let diags = Analysis.Domain_check.audit [ "lib" ] in
+    if not json then
+      if diags = [] then Format.printf "domains: every toplevel mutable site is annotated@."
+      else Format.printf "domains:@.";
+    List.iter (emit_diag ~json ~label:"domains") diags;
+    if not (Analysis.Lint.acceptable ~strict diags) then ok := false
+  end;
   if workload then begin
     List.iter
       (fun (q : Xqp_workload.Queries.query) ->
         incr checked;
         catching q.Xqp_workload.Queries.id q.Xqp_workload.Queries.xpath (fun () ->
-            lint_one ~schema ~strict ~verbose q.Xqp_workload.Queries.id `Xpath
+            lint_one ~schema ~strict ~verbose ~json q.Xqp_workload.Queries.id `Xpath
               q.Xqp_workload.Queries.xpath))
       (Xqp_workload.Queries.auction_paths @ Xqp_workload.Queries.auction_complexity_sweep);
     List.iter
       (fun (id, text) ->
         incr checked;
-        catching id text (fun () -> lint_one ~schema ~strict ~verbose id `Xquery text))
+        catching id text (fun () -> lint_one ~schema ~strict ~verbose ~json id `Xquery text))
       Xqp_workload.Queries.bib_flwor
   end;
   List.iteri
@@ -683,17 +701,20 @@ let run_lint strict verbose xquery_mode workload queries =
       incr checked;
       let label = Printf.sprintf "query %d" (i + 1) in
       catching label text (fun () ->
-          lint_one ~schema ~strict ~verbose label (if xquery_mode then `Xquery else `Xpath) text))
+          lint_one ~schema ~strict ~verbose ~json label
+            (if xquery_mode then `Xquery else `Xpath)
+            text))
     queries;
   if !checked = 0 then begin
-    Format.printf "nothing to lint: give queries or --workload@.";
+    Format.printf "nothing to lint: give queries, --workload or --domains@.";
     1
   end
   else begin
-    Format.printf "%s: %d quer%s checked@."
-      (if !ok then "ok" else "FAILED")
-      !checked
-      (if !checked = 1 then "y" else "ies");
+    if not json then
+      Format.printf "%s: %d check%s@."
+        (if !ok then "ok" else "FAILED")
+        !checked
+        (if !checked = 1 then "" else "s");
     if !ok then 0 else 1
   end
 
@@ -712,13 +733,28 @@ let lint_cmd =
   let workload =
     Arg.(value & flag & info [ "workload" ] ~doc:"Lint every query in the built-in workload suite.")
   in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one JSON object per diagnostic (severity, code, path, message) instead \
+                   of the human report.")
+  in
+  let domains =
+    Arg.(value & flag
+         & info [ "domains" ]
+             ~doc:"Audit lib/ for toplevel mutable state missing from the domain-safety \
+                   annotation table (same pass as scripts/mutaudit).")
+  in
   let queries = Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc:"Queries to check.") in
-  let term = Term.(const run_lint $ strict $ verbose $ xquery_flag $ workload $ queries) in
+  let term =
+    Term.(const run_lint $ strict $ verbose $ json $ domains $ xquery_flag $ workload $ queries)
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically check queries: parse, rewrite rule by rule, sort-check every plan and \
-          pattern graph, and flag name tests unsatisfiable under the workload schemas")
+          pattern graph, and flag name tests unsatisfiable under the workload schemas; with \
+          $(b,--domains), audit the library for unannotated global mutable state")
     term
 
 (* --- fsck --------------------------------------------------------------- *)

@@ -19,11 +19,14 @@ let rec op_count plan =
         0 s.Lp.predicates
 
 (* The collector is installed only by the [*_traced] entry points, so the
-   plain [simplify]/[fuse]/[optimize] pay one ref read per rule site. *)
-let collector : rule_fire list ref option ref = ref None
+   plain [simplify]/[fuse]/[optimize] pay one DLS read per rule site.
+   Domain-local storage keeps a trace collected on one domain invisible
+   to rewrites running concurrently on another (DESIGN.md §11). *)
+let collector : rule_fire list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let fire stage rule ~before ~after =
-  match !collector with
+  match Domain.DLS.get collector with
   | None -> ()
   | Some fires ->
     fires :=
@@ -31,9 +34,9 @@ let fire stage rule ~before ~after =
 
 let collect_fires f =
   let fires = ref [] in
-  let saved = !collector in
-  collector := Some fires;
-  Fun.protect ~finally:(fun () -> collector := saved) f |> fun result ->
+  let saved = Domain.DLS.get collector in
+  Domain.DLS.set collector (Some fires);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set collector saved) f |> fun result ->
   (result, List.rev !fires)
 
 (* --- R0: axis normalization ----------------------------------------- *)

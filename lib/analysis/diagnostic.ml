@@ -49,6 +49,35 @@ let pp ppf d =
       path);
   Format.fprintf ppf ": %s" d.message
 
+module J = Xqp_obs.Json
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let to_json d =
+  J.Obj
+    [
+      ("severity", J.Str (Format.asprintf "%a" pp_severity d.severity));
+      ("code", J.Str d.code);
+      ("path", J.Arr (List.map (fun s -> J.Str s) d.path));
+      ("message", J.Str d.message);
+    ]
+
+let of_json j =
+  let str name = Option.bind (J.member name j) J.to_str in
+  match (Option.bind (str "severity") severity_of_string, str "code", str "message") with
+  | Some severity, Some code, Some message ->
+    let path =
+      match Option.bind (J.member "path" j) J.to_arr with
+      | Some items -> List.filter_map J.to_str items
+      | None -> []
+    in
+    Some { severity; code; path; message }
+  | _ -> None
+
 let pp_report ppf ds =
   let ds = sort ds in
   List.iter (fun d -> Format.fprintf ppf "%a@." pp d) ds;

@@ -53,3 +53,11 @@ val pp : Format.formatter -> t -> unit
 
 val pp_report : Format.formatter -> t list -> unit
 (** One diagnostic per line, most severe first, then a summary line. *)
+
+val to_json : t -> Xqp_obs.Json.t
+(** [{"severity": …, "code": …, "path": […], "message": …}] — the record
+    behind [xqp lint --json] (one object per line). *)
+
+val of_json : Xqp_obs.Json.t -> t option
+(** Inverse of {!to_json}; [None] when required fields are missing or the
+    severity name is unknown. *)

@@ -1,0 +1,89 @@
+(** Domain-safety analyzer ([xqp lint --domains], [scripts/mutaudit]).
+
+    Walks the Parsetree of every [.ml] file (via compiler-libs) and
+    flags {e toplevel mutable state} — the only state OCaml 5 domains
+    can share by accident: global [ref]s, [Hashtbl]/[Queue]/[Buffer]
+    values, mutable arrays, records with [mutable] fields (including
+    ones built by in-file or [create]-shaped constructors), toplevel
+    [lazy] values and [Atomic.t]s. Each discovered site must appear in
+    a declared safety-annotation table stating {e why} it is safe to
+    share; an unannotated site is an error, so new global mutable state
+    cannot land silently (the same report-all discipline as
+    {!Store_check}).
+
+    The annotation vocabulary (DESIGN.md §11):
+    - [Safe_immutable] — written only during module initialization,
+      before any domain can be spawned, and never mutated afterwards
+      (precomputed lookup tables);
+    - [Guarded_by_mutex m] — every access path takes the named mutex or
+      {!Xqp_obs.Dsan.guard};
+    - [Atomic] — the value is an [Atomic.t] (or a record of them) and
+      all updates are single atomic operations;
+    - [Domain_local] — confined to one domain at a time, enforced
+      dynamically by a {!Xqp_obs.Dsan.owner} stamp or [Domain.DLS];
+    - [Unsafe] — a known-unsafe site awaiting a fix: always an error,
+      kept so the table can record debt without hiding it. *)
+
+type annotation =
+  | Safe_immutable
+  | Guarded_by_mutex of string  (** argument names the guarding lock *)
+  | Atomic
+  | Domain_local
+  | Unsafe
+
+val annotation_name : annotation -> string
+
+(** What shape of mutable state a site is, from the syntax that built it. *)
+type kind =
+  | Global_ref       (** [let x = ref …] *)
+  | Mutable_table    (** [Hashtbl]/[Queue]/[Stack]/[Buffer]/[Weak].create *)
+  | Mutable_array    (** [Array]/[Bytes] constructors or array literals *)
+  | Mutable_record   (** record literal with a [mutable] field, or a
+                         [create]/[make]/[init]-shaped constructor call *)
+  | Toplevel_lazy    (** [let x = lazy …] — forcing races raise in OCaml 5 *)
+  | Atomic_value     (** [Atomic.make] — safe, but must be annotated [Atomic] *)
+
+val kind_name : kind -> string
+
+type site = {
+  file : string;        (** path as given to the scanner *)
+  id : string;          (** ["Module.Sub.name"], module from the file name *)
+  kind : kind;
+  line : int;
+}
+
+val scan_file : string -> site list * Diagnostic.t list
+(** Parse one [.ml] file and return its toplevel mutable sites.
+    Unparseable files yield a [domain/parse-error] diagnostic. *)
+
+val scan_path : string -> site list * Diagnostic.t list
+(** [scan_path p]: [p] is an [.ml] file or a directory scanned
+    recursively (skipping [_build] and dot-directories). *)
+
+val annotations : (string * annotation * string) list
+(** The repository's declared table: (site id, annotation, why). *)
+
+val check :
+  ?table:(string * annotation * string) list ->
+  ?stale:bool ->
+  site list ->
+  Diagnostic.t list
+(** Check discovered sites against the table (default {!annotations}).
+    Unannotated sites are errors coded by kind ([domain/global-ref],
+    [domain/unguarded-table], [domain/mutable-array],
+    [domain/mutable-state], [domain/toplevel-lazy],
+    [domain/missing-annotation]); [Unsafe] entries are [domain/unsafe]
+    errors; impossible pairings ([Atomic] on a non-atomic,
+    [Safe_immutable] on a [ref]) are [domain/annotation-mismatch]
+    warnings. With [stale] (default [true]), table entries matching no
+    site are [domain/stale-annotation] warnings, so the table cannot
+    outlive the code it describes. *)
+
+val audit :
+  ?table:(string * annotation * string) list ->
+  ?stale:bool ->
+  string list ->
+  Diagnostic.t list
+(** [audit paths]: scan every path and check the combined site list —
+    the entry point shared by [xqp lint --domains] and
+    [scripts/mutaudit]. *)

@@ -1,0 +1,65 @@
+exception Violation of string
+
+let on =
+  Atomic.make
+    (match Sys.getenv_opt "XQP_DSAN" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false)
+
+let enabled () = Atomic.get on
+let set_enabled flag = Atomic.set on flag
+
+let self_id () = (Domain.self () :> int)
+
+(* --- owner stamps ------------------------------------------------------ *)
+
+(* The stamp is an int Atomic: -1 = unclaimed. Claiming races only matter
+   when two domains touch an unclaimed structure at the same instant —
+   compare_and_set makes exactly one of them win, the other reports the
+   violation it just proved. *)
+type owner = { what : string; stamp : int Atomic.t }
+
+let unclaimed = -1
+
+let owner what = { what; stamp = Atomic.make unclaimed }
+
+let assert_owner o =
+  if Atomic.get on then begin
+    let self = self_id () in
+    let current = Atomic.get o.stamp in
+    if current = self then ()
+    else if current = unclaimed && Atomic.compare_and_set o.stamp unclaimed self then ()
+    else
+      raise
+        (Violation
+           (Printf.sprintf "%s is domain-local to domain %d but was touched from domain %d"
+              o.what (Atomic.get o.stamp) self))
+  end
+
+let release_owner o = Atomic.set o.stamp unclaimed
+
+(* --- guards ------------------------------------------------------------ *)
+
+(* [holder] is only written while [mutex] is held, so a matching read
+   from the holding domain always sees its own id; a non-holder reads
+   either -1 or some other domain's id — both fail the assertion, which
+   is exactly right. *)
+type guard = { g_what : string; mutex : Mutex.t; mutable holder : int }
+
+let guard g_what = { g_what; mutex = Mutex.create (); holder = unclaimed }
+
+let with_guard g f =
+  Mutex.lock g.mutex;
+  g.holder <- self_id ();
+  Fun.protect
+    ~finally:(fun () ->
+      g.holder <- unclaimed;
+      Mutex.unlock g.mutex)
+    f
+
+let assert_held g =
+  if Atomic.get on && g.holder <> self_id () then
+    raise
+      (Violation
+         (Printf.sprintf "%s requires its guard to be held, but domain %d does not hold it"
+            g.g_what (self_id ())))

@@ -1,0 +1,64 @@
+(** Domain sanitizer: dynamic checks that the engine's shared mutable
+    structures are used according to their declared safety discipline
+    (see {!Xqp_analysis.Domain_check} and DESIGN.md §11).
+
+    Two primitives:
+
+    - {e owner stamps} for [Domain_local] structures — the first domain
+      that touches the structure claims it, and any touch from another
+      domain raises {!Violation};
+    - {e guards} for [Guarded_by_mutex] structures — a mutex plus a
+      holder stamp, so code paths that require the lock can assert it is
+      actually held by the current domain.
+
+    All checks are off by default and enabled by [XQP_DSAN=1] in the
+    environment (or {!set_enabled}, for tests). When off, a check is a
+    single atomic load and a branch — no allocation, mirroring the
+    disabled-tracer discipline of {!Trace}. Guards still lock their
+    mutex when the sanitizer is off: the locking is the fix, the
+    sanitizer only verifies the discipline around it. *)
+
+exception Violation of string
+(** Raised by a failed check: a structure declared [Domain_local] was
+    touched from a second domain, or a lock-held assertion fired. *)
+
+val enabled : unit -> bool
+(** True when [XQP_DSAN] was set to [1]/[true]/[yes] at startup, or
+    {!set_enabled} turned checking on. *)
+
+val set_enabled : bool -> unit
+(** Toggle checking at run time (used by the stress tests). *)
+
+(** {2 Owner stamps} *)
+
+type owner
+(** A claimable stamp carried by a [Domain_local] structure. *)
+
+val owner : string -> owner
+(** [owner what] makes an unclaimed stamp; [what] names the structure
+    in violation messages (e.g. ["Pager"]). *)
+
+val assert_owner : owner -> unit
+(** Claim the stamp for the current domain on first use; raise
+    {!Violation} if another domain already owns it. No-op when
+    checking is off. *)
+
+val release_owner : owner -> unit
+(** Return the stamp to the unclaimed state — an explicit hand-off
+    point for structures that legitimately migrate between domains. *)
+
+(** {2 Guards} *)
+
+type guard
+(** A mutex plus a holder stamp for a [Guarded_by_mutex] structure. *)
+
+val guard : string -> guard
+(** [guard what] makes a guard around a fresh mutex. *)
+
+val with_guard : guard -> (unit -> 'a) -> 'a
+(** Run the thunk with the guard's mutex held (always — independent of
+    {!enabled}), recording the holding domain for {!assert_held}. *)
+
+val assert_held : guard -> unit
+(** Raise {!Violation} unless the current domain is inside
+    {!with_guard} on this guard. No-op when checking is off. *)

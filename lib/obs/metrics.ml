@@ -1,9 +1,13 @@
-type counter = { mutable c_value : int }
-type gauge = { mutable g_value : float }
+type counter = { c_value : int Atomic.t }
+type gauge = { g_value : float Atomic.t }
 
 let bucket_count = 64
 
+(* Histograms batch several fields per observation, so they carry their
+   own mutex instead of going atomic field-by-field (observations are
+   per-query, not per-node — the lock never shows up in profiles). *)
 type histogram = {
+  h_lock : Mutex.t;
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
@@ -13,46 +17,55 @@ type histogram = {
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
-type t = { table : (string, metric) Hashtbl.t }
+(* The registry table is shared by every domain that emits metrics;
+   get-or-create and whole-table reads go through [guard]. The handles
+   the table hands out are themselves domain-safe (atomics, or the
+   histogram's own lock), so bumping a metric never touches the guard. *)
+type t = { guard : Dsan.guard; table : (string, metric) Hashtbl.t }
 
-let create () = { table = Hashtbl.create 64 }
+let create () = { guard = Dsan.guard "Metrics registry"; table = Hashtbl.create 64 }
 let default = create ()
 
 let register t name make cast kind_name =
-  match Hashtbl.find_opt t.table name with
-  | Some m -> (
-    match cast m with
-    | Some v -> v
-    | None -> invalid_arg (Printf.sprintf "Metrics: %s is not a %s" name kind_name))
-  | None ->
-    let v = make () in
-    Hashtbl.add t.table name v;
-    match cast v with Some v -> v | None -> assert false
+  let m =
+    Dsan.with_guard t.guard (fun () ->
+        Dsan.assert_held t.guard;
+        match Hashtbl.find_opt t.table name with
+        | Some m -> m
+        | None ->
+          let v = make () in
+          Hashtbl.add t.table name v;
+          v)
+  in
+  match cast m with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Metrics: %s is not a %s" name kind_name)
 
 let counter t name =
   register t name
-    (fun () -> Counter { c_value = 0 })
+    (fun () -> Counter { c_value = Atomic.make 0 })
     (function Counter c -> Some c | _ -> None)
     "counter"
 
-let incr c = c.c_value <- c.c_value + 1
-let add c n = c.c_value <- c.c_value + n
-let value c = c.c_value
+let incr c = ignore (Atomic.fetch_and_add c.c_value 1)
+let add c n = ignore (Atomic.fetch_and_add c.c_value n)
+let value c = Atomic.get c.c_value
 
 let gauge t name =
   register t name
-    (fun () -> Gauge { g_value = 0.0 })
+    (fun () -> Gauge { g_value = Atomic.make 0.0 })
     (function Gauge g -> Some g | _ -> None)
     "gauge"
 
-let set g v = g.g_value <- v
-let gauge_value g = g.g_value
+let set g v = Atomic.set g.g_value v
+let gauge_value g = Atomic.get g.g_value
 
 let histogram t name =
   register t name
     (fun () ->
       Histogram
         {
+          h_lock = Mutex.create ();
           h_count = 0;
           h_sum = 0.0;
           h_min = infinity;
@@ -67,12 +80,14 @@ let bucket_index v =
   else min (bucket_count - 1) (1 + int_of_float (Float.log2 v |> Float.floor))
 
 let observe h v =
+  Mutex.lock h.h_lock;
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum +. v;
   if v < h.h_min then h.h_min <- v;
   if v > h.h_max then h.h_max <- v;
   let i = bucket_index v in
-  h.h_buckets.(i) <- h.h_buckets.(i) + 1
+  h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+  Mutex.unlock h.h_lock
 
 type histogram_summary = {
   count : int;
@@ -83,12 +98,17 @@ type histogram_summary = {
 }
 
 let summary h =
+  Mutex.lock h.h_lock;
   let buckets = ref [] in
   for i = bucket_count - 1 downto 0 do
     if h.h_buckets.(i) > 0 then
       buckets := (Float.pow 2.0 (float_of_int i), h.h_buckets.(i)) :: !buckets
   done;
-  { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max; buckets = !buckets }
+  let s =
+    { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max; buckets = !buckets }
+  in
+  Mutex.unlock h.h_lock;
+  s
 
 type reading =
   | Counter_v of int
@@ -96,29 +116,37 @@ type reading =
   | Histogram_v of histogram_summary
 
 let reading_of = function
-  | Counter c -> Counter_v c.c_value
-  | Gauge g -> Gauge_v g.g_value
+  | Counter c -> Counter_v (Atomic.get c.c_value)
+  | Gauge g -> Gauge_v (Atomic.get g.g_value)
   | Histogram h -> Histogram_v (summary h)
 
+(* Sorted by name: exports must not depend on hash-table iteration
+   order, so snapshots (and everything rendered from them) are
+   deterministic across runs and insertion orders. *)
 let snapshot t =
-  Hashtbl.fold (fun name m acc -> (name, reading_of m) :: acc) t.table []
+  Dsan.with_guard t.guard (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, reading_of m) :: acc) t.table [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let find t name = Option.map reading_of (Hashtbl.find_opt t.table name)
+let find t name =
+  Option.map reading_of (Dsan.with_guard t.guard (fun () -> Hashtbl.find_opt t.table name))
 
 let reset t =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0.0
-      | Histogram h ->
-        h.h_count <- 0;
-        h.h_sum <- 0.0;
-        h.h_min <- infinity;
-        h.h_max <- neg_infinity;
-        Array.fill h.h_buckets 0 bucket_count 0)
-    t.table
+  Dsan.with_guard t.guard (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Atomic.set c.c_value 0
+          | Gauge g -> Atomic.set g.g_value 0.0
+          | Histogram h ->
+            Mutex.lock h.h_lock;
+            h.h_count <- 0;
+            h.h_sum <- 0.0;
+            h.h_min <- infinity;
+            h.h_max <- neg_infinity;
+            Array.fill h.h_buckets 0 bucket_count 0;
+            Mutex.unlock h.h_lock)
+        t.table)
 
 let pp ppf t =
   List.iter

@@ -10,7 +10,14 @@
 
     Naming convention (documented in DESIGN.md §7):
     [<layer>.<component>.<quantity>], e.g. [pager.logical_reads],
-    [pool.page_faults], [engine.nok.nodes_visited]. *)
+    [pool.page_faults], [engine.nok.nodes_visited].
+
+    Domain safety (DESIGN.md §11): counters and gauges are [Atomic.t]
+    values — increments from concurrent domains are never lost;
+    histograms serialize observations behind their own mutex; the
+    registry table itself is guarded, so get-or-create races return the
+    same handle. Snapshots are sorted by name and therefore
+    deterministic regardless of registration order. *)
 
 type t
 (** A registry. *)

@@ -12,6 +12,7 @@ type t = {
   store_lazy : Store.t Lazy.t;
   mutable stats_lazy : Statistics.t Lazy.t;
   mutable stats_version : int;
+  engine_guard : Xqp_obs.Dsan.guard;
   engine_cache : (Pg.t, Cost_model.engine) Hashtbl.t;
   content_index_lazy : Content_index.t Lazy.t;
   mutable hints_lazy : Navigation.hints Lazy.t;
@@ -31,17 +32,17 @@ let strategy_name = Pp.strategy_name
 let all_strategies = Pp.all_strategies
 let strategy_of_string = Pp.strategy_of_string
 
-let next_id = ref 0
+let next_id = Atomic.make 0
 
 let create ?pager document =
-  incr next_id;
   let stats_lazy = lazy (Statistics.build document) in
   {
-    id = !next_id;
+    id = Atomic.fetch_and_add next_id 1 + 1;
     document;
     store_lazy = lazy (Store.of_document ?pager document);
     stats_lazy;
     stats_version = 0;
+    engine_guard = Xqp_obs.Dsan.guard "Executor.engine_cache";
     engine_cache = Hashtbl.create 16;
     content_index_lazy = lazy (Content_index.build document);
     hints_lazy =
@@ -58,7 +59,7 @@ let content_index t = Lazy.force t.content_index_lazy
 let refresh_statistics t =
   t.stats_lazy <- lazy (Statistics.build t.document);
   t.stats_version <- t.stats_version + 1;
-  Hashtbl.reset t.engine_cache;
+  Xqp_obs.Dsan.with_guard t.engine_guard (fun () -> Hashtbl.reset t.engine_cache);
   let stats_lazy = t.stats_lazy in
   t.hints_lazy <-
     lazy (Navigation.make_hints t.document (Statistics.summary (Lazy.force stats_lazy)))
@@ -99,13 +100,20 @@ let summary_prune t pattern ~context =
   end
 
 (* The executor's memoized cost-model chooser: [Auto] resolution per
-   distinct pattern is paid once per statistics version. *)
+   distinct pattern is paid once per statistics version. The memo table
+   is guarded — planning is compile-time, so serializing the costing of
+   one pattern across domains is cheap and keeps the table coherent;
+   a racing duplicate computation would be benign but is avoided. *)
 let cached_choose t pattern =
-  match Hashtbl.find_opt t.engine_cache pattern with
+  match
+    Xqp_obs.Dsan.with_guard t.engine_guard (fun () ->
+        Hashtbl.find_opt t.engine_cache pattern)
+  with
   | Some engine -> engine
   | None ->
     let engine = Cost_model.choose (statistics t) pattern in
-    Hashtbl.add t.engine_cache pattern engine;
+    Xqp_obs.Dsan.with_guard t.engine_guard (fun () ->
+        Hashtbl.replace t.engine_cache pattern engine);
     engine
 
 let effective_strategy t strategy pattern =
@@ -114,7 +122,7 @@ let effective_strategy t strategy pattern =
 (* --- debug plan verification ------------------------------------------- *)
 
 let verify_plans =
-  ref
+  Atomic.make
     (match Sys.getenv_opt "XQP_VERIFY_PLANS" with
     | Some ("1" | "true" | "yes") -> true
     | Some _ | None -> false)
@@ -269,7 +277,7 @@ let io_counters =
     ]
 
 let run_physical t physical ~context =
-  if !verify_plans then verify_physical t physical ~context;
+  if Atomic.get verify_plans then verify_physical t physical ~context;
   let tr = Tr.default in
   (* One span per plan operator. [path] names the operator's position in
      the plan tree ("0" = the whole plan, children at "<path>.<i>") with

@@ -33,7 +33,7 @@ val id : t -> int
 (** Process-unique identity of this executor (and hence its document) —
     the [doc_id] component of {!Plan_cache.key}s. *)
 
-val verify_plans : bool ref
+val verify_plans : bool Atomic.t
 (** Debug gate: when set, {!run_physical} checks every compiled plan with
     {!Xqp_analysis.Lint.check_physical} (sort inference over the logical
     erasure against the actual context-node kinds, plus per-τ binding

@@ -1,4 +1,5 @@
 module M = Xqp_obs.Metrics
+module Dsan = Xqp_obs.Dsan
 
 type key = {
   query : string;
@@ -18,58 +19,101 @@ let m_size = M.gauge M.default "plan_cache.size"
 
 type 'a entry = { value : 'a; mutable stamp : int }
 
-type 'a t = {
+(* One independent LRU per shard, each behind its own guard: a hot query
+   only contends with queries that hash to the same shard, and recency
+   is tracked per shard (eviction picks the LRU entry of the full shard,
+   which equals global LRU when there is one shard). *)
+type 'a shard = {
+  guard : Dsan.guard;
   table : (key, 'a entry) Hashtbl.t;
-  capacity : int;
+  shard_capacity : int;
   mutable clock : int;
 }
 
-let create ?(capacity = 128) () =
+type 'a t = { shards : 'a shard array }
+
+(* Default shard count scales with capacity so small test caches keep
+   exact global-LRU semantics (1 shard) while the shared 256-entry cache
+   spreads hot fingerprints over 8 locks. *)
+let default_shards capacity = max 1 (min 8 (capacity / 32))
+
+let create ?(capacity = 128) ?shards () =
   if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be positive";
-  { table = Hashtbl.create (min capacity 64); capacity; clock = 0 }
+  let n =
+    match shards with
+    | None -> default_shards capacity
+    | Some n ->
+      if n < 1 then invalid_arg "Plan_cache.create: shards must be positive";
+      min n capacity
+  in
+  let shard_capacity = max 1 (capacity / n) in
+  {
+    shards =
+      Array.init n (fun i ->
+          {
+            guard = Dsan.guard (Printf.sprintf "Plan_cache shard %d" i);
+            table = Hashtbl.create (min shard_capacity 64);
+            shard_capacity;
+            clock = 0;
+          });
+  }
 
-let capacity t = t.capacity
-let length t = Hashtbl.length t.table
+let shard_count t = Array.length t.shards
+let capacity t = Array.fold_left (fun acc s -> acc + s.shard_capacity) 0 t.shards
 
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
+let shard_of t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+(* Unlocked sum: [Hashtbl.length] is a single field read, so a racing
+   insert can make the total stale by one but never tears it. Exact
+   counts (tests) should quiesce writers first. *)
+let length t = Array.fold_left (fun acc s -> acc + Hashtbl.length s.table) 0 t.shards
+
+let tick s =
+  Dsan.assert_held s.guard;
+  s.clock <- s.clock + 1;
+  s.clock
 
 let find t key =
-  match Hashtbl.find_opt t.table key with
-  | Some entry ->
-    entry.stamp <- tick t;
-    M.incr m_hits;
-    Some entry.value
-  | None ->
-    M.incr m_misses;
-    None
+  let s = shard_of t key in
+  let hit =
+    Dsan.with_guard s.guard (fun () ->
+        match Hashtbl.find_opt s.table key with
+        | Some entry ->
+          entry.stamp <- tick s;
+          Some entry.value
+        | None -> None)
+  in
+  (match hit with Some _ -> M.incr m_hits | None -> M.incr m_misses);
+  hit
 
-(* O(capacity) victim scan; capacities are small (hundreds) and eviction
-   only happens on insert past capacity, so this never shows up next to
-   the parse+rewrite+costing work a hit saves. *)
-let evict_lru t =
+(* O(shard capacity) victim scan; capacities are small (tens per shard)
+   and eviction only happens on insert past capacity, so this never
+   shows up next to the parse+rewrite+costing work a hit saves. *)
+let evict_lru s =
+  Dsan.assert_held s.guard;
   let victim =
     Hashtbl.fold
       (fun key entry acc ->
         match acc with
         | Some (_, best) when best.stamp <= entry.stamp -> acc
         | _ -> Some (key, entry))
-      t.table None
+      s.table None
   in
   match victim with
   | Some (key, _) ->
-    Hashtbl.remove t.table key;
+    Hashtbl.remove s.table key;
     M.incr m_evictions
   | None -> ()
 
 let add t key value =
-  (match Hashtbl.find_opt t.table key with
-  | Some _ -> Hashtbl.remove t.table key
-  | None -> if Hashtbl.length t.table >= t.capacity then evict_lru t);
-  Hashtbl.replace t.table key { value; stamp = tick t };
-  M.set m_size (float_of_int (Hashtbl.length t.table))
+  let s = shard_of t key in
+  Dsan.with_guard s.guard (fun () ->
+      (match Hashtbl.find_opt s.table key with
+      | Some _ -> Hashtbl.remove s.table key
+      | None -> if Hashtbl.length s.table >= s.shard_capacity then evict_lru s);
+      Hashtbl.replace s.table key { value; stamp = tick s });
+  M.set m_size (float_of_int (length t))
 
 let clear t =
-  Hashtbl.reset t.table;
+  Array.iter (fun s -> Dsan.with_guard s.guard (fun () -> Hashtbl.reset s.table)) t.shards;
   M.set m_size 0.0

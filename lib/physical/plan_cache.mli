@@ -1,4 +1,4 @@
-(** Bounded LRU cache for compiled physical plans.
+(** Bounded, mutex-sharded LRU cache for compiled physical plans.
 
     Keyed by everything that determines the compiled artifact: the query
     (or plan fingerprint), the optimize flag, the requested strategy, the
@@ -7,9 +7,16 @@
     serve a stale plan. A hit skips parsing, rewriting and costing
     entirely.
 
+    Domain safety (DESIGN.md §11): entries are spread over independent
+    shards by the hash of the key, each shard behind its own mutex
+    ({!Xqp_obs.Dsan.guard}), so concurrent domains compiling different
+    hot queries do not contend on one lock. Recency and eviction are
+    per-shard; with a single shard (the default for small capacities)
+    this is exactly a global LRU.
+
     Lookups and inserts bump [plan_cache.{hits,misses,evictions}] and the
     [plan_cache.size] gauge in {!Xqp_obs.Metrics.default} (shared by all
-    instances). Not thread-safe, like the rest of the engine. *)
+    instances). *)
 
 type key = {
   query : string;      (** query text, or ["plan:" ^ fingerprint] for
@@ -22,17 +29,25 @@ type key = {
 
 type 'a t
 
-val create : ?capacity:int -> unit -> 'a t
-(** Default capacity 128 entries.
-    @raise Invalid_argument when [capacity < 1]. *)
+val create : ?capacity:int -> ?shards:int -> unit -> 'a t
+(** Default capacity 128 entries. [shards] defaults to
+    [max 1 (min 8 (capacity / 32))] and is clamped to [capacity]; each
+    shard holds [capacity / shards] entries.
+    @raise Invalid_argument when [capacity < 1] or [shards < 1]. *)
 
 val find : 'a t -> key -> 'a option
 (** Counts a hit or a miss; a hit refreshes the entry's recency. *)
 
 val add : 'a t -> key -> 'a -> unit
-(** Insert (or overwrite) an entry, evicting the least recently used one
-    when the cache is full. *)
+(** Insert (or overwrite) an entry, evicting the least recently used
+    entry of the key's shard when that shard is full. *)
 
 val length : 'a t -> int
+(** Total entries across shards (unlocked read: exact once concurrent
+    writers have quiesced). *)
+
 val capacity : 'a t -> int
+(** Total capacity across shards ([shards × per-shard capacity]). *)
+
+val shard_count : 'a t -> int
 val clear : 'a t -> unit

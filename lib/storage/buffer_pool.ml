@@ -11,7 +11,10 @@ let m_evictions = M.counter M.default "pool.evictions"
 
 type frame = { data : Bytes.t; mutable stamp : int }
 
+(* [Domain_local] like [Pager]: the in_channel position, the frame table
+   and the counters all assume a single owning domain. *)
 type t = {
+  owner : Xqp_obs.Dsan.owner;
   ic : in_channel;
   size : int;
   page_size : int;
@@ -28,6 +31,7 @@ let open_file ?(page_size = 4096) ?(capacity = 64) path =
   if page_size <= 0 || capacity <= 0 then invalid_arg "Buffer_pool.open_file";
   let ic = open_in_bin path in
   {
+    owner = Xqp_obs.Dsan.owner "Buffer_pool";
     ic;
     size = in_channel_length ic;
     page_size;
@@ -61,6 +65,7 @@ let evict_if_full t =
   end
 
 let page t number =
+  Xqp_obs.Dsan.assert_owner t.owner;
   t.clock <- t.clock + 1;
   match Hashtbl.find_opt t.frames number with
   | Some frame ->
@@ -121,7 +126,10 @@ let reset_stats t =
   t.hits <- 0;
   t.evictions <- 0
 
-let drop_cache t = Hashtbl.reset t.frames
+let drop_cache t =
+  Hashtbl.reset t.frames;
+  (* dropping every frame is the legitimate hand-off point between domains *)
+  Xqp_obs.Dsan.release_owner t.owner
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf "requests=%d faults=%d hits=%d evictions=%d" s.requests s.page_faults s.hits

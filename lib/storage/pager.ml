@@ -24,7 +24,13 @@ let m_hits = M.counter M.default "pager.hits"
    pool overflows (pool sizes are small, and benchmarks reset often). *)
 type entry = { mutable stamp : int; mutable dirty : bool }
 
+(* A pager instance is [Domain_local]: its pool and counters are plain
+   mutable state owned by whichever domain opened it (the process-wide
+   [pager.*] mirrors above are atomic). The owner stamp turns a
+   cross-domain touch into a loud Dsan violation instead of silent
+   counter corruption. *)
 type t = {
+  owner : Xqp_obs.Dsan.owner;
   page_size : int;
   pool_pages : int;
   pool : (int * int, entry) Hashtbl.t;
@@ -42,6 +48,7 @@ let region_content = 2
 
 let create ?(page_size = 4096) ?(pool_pages = 256) () =
   {
+    owner = Xqp_obs.Dsan.owner "Pager";
     page_size;
     pool_pages;
     pool = Hashtbl.create 512;
@@ -73,6 +80,7 @@ let evict_if_full t =
   end
 
 let touch t ~region ~page ~write =
+  Xqp_obs.Dsan.assert_owner t.owner;
   t.clock <- t.clock + 1;
   let key = (region, page) in
   (match Hashtbl.find_opt t.pool key with
@@ -141,7 +149,9 @@ let reset_stats t =
 let reset t =
   Hashtbl.reset t.pool;
   t.clock <- 0;
-  reset_stats t
+  reset_stats t;
+  (* an explicit reset is the legitimate hand-off point between domains *)
+  Xqp_obs.Dsan.release_owner t.owner
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf "page=%dB lr=%d lw=%d pr=%d pw=%d hits=%d" s.page_size s.logical_reads

@@ -1,0 +1,32 @@
+(* mutaudit: stand-alone domain-safety audit (the CI entry point).
+
+   Usage: mutaudit [--strict] [--no-stale] [DIR ...]   (default: lib)
+
+   Scans every .ml under the given directories with
+   Xqp_analysis.Domain_check, prints the full diagnostic report and
+   exits non-zero when it contains errors (with --strict: warnings
+   too). Same pass as `xqp lint --domains`, without needing a
+   workload or a built store. *)
+
+let () =
+  let strict = ref false in
+  let stale = ref true in
+  let dirs = ref [] in
+  Arg.parse
+    [
+      ("--strict", Arg.Set strict, " fail on warnings as well as errors");
+      ("--no-stale", Arg.Clear stale, " do not warn about table rows matching no site");
+    ]
+    (fun d -> dirs := d :: !dirs)
+    "mutaudit [--strict] [--no-stale] [DIR ...]";
+  let dirs = match List.rev !dirs with [] -> [ "lib" ] | ds -> ds in
+  let diags = Xqp_analysis.Domain_check.audit ~stale:!stale dirs in
+  let module D = Xqp_analysis.Diagnostic in
+  if diags = [] then
+    Format.printf "mutaudit: no toplevel mutable state outside the annotation table (%s)@."
+      (String.concat " " dirs)
+  else Format.printf "%a" D.pp_report diags;
+  let failed =
+    D.has_errors diags || (!strict && List.exists (fun d -> d.D.severity = D.Warning) diags)
+  in
+  exit (if failed then 1 else 0)

@@ -403,6 +403,162 @@ let test_fsck_codes_distinct () =
   check_bool "summary vs others" true
     (summary <> parens && summary <> trunc && summary <> sample)
 
+(* fsck must degrade to diagnostics, never raise, on damaged files. *)
+
+let with_temp_store_file bytes f =
+  let path = Filename.temp_file "xqp_fsck" ".xqdb" in
+  Out_channel.with_open_bin path (fun oc -> output_string oc bytes);
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_fsck_zero_length_file () =
+  with_temp_store_file "" (fun path ->
+      let ds = Store_check.fsck path in
+      check_bool "truncated error" true (List.mem "layout/truncated" (error_codes ds)))
+
+let test_fsck_sub_header_file () =
+  with_temp_store_file (String.make (Store_io.header_bytes / 2) '\x00') (fun path ->
+      let ds = Store_check.fsck path in
+      check_bool "truncated error" true (List.mem "layout/truncated" (error_codes ds)))
+
+let test_fsck_mid_truncation () =
+  (* Cut a valid image in the middle of a section: the layout no longer
+     closes on the file size, reported rather than raised. *)
+  let image = store_image () in
+  with_temp_store_file (String.sub image 0 (String.length image * 2 / 3)) (fun path ->
+      let ds = Store_check.fsck path in
+      check_bool "has errors" true (Diagnostic.has_errors ds))
+
+let test_fsck_missing_file () =
+  let ds = Store_check.fsck "/nonexistent/xqp_no_such_store.xqdb" in
+  check_bool "io/unreadable" true (List.mem "io/unreadable" (error_codes ds))
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic JSON                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module J = Xqp_obs.Json
+
+let test_diagnostic_json_round_trip () =
+  let samples =
+    [
+      Diagnostic.error ~path:[ "q1"; "step 2" ] ~code:"sort/empty-step" "a \"quoted\"\nmessage";
+      Diagnostic.warning ~code:"schema/unknown-name" "no path";
+      Diagnostic.info ~path:[ "domains" ] ~code:"domain/global-ref" "tab\there";
+    ]
+  in
+  List.iter
+    (fun d ->
+      match Diagnostic.of_json (J.parse (J.to_string (Diagnostic.to_json d))) with
+      | Some d' -> check_bool "round trip" true (d = d')
+      | None -> Alcotest.fail "of_json returned None")
+    samples;
+  check_bool "rejects junk" true (Diagnostic.of_json (J.Str "nope") = None);
+  check_bool "rejects bad severity" true
+    (Diagnostic.of_json (J.Obj [ ("severity", J.Str "fatal"); ("code", J.Str "x");
+                                 ("message", J.Str "m") ])
+     = None)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-safety analyzer                                              *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_ml source f =
+  let path = Filename.temp_file "xqp_dc" ".ml" in
+  Out_channel.with_open_text path (fun oc -> output_string oc source);
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let module_of path = String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let site_kind sites name =
+  List.find_map
+    (fun (s : Domain_check.site) ->
+      if String.ends_with ~suffix:("." ^ name) s.Domain_check.id then Some s.Domain_check.kind
+      else None)
+    sites
+
+let test_domain_check_classifies_sites () =
+  let source =
+    {|let counter = ref 0
+let table = Hashtbl.create 16
+let flag = Atomic.make false
+let lut = Array.init 4 (fun i -> i * i)
+let words = [| "a"; "b" |]
+let delayed = lazy (1 + 2)
+type box = { mutable slot : int }
+let boxed = { slot = 0 }
+let make_box () = { slot = 1 }
+let via_ctor = make_box ()
+let foreign = Buffer.create 64
+module Sub = struct
+  let inner = ref []
+end
+let plain = 42
+let helper x = x + 1
+let lock = Mutex.create ()
+let key = Domain.DLS.new_key (fun () -> 0)
+|}
+  in
+  with_temp_ml source (fun path ->
+      let sites, diags = Domain_check.scan_file path in
+      check_bool "no scan diagnostics" true (diags = []);
+      let open Domain_check in
+      check_bool "ref" true (site_kind sites "counter" = Some Global_ref);
+      check_bool "hashtbl" true (site_kind sites "table" = Some Mutable_table);
+      check_bool "atomic" true (site_kind sites "flag" = Some Atomic_value);
+      check_bool "array init" true (site_kind sites "lut" = Some Mutable_array);
+      check_bool "array literal" true (site_kind sites "words" = Some Mutable_array);
+      check_bool "lazy" true (site_kind sites "delayed" = Some Toplevel_lazy);
+      check_bool "record literal" true (site_kind sites "boxed" = Some Mutable_record);
+      check_bool "in-file ctor" true (site_kind sites "via_ctor" = Some Mutable_record);
+      check_bool "buffer" true (site_kind sites "foreign" = Some Mutable_table);
+      check_bool "submodule ref" true
+        (List.exists
+           (fun (s : site) -> s.id = module_of path ^ ".Sub.inner" && s.kind = Global_ref)
+           sites);
+      check_bool "immutable skipped" true (site_kind sites "plain" = None);
+      check_bool "function skipped" true (site_kind sites "helper" = None);
+      check_bool "mutex skipped" true (site_kind sites "lock" = None);
+      check_bool "DLS key skipped" true (site_kind sites "key" = None))
+
+let test_domain_check_annotations_gate () =
+  let source = "let hits = ref 0\nlet ready = Atomic.make false\n" in
+  with_temp_ml source (fun path ->
+      let m = module_of path in
+      let sites, _ = Domain_check.scan_file path in
+      (* unannotated: one error per site, coded by kind *)
+      let bare = Domain_check.check ~table:[] ~stale:false sites in
+      check_int "two errors" 2 (List.length (Diagnostic.errors bare));
+      check_bool "ref code" true (List.mem "domain/global-ref" (error_codes bare));
+      check_bool "atomic code" true (List.mem "domain/missing-annotation" (error_codes bare));
+      (* fully annotated: clean *)
+      let table =
+        [
+          (m ^ ".hits", Domain_check.Guarded_by_mutex "t.lock", "test");
+          (m ^ ".ready", Domain_check.Atomic, "test");
+        ]
+      in
+      check_bool "annotated clean" true (Domain_check.check ~table ~stale:true sites = []);
+      (* Unsafe rows stay errors; mismatches and stale rows warn *)
+      let unsafe = [ (m ^ ".hits", Domain_check.Unsafe, "todo");
+                     (m ^ ".ready", Domain_check.Atomic, "test") ] in
+      check_bool "unsafe is error" true
+        (List.mem "domain/unsafe" (error_codes (Domain_check.check ~table:unsafe sites)));
+      let mismatch = [ (m ^ ".hits", Domain_check.Safe_immutable, "wrong");
+                       (m ^ ".ready", Domain_check.Atomic, "test") ] in
+      check_bool "mismatch warns" true
+        (List.mem "domain/annotation-mismatch"
+           (codes (Domain_check.check ~table:mismatch sites)));
+      let stale = table @ [ ("Ghost.value", Domain_check.Atomic, "moved away") ] in
+      let ds = Domain_check.check ~table:stale ~stale:true sites in
+      check_bool "stale warns" true (List.mem "domain/stale-annotation" (codes ds));
+      check_bool "stale is not an error" false (Diagnostic.has_errors ds))
+
+let test_domain_check_parse_error () =
+  with_temp_ml "let let let = (" (fun path ->
+      let sites, diags = Domain_check.scan_file path in
+      check_bool "no sites" true (sites = []);
+      check_bool "parse-error diagnostic" true (List.mem "domain/parse-error" (error_codes diags)))
+
 (* ------------------------------------------------------------------ *)
 (* Checker unit cases                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -455,5 +611,19 @@ let suite =
         Alcotest.test_case "corrupt path summary" `Quick test_fsck_summary_codes;
         Alcotest.test_case "corruption classes have distinct codes" `Quick
           test_fsck_codes_distinct;
+        Alcotest.test_case "zero-length file" `Quick test_fsck_zero_length_file;
+        Alcotest.test_case "file shorter than the header" `Quick test_fsck_sub_header_file;
+        Alcotest.test_case "mid-section truncation" `Quick test_fsck_mid_truncation;
+        Alcotest.test_case "missing file" `Quick test_fsck_missing_file;
+      ] );
+    ( "analysis domains",
+      [
+        Alcotest.test_case "diagnostic json round trip" `Quick test_diagnostic_json_round_trip;
+        Alcotest.test_case "analyzer classifies mutable shapes" `Quick
+          test_domain_check_classifies_sites;
+        Alcotest.test_case "annotation table gates sites" `Quick
+          test_domain_check_annotations_gate;
+        Alcotest.test_case "unparseable file reports, not raises" `Quick
+          test_domain_check_parse_error;
       ] );
   ]

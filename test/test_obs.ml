@@ -81,6 +81,27 @@ let test_metrics_basics () =
   Metrics.incr c;
   check_int "handle still live after reset" 1 (Metrics.value c)
 
+let test_metrics_dump_deterministic () =
+  (* The TSV dump and the pretty printer must not depend on registration
+     order: registering in reverse-alphabetical order still yields rows
+     sorted by metric name, identical across dumps. *)
+  let reg = Metrics.create () in
+  List.iter (fun n -> Metrics.incr (Metrics.counter reg n)) [ "z.last"; "m.mid"; "a.first" ];
+  Metrics.set (Metrics.gauge reg "q.gauge") 1.5;
+  let tsv = Metrics.to_tsv reg in
+  let names =
+    List.filter_map
+      (fun line -> match String.index_opt line '\t' with
+        | Some i -> Some (String.sub line 0 i)
+        | None -> None)
+      (String.split_on_char '\n' tsv)
+  in
+  check_bool "tsv rows sorted by name" true (names = List.sort String.compare names);
+  check_int "all metrics dumped" 4 (List.length names);
+  check_string "dump is stable" tsv (Metrics.to_tsv reg);
+  let pp_dump = Format.asprintf "%a" Metrics.pp reg in
+  check_string "pp is stable" pp_dump (Format.asprintf "%a" Metrics.pp reg)
+
 (* --- trace ring and nesting --------------------------------------------- *)
 
 (* A random tree of spans: at each node open a span, recurse into the
@@ -315,6 +336,7 @@ let suite =
         Alcotest.test_case "json round trip" `Quick test_json_round_trip;
         Alcotest.test_case "json escapes" `Quick test_json_escapes;
         Alcotest.test_case "metrics basics" `Quick test_metrics_basics;
+        Alcotest.test_case "metrics dump deterministic" `Quick test_metrics_dump_deterministic;
         qcheck test_span_nesting_qcheck;
         Alcotest.test_case "unclosed spans balance" `Quick test_unclosed_spans_balance;
         Alcotest.test_case "ring overflow" `Quick test_ring_overflow;

@@ -20,9 +20,9 @@ let auction = lazy (Xqp_workload.Gen_auction.packed ~scale:400 ())
 (* run [f] with the physical sort-checker enabled; the workload queries
    compiled in this suite must all pass it *)
 let with_verify f () =
-  let saved = !Executor.verify_plans in
-  Executor.verify_plans := true;
-  Fun.protect ~finally:(fun () -> Executor.verify_plans := saved) f
+  let saved = Atomic.get Executor.verify_plans in
+  Atomic.set Executor.verify_plans true;
+  Fun.protect ~finally:(fun () -> Atomic.set Executor.verify_plans saved) f
 
 let workload_queries =
   [
