@@ -1,5 +1,5 @@
 .PHONY: all build test bench bench-full bench-smoke lint mutaudit check examples clean smoke \
-	trace-smoke calibrate
+	trace-smoke serve-smoke calibrate
 
 all: build
 
@@ -18,16 +18,24 @@ bench-full:
 # Quick perf gate: navigation primitives + storage size sweep at the
 # smallest scale; writes BENCH_prim_nav.json (plus BENCH_query_metrics.json
 # from QMET, BENCH_plan_cache.json from PCACHE, BENCH_path_summary.json
-# from PSUM and BENCH_domain_safety.json from DSAFE) for machine
-# consumption. DSAFE also gates: single-domain overhead of the
-# domain-safe structures must stay <= 2% of a warm workload round.
+# from PSUM, BENCH_domain_safety.json from DSAFE and BENCH_serve.json
+# from SERVE) for machine consumption. DSAFE also gates: single-domain
+# overhead of the domain-safe structures must stay <= 2% of a warm
+# workload round. SERVE gates on domain scaling: 4-domain QPS must reach
+# 0.75 x min(4, cores) x single-domain QPS (3x on a 4-core box).
 bench-smoke:
-	dune exec bench/main.exe -- --only=PRIM,E1,QMET,PCACHE,PSUM,DSAFE --json=BENCH_prim_nav.json
+	dune exec bench/main.exe -- --only=PRIM,E1,QMET,PCACHE,PSUM,DSAFE,SERVE --json=BENCH_prim_nav.json
 
 # Observability gate: explain --analyze over every workload query, then
 # validate the exported Chrome trace with scripts/check_trace.
 trace-smoke:
 	./scripts/trace_smoke.sh
+
+# Server gate: boot `xqp serve`, probe /health, run a concurrent client
+# batch (identical answers required), scrape /metrics, SIGTERM and
+# require a clean drain-and-exit.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Estimated vs actual cardinality (q-error) per workload query. The gate
 # fails if any downward-only query — the ones the path summary answers
@@ -49,7 +57,7 @@ lint:
 mutaudit:
 	dune exec --no-print-directory scripts/mutaudit.exe -- --strict lib
 
-check: build test lint mutaudit bench-smoke trace-smoke calibrate
+check: build test lint mutaudit bench-smoke trace-smoke serve-smoke calibrate
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1806,6 +1806,198 @@ let () =
     }
 
 (* ------------------------------------------------------------------ *)
+(* SERVE: multicore query server throughput and latency                *)
+(* ------------------------------------------------------------------ *)
+
+(* End-to-end over loopback HTTP: an in-process server on 1/2/4 worker
+   domains, swept over client counts; each client domain replays the
+   workload queries back to back. Reports QPS and p50/p99 latency per
+   configuration, written to BENCH_serve.json.
+
+   Scaling gate: with 4 worker domains and the largest client count, QPS
+   must reach at least 0.75 x min(4, cores) x the single-domain QPS —
+   near-linear scaling where the hardware has the cores (3x on a 4-core
+   CI box) and no regression where it does not (this container has 1). *)
+
+let serve_http_get ~port ~path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let request = Printf.sprintf "GET %s HTTP/1.1\r\nHost: bench\r\n\r\n" path in
+      let bytes = Bytes.of_string request in
+      let rec send off =
+        if off < Bytes.length bytes then
+          send (off + Unix.write fd bytes off (Bytes.length bytes - off))
+      in
+      send 0;
+      let chunk = Bytes.create 8192 in
+      let buf = Buffer.create 1024 in
+      let rec recv () =
+        let n = try Unix.read fd chunk 0 8192 with Unix.Unix_error _ -> 0 in
+        if n > 0 then (
+          Buffer.add_subbytes buf chunk 0 n;
+          recv ())
+      in
+      recv ();
+      Buffer.contents buf)
+
+let serve_url_encode s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | '~' -> Buffer.add_char b c
+      | c -> Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents b
+
+let serve_percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n -> sorted.(min (n - 1) (int_of_float (Float.of_int n *. p)))
+
+(* One (domains x clients) cell: spawn the server, hammer it, tear it
+   down. Returns (qps, p50_ms, p99_ms, error_count). *)
+let serve_cell ~session ~paths ~domains ~clients ~requests_per_client =
+  let config =
+    { Xqp.Server.default_config with Xqp.Server.domains; queue_depth = 4096 }
+  in
+  let server = Xqp.Server.start ~config session in
+  Fun.protect
+    ~finally:(fun () -> Xqp.Server.stop server)
+    (fun () ->
+      let port = Xqp.Server.port server in
+      let n_paths = Array.length paths in
+      let t0 = Unix.gettimeofday () in
+      let client_domains =
+        Array.init clients (fun c ->
+            Domain.spawn (fun () ->
+                let latencies = Array.make requests_per_client 0.0 in
+                let errors = ref 0 in
+                for i = 0 to requests_per_client - 1 do
+                  let path = paths.((c + (i * clients)) mod n_paths) in
+                  let s0 = Unix.gettimeofday () in
+                  let raw = serve_http_get ~port ~path in
+                  latencies.(i) <- (Unix.gettimeofday () -. s0) *. 1000.0;
+                  if not (String.length raw > 12 && String.sub raw 9 3 = "200") then incr errors
+                done;
+                (latencies, !errors)))
+      in
+      let results = Array.map Domain.join client_domains in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let latencies = Array.concat (Array.to_list (Array.map fst results)) in
+      let errors = Array.fold_left (fun acc (_, e) -> acc + e) 0 results in
+      Array.sort compare latencies;
+      let total = clients * requests_per_client in
+      ( float_of_int total /. elapsed,
+        serve_percentile latencies 0.50,
+        serve_percentile latencies 0.99,
+        errors ))
+
+let serve_run ~scale =
+  let module J = Xqp_obs.Json in
+  let doc_scale = match scale with `Small -> 300 | `Full -> 600 in
+  let requests_per_client = match scale with `Small -> 25 | `Full -> 60 in
+  let doc = Workload.Gen_auction.packed ~scale:doc_scale () in
+  let session = Xqp.Session.of_document doc in
+  let paths =
+    Array.of_list
+      (List.map
+         (fun (q : Workload.Queries.query) ->
+           Printf.sprintf "/query?q=%s" (serve_url_encode q.Workload.Queries.xpath))
+         Workload.Queries.auction_paths)
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "  document auction:%d, %d queries, %d requests/client, %d core%s\n" doc_scale
+    (Array.length paths) requests_per_client cores
+    (if cores = 1 then "" else "s");
+  Printf.printf "  %-8s %8s %10s %9s %9s %7s\n" "domains" "clients" "qps" "p50 ms" "p99 ms"
+    "errors";
+  let cells =
+    List.concat_map
+      (fun domains ->
+        List.map
+          (fun clients ->
+            let qps, p50, p99, errors =
+              serve_cell ~session ~paths ~domains ~clients ~requests_per_client
+            in
+            Printf.printf "  %-8d %8d %10.0f %9.3f %9.3f %7d\n%!" domains clients qps p50 p99
+              errors;
+            if errors > 0 then
+              failwith (Printf.sprintf "SERVE: %d non-200 responses under load" errors);
+            (domains, clients, qps, p50, p99))
+          [ 1; 2; 4; 8 ])
+      [ 1; 2; 4 ]
+  in
+  (* the gate compares the busiest client count at 1 vs 4 domains *)
+  let qps_at ~domains =
+    List.fold_left
+      (fun acc (d, _, qps, _, _) -> if d = domains then Float.max acc qps else acc)
+      0.0 cells
+  in
+  let qps1 = qps_at ~domains:1 and qps4 = qps_at ~domains:4 in
+  let expected_speedup = 0.75 *. Float.of_int (min 4 cores) in
+  let speedup = qps4 /. qps1 in
+  Printf.printf "  scaling: best qps 1 domain %.0f, 4 domains %.0f -> %.2fx (gate %.2fx on %d core%s)\n"
+    qps1 qps4 speedup expected_speedup cores
+    (if cores = 1 then "" else "s");
+  if speedup < expected_speedup then
+    failwith
+      (Printf.sprintf "SERVE: 4-domain speedup %.2fx below the %.2fx gate (%d cores)" speedup
+         expected_speedup cores);
+  let out =
+    J.Obj
+      [
+        ("bench", J.Str "serve");
+        ("document", J.Str (Printf.sprintf "auction:%d" doc_scale));
+        ("cores", J.Num (float_of_int cores));
+        ("requests_per_client", J.Num (float_of_int requests_per_client));
+        ( "cells",
+          J.Arr
+            (List.map
+               (fun (domains, clients, qps, p50, p99) ->
+                 J.Obj
+                   [
+                     ("domains", J.Num (float_of_int domains));
+                     ("clients", J.Num (float_of_int clients));
+                     ("qps", J.Num qps);
+                     ("p50_ms", J.Num p50);
+                     ("p99_ms", J.Num p99);
+                   ])
+               cells) );
+        ("best_qps_1_domain", J.Num qps1);
+        ("best_qps_4_domains", J.Num qps4);
+        ("speedup_4_domains", J.Num speedup);
+        ("speedup_gate", J.Num expected_speedup);
+      ]
+  in
+  let path = "BENCH_serve.json" in
+  let oc = open_out path in
+  output_string oc (J.to_string ~pretty:true out);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  wrote %s\n" path
+
+let () =
+  register
+    {
+      id = "SERVE";
+      title = "SERVE: multicore query server throughput, latency and domain scaling";
+      run = serve_run;
+      bechamel =
+        (fun () ->
+          let response =
+            Xqp.Response.ok ~query:"//site//item" ~mode:"xpath"
+              ~results:[ "<item/>"; "<item/>" ] ~engine:"nok" ~cache:"hit" ~time_ms:0.5
+          in
+          Bechamel.Test.make ~name:"SERVE-response-encode"
+            (Bechamel.Staged.stage (fun () ->
+                 ignore (Sys.opaque_identity (Xqp.Response.to_string response)))));
+    }
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel runner                                                     *)
 (* ------------------------------------------------------------------ *)
 

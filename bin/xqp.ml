@@ -2,6 +2,7 @@
 
    Subcommands:
      query     run an XPath or XQuery expression against a document
+     serve     answer queries over HTTP on a multicore domain pool
      explain   show the logical plan before/after rewriting, the pattern
                graph, its NoK partition, and the cost model's estimates
      stats     print document statistics
@@ -68,8 +69,29 @@ let query_arg =
 
 (* --- query ------------------------------------------------------------ *)
 
-let run_query file gen strategy no_cache xquery_mode limit query =
+(* --json speaks the exact wire schema of xqp serve (Xqp.Response), so a
+   script can develop against the CLI and point at a server unchanged. *)
+let run_query_json doc strategy no_cache xquery_mode deadline_ms query =
+  let session = Xqp.Session.of_document doc in
+  let response =
+    if xquery_mode then
+      match Xqp.Session.run_xquery ~engine:strategy ?deadline_ms session query with
+      | Ok r -> Xqp.Response.of_xquery_result session ~query r
+      | Error e -> Xqp.Response.error ~query ~mode:"xquery" e
+    else
+      match
+        Xqp.Session.run ~engine:strategy ~use_cache:(not no_cache) ?deadline_ms session query
+      with
+      | Ok r -> Xqp.Response.of_query_result session ~query r
+      | Error e -> Xqp.Response.error ~query ~mode:"xpath" e
+  in
+  print_endline (Xqp.Response.to_string response);
+  match response.Xqp.Response.outcome with Ok _ -> 0 | Error _ -> 1
+
+let run_query file gen strategy no_cache xquery_mode json deadline_ms limit query =
   let doc = load_document ~file ~gen in
+  if json then run_query_json doc strategy no_cache xquery_mode deadline_ms query
+  else
   let exec = Executor.create doc in
   if xquery_mode then begin
     let value = Xqp_xquery.Eval.eval_query exec ~strategy query in
@@ -94,15 +116,94 @@ let run_query file gen strategy no_cache xquery_mode limit query =
   end;
   0
 
+let deadline_arg =
+  let doc = "Abort with a structured timeout once the query has run for $(docv) milliseconds." in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
 let query_cmd =
   let xquery_flag =
     Arg.(value & flag & info [ "x"; "xquery" ] ~doc:"Treat QUERY as XQuery instead of XPath.")
   in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the query response as JSON — the same schema xqp serve answers with \
+                   (status, results, count, engine, cache, time_ms). Exit 1 on a query error.")
+  in
   let limit_arg =
     Arg.(value & opt (some int) None & info [ "n"; "limit" ] ~docv:"N" ~doc:"Print at most $(docv) results.")
   in
-  let term = Term.(const run_query $ file_arg $ gen_arg $ strategy_arg $ no_cache_arg $ xquery_flag $ limit_arg $ query_arg) in
+  let term =
+    Term.(const run_query $ file_arg $ gen_arg $ strategy_arg $ no_cache_arg $ xquery_flag
+          $ json_flag $ deadline_arg $ limit_arg $ query_arg)
+  in
   Cmd.v (Cmd.info "query" ~doc:"Run a query against a document") term
+
+(* --- serve -------------------------------------------------------------- *)
+
+let run_serve file gen domains port queue deadline_ms =
+  let doc = load_document ~file ~gen in
+  let session = Xqp.Session.of_document doc in
+  let config =
+    {
+      Xqp.Server.default_config with
+      Xqp.Server.port;
+      domains;
+      queue_depth = queue;
+      default_deadline_ms = deadline_ms;
+    }
+  in
+  let server = Xqp.Server.start ~config session in
+  Printf.printf "xqp serve: listening on %s:%d (%d domains, queue %d%s)\n%!" config.Xqp.Server.host
+    (Xqp.Server.port server) domains queue
+    (match deadline_ms with
+    | Some ms -> Printf.sprintf ", default deadline %d ms" ms
+    | None -> "");
+  let stop_requested = Atomic.make false in
+  let on_signal _ = Atomic.set stop_requested true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  while not (Atomic.get stop_requested) do
+    try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Printf.printf "xqp serve: shutting down (draining in-flight queries)\n%!";
+  Xqp.Server.stop server;
+  Printf.printf "xqp serve: stopped\n%!";
+  0
+
+let serve_cmd =
+  let domains_arg =
+    Arg.(value & opt int 2
+         & info [ "domains" ] ~docv:"N" ~doc:"Worker domains answering queries in parallel.")
+  in
+  let port_arg =
+    Arg.(value & opt int 8080
+         & info [ "p"; "port" ] ~docv:"PORT"
+             ~doc:"TCP port to listen on (loopback); 0 picks an ephemeral port and prints it.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission bound: connections beyond $(docv) queued requests are rejected \
+                   immediately with 503 instead of piling up latency.")
+  in
+  let serve_deadline_arg =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Default per-query deadline (queue wait included) for requests that don't \
+                   set their own; unset means unbounded.")
+  in
+  let term =
+    Term.(const run_serve $ file_arg $ gen_arg $ domains_arg $ port_arg $ queue_arg
+          $ serve_deadline_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a document over HTTP on a multicore domain pool: /query answers XPath/XQuery \
+          with the JSON response schema, /health probes a canary query, /metrics exposes the \
+          metrics registry in Prometheus text format; SIGINT/SIGTERM drain and exit")
+    term
 
 (* --- explain ----------------------------------------------------------- *)
 
@@ -816,8 +917,8 @@ let () =
   let group =
     Cmd.group ~default info
       [
-        query_cmd; explain_cmd; calibrate_cmd; stats_cmd; generate_cmd; index_cmd; pages_cmd;
-        repl_cmd; validate_cmd; lint_cmd; fsck_cmd;
+        query_cmd; serve_cmd; explain_cmd; calibrate_cmd; stats_cmd; generate_cmd; index_cmd;
+        pages_cmd; repl_cmd; validate_cmd; lint_cmd; fsck_cmd;
       ]
   in
   exit (Cmd.eval' group)

@@ -1,0 +1,99 @@
+module J = Xqp_obs.Json
+
+type payload = {
+  results : string list;
+  count : int;
+  engine : string;
+  cache : string;
+  time_ms : float;
+}
+
+type t = {
+  query : string;
+  mode : string;
+  outcome : (payload, Error.t) result;
+}
+
+let ok ~query ~mode ~results ~engine ~cache ~time_ms =
+  { query; mode; outcome = Ok { results; count = List.length results; engine; cache; time_ms } }
+
+let error ~query ~mode err = { query; mode; outcome = Error err }
+
+let of_query_result session ~query (r : Session.query_result) =
+  ok ~query ~mode:"xpath"
+    ~results:(List.map (Session.node_string session) r.Session.nodes)
+    ~engine:r.Session.engine
+    ~cache:(Xqp_physical.Executor.cache_status_label r.Session.cache)
+    ~time_ms:r.Session.time_ms
+
+let of_xquery_result session ~query (r : Session.xquery_result) =
+  ok ~query ~mode:"xquery"
+    ~results:(Session.xquery_result_strings session r.Session.value)
+    ~engine:"xquery" ~cache:"-" ~time_ms:r.Session.time_ms
+
+let http_status t =
+  match t.outcome with Ok _ -> 200 | Error e -> Error.http_status e
+
+(* Times round to 3 decimals on the wire (the JSON printer's float
+   format), so encode∘decode∘encode is the identity on emitted strings. *)
+let round3 ms = Float.round (ms *. 1000.0) /. 1000.0
+
+let to_json t =
+  let base = [ ("query", J.Str t.query); ("mode", J.Str t.mode) ] in
+  match t.outcome with
+  | Ok p ->
+    J.Obj
+      (base
+      @ [
+          ("status", J.Str "ok");
+          ("results", J.Arr (List.map (fun s -> J.Str s) p.results));
+          ("count", J.Num (float_of_int p.count));
+          ("engine", J.Str p.engine);
+          ("cache", J.Str p.cache);
+          ("time_ms", J.Num (round3 p.time_ms));
+        ])
+  | Error e -> J.Obj (base @ [ ("status", J.Str "error"); ("error", Error.to_json e) ])
+
+let of_json json =
+  let str field = Option.bind (J.member field json) J.to_str in
+  let require what = function
+    | Some v -> Ok v
+    | None -> Result.Error (Printf.sprintf "response lacks %s" what)
+  in
+  Result.bind (require "\"query\"" (str "query")) (fun query ->
+      Result.bind (require "\"mode\"" (str "mode")) (fun mode ->
+          match str "status" with
+          | Some "ok" ->
+            let results =
+              match Option.bind (J.member "results" json) J.to_arr with
+              | Some items -> Ok (List.filter_map J.to_str items)
+              | None -> Result.Error "ok response lacks \"results\""
+            in
+            Result.bind results (fun results ->
+                let num field = Option.bind (J.member field json) J.to_num in
+                let count =
+                  match num "count" with Some f -> int_of_float f | None -> List.length results
+                in
+                Result.bind (require "\"engine\"" (str "engine")) (fun engine ->
+                    Result.bind (require "\"cache\"" (str "cache")) (fun cache ->
+                        let time_ms = Option.value ~default:0.0 (num "time_ms") in
+                        Ok
+                          {
+                            query;
+                            mode;
+                            outcome = Ok { results; count; engine; cache; time_ms };
+                          })))
+          | Some "error" -> (
+            match J.member "error" json with
+            | None -> Result.Error "error response lacks \"error\""
+            | Some ej ->
+              Result.bind (Error.of_json ej) (fun e -> Ok { query; mode; outcome = Error e }))
+          | Some other -> Result.Error (Printf.sprintf "unknown status %S" other)
+          | None -> Result.Error "response lacks \"status\""))
+
+let to_string ?pretty t = J.to_string ?pretty (to_json t)
+
+let of_string s =
+  match J.parse s with
+  | json -> of_json json
+  | exception J.Parse_error m -> Result.Error m

@@ -1,0 +1,57 @@
+(** The one query-response wire schema.
+
+    [xqp query --json] and every [xqp serve] response body emit this
+    exact shape, so a client written against the CLI's output parses
+    server responses unchanged:
+
+    {v
+    {"query": "...", "mode": "xpath" | "xquery",
+     "status": "ok",
+     "results": ["<item .../>", ...], "count": N,
+     "engine": "tau-nok", "cache": "hit" | "miss" | "bypassed",
+     "time_ms": 1.234}
+    v}
+
+    or, on failure,
+
+    {v
+    {"query": "...", "mode": "...", "status": "error",
+     "error": {"code": "timeout", "message": "...", "deadline_ms": 50}}
+    v}
+
+    {!of_json} inverts {!to_json} (covered by a round-trip test), so the
+    schema cannot drift between the two producers. *)
+
+type payload = {
+  results : string list;  (** serialized items, one string each *)
+  count : int;
+  engine : string;        (** τ engines bound in the plan, or ["navigation"] *)
+  cache : string;         (** plan-cache outcome label for this call *)
+  time_ms : float;
+}
+
+type t = {
+  query : string;
+  mode : string;  (** ["xpath"] or ["xquery"] *)
+  outcome : (payload, Error.t) result;
+}
+
+val ok :
+  query:string -> mode:string -> results:string list -> engine:string ->
+  cache:string -> time_ms:float -> t
+
+val error : query:string -> mode:string -> Error.t -> t
+
+val of_query_result : Session.t -> query:string -> Session.query_result -> t
+(** Serialize an XPath result through {!Session.node_string}. *)
+
+val of_xquery_result : Session.t -> query:string -> Session.xquery_result -> t
+
+val http_status : t -> int
+(** 200 for ok; {!Error.http_status} otherwise. *)
+
+val to_json : t -> Xqp_obs.Json.t
+val of_json : Xqp_obs.Json.t -> (t, string) result
+
+val to_string : ?pretty:bool -> t -> string
+val of_string : string -> (t, string) result

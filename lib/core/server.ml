@@ -1,0 +1,459 @@
+module Executor = Xqp_physical.Executor
+module Metrics = Xqp_obs.Metrics
+module Export = Xqp_obs.Export
+module J = Xqp_obs.Json
+
+type config = {
+  host : string;
+  port : int;
+  domains : int;
+  queue_depth : int;
+  default_deadline_ms : int option;
+  canary : string;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    domains = 2;
+    queue_depth = 64;
+    default_deadline_ms = None;
+    canary = "/*";
+  }
+
+type job = { fd : Unix.file_descr; enqueued : float }
+
+(* Shared across the acceptor and worker domains. All mutable pieces
+   live inside this record (created per [start]; no toplevel state) and
+   are either the mutex-guarded queue or atomics. *)
+type core = {
+  session : Session.t;
+  config : config;
+  listen_fd : Unix.file_descr;
+  queue : job Queue.t;  (* guarded by [lock] *)
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  accepting : bool Atomic.t;
+  draining : bool Atomic.t;
+  m_accepted : Metrics.counter;
+  m_rejected : Metrics.counter;
+  m_requests : Metrics.counter;
+  m_errors : Metrics.counter;
+  m_timeouts : Metrics.counter;
+  m_queue_depth : Metrics.gauge;
+  m_latency : Metrics.histogram;
+}
+
+type t = { core : core; port : int; acceptor : unit Domain.t; workers : unit Domain.t array }
+
+let port t = t.port
+let config t = t.core.config
+
+(* --- HTTP plumbing ------------------------------------------------------- *)
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 408 -> "Request Timeout"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let written = Unix.write fd b off (n - off) in
+      if written > 0 then go (off + written)
+  in
+  try go 0 with Unix.Unix_error _ -> ()
+
+let respond fd ~status ~content_type body =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+       status (reason_phrase status) content_type (String.length body) body)
+
+let find_blank_line s =
+  let n = String.length s in
+  let rec go i =
+    if i + 3 >= n then None
+    else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n' then Some i
+    else go (i + 1)
+  in
+  go 0
+
+type request = { meth : string; path : string; params : (string * string) list; body : string }
+
+let url_decode s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | '+' ->
+        Buffer.add_char b ' ';
+        go (i + 1)
+      | '%' when i + 2 < n -> (
+        match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+        | Some c ->
+          Buffer.add_char b (Char.chr c);
+          go (i + 3)
+        | None ->
+          Buffer.add_char b '%';
+          go (i + 1))
+      | c ->
+        Buffer.add_char b c;
+        go (i + 1)
+  in
+  go 0;
+  Buffer.contents b
+
+let parse_params qs =
+  List.filter_map
+    (fun pair ->
+      if pair = "" then None
+      else
+        match String.index_opt pair '=' with
+        | Some i ->
+          Some
+            ( url_decode (String.sub pair 0 i),
+              url_decode (String.sub pair (i + 1) (String.length pair - i - 1)) )
+        | None -> Some (url_decode pair, ""))
+    (String.split_on_char '&' qs)
+
+let header_value headers name =
+  let lower = String.lowercase_ascii in
+  List.find_map
+    (fun line ->
+      match String.index_opt line ':' with
+      | Some i when lower (String.sub line 0 i) = name ->
+        Some (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+      | _ -> None)
+    headers
+
+(* Read one request: headers to the blank line, then Content-Length
+   bytes of body. Returns [None] on EOF/garbage (connection just
+   closes). SO_RCVTIMEO on the socket bounds how long a stalled client
+   can hold a worker. *)
+let recv_request fd =
+  let chunk_len = 4096 in
+  let chunk = Bytes.create chunk_len in
+  let buf = Buffer.create 1024 in
+  let rec fill_headers () =
+    match find_blank_line (Buffer.contents buf) with
+    | Some i -> Some i
+    | None ->
+      if Buffer.length buf > 65536 then None
+      else
+        let n = try Unix.read fd chunk 0 chunk_len with Unix.Unix_error _ -> 0 in
+        if n = 0 then None
+        else (
+          Buffer.add_subbytes buf chunk 0 n;
+          fill_headers ())
+  in
+  match fill_headers () with
+  | None -> None
+  | Some blank -> (
+    let head = String.sub (Buffer.contents buf) 0 blank in
+    let lines =
+      String.split_on_char '\n' head
+      |> List.map (fun l ->
+             if String.length l > 0 && l.[String.length l - 1] = '\r' then
+               String.sub l 0 (String.length l - 1)
+             else l)
+    in
+    match lines with
+    | [] -> None
+    | request_line :: headers -> (
+      match String.split_on_char ' ' request_line with
+      | meth :: target :: _ ->
+        let content_length =
+          match header_value headers "content-length" with
+          | Some v -> (
+            match int_of_string_opt v with Some n when n >= 0 && n <= 1_048_576 -> n | _ -> 0)
+          | None -> 0
+        in
+        let already = Buffer.length buf - (blank + 4) in
+        let body = Buffer.create (max content_length 16) in
+        Buffer.add_string body (String.sub (Buffer.contents buf) (blank + 4) already);
+        let rec fill_body () =
+          if Buffer.length body < content_length then
+            let n =
+              try Unix.read fd chunk 0 (min chunk_len (content_length - Buffer.length body))
+              with Unix.Unix_error _ -> 0
+            in
+            if n > 0 then (
+              Buffer.add_subbytes body chunk 0 n;
+              fill_body ())
+        in
+        fill_body ();
+        let path, params =
+          match String.index_opt target '?' with
+          | Some i ->
+            ( String.sub target 0 i,
+              parse_params (String.sub target (i + 1) (String.length target - i - 1)) )
+          | None -> (target, [])
+        in
+        Some { meth; path; params; body = Buffer.contents body }
+      | _ -> None))
+
+(* --- request handling ---------------------------------------------------- *)
+
+(* Query parameters reach us either as url-encoded GET parameters or as
+   a JSON POST body with the same field names. *)
+let request_fields req =
+  if req.meth = "POST" && String.length (String.trim req.body) > 0 then
+    match J.parse req.body with
+    | json ->
+      let str f = Option.bind (J.member f json) J.to_str in
+      let num f = Option.bind (J.member f json) J.to_num in
+      Ok
+        ( str "q",
+          str "mode",
+          str "engine",
+          Option.map int_of_float (num "deadline_ms"),
+          (match J.member "no_cache" json with Some (J.Bool b) -> b | _ -> false) )
+    | exception J.Parse_error m -> Error (Error.Bad_request (Printf.sprintf "body: %s" m))
+  else
+    let str f = List.assoc_opt f req.params in
+    Ok
+      ( str "q",
+        str "mode",
+        str "engine",
+        Option.bind (str "deadline_ms") int_of_string_opt,
+        match str "no_cache" with Some ("1" | "true") -> true | _ -> false )
+
+let run_query core job req =
+  let finish response = (Response.http_status response, Response.to_string response) in
+  match request_fields req with
+  | Error e -> finish (Response.error ~query:"" ~mode:"xpath" e)
+  | Ok (q, mode, engine_name, deadline_ms, no_cache) -> (
+    let mode = Option.value ~default:"xpath" mode in
+    match q with
+    | None -> finish (Response.error ~query:"" ~mode (Error.Bad_request "missing parameter \"q\""))
+    | Some q -> (
+      let fail e = finish (Response.error ~query:q ~mode e) in
+      match
+        match engine_name with
+        | None -> Ok Executor.Auto
+        | Some name -> (
+          match Executor.strategy_of_string name with
+          | Ok s -> Ok s
+          | Error m -> Error (Error.Bad_request m))
+      with
+      | Error e -> fail e
+      | Ok engine -> (
+        (* The deadline covers queue wait too: a query that waited past
+           its budget times out without executing. *)
+        let requested =
+          match deadline_ms with Some ms -> Some ms | None -> core.config.default_deadline_ms
+        in
+        let remaining_ms =
+          Option.map
+            (fun ms ->
+              let elapsed = (Unix.gettimeofday () -. job.enqueued) *. 1000.0 in
+              int_of_float (Float.max 0.0 (float_of_int ms -. elapsed)))
+            requested
+        in
+        match remaining_ms with
+        | Some 0 ->
+          Metrics.incr core.m_timeouts;
+          fail (Error.Timeout { deadline_ms = Option.value ~default:0 requested })
+        | _ -> (
+          let outcome =
+            match mode with
+            | "xpath" ->
+              Result.map
+                (fun r -> Response.of_query_result core.session ~query:q r)
+                (Session.run ~engine ~use_cache:(not no_cache) ?deadline_ms:remaining_ms
+                   core.session q)
+            | "xquery" ->
+              Result.map
+                (fun r -> Response.of_xquery_result core.session ~query:q r)
+                (Session.run_xquery ~engine ?deadline_ms:remaining_ms core.session q)
+            | other ->
+              Error (Error.Bad_request (Printf.sprintf "unknown mode %S (xpath|xquery)" other))
+          in
+          match outcome with
+          | Ok response -> finish response
+          | Error (Error.Timeout _) ->
+            Metrics.incr core.m_timeouts;
+            (* report the deadline the caller asked for, not the queue-
+               discounted remainder *)
+            fail (Error.Timeout { deadline_ms = Option.value ~default:0 requested })
+          | Error e ->
+            Metrics.incr core.m_errors;
+            fail e))))
+
+let run_health core =
+  match Session.query ~deadline_ms:1000 core.session core.config.canary with
+  | Ok nodes ->
+    (200, J.to_string (J.Obj [ ("status", J.Str "ok"); ("canary", J.Num (float_of_int (List.length nodes))) ]))
+  | Error e -> (500, J.to_string (J.Obj [ ("status", J.Str "error"); ("error", Error.to_json e) ]))
+
+let handle core job =
+  match recv_request job.fd with
+  | None -> ()
+  | Some req ->
+    let status, content_type, body =
+      match req.path with
+      | "/query" ->
+        let status, body = run_query core job req in
+        (status, "application/json", body)
+      | "/health" ->
+        let status, body = run_health core in
+        (status, "application/json", body)
+      | "/metrics" -> (200, "text/plain; version=0.0.4", Export.to_prometheus Metrics.default)
+      | other ->
+        ( 404,
+          "application/json",
+          Response.to_string
+            (Response.error ~query:"" ~mode:"xpath"
+               (Error.Bad_request (Printf.sprintf "no such endpoint %s" other))) )
+    in
+    respond job.fd ~status ~content_type body
+
+(* --- domains ------------------------------------------------------------- *)
+
+let worker core index () =
+  let m_requests =
+    Metrics.counter Metrics.default (Printf.sprintf "serve.domain.%d.requests" index)
+  in
+  let m_busy = Metrics.counter Metrics.default (Printf.sprintf "serve.domain.%d.busy_us" index) in
+  let rec next () =
+    Mutex.lock core.lock;
+    let rec await () =
+      if not (Queue.is_empty core.queue) then (
+        let job = Queue.pop core.queue in
+        Metrics.set core.m_queue_depth (float_of_int (Queue.length core.queue));
+        Some job)
+      else if Atomic.get core.draining then None
+      else (
+        Condition.wait core.nonempty core.lock;
+        await ())
+    in
+    let job = await () in
+    Mutex.unlock core.lock;
+    match job with
+    | None -> ()
+    | Some job ->
+      let t0 = Unix.gettimeofday () in
+      Metrics.incr core.m_requests;
+      Metrics.incr m_requests;
+      (try handle core job with _ -> Metrics.incr core.m_errors);
+      (try Unix.close job.fd with Unix.Unix_error _ -> ());
+      let t1 = Unix.gettimeofday () in
+      Metrics.add m_busy (int_of_float ((t1 -. t0) *. 1e6));
+      Metrics.observe core.m_latency ((t1 -. job.enqueued) *. 1000.0);
+      next ()
+  in
+  next ()
+
+(* Admission rejection writes its 503 from the acceptor, after a single
+   best-effort read of whatever request bytes arrived (closing with
+   unread data would RST the connection under the response). *)
+let reject fd error =
+  let scratch = Bytes.create 4096 in
+  (try ignore (Unix.read fd scratch 0 4096) with Unix.Unix_error _ -> ());
+  let body = Response.to_string (Response.error ~query:"" ~mode:"xpath" error) in
+  respond fd ~status:(Error.http_status error) ~content_type:"application/json" body;
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let acceptor_loop core () =
+  while Atomic.get core.accepting do
+    match Unix.select [ core.listen_fd ] [] [] 0.25 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept core.listen_fd with
+      | exception Unix.Unix_error ((EINTR | EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | fd, _ ->
+        (try
+           Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+           Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0
+         with Unix.Unix_error _ -> ());
+        Metrics.incr core.m_accepted;
+        let enqueued = Unix.gettimeofday () in
+        Mutex.lock core.lock;
+        if Atomic.get core.draining then (
+          Mutex.unlock core.lock;
+          Metrics.incr core.m_rejected;
+          reject fd Error.Shutting_down)
+        else if Queue.length core.queue >= core.config.queue_depth then (
+          Mutex.unlock core.lock;
+          Metrics.incr core.m_rejected;
+          reject fd (Error.Overloaded { queue_depth = core.config.queue_depth }))
+        else (
+          Queue.push { fd; enqueued } core.queue;
+          Metrics.set core.m_queue_depth (float_of_int (Queue.length core.queue));
+          Condition.signal core.nonempty;
+          Mutex.unlock core.lock))
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done;
+  try Unix.close core.listen_fd with Unix.Unix_error _ -> ()
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let start ?(config = default_config) session =
+  if config.domains < 1 then invalid_arg "Server.start: domains must be >= 1";
+  if config.queue_depth < 1 then invalid_arg "Server.start: queue_depth must be >= 1";
+  (* a client hanging up mid-response must not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  (try Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port))
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen listen_fd 128;
+  let port =
+    match Unix.getsockname listen_fd with Unix.ADDR_INET (_, p) -> p | _ -> config.port
+  in
+  let m = Metrics.default in
+  let core =
+    {
+      session;
+      config;
+      listen_fd;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      accepting = Atomic.make true;
+      draining = Atomic.make false;
+      m_accepted = Metrics.counter m "serve.accepted";
+      m_rejected = Metrics.counter m "serve.rejected";
+      m_requests = Metrics.counter m "serve.requests";
+      m_errors = Metrics.counter m "serve.errors";
+      m_timeouts = Metrics.counter m "serve.timeouts";
+      m_queue_depth = Metrics.gauge m "serve.queue_depth";
+      m_latency = Metrics.histogram m "serve.latency_ms";
+    }
+  in
+  (* Build the lazy executor artifacts (store, statistics, index) once on
+     this domain before workers race for them, and validate the canary. *)
+  (match Session.query ~deadline_ms:30_000 session config.canary with
+  | Ok _ -> ()
+  | Error e ->
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    invalid_arg (Printf.sprintf "Server.start: canary %S failed: %s" config.canary (Error.message e)));
+  let workers = Array.init config.domains (fun i -> Domain.spawn (worker core i)) in
+  let acceptor = Domain.spawn (acceptor_loop core) in
+  { core; port; acceptor; workers }
+
+let stop t =
+  (* Stop admitting first; the acceptor exits its select loop and closes
+     the listen socket. Then flip draining and wake every worker: each
+     finishes the jobs still queued, then exits — in-flight queries are
+     never cut off. *)
+  Atomic.set t.core.accepting false;
+  Domain.join t.acceptor;
+  Atomic.set t.core.draining true;
+  Mutex.lock t.core.lock;
+  Condition.broadcast t.core.nonempty;
+  Mutex.unlock t.core.lock;
+  Array.iter Domain.join t.workers

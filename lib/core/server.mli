@@ -1,0 +1,56 @@
+(** [xqp serve] — a multicore query server over one shared session.
+
+    One acceptor domain admits connections onto a bounded, mutex-guarded
+    work queue; [config.domains] worker domains pop jobs and answer them
+    against a single read-only {!Session.t} (safe to share: the plan
+    cache is sharded, lazy artifacts build under locks, metrics are
+    atomic — DESIGN.md §11/§12). Admission control rejects instantly
+    with 503 when the queue is full, so saturation degrades into fast
+    failures rather than unbounded latency.
+
+    Endpoints (HTTP/1.1, one request per connection):
+    - [GET /query?q=…&mode=xpath|xquery&engine=…&deadline_ms=…&no_cache=1]
+      (or POST with the same fields as a JSON body) → a {!Response}
+      body. The deadline clock starts at {e enqueue}: time spent waiting
+      in the queue counts against it.
+    - [GET /health] → canary query probe (200/500).
+    - [GET /metrics] → Prometheus text exposition of
+      {!Xqp_obs.Metrics.default}, including the [serve.*] family
+      (accepted/rejected/requests/errors/timeouts counters, queue_depth
+      gauge, latency_ms histogram, per-domain requests and busy_us).
+
+    No toplevel mutable state: everything lives in the handle returned
+    by {!start}, so [xqp lint --domains] stays clean. *)
+
+type config = {
+  host : string;      (** bind address (default loopback) *)
+  port : int;         (** 0 picks an ephemeral port; read it back with {!port} *)
+  domains : int;      (** worker domains (≥ 1) *)
+  queue_depth : int;  (** admission bound; beyond it requests get 503 *)
+  default_deadline_ms : int option;
+      (** applied when a request names no [deadline_ms]; [None] = unbounded *)
+  canary : string;    (** the [/health] probe query *)
+}
+
+val default_config : config
+(** loopback, ephemeral port, 2 domains, queue 64, no default deadline,
+    canary [/*]. *)
+
+type t
+(** A running server (acceptor + workers). *)
+
+val start : ?config:config -> Session.t -> t
+(** Bind, validate the canary (building the session's lazy artifacts
+    before workers race for them), spawn the domain pool.
+    @raise Invalid_argument on a bad config or failing canary;
+    @raise Unix.Unix_error if the port cannot be bound. *)
+
+val port : t -> int
+(** The bound port (the ephemeral one when [config.port = 0]). *)
+
+val config : t -> config
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, then drain — every request
+    already admitted is answered before the workers exit. Blocks until
+    all domains are joined. *)

@@ -1,0 +1,197 @@
+module Xml = Xqp_xml
+module Storage = Xqp_storage
+module Algebra = Xqp_algebra
+module Physical = Xqp_physical
+module Executor = Physical.Executor
+module Ops = Algebra.Operators
+module Pp = Physical.Physical_plan
+
+type t = { exec : Executor.t }
+type node = Xml.Document.node
+type engine = Executor.strategy
+
+(* --- constructors ------------------------------------------------------- *)
+
+let of_document doc = { exec = Executor.create doc }
+let of_tree tree = of_document (Xml.Document.of_tree tree)
+
+let catching_source f =
+  match f () with
+  | session -> Ok session
+  | exception Xml.Sax.Parse_error { line; column; message } ->
+    Error (Error.Parse (Printf.sprintf "%d:%d: %s" line column message))
+  | exception Sys_error m -> Error (Error.Io m)
+  | exception Failure m -> Error (Error.Io m)
+
+let of_string s = catching_source (fun () -> of_document (Xml.Document.of_string ~strip:true s))
+
+let open_db path =
+  if not (Filename.check_suffix path ".xqdb") then
+    Error (Error.Bad_request (Printf.sprintf "%s: open_db expects a packed .xqdb store" path))
+  else
+    catching_source (fun () ->
+        of_tree (Storage.Succinct_store.to_tree (Storage.Store_io.load path)))
+
+let parse_file path =
+  if Filename.check_suffix path ".xqdb" then
+    Error (Error.Bad_request (Printf.sprintf "%s: parse_file expects XML; use open_db" path))
+  else catching_source (fun () -> of_tree (Xml.Xml_parser.parse_file ~strip:true path))
+
+let document t = Executor.doc t.exec
+let executor t = t.exec
+let save t path = Storage.Store_io.save (Executor.store t.exec) path
+
+(* --- queries ------------------------------------------------------------- *)
+
+type query_result = {
+  nodes : node list;
+  engine : string;
+  cache : Executor.cache_status;
+  time_ms : float;
+}
+
+(* Engines actually bound into the compiled plan, in execution order —
+   the truthful "engine" field of a response (contrast the requested
+   strategy, which may be [Auto]). *)
+let plan_engines physical =
+  let rec collect (p : Pp.t) acc =
+    match p.Pp.op with
+    | Pp.Root | Pp.Context | Pp.Empty _ -> acc
+    | Pp.Step (base, _) -> collect base acc
+    | Pp.Tau (base, tau) -> Pp.engine_label tau.Pp.engine :: collect base acc
+    | Pp.Union (a, b) -> collect a (collect b acc)
+  in
+  match List.sort_uniq compare (collect physical []) with
+  | [] -> "navigation"
+  | labels -> String.concat "+" labels
+
+let deadline_of_ms = function
+  | None -> None
+  | Some ms -> Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.0))
+
+let catching_query ?deadline_ms f =
+  match f () with
+  | v -> Ok v
+  | exception Xqp_xpath.Parser.Parse_error m -> Error (Error.Parse m)
+  | exception Xqp_xpath.Lexer.Lex_error { position; message } ->
+    Error (Error.Parse (Printf.sprintf "at %d: %s" position message))
+  | exception Xqp_xquery.Xq_parser.Parse_error { position; message } ->
+    Error (Error.Parse (Printf.sprintf "at %d: %s" position message))
+  | exception Xqp_xquery.Eval.Error m -> Error (Error.Eval m)
+  | exception Executor.Deadline_exceeded ->
+    Error (Error.Timeout { deadline_ms = Option.value ~default:0 deadline_ms })
+  | exception Failure m -> Error (Error.Internal m)
+
+let run ?(engine = Executor.Auto) ?(optimize = true) ?(use_cache = true) ?deadline_ms t q =
+  catching_query ?deadline_ms (fun () ->
+      let deadline = deadline_of_ms deadline_ms in
+      let t0 = Unix.gettimeofday () in
+      let physical, cache =
+        Executor.compile_query_info t.exec ~strategy:engine ~optimize ~use_cache q
+      in
+      let nodes =
+        Executor.run_physical t.exec ?deadline physical ~context:[ Ops.document_context ]
+      in
+      {
+        nodes;
+        engine = plan_engines physical;
+        cache;
+        time_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+      })
+
+let query ?engine ?optimize ?use_cache ?deadline_ms t q =
+  Result.map (fun r -> r.nodes) (run ?engine ?optimize ?use_cache ?deadline_ms t q)
+
+type xquery_result = { value : Algebra.Value.t; time_ms : float }
+
+let run_xquery ?engine ?deadline_ms t q =
+  catching_query ?deadline_ms (fun () ->
+      let deadline = deadline_of_ms deadline_ms in
+      let t0 = Unix.gettimeofday () in
+      let value = Xqp_xquery.Eval.eval_query t.exec ?strategy:engine ?deadline q in
+      { value; time_ms = (Unix.gettimeofday () -. t0) *. 1000.0 })
+
+let xquery ?engine ?deadline_ms t q =
+  Result.map (fun r -> r.value) (run_xquery ?engine ?deadline_ms t q)
+
+let xquery_string ?engine ?deadline_ms t q =
+  Result.map (fun v -> Xqp_xquery.Eval.result_string t.exec v) (xquery ?engine ?deadline_ms t q)
+
+(* --- results ------------------------------------------------------------- *)
+
+let node_string ?indent t id =
+  let doc = document t in
+  match Xml.Document.kind doc id with
+  | Xml.Document.Attribute ->
+    Printf.sprintf "@%s=\"%s\"" (Xml.Document.name doc id) (Xml.Document.content doc id)
+  | Xml.Document.Text -> Xml.Document.content doc id
+  | _ -> Xml.Serializer.to_string ?indent (Xml.Document.to_tree doc id)
+
+let to_xml ?indent t nodes = String.concat "" (List.map (node_string ?indent t) nodes)
+let text t id = Xml.Document.typed_value (document t) id
+
+let xquery_result_strings t value =
+  List.map
+    (fun tree -> Xml.Serializer.to_string tree)
+    (Xqp_xquery.Eval.result_trees t.exec value)
+
+(* --- explain ------------------------------------------------------------- *)
+
+type explain = {
+  rendered : string;
+  cache : Executor.cache_status;
+  estimate : float option;
+  estimate_source : string option;
+  chosen : string;
+  physical : Pp.t;
+}
+
+(* Unlike the pre-redesign [Xqp.explain], this goes through
+   [compile_query_info] — the identical path [query] takes — so the plan
+   printed is the plan that runs, the cache outcome is this call's own,
+   and the estimate carries its provenance. *)
+let explain ?(engine = Executor.Auto) ?(optimize = true) ?(use_cache = true) t q =
+  catching_query (fun () ->
+      let buffer = Buffer.create 512 in
+      let ppf = Format.formatter_of_buffer buffer in
+      let module Lp = Algebra.Logical_plan in
+      let module Pg = Algebra.Pattern_graph in
+      let plan = Xqp_xpath.Parser.parse q in
+      Format.fprintf ppf "parsed:    %a@." Lp.pp (Algebra.Rewrite.simplify plan);
+      let optimized =
+        if optimize then Algebra.Rewrite.optimize plan else Algebra.Rewrite.simplify plan
+      in
+      Format.fprintf ppf "optimized: %a@." Lp.pp optimized;
+      let stats = Executor.statistics t.exec in
+      let estimate, estimate_source, chosen =
+        match optimized with
+        | Lp.Tpm (_, pattern) ->
+          Format.fprintf ppf "pattern:   %a@." Pg.pp pattern;
+          Format.fprintf ppf "partition: %a@." Physical.Nok_partition.pp
+            (Physical.Nok_partition.partition pattern);
+          let est, src = Physical.Cost_model.estimate_plan_detail stats optimized in
+          let src_label = Physical.Statistics.source_label src in
+          Format.fprintf ppf "estimate:  %.1f rows (%s)@." est src_label;
+          List.iter
+            (fun eng ->
+              if Physical.Cost_model.supports pattern eng then
+                Format.fprintf ppf "cost[%s] = %.0f@."
+                  (Physical.Cost_model.engine_name eng)
+                  (Physical.Cost_model.estimate stats pattern eng))
+            Physical.Cost_model.all_engines;
+          let chosen =
+            Physical.Cost_model.engine_name (Physical.Cost_model.choose stats pattern)
+          in
+          Format.fprintf ppf "chosen:    %s@." chosen;
+          (Some est, Some src_label, chosen)
+        | _ ->
+          Format.fprintf ppf "(steps run navigationally)@.";
+          (None, None, "navigation")
+      in
+      let physical, cache =
+        Executor.compile_query_info t.exec ~strategy:engine ~optimize ~use_cache q
+      in
+      Format.fprintf ppf "plan cache: %s@." (Executor.cache_status_label cache);
+      Format.fprintf ppf "physical:@.%a@." Pp.pp physical;
+      Format.pp_print_flush ppf ();
+      { rendered = Buffer.contents buffer; cache; estimate; estimate_source; chosen; physical })

@@ -6,24 +6,32 @@ module Physical = Xqp_physical
 module Xquery = Xqp_xquery
 module Workload = Xqp_workload
 
-type t = { exec : Physical.Executor.t }
+(* The session API: the real implementation surface. *)
+module Error = Error
+module Session = Session
+module Response = Response
+module Server = Server
+
+type t = Session.t
 type node = Xml.Document.node
 
-let of_document doc = { exec = Physical.Executor.create doc }
-let of_tree tree = of_document (Xml.Document.of_tree tree)
-let of_string s = of_document (Xml.Document.of_string ~strip:true s)
+let of_document = Session.of_document
+let of_tree = Session.of_tree
 
+let get = function Ok v -> v | Result.Error e -> Error.raise_exn e
+
+let of_string s = get (Session.of_string s)
+
+(* Deprecated: dispatches on the extension. Use Session.open_db /
+   Session.parse_file, which say what they expect. *)
 let of_file path =
-  if Filename.check_suffix path ".xqdb" then
-    of_tree (Storage.Succinct_store.to_tree (Storage.Store_io.load path))
-  else of_tree (Xml.Xml_parser.parse_file ~strip:true path)
+  if Filename.check_suffix path ".xqdb" then get (Session.open_db path)
+  else get (Session.parse_file path)
 
-let document t = Physical.Executor.doc t.exec
-let executor t = t.exec
-let save t path = Storage.Store_io.save (Physical.Executor.store t.exec) path
-
-let query ?(engine = Physical.Executor.Auto) t q =
-  Physical.Executor.query t.exec ~strategy:engine q
+let document = Session.document
+let executor = Session.executor
+let save = Session.save
+let query ?engine t q = get (Session.query ?engine t q)
 
 let root_context = [ Algebra.Operators.document_context ]
 
@@ -41,49 +49,8 @@ let query_exists t q =
   | Some plan -> Physical.Pipelined.exists (document t) plan ~context:root_context
   | None -> query t q <> []
 
-let xquery t q = Xquery.Eval.eval_query t.exec q
-let xquery_string t q = Xquery.Eval.result_string t.exec (xquery t q)
-
-let to_xml ?indent t nodes =
-  let doc = document t in
-  String.concat ""
-    (List.map
-       (fun id ->
-         match Xml.Document.kind doc id with
-         | Xml.Document.Attribute ->
-           Printf.sprintf "@%s=\"%s\"" (Xml.Document.name doc id) (Xml.Document.content doc id)
-         | Xml.Document.Text -> Xml.Document.content doc id
-         | _ -> Xml.Serializer.to_string ?indent (Xml.Document.to_tree doc id))
-       nodes)
-
-let text t id = Xml.Document.typed_value (document t) id
-
-let explain t q =
-  let buffer = Buffer.create 256 in
-  let ppf = Format.formatter_of_buffer buffer in
-  let plan = Xpath.Parser.parse q in
-  Format.fprintf ppf "parsed:    %a@." Algebra.Logical_plan.pp (Algebra.Rewrite.simplify plan);
-  let optimized = Algebra.Rewrite.optimize plan in
-  Format.fprintf ppf "optimized: %a@." Algebra.Logical_plan.pp optimized;
-  (match optimized with
-  | Algebra.Logical_plan.Tpm (_, pattern) ->
-    Format.fprintf ppf "pattern:   %a@." Algebra.Pattern_graph.pp pattern;
-    Format.fprintf ppf "partition: %a@." Physical.Nok_partition.pp
-      (Physical.Nok_partition.partition pattern);
-    let stats = Physical.Executor.statistics t.exec in
-    Format.fprintf ppf "estimate:  %.1f rows@."
-      (Physical.Statistics.estimate_result stats pattern);
-    List.iter
-      (fun engine ->
-        if Physical.Cost_model.supports pattern engine then
-          Format.fprintf ppf "cost[%s] = %.0f@."
-            (Physical.Cost_model.engine_name engine)
-            (Physical.Cost_model.estimate stats pattern engine))
-      Physical.Cost_model.all_engines;
-    Format.fprintf ppf "chosen:    %s@."
-      (Physical.Cost_model.engine_name (Physical.Cost_model.choose stats pattern))
-  | _ -> Format.fprintf ppf "(steps run navigationally)@.");
-  Format.fprintf ppf "physical:@.%a@." Physical.Physical_plan.pp
-    (Physical.Executor.compile t.exec optimized);
-  Format.pp_print_flush ppf ();
-  Buffer.contents buffer
+let xquery t q = get (Session.xquery t q)
+let xquery_string t q = get (Session.xquery_string t q)
+let to_xml = Session.to_xml
+let text = Session.text
+let explain t q = (get (Session.explain t q)).Session.rendered

@@ -1,14 +1,18 @@
 (** xqp — the single entry point.
 
-    This façade wires the layers together for the common cases: open or
-    generate a document, run XPath/XQuery, persist the succinct store,
-    query it page-by-page. Every function here is a thin wrapper; drop to
-    the underlying libraries (re-exported below) for anything finer.
+    The real surface is the session API: {!Session} (explicit
+    constructors, [result]-typed queries, unified
+    [?engine ?optimize ?use_cache ?deadline_ms] options), {!Error} (the
+    structured failure type), {!Response} (the one JSON wire schema) and
+    {!Server} ([xqp serve]'s multicore HTTP front end). The bare
+    functions below are the original façade kept as thin wrappers over
+    {!Session} — new code should use the session API directly:
 
     {[
-      let db = Xqp.of_string "<bib><book><title>T</title></book></bib>" in
-      let titles = Xqp.query db "//book/title" in
-      print_string (Xqp.to_xml db titles)
+      let db = Result.get_ok (Xqp.Session.of_string "<bib><book/></bib>") in
+      match Xqp.Session.run db "//book" with
+      | Ok r -> print_string (Xqp.Session.to_xml db r.nodes)
+      | Error e -> prerr_endline (Xqp.Error.message e)
     ]} *)
 
 (** {1 Re-exported layers} *)
@@ -21,34 +25,51 @@ module Physical = Xqp_physical
 module Xquery = Xqp_xquery
 module Workload = Xqp_workload
 
-(** {1 Databases} *)
+(** {1 The session API} *)
 
-type t
+module Error = Error
+module Session = Session
+module Response = Response
+module Server = Server
+
+(** {1 Legacy façade}
+
+    Exception-raising wrappers over {!Session}, kept so existing callers
+    (and the seed tests) compile unchanged. Each re-raises the
+    corresponding {!Error.t} via {!Error.to_exn}. *)
+
+type t = Session.t
 (** An open database: a packed document plus its lazily-built succinct
     store, statistics, content index and engine cache. *)
 
 type node = Xqp_xml.Document.node
 
 val of_string : string -> t
-(** Parse an XML string (whitespace-only text stripped). *)
+(** Parse an XML string (whitespace-only text stripped).
+    @deprecated Use {!Session.of_string} (returns a [result]). *)
 
 val of_file : string -> t
-(** Load an [.xml] file, or an [.xqdb] store saved by {!save}. *)
+(** Load an [.xml] file, or an [.xqdb] store saved by {!save} — the
+    extension decides.
+    @deprecated Use {!Session.parse_file} or {!Session.open_db}, which
+    state their intent instead of sniffing the extension. *)
 
 val of_tree : Xqp_xml.Tree.t -> t
 val of_document : Xqp_xml.Document.t -> t
 val document : t -> Xqp_xml.Document.t
 val executor : t -> Xqp_physical.Executor.t
+
 val save : t -> string -> unit
 (** Persist the succinct store ([.xqdb], see {!Storage.Store_io}). *)
 
-(** {1 Queries} *)
+(** {2 Queries} *)
 
 val query : ?engine:Xqp_physical.Executor.strategy -> t -> string -> node list
 (** Run an XPath expression from the document root: parse, rewrite
     (R0 + R1/R2 fusion into τ), dispatch to the cost-model-chosen engine
     (or [?engine]). Results in document order, duplicate-free.
-    @raise Xqp_xpath.Parser.Parse_error on malformed input. *)
+    @raise Xqp_xpath.Parser.Parse_error on malformed input.
+    @deprecated Use {!Session.query} / {!Session.run}. *)
 
 val query_first : t -> string -> node option
 (** Lazy evaluation with early exit when the plan is in the downward
@@ -58,12 +79,12 @@ val query_exists : t -> string -> bool
 
 val xquery : t -> string -> Xqp_algebra.Value.t
 (** Evaluate an XQuery expression ({!Xquery.Eval}).
-    @raise Xqp_xquery.Xq_parser.Parse_error / {!Xqp_xquery.Eval.Error}. *)
+    @raise Xqp_xquery.Xq_parser.Parse_error / {!Xqp_xquery.Eval.Error}.
+    @deprecated Use {!Session.xquery}. *)
 
 val xquery_string : t -> string -> string
-(** {!xquery} followed by XML serialization of the result sequence. *)
 
-(** {1 Results} *)
+(** {2 Results} *)
 
 val to_xml : ?indent:int -> t -> node list -> string
 (** Serialize result nodes (attributes as [@name="value"] lines). *)
@@ -72,5 +93,7 @@ val text : t -> node -> string
 (** Typed (text) value of one node. *)
 
 val explain : t -> string -> string
-(** Human-readable plan report: parsed and optimized plans, pattern graph,
-    NoK partition, cost estimates and the chosen engine. *)
+(** The rendered report of {!Session.explain}: parsed and optimized
+    plans, pattern graph, NoK partition, cost estimates with provenance,
+    the chosen engine, this call's plan-cache outcome, and the physical
+    plan that {!query} actually runs. *)

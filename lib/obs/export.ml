@@ -142,3 +142,57 @@ let to_tsv events =
            e.Trace.depth e.Trace.name (e.Trace.t0 *. 1e6) (Trace.duration_us e) attrs))
     events;
   Buffer.contents buf
+
+(* --- Prometheus text exposition ----------------------------------------- *)
+
+(* The scrape endpoint of `xqp serve`. Metric names keep only
+   [a-zA-Z0-9_:]; the registry's dots become underscores, so
+   [pager.logical_reads] scrapes as [xqp_pager_logical_reads]. Counters
+   gain the conventional [_total] suffix; histograms emit cumulative
+   [le]-labelled buckets plus [_sum] and [_count]. Output order follows
+   [Metrics.snapshot] (sorted by name), so scrapes are deterministic. *)
+
+let prometheus_name ns name =
+  let b = Buffer.create (String.length ns + String.length name + 1) in
+  if ns <> "" then begin
+    Buffer.add_string b ns;
+    Buffer.add_char b '_'
+  end;
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let prometheus_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let to_prometheus ?(namespace = "xqp") metrics =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, reading) ->
+      let pname = prometheus_name namespace name in
+      match (reading : Metrics.reading) with
+      | Metrics.Counter_v v ->
+        line "# TYPE %s_total counter" pname;
+        line "%s_total %d" pname v
+      | Metrics.Gauge_v v ->
+        line "# TYPE %s gauge" pname;
+        line "%s %s" pname (prometheus_num v)
+      | Metrics.Histogram_v h ->
+        line "# TYPE %s histogram" pname;
+        let cumulative = ref 0 in
+        List.iter
+          (fun (upper, count) ->
+            cumulative := !cumulative + count;
+            line "%s_bucket{le=\"%s\"} %d" pname (prometheus_num upper) !cumulative)
+          h.Metrics.buckets;
+        line "%s_bucket{le=\"+Inf\"} %d" pname h.Metrics.count;
+        line "%s_sum %s" pname (prometheus_num h.Metrics.sum);
+        line "%s_count %d" pname h.Metrics.count)
+    (Metrics.snapshot metrics);
+  Buffer.contents buf

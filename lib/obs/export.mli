@@ -29,3 +29,10 @@ val of_chrome_json : string -> Trace.event list
 val to_tsv : Trace.event list -> string
 (** Header + one [id, parent, depth, name, start_us, dur_us, attrs] row
     per event; attributes are packed [k=v] pairs separated by [;]. *)
+
+val to_prometheus : ?namespace:string -> Metrics.t -> string
+(** Prometheus text exposition (format 0.0.4) of a whole registry — the
+    body served by the [/metrics] endpoint of [xqp serve]. Registry dots
+    become underscores under the [namespace] prefix (default ["xqp"]);
+    counters get [_total], histograms cumulative [le] buckets plus
+    [_sum]/[_count]. Deterministic: metrics appear sorted by name. *)

@@ -129,6 +129,14 @@ let verify_plans =
 
 exception Ill_sorted of string
 
+(* --- deadlines ----------------------------------------------------------- *)
+
+exception Deadline_exceeded
+
+let check_deadline = function
+  | None -> ()
+  | Some d -> if Unix.gettimeofday () > d then raise Deadline_exceeded
+
 (* The sort checker wants the kinds of the context nodes, which we know
    exactly here: the virtual document node plus the kinds of every real
    context node. *)
@@ -185,6 +193,13 @@ let compile t ?(strategy = Auto) ?(context_card = 1.0) plan =
    identity, so sharing beats per-executor bookkeeping. *)
 let shared_plan_cache : Pp.t Plan_cache.t = Plan_cache.create ~capacity:256 ()
 
+type cache_status = Cache_hit | Cache_miss | Cache_bypassed
+
+let cache_status_label = function
+  | Cache_hit -> "hit"
+  | Cache_miss -> "miss"
+  | Cache_bypassed -> "bypassed"
+
 let cache_key t ~strategy ~optimize query =
   {
     Plan_cache.query;
@@ -194,34 +209,43 @@ let cache_key t ~strategy ~optimize query =
     stats_version = t.stats_version;
   }
 
+(* The status is observed on this call's own lookup, not inferred from
+   the global hit counters, so concurrent compilations on other domains
+   can never mis-attribute a hit. *)
 let with_cache t ~strategy ~optimize ~use_cache query build =
-  if not use_cache then build ()
+  if not use_cache then (build (), Cache_bypassed)
   else begin
     let key = cache_key t ~strategy ~optimize query in
     match Plan_cache.find shared_plan_cache key with
-    | Some physical -> physical
+    | Some physical -> (physical, Cache_hit)
     | None ->
       let physical = build () in
       Plan_cache.add shared_plan_cache key physical;
-      physical
+      (physical, Cache_miss)
   end
 
 (* Unlike queries, a plan handed to us as a value is compiled {e as
    given} when [optimize] is false — [run] must execute exactly the plan
    it received. The cache key is the fingerprint of the input plan, so a
    hit also skips the rewriting when [optimize] is set. *)
-let compile_plan t ?(strategy = Auto) ?(optimize = false) ?(use_cache = true) plan =
+let compile_plan_info t ?(strategy = Auto) ?(optimize = false) ?(use_cache = true) plan =
   with_cache t ~strategy ~optimize ~use_cache ("plan:" ^ Lp.fingerprint plan) (fun () ->
       let plan = if optimize then Xqp_algebra.Rewrite.optimize plan else plan in
       compile t ~strategy plan)
 
-let compile_query t ?(strategy = Auto) ?(optimize = true) ?(use_cache = true) path =
+let compile_plan t ?strategy ?optimize ?use_cache plan =
+  fst (compile_plan_info t ?strategy ?optimize ?use_cache plan)
+
+let compile_query_info t ?(strategy = Auto) ?(optimize = true) ?(use_cache = true) path =
   with_cache t ~strategy ~optimize ~use_cache path (fun () ->
       let plan = Xqp_xpath.Parser.parse path in
       let plan =
         if optimize then Xqp_algebra.Rewrite.optimize plan else Xqp_algebra.Rewrite.simplify plan
       in
       compile t ~strategy plan)
+
+let compile_query t ?strategy ?optimize ?use_cache path =
+  fst (compile_query_info t ?strategy ?optimize ?use_cache path)
 
 (* --- execution ---------------------------------------------------------- *)
 
@@ -276,7 +300,15 @@ let io_counters =
       "pool.hits";
     ]
 
-let run_physical t physical ~context =
+(* When a deadline is set, a long [Step] over many context nodes is
+   evaluated in batches so the cooperative check fires between batches,
+   not only between operators. Union-of-batches preserves semantics: a
+   single step's result is the dedup/sorted union of per-context-node
+   results, which [eval_plan] already produces per batch. *)
+let step_batch = 256
+
+let run_physical t ?deadline physical ~context =
+  check_deadline deadline;
   if Atomic.get verify_plans then verify_physical t physical ~context;
   let tr = Tr.default in
   (* One span per plan operator. [path] names the operator's position in
@@ -305,6 +337,7 @@ let run_physical t physical ~context =
     end
   in
   let rec go path (p : Pp.t) ctx =
+    check_deadline deadline;
     instr path p (fun span ->
         match p.Pp.op with
         | Pp.Root -> [ Ops.document_context ]
@@ -315,8 +348,31 @@ let run_physical t physical ~context =
         | Pp.Step (base, s) ->
           let base_nodes = go (path ^ ".0") base ctx in
           if Tr.enabled tr then Tr.add_attrs span [ ("in", Tr.Int (List.length base_nodes)) ];
-          Navigation.eval_plan ~hints:(hints t) t.document (Lp.Step (Lp.Context, s))
-            ~context:base_nodes
+          let eval_step nodes =
+            Navigation.eval_plan ~hints:(hints t) t.document (Lp.Step (Lp.Context, s))
+              ~context:nodes
+          in
+          if deadline = None || List.compare_length_with base_nodes step_batch <= 0 then
+            eval_step base_nodes
+          else begin
+            let split_at k nodes =
+              let rec take acc k = function
+                | rest when k = 0 -> (List.rev acc, rest)
+                | [] -> (List.rev acc, [])
+                | x :: rest -> take (x :: acc) (k - 1) rest
+              in
+              take [] k nodes
+            in
+            let rec batches acc nodes =
+              check_deadline deadline;
+              match nodes with
+              | [] -> List.sort_uniq compare (List.concat acc)
+              | _ ->
+                let batch, rest = split_at step_batch nodes in
+                batches (eval_step batch :: acc) rest
+            in
+            batches [] base_nodes
+          end
         | Pp.Tau (base, tau) -> (
           let base_nodes = go (path ^ ".0") base ctx in
           if Tr.enabled tr then
@@ -331,10 +387,10 @@ let run_physical t physical ~context =
   in
   go "0" physical context
 
-let run t ?(strategy = Auto) plan ~context =
-  run_physical t (compile_plan t ~strategy plan) ~context
+let run t ?(strategy = Auto) ?deadline plan ~context =
+  run_physical t ?deadline (compile_plan t ~strategy plan) ~context
 
-let query t ?(strategy = Auto) ?(optimize = true) ?(use_cache = true) path =
-  run_physical t
+let query t ?(strategy = Auto) ?(optimize = true) ?(use_cache = true) ?deadline path =
+  run_physical t ?deadline
     (compile_query t ~strategy ~optimize ~use_cache path)
     ~context:[ Ops.document_context ]

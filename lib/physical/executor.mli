@@ -45,6 +45,20 @@ exception Ill_sorted of string
 (** Raised under {!verify_plans}; the message is the rendered diagnostic
     report. *)
 
+exception Deadline_exceeded
+(** Raised by {!run_physical} (and everything layered on it) when the
+    [?deadline] passes: the drive loop checks cooperatively before every
+    operator and, under a deadline, between 256-node batches of a [Step]'s
+    context, so a runaway query surfaces as this exception rather than
+    holding its domain indefinitely. Individual τ engine invocations are
+    not interrupted mid-match. *)
+
+val check_deadline : float option -> unit
+(** [check_deadline (Some d)] raises {!Deadline_exceeded} when
+    [Unix.gettimeofday () > d]; [None] is free. Exposed so cooperative
+    layers above the executor (the XQuery interpreter, the server) share
+    one clock and one exception. *)
+
 val doc : t -> Xqp_xml.Document.t
 val store : t -> Xqp_storage.Succinct_store.t
 val statistics : t -> Statistics.t
@@ -70,6 +84,15 @@ val compile :
     {!Planner.compile} with this executor's statistics and memoized
     engine chooser. *)
 
+type cache_status = Cache_hit | Cache_miss | Cache_bypassed
+(** How a compiled plan was obtained, observed on the call's own cache
+    lookup (never inferred from the global counters, so concurrent
+    domains cannot mis-attribute). *)
+
+val cache_status_label : cache_status -> string
+(** ["hit"] / ["miss"] / ["bypassed"] — the strings the JSON response
+    schema and [explain] print. *)
+
 val compile_plan :
   t -> ?strategy:strategy -> ?optimize:bool -> ?use_cache:bool ->
   Xqp_algebra.Logical_plan.t -> Physical_plan.t
@@ -77,20 +100,34 @@ val compile_plan :
     {!Xqp_algebra.Logical_plan.fingerprint}. [optimize] (default false)
     applies R0+R1/R2 rewriting first — a cache hit skips that too. *)
 
+val compile_plan_info :
+  t -> ?strategy:strategy -> ?optimize:bool -> ?use_cache:bool ->
+  Xqp_algebra.Logical_plan.t -> Physical_plan.t * cache_status
+(** {!compile_plan} plus whether this call hit, missed or bypassed the
+    shared plan cache. *)
+
 val compile_query :
   t -> ?strategy:strategy -> ?optimize:bool -> ?use_cache:bool -> string ->
   Physical_plan.t
 (** Cached compilation keyed by the query text: parse, rewrite
     ([optimize] default true: R0+R1/R2; otherwise R0 only), compile. *)
 
+val compile_query_info :
+  t -> ?strategy:strategy -> ?optimize:bool -> ?use_cache:bool -> string ->
+  Physical_plan.t * cache_status
+(** {!compile_query} plus this call's cache outcome — what [explain] and
+    the server's response schema report. *)
+
 val run_physical :
-  t -> Physical_plan.t -> context:Xqp_xml.Document.node list ->
+  t -> ?deadline:float -> Physical_plan.t -> context:Xqp_xml.Document.node list ->
   Xqp_xml.Document.node list
 (** Interpret a compiled plan: each operator gets a span (when tracing is
     on) carrying its tree [path], the IR's [est] annotation, input/output
     cardinalities, the bound [engine] for τ, and storage-counter deltas.
     Dispatch reads the baked-in bindings only — no cost model, no [Auto],
-    no fallback decisions at run time. *)
+    no fallback decisions at run time. [deadline] is an absolute
+    [Unix.gettimeofday] instant; past it the drive loop raises
+    {!Deadline_exceeded} at the next cooperative check. *)
 
 val run_pattern :
   t -> strategy -> Xqp_algebra.Pattern_graph.t ->
@@ -104,15 +141,15 @@ val effective_strategy : t -> strategy -> Xqp_algebra.Pattern_graph.t -> strateg
     ({!Planner.effective}). Never returns [Auto]. *)
 
 val run :
-  t -> ?strategy:strategy -> Xqp_algebra.Logical_plan.t ->
+  t -> ?strategy:strategy -> ?deadline:float -> Xqp_algebra.Logical_plan.t ->
   context:Xqp_xml.Document.node list -> Xqp_xml.Document.node list
 (** [run_physical] ∘ [compile_plan] (the plan executes as given; the
     compiled form is cached by fingerprint). The result is the
     document-ordered distinct node list of the plan's final operator. *)
 
 val query :
-  t -> ?strategy:strategy -> ?optimize:bool -> ?use_cache:bool -> string ->
-  Xqp_xml.Document.node list
+  t -> ?strategy:strategy -> ?optimize:bool -> ?use_cache:bool -> ?deadline:float ->
+  string -> Xqp_xml.Document.node list
 (** [run_physical] ∘ [compile_query] from the document root. With the
     cache warm (default [use_cache:true]) this skips parsing, rewriting
     and planning. *)

@@ -26,9 +26,9 @@ let result_string exec value =
 (* Plans inside the AST have base Context and are re-evaluated once per
    FLWOR binding; the plan cache (keyed by the raw plan's fingerprint)
    makes the rewrite + planning a one-time cost per distinct path. *)
-let run_path exec strategy plan ~context =
+let run_path exec strategy deadline plan ~context =
   let physical = Executor.compile_plan exec ~strategy ~optimize:true plan in
-  let nodes = Executor.run_physical exec physical ~context in
+  let nodes = Executor.run_physical exec ?deadline physical ~context in
   (* the virtual document node may flow out of a bare "/" *)
   List.map
     (fun id -> if id = Ops.document_context then Doc.root (Executor.doc exec) else id)
@@ -54,9 +54,14 @@ let general_compare doc op (left : Value.t) (right : Value.t) =
   in
   List.exists (fun x -> List.exists (fun y -> holds x y) right) left
 
-let rec eval exec ?(strategy = Executor.Auto) ?(bindings = []) (expr : Ast.expr) : Value.t =
+(* [deadline] is checked at every expression node — FLWOR loops and
+   quantifiers re-enter [eval] per binding, so a long evaluation hits a
+   cooperative check even between path dispatches. *)
+let rec eval exec ?(strategy = Executor.Auto) ?(bindings = []) ?deadline (expr : Ast.expr) :
+    Value.t =
+  Executor.check_deadline deadline;
   let doc = Executor.doc exec in
-  let ev ?(bindings = bindings) e = eval exec ~strategy ~bindings e in
+  let ev ?(bindings = bindings) e = eval exec ~strategy ~bindings ?deadline e in
   match expr with
   | Ast.Literal_int i -> [ Value.Int i ]
   | Ast.Literal_float f -> [ Value.Float f ]
@@ -81,19 +86,19 @@ let rec eval exec ?(strategy = Executor.Auto) ?(bindings = []) (expr : Ast.expr)
             | other -> fail "cannot navigate from atomic value %S" (Value.string_of_item doc other))
           value
     in
-    Value.of_nodes (run_path exec strategy plan ~context)
-  | Ast.Binop (op, a, b) -> eval_binop exec strategy bindings doc op a b
+    Value.of_nodes (run_path exec strategy deadline plan ~context)
+  | Ast.Binop (op, a, b) -> eval_binop exec strategy bindings deadline doc op a b
   | Ast.If_then_else (c, t, e) ->
     if Value.effective_boolean doc (ev c) then ev t else ev e
-  | Ast.Call (f, args) -> eval_call exec strategy bindings doc f args
-  | Ast.Constructor c -> [ Value.Frag (build_constructor exec strategy bindings doc c) ]
-  | Ast.Flwor f -> eval_flwor exec strategy bindings doc f
+  | Ast.Call (f, args) -> eval_call exec strategy bindings deadline doc f args
+  | Ast.Constructor c -> [ Value.Frag (build_constructor exec strategy bindings deadline doc c) ]
+  | Ast.Flwor f -> eval_flwor exec strategy bindings deadline doc f
   | Ast.Quantified (q, binds, cond) ->
     (* nested iteration over the bound sequences; some = ∃, every = ∀ *)
     let rec iterate bindings = function
-      | [] -> Value.effective_boolean doc (eval exec ~strategy ~bindings cond)
+      | [] -> Value.effective_boolean doc (eval exec ~strategy ~bindings ?deadline cond)
       | (v, e) :: rest ->
-        let items = eval exec ~strategy ~bindings e in
+        let items = eval exec ~strategy ~bindings ?deadline e in
         let per item = iterate ((v, [ item ]) :: bindings) rest in
         (match q with
         | Ast.Some_q -> List.exists per items
@@ -101,8 +106,8 @@ let rec eval exec ?(strategy = Executor.Auto) ?(bindings = []) (expr : Ast.expr)
     in
     [ Value.Bool (iterate bindings binds) ]
 
-and eval_binop exec strategy bindings doc op a b =
-  let ev e = eval exec ~strategy ~bindings e in
+and eval_binop exec strategy bindings deadline doc op a b =
+  let ev e = eval exec ~strategy ~bindings ?deadline e in
   match op with
   | Ast.And ->
     [ Value.Bool (Value.effective_boolean doc (ev a) && Value.effective_boolean doc (ev b)) ]
@@ -128,8 +133,8 @@ and eval_binop exec strategy bindings doc op a b =
       else [ Value.Float result ]
     | _ -> fail "arithmetic over multi-item sequences")
 
-and eval_call exec strategy bindings doc f args =
-  let ev e = eval exec ~strategy ~bindings e in
+and eval_call exec strategy bindings deadline doc f args =
+  let ev e = eval exec ~strategy ~bindings ?deadline e in
   let one name =
     match args with [ e ] -> ev e | _ -> fail "%s expects exactly one argument" name
   in
@@ -306,11 +311,11 @@ and eval_call exec strategy bindings doc f args =
     | _ -> fail "string-join expects two arguments")
   | other -> fail "unknown function %s()" other
 
-and eval_flwor exec strategy bindings doc f =
+and eval_flwor exec strategy bindings deadline doc f =
   (* Build the Env layer by layer (Definition 3), then evaluate the return
      clause once per total binding; order-by reorders the bindings. *)
   let ev_with bs e =
-    eval exec ~strategy ~bindings:(bs @ bindings) e
+    eval exec ~strategy ~bindings:(bs @ bindings) ?deadline e
   in
   let env, order_keys =
     List.fold_left
@@ -357,8 +362,8 @@ and eval_flwor exec strategy bindings doc f =
   in
   List.concat_map (fun bs -> ev_with bs f.Ast.return_) ordered
 
-and build_constructor exec strategy bindings doc (c : Ast.constructor) =
-  let ev e = eval exec ~strategy ~bindings e in
+and build_constructor exec strategy bindings deadline doc (c : Ast.constructor) =
+  let ev e = eval exec ~strategy ~bindings ?deadline e in
   let attrs =
     List.map
       (fun (key, pieces) ->
@@ -378,10 +383,11 @@ and build_constructor exec strategy bindings doc (c : Ast.constructor) =
     List.concat_map
       (function
         | Ast.Fixed_text s -> [ Tree.text s ]
-        | Ast.Nested nested -> [ build_constructor exec strategy bindings doc nested ]
+        | Ast.Nested nested -> [ build_constructor exec strategy bindings deadline doc nested ]
         | Ast.Embedded e -> List.map (item_to_tree doc) (ev e))
       c.Ast.content
   in
   Tree.elt ~attrs c.Ast.name children
 
-let eval_query exec ?strategy input = eval exec ?strategy (Xq_parser.parse input)
+let eval_query exec ?strategy ?deadline input =
+  eval exec ?strategy ?deadline (Xq_parser.parse input)

@@ -17,16 +17,21 @@ val eval :
   Xqp_physical.Executor.t ->
   ?strategy:Xqp_physical.Executor.strategy ->
   ?bindings:(string * Xqp_algebra.Value.t) list ->
+  ?deadline:float ->
   Ast.expr ->
   Xqp_algebra.Value.t
 (** Evaluate an expression. Paths rooted at the document use the
     executor's document; [?bindings] seeds the variable environment.
+    [deadline] (absolute [Unix.gettimeofday] instant) is checked
+    cooperatively at every expression node and inside path dispatch.
     @raise Error on dynamic errors (unknown variable or function,
-    non-numeric arithmetic, navigation into constructed fragments). *)
+    non-numeric arithmetic, navigation into constructed fragments).
+    @raise Xqp_physical.Executor.Deadline_exceeded past [deadline]. *)
 
 val eval_query :
   Xqp_physical.Executor.t ->
   ?strategy:Xqp_physical.Executor.strategy ->
+  ?deadline:float ->
   string ->
   Xqp_algebra.Value.t
 (** Parse with {!Xq_parser.parse} and evaluate. *)

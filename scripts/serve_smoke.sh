@@ -1,0 +1,82 @@
+#!/bin/sh
+# Server smoke test: boot `xqp serve` on an ephemeral port, probe
+# /health, fire a batch of concurrent /query clients (responses must all
+# be identical and well-formed), scrape /metrics for the serve.* family,
+# then SIGTERM and require a clean drain-and-exit. Exits non-zero on any
+# wrong response, a missing metric, or a hung shutdown.
+set -e
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"; [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true' EXIT
+
+dune build bin/xqp.exe
+xqp=_build/default/bin/xqp.exe
+
+"$xqp" serve -g auction:300 --port 0 --domains 2 --queue 32 > "$dir/serve.log" 2>&1 &
+pid=$!
+
+# wait for the listening line and scrape the ephemeral port from it
+port=""
+for _ in $(seq 1 50); do
+  port=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$dir/serve.log")
+  [ -n "$port" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "serve-smoke: server died at startup"; cat "$dir/serve.log"; exit 1; }
+  sleep 0.2
+done
+[ -n "$port" ] || { echo "serve-smoke: no listening line"; cat "$dir/serve.log"; exit 1; }
+
+base="http://127.0.0.1:$port"
+
+# health probe
+health=$(curl -sf "$base/health")
+echo "$health" | grep -q '"status":"ok"' || { echo "serve-smoke: bad /health: $health"; exit 1; }
+
+# concurrent client batch: identical queries must produce identical ok
+# responses (wait only on the curls — a bare `wait` would block on the
+# server job too)
+n=8
+cpids=""
+for i in $(seq 1 $n); do
+  curl -sf -G "$base/query" --data-urlencode "q=//person/name" > "$dir/r$i.json" &
+  cpids="$cpids $!"
+done
+for p in $cpids; do
+  wait "$p" || { echo "serve-smoke: a concurrent client failed"; exit 1; }
+done
+# per-call fields (time_ms, plan-cache hit/miss) legitimately vary;
+# the query, results and engine must not
+strip() { sed -e 's/"time_ms":[0-9.]*//' -e 's/"cache":"[a-z]*"//' "$1"; }
+for i in $(seq 1 $n); do
+  grep -q '"status":"ok"' "$dir/r$i.json" || { echo "serve-smoke: client $i not ok"; cat "$dir/r$i.json"; exit 1; }
+  strip "$dir/r1.json" > "$dir/want.stripped"
+  strip "$dir/r$i.json" > "$dir/got.stripped"
+  cmp -s "$dir/want.stripped" "$dir/got.stripped" || {
+    echo "serve-smoke: client $i answer differs"; exit 1; }
+done
+
+# an XQuery request and a structured error response
+curl -sf "$base/query?q=count(//person)&mode=xquery" | grep -q '"status":"ok"' \
+  || { echo "serve-smoke: xquery request failed"; exit 1; }
+curl -s "$base/query" | grep -q '"code":"bad-request"' \
+  || { echo "serve-smoke: missing-q did not produce a structured error"; exit 1; }
+
+# metrics scrape: prometheus text format with the serve.* family
+curl -sf "$base/metrics" > "$dir/metrics.txt"
+grep -q '^# TYPE' "$dir/metrics.txt" || { echo "serve-smoke: no TYPE lines in /metrics"; exit 1; }
+for m in xqp_serve_requests_total xqp_serve_accepted_total xqp_serve_queue_depth \
+         xqp_serve_latency_ms_bucket xqp_serve_domain_0_requests_total; do
+  grep -q "$m" "$dir/metrics.txt" || { echo "serve-smoke: $m missing from /metrics"; exit 1; }
+done
+
+# graceful shutdown: SIGTERM must drain and exit promptly
+kill -TERM "$pid"
+for _ in $(seq 1 50); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.2
+done
+if kill -0 "$pid" 2>/dev/null; then
+  echo "serve-smoke: server did not exit after SIGTERM"; exit 1
+fi
+grep -q 'stopped' "$dir/serve.log" || { echo "serve-smoke: no clean shutdown line"; cat "$dir/serve.log"; exit 1; }
+pid=""
+
+echo "serve-smoke: health + concurrent queries + metrics + graceful shutdown OK"

@@ -1,0 +1,454 @@
+(* The query server (DESIGN.md §12) and the session API it serves.
+
+   Server tests run a real TCP server on an ephemeral loopback port and
+   speak HTTP/1.1 to it with plain Unix sockets: concurrent clients on
+   separate domains must agree with a single-threaded baseline, deadlines
+   must surface as structured timeouts, admission control must shed load
+   with 503s once the queue is full, and stop must drain what was
+   admitted. Session/Error/Response unit tests cover the redesigned
+   façade surface underneath. *)
+
+open Xqp_physical
+module Session = Xqp.Session
+module Server = Xqp.Server
+module Response = Xqp.Response
+module Error = Xqp.Error
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let bib_session () = Session.of_document (Xqp_workload.Gen_bib.packed ~books:12 ())
+
+(* --- a minimal HTTP client ------------------------------------------- *)
+
+(* One request per connection (the server sends Connection: close), read
+   to EOF, split status line from body. *)
+let http_request ~port ~path ?(meth = "GET") ?(body = "") () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let request =
+        Printf.sprintf "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n\r\n%s" meth
+          path (String.length body) body
+      in
+      let bytes = Bytes.of_string request in
+      let rec send off =
+        if off < Bytes.length bytes then
+          send (off + Unix.write fd bytes off (Bytes.length bytes - off))
+      in
+      send 0;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec recv () =
+        let n = try Unix.read fd chunk 0 4096 with Unix.Unix_error _ -> 0 in
+        if n > 0 then (
+          Buffer.add_subbytes buf chunk 0 n;
+          recv ())
+      in
+      recv ();
+      let raw = Buffer.contents buf in
+      let status =
+        match String.split_on_char ' ' raw with _ :: code :: _ -> int_of_string code | _ -> 0
+      in
+      let body =
+        (* find the header/body separator *)
+        let rec split i =
+          if i + 3 >= String.length raw then ""
+          else if String.sub raw i 4 = "\r\n\r\n" then
+            String.sub raw (i + 4) (String.length raw - i - 4)
+          else split (i + 1)
+        in
+        split 0
+      in
+      (status, body))
+
+let url_encode s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | '~' -> Buffer.add_char b c
+      | c -> Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents b
+
+let query_url ?(extra = "") q = Printf.sprintf "/query?q=%s%s" (url_encode q) extra
+
+let with_server ?config session f =
+  let server = Server.start ?config session in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+let decode_ok body =
+  match Response.of_string body with
+  | Ok { Response.outcome = Ok payload; _ } -> payload
+  | Ok { Response.outcome = Error e; _ } ->
+    Alcotest.failf "expected ok response, got error %s" (Error.code e)
+  | Error m -> Alcotest.failf "undecodable response %S: %s" body m
+
+let decode_error body =
+  match Response.of_string body with
+  | Ok { Response.outcome = Error e; _ } -> e
+  | Ok { Response.outcome = Ok _; _ } -> Alcotest.fail "expected error response, got ok"
+  | Error m -> Alcotest.failf "undecodable response %S: %s" body m
+
+(* --- server behavior -------------------------------------------------- *)
+
+let test_basic_query () =
+  let session = bib_session () in
+  with_server session (fun server ->
+      let port = Server.port server in
+      let status, body = http_request ~port ~path:(query_url "//book/title") () in
+      check_int "status" 200 status;
+      let payload = decode_ok body in
+      let baseline = Result.get_ok (Session.run session "//book/title") in
+      check_int "count" (List.length baseline.Session.nodes) payload.Response.count;
+      check_string "first result"
+        (Session.node_string session (List.hd baseline.Session.nodes))
+        (List.hd payload.Response.results))
+
+let test_post_json_query () =
+  let session = bib_session () in
+  with_server session (fun server ->
+      let port = Server.port server in
+      let status, body =
+        http_request ~port ~path:"/query" ~meth:"POST"
+          ~body:{|{"q": "count(//book)", "mode": "xquery"}|} ()
+      in
+      check_int "status" 200 status;
+      let payload = decode_ok body in
+      check_string "value" "12" (List.hd payload.Response.results))
+
+let test_concurrent_clients_identical () =
+  let session = bib_session () in
+  let queries =
+    [ "//book/title"; "//book[price]"; "/bib/book/author"; "//book/title"; "//year" ]
+  in
+  let baseline =
+    List.map
+      (fun q ->
+        let r = Result.get_ok (Session.run session q) in
+        List.map (Session.node_string session) r.Session.nodes)
+      queries
+  in
+  let config = { Server.default_config with Server.domains = 4 } in
+  with_server ~config session (fun server ->
+      let port = Server.port server in
+      (* each client domain runs the whole query list a few times *)
+      let clients =
+        Array.init 4 (fun _ ->
+            Domain.spawn (fun () ->
+                List.concat_map
+                  (fun _ ->
+                    List.map (fun q -> http_request ~port ~path:(query_url q) ()) queries)
+                  [ (); (); () ]))
+      in
+      let answers = Array.to_list (Array.map Domain.join clients) in
+      List.iter
+        (fun per_client ->
+          List.iteri
+            (fun i (status, body) ->
+              check_int "status" 200 status;
+              let payload = decode_ok body in
+              let expected = List.nth baseline (i mod List.length queries) in
+              check_bool "results identical to baseline" true
+                (payload.Response.results = expected))
+            per_client)
+        answers)
+
+let test_deadline_times_out () =
+  let session = bib_session () in
+  with_server session (fun server ->
+      let port = Server.port server in
+      let status, body =
+        http_request ~port ~path:(query_url ~extra:"&deadline_ms=0" "//book") ()
+      in
+      check_int "status" 408 status;
+      match decode_error body with
+      | Error.Timeout { deadline_ms } -> check_int "deadline echoed" 0 deadline_ms
+      | e -> Alcotest.failf "expected timeout, got %s" (Error.code e))
+
+(* Saturate a server whose single worker is pinned: one client sends
+   half a request (the worker blocks reading the rest), so the next
+   client fills the one-slot queue and every later one must be rejected
+   with a structured 503. Releasing the pinned request then drains the
+   queue — the admitted requests still answer. *)
+let test_admission_rejects_when_full () =
+  let session = bib_session () in
+  let config = { Server.default_config with Server.domains = 1; queue_depth = 1 } in
+  with_server ~config session (fun server ->
+      let port = Server.port server in
+      let pin = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close pin with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect pin (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          let half = Printf.sprintf "GET %s HTTP/1.1\r\nHost: l\r\n" (query_url "//book") in
+          ignore (Unix.write pin (Bytes.of_string half) 0 (String.length half));
+          (* let the acceptor admit it and the worker block on its read
+             (the accept loop polls every 250 ms) *)
+          Unix.sleepf 0.6;
+          let clients =
+            Array.init 7 (fun _ ->
+                Domain.spawn (fun () -> http_request ~port ~path:(query_url "//book/title") ()))
+          in
+          (* the rejections land immediately; the one admitted client
+             stays queued behind the pin — release it before joining *)
+          Unix.sleepf 0.8;
+          ignore (Unix.write pin (Bytes.of_string "\r\n") 0 2);
+          let answers = Array.to_list (Array.map Domain.join clients) in
+          let buf = Buffer.create 256 in
+          let chunk = Bytes.create 1024 in
+          let rec recv () =
+            let n = try Unix.read pin chunk 0 1024 with Unix.Unix_error _ -> 0 in
+            if n > 0 then (
+              Buffer.add_subbytes buf chunk 0 n;
+              recv ())
+          in
+          recv ();
+          check_bool "pinned request answered after release" true
+            (String.length (Buffer.contents buf) > 0);
+          let ok = List.filter (fun (s, _) -> s = 200) answers in
+          let rejected = List.filter (fun (s, _) -> s = 503) answers in
+          check_int "every client got an answer" 7 (List.length ok + List.length rejected);
+          (* one slot in the queue, worker pinned: exactly one of the
+             seven can be admitted *)
+          check_int "one request admitted" 1 (List.length ok);
+          check_int "the rest rejected" 6 (List.length rejected);
+          List.iter
+            (fun (_, body) ->
+              match decode_error body with
+              | Error.Overloaded { queue_depth } -> check_int "queue depth" 1 queue_depth
+              | Error.Shutting_down -> Alcotest.fail "rejected with shutting-down while serving"
+              | e -> Alcotest.failf "expected overloaded, got %s" (Error.code e))
+            rejected))
+
+let test_graceful_shutdown_drains () =
+  let session = bib_session () in
+  let config = { Server.default_config with Server.domains = 2 } in
+  let server = Server.start ~config session in
+  let port = Server.port server in
+  (* requests in flight when stop lands must complete, not get cut off *)
+  let clients =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () -> http_request ~port ~path:(query_url "//book/title") ()))
+  in
+  Server.stop server;
+  let answers = Array.to_list (Array.map Domain.join clients) in
+  List.iter
+    (fun (status, body) ->
+      (* each client either completed (was admitted before the listen
+         socket closed) or failed to connect — never a half answer *)
+      if status <> 0 then (
+        check_int "drained request answered" 200 status;
+        ignore (decode_ok body)))
+    answers;
+  (* port is released after stop: a fresh server can bind and answer *)
+  with_server session (fun again ->
+      let status, _ = http_request ~port:(Server.port again) ~path:"/health" () in
+      check_int "restart healthy" 200 status)
+
+let test_health_and_metrics () =
+  let session = bib_session () in
+  with_server session (fun server ->
+      let port = Server.port server in
+      let status, body = http_request ~port ~path:"/health" () in
+      check_int "health status" 200 status;
+      check_bool "health ok" true
+        (match Xqp_obs.Json.(member "status" (parse body)) with
+        | Some (Xqp_obs.Json.Str "ok") -> true
+        | _ -> false);
+      ignore (http_request ~port ~path:(query_url "//book") ());
+      let status, metrics = http_request ~port ~path:"/metrics" () in
+      check_int "metrics status" 200 status;
+      let has needle =
+        let n = String.length needle and m = String.length metrics in
+        let rec go i = i + n <= m && (String.sub metrics i n = needle || go (i + 1)) in
+        go 0
+      in
+      check_bool "type lines present" true (has "# TYPE");
+      check_bool "requests counter" true (has "xqp_serve_requests_total");
+      check_bool "queue gauge" true (has "xqp_serve_queue_depth");
+      check_bool "latency histogram" true (has "xqp_serve_latency_ms_bucket");
+      check_bool "per-domain counters" true (has "xqp_serve_domain_0_requests_total"))
+
+let test_unknown_endpoint_404 () =
+  let session = bib_session () in
+  with_server session (fun server ->
+      let status, _ = http_request ~port:(Server.port server) ~path:"/nope" () in
+      check_int "status" 404 status)
+
+(* --- the session façade ----------------------------------------------- *)
+
+let test_session_constructors () =
+  (match Session.of_string "<a><b/></a>" with
+  | Ok s -> check_int "of_string queries" 1 (List.length (Result.get_ok (Session.query s "//b")))
+  | Error e -> Alcotest.failf "of_string failed: %s" (Error.code e));
+  (match Session.of_string "<a><unclosed>" with
+  | Error (Error.Parse _) -> ()
+  | Error e -> Alcotest.failf "expected parse error, got %s" (Error.code e)
+  | Ok _ -> Alcotest.fail "malformed XML accepted");
+  (match Session.open_db "/nonexistent/missing.xqdb" with
+  | Error (Error.Io _) -> ()
+  | Error e -> Alcotest.failf "expected io error, got %s" (Error.code e)
+  | Ok _ -> Alcotest.fail "missing store opened");
+  (match Session.open_db "document.xml" with
+  | Error (Error.Bad_request _) -> ()
+  | _ -> Alcotest.fail "open_db accepted a non-.xqdb path");
+  match Session.parse_file "store.xqdb" with
+  | Error (Error.Bad_request _) -> ()
+  | _ -> Alcotest.fail "parse_file accepted a .xqdb path"
+
+let test_session_open_db_roundtrip () =
+  let session = bib_session () in
+  let path = Filename.temp_file "serve_test" ".xqdb" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Session.save session path;
+      match Session.open_db path with
+      | Ok reopened ->
+        check_int "same result count"
+          (List.length (Result.get_ok (Session.query session "//book")))
+          (List.length (Result.get_ok (Session.query reopened "//book")))
+      | Error e -> Alcotest.failf "open_db failed: %s" (Error.message e))
+
+let test_session_query_errors () =
+  let session = bib_session () in
+  (match Session.query session "//book[" with
+  | Error (Error.Parse _) -> ()
+  | _ -> Alcotest.fail "bad XPath accepted");
+  (match Session.xquery session "for $x in" with
+  | Error (Error.Parse _) -> ()
+  | _ -> Alcotest.fail "bad XQuery accepted");
+  match Session.query ~deadline_ms:0 session "//book//title" with
+  | Error (Error.Timeout { deadline_ms }) -> check_int "deadline carried" 0 deadline_ms
+  | _ -> Alcotest.fail "expired deadline did not time out"
+
+let test_session_run_metadata () =
+  let session = bib_session () in
+  let r1 = Result.get_ok (Session.run session "//book/title") in
+  let r2 = Result.get_ok (Session.run session "//book/title") in
+  check_string "first compile misses" "miss" (Executor.cache_status_label r1.Session.cache);
+  check_string "second compile hits" "hit" (Executor.cache_status_label r2.Session.cache);
+  let bypassed = Result.get_ok (Session.run ~use_cache:false session "//book/title") in
+  check_string "no_cache bypasses" "bypassed" (Executor.cache_status_label bypassed.Session.cache);
+  check_bool "engine label is concrete" true (r1.Session.engine <> "");
+  let nav = Result.get_ok (Session.run ~engine:Executor.Navigation session "//book/title") in
+  check_string "navigation labeled" "navigation" nav.Session.engine
+
+let test_explain_reports_cache_and_estimate () =
+  let session = bib_session () in
+  let q = "//book/author" in
+  let first = Result.get_ok (Session.explain session q) in
+  let second = Result.get_ok (Session.explain session q) in
+  check_string "first explain misses" "miss" (Executor.cache_status_label first.Session.cache);
+  check_string "second explain hits" "hit" (Executor.cache_status_label second.Session.cache);
+  check_bool "estimate present for pattern query" true (first.Session.estimate <> None);
+  check_bool "estimate provenance present" true (first.Session.estimate_source <> None);
+  check_bool "chosen engine reported" true (first.Session.chosen <> "");
+  (* explain and query agree: the query run right after the explain hits
+     the same cached plan *)
+  let run = Result.get_ok (Session.run session q) in
+  check_string "query hits the explained plan" "hit" (Executor.cache_status_label run.Session.cache);
+  let rendered = first.Session.rendered in
+  check_bool "rendered mentions cache" true
+    (String.length rendered > 0
+    &&
+    let has needle =
+      let n = String.length needle and m = String.length rendered in
+      let rec go i = i + n <= m && (String.sub rendered i n = needle || go (i + 1)) in
+      go 0
+    in
+    has "plan cache:" && has "chosen:")
+
+let test_legacy_facade_wrappers () =
+  let db = Xqp.of_string "<bib><book><title>T</title></book></bib>" in
+  check_int "legacy query" 1 (List.length (Xqp.query db "//title"));
+  check_bool "legacy exists" true (Xqp.query_exists db "//book");
+  check_string "legacy xquery" "1" (Xqp.xquery_string db "count(//book)");
+  (match Xqp.query db "//book[" with
+  | exception Xqp_xpath.Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "legacy query must raise Parse_error");
+  let explained = Xqp.explain db "//book/title" in
+  check_bool "legacy explain has chosen engine" true
+    (let has needle =
+       let n = String.length needle and m = String.length explained in
+       let rec go i = i + n <= m && (String.sub explained i n = needle || go (i + 1)) in
+       go 0
+     in
+     has "chosen:")
+
+(* --- the response schema ---------------------------------------------- *)
+
+let test_response_roundtrip () =
+  let ok =
+    Response.ok ~query:"//book/title" ~mode:"xpath"
+      ~results:[ "<title>A</title>"; "<title>B &amp; C</title>" ]
+      ~engine:"nok" ~cache:"hit" ~time_ms:1.234
+  in
+  let errors =
+    [
+      Error.Parse "unexpected ]";
+      Error.Eval "type error";
+      Error.Timeout { deadline_ms = 50 };
+      Error.Overloaded { queue_depth = 64 };
+      Error.Shutting_down;
+      Error.Bad_request "missing q";
+      Error.Io "no such file";
+      Error.Internal "boom";
+    ]
+  in
+  let all = ok :: List.map (fun e -> Response.error ~query:"//x" ~mode:"xquery" e) errors in
+  List.iter
+    (fun r ->
+      let encoded = Response.to_string r in
+      match Response.of_string encoded with
+      | Error m -> Alcotest.failf "decode failed: %s (%s)" m encoded
+      | Ok decoded ->
+        check_string "re-encoding is the identity" encoded (Response.to_string decoded);
+        check_int "status preserved" (Response.http_status r) (Response.http_status decoded))
+    all
+
+let test_response_http_status () =
+  let status e = Error.http_status e in
+  check_int "parse is 400" 400 (status (Error.Parse "x"));
+  check_int "timeout is 408" 408 (status (Error.Timeout { deadline_ms = 1 }));
+  check_int "overloaded is 503" 503 (status (Error.Overloaded { queue_depth = 1 }));
+  check_int "shutting-down is 503" 503 (status Error.Shutting_down);
+  check_int "internal is 500" 500 (status (Error.Internal "x"))
+
+let suite =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "basic query over http" `Quick test_basic_query;
+        Alcotest.test_case "post json query" `Quick test_post_json_query;
+        Alcotest.test_case "concurrent clients identical to baseline" `Quick
+          test_concurrent_clients_identical;
+        Alcotest.test_case "deadline expiry times out" `Quick test_deadline_times_out;
+        Alcotest.test_case "admission control rejects at capacity" `Quick
+          test_admission_rejects_when_full;
+        Alcotest.test_case "graceful shutdown drains" `Quick test_graceful_shutdown_drains;
+        Alcotest.test_case "health and metrics endpoints" `Quick test_health_and_metrics;
+        Alcotest.test_case "unknown endpoint 404s" `Quick test_unknown_endpoint_404;
+      ] );
+    ( "session",
+      [
+        Alcotest.test_case "explicit constructors" `Quick test_session_constructors;
+        Alcotest.test_case "save/open_db roundtrip" `Quick test_session_open_db_roundtrip;
+        Alcotest.test_case "structured query errors" `Quick test_session_query_errors;
+        Alcotest.test_case "run metadata: engine and cache status" `Quick
+          test_session_run_metadata;
+        Alcotest.test_case "explain reports cache and estimate provenance" `Quick
+          test_explain_reports_cache_and_estimate;
+        Alcotest.test_case "legacy facade wrappers" `Quick test_legacy_facade_wrappers;
+      ] );
+    ( "response",
+      [
+        Alcotest.test_case "json roundtrip" `Quick test_response_roundtrip;
+        Alcotest.test_case "http status mapping" `Quick test_response_http_status;
+      ] );
+  ]
