@@ -18,13 +18,16 @@ bench-full:
 # Quick perf gate: navigation primitives + storage size sweep at the
 # smallest scale; writes BENCH_prim_nav.json (plus BENCH_query_metrics.json
 # from QMET, BENCH_plan_cache.json from PCACHE, BENCH_path_summary.json
-# from PSUM, BENCH_domain_safety.json from DSAFE and BENCH_serve.json
-# from SERVE) for machine consumption. DSAFE also gates: single-domain
-# overhead of the domain-safe structures must stay <= 2% of a warm
-# workload round. SERVE gates on domain scaling: 4-domain QPS must reach
-# 0.75 x min(4, cores) x single-domain QPS (3x on a 4-core box).
+# from PSUM, BENCH_domain_safety.json from DSAFE, BENCH_serve.json from
+# SERVE and BENCH_obs_recorder.json from OBSREC) for machine consumption.
+# DSAFE also gates: single-domain overhead of the domain-safe structures
+# must stay <= 2% of a warm workload round. SERVE gates on domain scaling:
+# 4-domain QPS must reach 0.75 x min(4, cores) x single-domain QPS (3x on
+# a 4-core box). OBSREC gates the flight recorder: a warm profiled round
+# with the recorder enabled must stay within 2% of the recorder-off
+# (unobserved fast path) round.
 bench-smoke:
-	dune exec bench/main.exe -- --only=PRIM,E1,QMET,PCACHE,PSUM,DSAFE,SERVE --json=BENCH_prim_nav.json
+	dune exec bench/main.exe -- --only=PRIM,E1,QMET,PCACHE,PSUM,DSAFE,SERVE,OBSREC --json=BENCH_prim_nav.json
 
 # Observability gate: explain --analyze over every workload query, then
 # validate the exported Chrome trace with scripts/check_trace.

@@ -1990,11 +1990,211 @@ let () =
         (fun () ->
           let response =
             Xqp.Response.ok ~query:"//site//item" ~mode:"xpath"
-              ~results:[ "<item/>"; "<item/>" ] ~engine:"nok" ~cache:"hit" ~time_ms:0.5
+              ~results:[ "<item/>"; "<item/>" ] ~engine:"nok" ~cache:"hit" ~time_ms:0.5 ()
           in
           Bechamel.Test.make ~name:"SERVE-response-encode"
             (Bechamel.Staged.stage (fun () ->
                  ignore (Sys.opaque_identity (Xqp.Response.to_string response)))));
+    }
+
+(* ------------------------------------------------------------------ *)
+(* OBSREC: flight-recorder overhead, slow-capture cost, contention     *)
+(* ------------------------------------------------------------------ *)
+
+(* Three measurements, written to BENCH_obs_recorder.json:
+   (a) recorder overhead: a warm Session.run_profiled workload round with
+       the default recorder disabled (the unobserved executor fast path)
+       vs enabled — gated at ≤ 2%;
+   (b) slow-ring capture cost: ns per Flight_recorder.capture of a
+       realistic capture value (plan text + operator profile);
+   (c) the contention curve: 4 domains folding samples into one recorder
+       at 1, 2, 4 and 8 shards. *)
+
+let obsrec_sample i =
+  {
+    Xqp_obs.Flight_recorder.fingerprint = Printf.sprintf "T(R;v(q%d))" (i mod 64);
+    query = Printf.sprintf "//q%d" (i mod 64);
+    mode = "xpath";
+    latency_ms = 0.25 +. (0.01 *. float_of_int (i mod 7));
+    rows = i mod 40;
+    pages_read = i mod 5;
+    cache_hit = i mod 3 <> 0;
+    deadline_missed = false;
+    failed = false;
+    worst_q_error = 1.0 +. (0.1 *. float_of_int (i mod 9));
+  }
+
+let obsrec_contention ~shards ~domains ~ops =
+  let module Fr = Xqp_obs.Flight_recorder in
+  let recorder = Fr.create ~shards () in
+  let t0 = Unix.gettimeofday () in
+  let ds =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for round = 1 to ops do
+              Fr.record recorder (obsrec_sample ((round * (d + 13)) mod 512))
+            done))
+  in
+  Array.iter Domain.join ds;
+  Unix.gettimeofday () -. t0
+
+let obsrec_run ~scale =
+  let module J = Xqp_obs.Json in
+  let module Fr = Xqp_obs.Flight_recorder in
+  (* The overhead gate runs on the full-size document at both scales:
+     the recorder's cost is a constant ~0.2-0.3 µs per query (one
+     guarded store fold + one plan-level q-error point), so the gate is
+     only meaningful against queries of representative size. On the
+     600-node smoke document the workload averages ~8 µs/query and 2%
+     is 160 ns — below the floor of any mutex-guarded shared store —
+     while the same constant on the standard auction:3000 workload is
+     comfortably inside the budget. Smoke vs full only sizes the
+     contention sweep. *)
+  let doc_scale = 3000 in
+  let doc = Workload.Gen_auction.packed ~scale:doc_scale () in
+  let session = Xqp.Session.of_document doc in
+  let xpaths =
+    List.map
+      (fun (q : Workload.Queries.query) -> q.Workload.Queries.xpath)
+      (Workload.Queries.auction_paths @ Workload.Queries.auction_complexity_sweep)
+  in
+  (* amplify the round (x10) so fixed per-measurement noise amortizes;
+     the queries are tens of microseconds each *)
+  let round () =
+    for _ = 1 to 10 do
+      List.iter
+        (fun q -> ignore (Sys.opaque_identity (Xqp.Session.run_profiled session q)))
+        xpaths
+    done
+  in
+  round ();
+  (* warm the plan cache and lazy artifacts *)
+  (* (a) the same warm round, recorder off (unobserved fast path) vs on.
+     Interleaved off/on pairs so slow drift hits both sides alike, then
+     two estimates of the same constant: min(on)/min(off) over the
+     pairs (noise only ever adds time, so each min converges on the
+     true uncontended cost) and the median of per-pair ratios (pairing
+     cancels slow drift). On a shared box either one alone still swings
+     a few percent between runs — more than the effect being gated —
+     but load drift rarely inflates both the same way, while a real
+     regression shifts every `on` sample and therefore both statistics.
+     The gate takes the smaller of the two; both are reported. *)
+  let saved = Fr.enabled Fr.default in
+  let pairs =
+    List.init 9 (fun _ ->
+        Fr.set_enabled Fr.default false;
+        let off = measure ~rounds:1 round in
+        Fr.set_enabled Fr.default true;
+        let on_ = measure ~rounds:1 round in
+        (off, on_))
+  in
+  Fr.set_enabled Fr.default saved;
+  let median l =
+    let s = List.sort compare l in
+    List.nth s (List.length s / 2)
+  in
+  let minimum l = List.fold_left Float.min infinity l in
+  let t_off = minimum (List.map fst pairs) in
+  let t_on = minimum (List.map snd pairs) in
+  let overhead_min_pct = (100.0 *. (t_on /. t_off)) -. 100.0 in
+  let overhead_median_pct =
+    (100.0 *. median (List.map (fun (off, on_) -> on_ /. off) pairs)) -. 100.0
+  in
+  let overhead_pct = Float.min overhead_min_pct overhead_median_pct in
+  Printf.printf
+    "  warm round (%d queries x10): recorder off %.3f ms, on %.3f ms (min %+.2f%%, median \
+     %+.2f%%)\n"
+    (List.length xpaths) (ms t_off) (ms t_on) overhead_min_pct overhead_median_pct;
+  if overhead_pct > 2.0 then
+    failwith
+      (Printf.sprintf "OBSREC: recorder-on overhead %.2f%% exceeds the 2%% gate" overhead_pct);
+  (* (b) slow-ring capture cost on a realistic capture value *)
+  let capture_ns =
+    let recorder = Fr.create () in
+    let cap =
+      {
+        Fr.cap_request_id = "r-bench";
+        cap_sample = obsrec_sample 1;
+        cap_plan = "tau //site//item[/name{out}]  engine=twigstack  est=120.0  cost=9000\n  root";
+        cap_ops =
+          List.init 4 (fun i ->
+              {
+                Fr.op_path = Printf.sprintf "0.%d" i;
+                op_label = "tau(3v)";
+                op_engine = Some "twigstack";
+                op_est_rows = 120.0;
+                op_actual_rows = 118;
+                op_ms = 0.4;
+              });
+        cap_events = [];
+        cap_wall = Unix.gettimeofday ();
+      }
+    in
+    let n = 200_000 in
+    let t =
+      measure (fun () ->
+          for _ = 1 to n do
+            Fr.capture recorder cap
+          done)
+    in
+    t /. float_of_int n *. 1e9
+  in
+  Printf.printf "  slow-ring capture: %.1f ns per capture\n" capture_ns;
+  (* (c) shard contention: fixed sample count per domain, varying shards *)
+  let domains = 4 in
+  let ops = match scale with `Small -> 50_000 | `Full -> 200_000 in
+  Printf.printf "  contention (%d domains x %d record ops):\n" domains ops;
+  let curve =
+    List.map
+      (fun shards ->
+        let elapsed = obsrec_contention ~shards ~domains ~ops in
+        let mops = float_of_int (domains * ops) /. elapsed /. 1e6 in
+        Printf.printf "    %d shard%s %10.3f ms  %8.2f Mops/s\n" shards
+          (if shards = 1 then ": " else "s:")
+          (ms elapsed) mops;
+        J.Obj
+          [
+            ("shards", J.Num (float_of_int shards));
+            ("elapsed_ms", J.Num (ms elapsed));
+            ("mops_per_s", J.Num mops);
+          ])
+      [ 1; 2; 4; 8 ]
+  in
+  let out =
+    J.Obj
+      [
+        ("bench", J.Str "obs_recorder");
+        ("document", J.Str (Printf.sprintf "auction:%d" doc_scale));
+        ("queries_per_round", J.Num (float_of_int (List.length xpaths)));
+        ("recorder_off_ms", J.Num (ms t_off));
+        ("recorder_on_ms", J.Num (ms t_on));
+        ("overhead_pct", J.Num overhead_pct);
+        ("overhead_min_pct", J.Num overhead_min_pct);
+        ("overhead_median_pct", J.Num overhead_median_pct);
+        ("capture_ns", J.Num capture_ns);
+        ("contention_domains", J.Num (float_of_int domains));
+        ("contention", J.Arr curve);
+      ]
+  in
+  let path = "BENCH_obs_recorder.json" in
+  let oc = open_out path in
+  output_string oc (J.to_string ~pretty:true out);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  wrote %s\n" path
+
+let () =
+  register
+    {
+      id = "OBSREC";
+      title = "OBSREC: flight-recorder overhead, slow-capture cost and shard contention";
+      run = obsrec_run;
+      bechamel =
+        (fun () ->
+          let recorder = Xqp_obs.Flight_recorder.create () in
+          let sample = obsrec_sample 17 in
+          Bechamel.Test.make ~name:"OBSREC-record"
+            (Bechamel.Staged.stage (fun () -> Xqp_obs.Flight_recorder.record recorder sample)));
     }
 
 (* ------------------------------------------------------------------ *)

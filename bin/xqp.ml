@@ -88,9 +88,86 @@ let run_query_json doc strategy no_cache xquery_mode deadline_ms query =
   print_endline (Xqp.Response.to_string response);
   match response.Xqp.Response.outcome with Ok _ -> 0 | Error _ -> 1
 
-let run_query file gen strategy no_cache xquery_mode json deadline_ms limit query =
+(* --request-trace: run through the session layer under a fresh enabled
+   tracer (exactly what the server does per admitted request) and print
+   the profile tree plus the per-operator actual-vs-estimated table.
+   With --json the profile goes to stderr so the response stays parseable. *)
+let run_query_traced doc strategy no_cache xquery_mode json deadline_ms limit query =
+  let module Tr = Xqp_obs.Trace in
+  let session = Xqp.Session.of_document doc in
+  let tr = Tr.create () in
+  Tr.set_enabled tr true;
+  let profile_ppf = if json then Format.err_formatter else Format.std_formatter in
+  let print_profile ops =
+    Format.fprintf profile_ppf "@.request trace:@.%a@." Xqp_obs.Export.pp_profile_tree
+      (Tr.events tr);
+    if ops <> [] then begin
+      Format.fprintf profile_ppf "operators (actual vs estimated):@.";
+      Format.fprintf profile_ppf "  %-8s %-28s %-12s %10s %10s %8s %9s@." "path" "op" "engine"
+        "est" "actual" "q-err" "ms";
+      List.iter
+        (fun (o : Executor.op_stat) ->
+          Format.fprintf profile_ppf "  %-8s %-28s %-12s %10.1f %10d %8.2f %9.3f@."
+            o.Executor.os_path o.Executor.os_op
+            (Option.value ~default:"-" o.Executor.os_engine)
+            o.Executor.os_est o.Executor.os_actual o.Executor.os_q o.Executor.os_ms)
+        (List.sort
+           (fun (a : Executor.op_stat) (b : Executor.op_stat) ->
+             compare a.Executor.os_path b.Executor.os_path)
+           ops)
+    end
+  in
+  if xquery_mode then (
+    match Xqp.Session.run_xquery_profiled ~engine:strategy ?deadline_ms ~trace:tr session query with
+    | Ok r ->
+      if json then
+        print_endline (Xqp.Response.to_string (Xqp.Response.of_xquery_result session ~query r))
+      else begin
+        let strings = Xqp.Session.xquery_result_strings session r.Xqp.Session.value in
+        let shown =
+          match limit with Some k -> List.filteri (fun i _ -> i < k) strings | None -> strings
+        in
+        List.iter print_endline shown;
+        Printf.printf "(%d items)\n" (List.length strings)
+      end;
+      print_profile [];
+      0
+    | Error e ->
+      if json then
+        print_endline (Xqp.Response.to_string (Xqp.Response.error ~query ~mode:"xquery" e))
+      else prerr_endline ("xqp query: " ^ Xqp.Error.message e);
+      1)
+  else
+    match
+      Xqp.Session.run_profiled ~engine:strategy ~use_cache:(not no_cache) ?deadline_ms ~trace:tr
+        session query
+    with
+    | Ok p ->
+      let r = p.Xqp.Session.result in
+      if json then
+        print_endline (Xqp.Response.to_string (Xqp.Response.of_query_result session ~query r))
+      else begin
+        let nodes = r.Xqp.Session.nodes in
+        let shown =
+          match limit with Some k -> List.filteri (fun i _ -> i < k) nodes | None -> nodes
+        in
+        List.iter (fun id -> print_endline (Xqp.Session.node_string session id)) shown;
+        Printf.printf "(%d nodes, worst q-error %.2f, %d pages read)\n" (List.length nodes)
+          p.Xqp.Session.worst_q_error p.Xqp.Session.pages_read
+      end;
+      print_profile p.Xqp.Session.ops;
+      0
+    | Error e ->
+      if json then
+        print_endline (Xqp.Response.to_string (Xqp.Response.error ~query ~mode:"xpath" e))
+      else prerr_endline ("xqp query: " ^ Xqp.Error.message e);
+      1
+
+let run_query file gen strategy no_cache xquery_mode json deadline_ms limit request_trace query =
   let doc = load_document ~file ~gen in
-  if json then run_query_json doc strategy no_cache xquery_mode deadline_ms query
+  if request_trace then
+    run_query_traced doc strategy no_cache xquery_mode json deadline_ms limit query
+  else if json then run_query_json doc strategy no_cache xquery_mode deadline_ms query
   else
   let exec = Executor.create doc in
   if xquery_mode then begin
@@ -133,15 +210,22 @@ let query_cmd =
   let limit_arg =
     Arg.(value & opt (some int) None & info [ "n"; "limit" ] ~docv:"N" ~doc:"Print at most $(docv) results.")
   in
+  let request_trace_flag =
+    Arg.(value & flag
+         & info [ "request-trace" ]
+             ~doc:"Run under a request-scoped tracer (as the server does per request) and print \
+                   the span profile tree plus a per-operator actual-vs-estimated row table. \
+                   With --json the profile goes to stderr.")
+  in
   let term =
     Term.(const run_query $ file_arg $ gen_arg $ strategy_arg $ no_cache_arg $ xquery_flag
-          $ json_flag $ deadline_arg $ limit_arg $ query_arg)
+          $ json_flag $ deadline_arg $ limit_arg $ request_trace_flag $ query_arg)
   in
   Cmd.v (Cmd.info "query" ~doc:"Run a query against a document") term
 
 (* --- serve -------------------------------------------------------------- *)
 
-let run_serve file gen domains port queue deadline_ms =
+let run_serve file gen domains port queue deadline_ms slow_ms log_path =
   let doc = load_document ~file ~gen in
   let session = Xqp.Session.of_document doc in
   let config =
@@ -151,6 +235,8 @@ let run_serve file gen domains port queue deadline_ms =
       domains;
       queue_depth = queue;
       default_deadline_ms = deadline_ms;
+      slow_ms;
+      log_path;
     }
   in
   let server = Xqp.Server.start ~config session in
@@ -193,16 +279,189 @@ let serve_cmd =
              ~doc:"Default per-query deadline (queue wait included) for requests that don't \
                    set their own; unset means unbounded.")
   in
+  let slow_arg =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Capture any query at or over $(docv) milliseconds into the slow-query ring \
+                   (full plan + per-operator actual-vs-estimated rows + request trace), served \
+                   at /debug/slow.")
+  in
+  let log_arg =
+    Arg.(value & opt (some string) None
+         & info [ "log" ] ~docv:"FILE"
+             ~doc:"Append one JSON line per served query to $(docv) (rotation-safe: the file is \
+                   reopened per entry).")
+  in
   let term =
     Term.(const run_serve $ file_arg $ gen_arg $ domains_arg $ port_arg $ queue_arg
-          $ serve_deadline_arg)
+          $ serve_deadline_arg $ slow_arg $ log_arg)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve a document over HTTP on a multicore domain pool: /query answers XPath/XQuery \
-          with the JSON response schema, /health probes a canary query, /metrics exposes the \
-          metrics registry in Prometheus text format; SIGINT/SIGTERM drain and exit")
+          with the JSON response schema (request ids echoed as X-Request-Id), /health probes a \
+          canary query, /metrics exposes the metrics registry in Prometheus text format, and \
+          /debug/queries, /debug/slow and /debug/requests/ID expose the query flight recorder; \
+          SIGINT/SIGTERM drain and exit")
+    term
+
+(* --- top ---------------------------------------------------------------- *)
+
+(* Minimal loopback HTTP client (the bench harness uses the same shape):
+   one request per connection, whole response buffered. *)
+let top_http_get ~host ~port ~path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+          | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+      in
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      let request = Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\n\r\n" path host in
+      let bytes = Bytes.of_string request in
+      let rec send off =
+        if off < Bytes.length bytes then
+          send (off + Unix.write fd bytes off (Bytes.length bytes - off))
+      in
+      send 0;
+      let chunk = Bytes.create 8192 in
+      let buf = Buffer.create 1024 in
+      let rec recv () =
+        let n = try Unix.read fd chunk 0 8192 with Unix.Unix_error _ -> 0 in
+        if n > 0 then (
+          Buffer.add_subbytes buf chunk 0 n;
+          recv ())
+      in
+      recv ();
+      let raw = Buffer.contents buf in
+      let sep = "\r\n\r\n" in
+      let rec find i =
+        if i + String.length sep > String.length raw then None
+        else if String.sub raw i (String.length sep) = sep then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | Some i ->
+        let start = i + String.length sep in
+        String.sub raw start (String.length raw - start)
+      | None -> failwith "malformed HTTP response")
+
+(* "http://127.0.0.1:8080", "127.0.0.1:8080" or ":8080" (loopback). *)
+let top_parse_url url =
+  let url =
+    match String.index_opt url '/' with
+    | Some _ when String.length url > 7 && String.sub url 0 7 = "http://" ->
+      String.sub url 7 (String.length url - 7)
+    | _ -> url
+  in
+  let url = match String.index_opt url '/' with Some i -> String.sub url 0 i | None -> url in
+  match String.rindex_opt url ':' with
+  | Some i -> (
+    let host = if i = 0 then "127.0.0.1" else String.sub url 0 i in
+    match int_of_string_opt (String.sub url (i + 1) (String.length url - i - 1)) with
+    | Some port -> (host, port)
+    | None -> failwith (Printf.sprintf "bad port in %S" url))
+  | None -> (url, 8080)
+
+let top_truncate width s =
+  let s = String.map (fun c -> if c = '\n' || c = '\t' then ' ' else c) s in
+  if String.length s <= width then s else String.sub s 0 (width - 1) ^ "…"
+
+let top_render ~url ~by json =
+  let member f j = Xqp_obs.Json.member f j in
+  let num f j = Option.value ~default:0.0 (Option.bind (member f j) Xqp_obs.Json.to_num) in
+  let str f j = Option.value ~default:"" (Option.bind (member f j) Xqp_obs.Json.to_str) in
+  let queries = Option.bind (member "queries" json) Xqp_obs.Json.to_arr in
+  match queries with
+  | None -> Printf.printf "xqp top: response from %s lacks \"queries\"\n%!" url
+  | Some rows ->
+    Printf.printf "xqp top — %s   sort: %s   fingerprints: %d   dropped: %.0f\n" url by
+      (List.length rows)
+      (Option.value ~default:0.0 (Option.bind (member "dropped" json) Xqp_obs.Json.to_num));
+    Printf.printf "%7s %9s %8s %8s %8s %7s %8s %6s %-7s %s\n" "count" "total_ms" "p50_ms"
+      "p99_ms" "max_ms" "q-err" "rows" "hit%" "mode" "query";
+    List.iter
+      (fun row ->
+        let count = num "count" row in
+        let hits = num "cache_hits" row in
+        Printf.printf "%7.0f %9.1f %8.1f %8.1f %8.1f %7.2f %8.0f %5.0f%% %-7s %s\n" count
+          (num "total_ms" row) (num "p50_ms" row) (num "p99_ms" row) (num "max_ms" row)
+          (num "worst_q_error" row) (num "rows" row)
+          (if count > 0.0 then 100.0 *. hits /. count else 0.0)
+          (str "mode" row)
+          (top_truncate 48 (str "query" row)))
+      rows;
+    flush stdout
+
+let run_top url by k interval once =
+  match by with
+  | ("total_ms" | "count" | "max_ms" | "q_error") -> (
+    let host, port = top_parse_url url in
+    let fetch () =
+      Xqp_obs.Json.parse
+        (top_http_get ~host ~port ~path:(Printf.sprintf "/debug/queries?k=%d&by=%s" k by))
+    in
+    if once then (
+      match fetch () with
+      | json ->
+        top_render ~url ~by json;
+        0
+      | exception e ->
+        Printf.eprintf "xqp top: %s\n" (Printexc.to_string e);
+        1)
+    else begin
+      (* live mode: clear and redraw until interrupted *)
+      let rec loop () =
+        (match fetch () with
+        | json ->
+          print_string "\027[2J\027[H";
+          top_render ~url ~by json;
+          Printf.printf "\n(refresh every %.1fs; ctrl-c to quit)\n%!" interval
+        | exception e -> Printf.printf "xqp top: %s\n%!" (Printexc.to_string e));
+        Unix.sleepf interval;
+        loop ()
+      in
+      loop ()
+    end)
+  | other ->
+    Printf.eprintf "xqp top: unknown sort key %S (total_ms|count|max_ms|q_error)\n" other;
+    2
+
+let top_cmd =
+  let url_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"URL" ~doc:"Server base URL (http://host:port).")
+  in
+  let by_arg =
+    Arg.(value & opt string "total_ms"
+         & info [ "by"; "sort" ] ~docv:"KEY"
+             ~doc:"Sort key: total_ms, count, max_ms or q_error.")
+  in
+  let k_arg =
+    Arg.(value & opt int 20 & info [ "k" ] ~docv:"N" ~doc:"Show the top $(docv) fingerprints.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh interval in live mode.")
+  in
+  let once_flag =
+    Arg.(value & flag & info [ "once" ] ~doc:"Print one snapshot and exit (no screen clearing).")
+  in
+  let term =
+    Term.(const run_top $ url_arg $ by_arg $ k_arg $ interval_arg $ once_flag)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live view of a running server's query flight recorder: renders /debug/queries as a \
+          table of per-fingerprint counts, latency percentiles, worst q-error and cache hit \
+          rate, re-sorted by --by and refreshed every --interval seconds")
     term
 
 (* --- explain ----------------------------------------------------------- *)
@@ -917,7 +1176,7 @@ let () =
   let group =
     Cmd.group ~default info
       [
-        query_cmd; serve_cmd; explain_cmd; calibrate_cmd; stats_cmd; generate_cmd; index_cmd;
+        query_cmd; serve_cmd; top_cmd; explain_cmd; calibrate_cmd; stats_cmd; generate_cmd; index_cmd;
         pages_cmd; repl_cmd; validate_cmd; lint_cmd; fsck_cmd;
       ]
   in

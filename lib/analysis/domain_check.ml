@@ -278,6 +278,10 @@ let annotations =
     ( "Trace.null_span",
       Safe_immutable,
       "sentinel returned while tracing is off; s_real = false so add_attrs never writes it" );
+    ( "Flight_recorder.default",
+      Guarded_by_mutex "per-shard s_guard + slow-ring r_guard",
+      "mutex-sharded fingerprint store; every record/stats locks the key's shard, the slow \
+       ring has its own guard, on/refused are Atomic.t" );
     (* lib/physical *)
     ( "Executor.next_id",
       Atomic,

@@ -11,25 +11,34 @@ type payload = {
 type t = {
   query : string;
   mode : string;
+  request_id : string option;
+  queue_ms : float option;
   outcome : (payload, Error.t) result;
 }
 
-let ok ~query ~mode ~results ~engine ~cache ~time_ms =
-  { query; mode; outcome = Ok { results; count = List.length results; engine; cache; time_ms } }
+let ok ?request_id ?queue_ms ~query ~mode ~results ~engine ~cache ~time_ms () =
+  {
+    query;
+    mode;
+    request_id;
+    queue_ms;
+    outcome = Ok { results; count = List.length results; engine; cache; time_ms };
+  }
 
-let error ~query ~mode err = { query; mode; outcome = Error err }
+let error ?request_id ?queue_ms ~query ~mode err =
+  { query; mode; request_id; queue_ms; outcome = Error err }
 
-let of_query_result session ~query (r : Session.query_result) =
-  ok ~query ~mode:"xpath"
+let of_query_result ?request_id ?queue_ms session ~query (r : Session.query_result) =
+  ok ?request_id ?queue_ms ~query ~mode:"xpath"
     ~results:(List.map (Session.node_string session) r.Session.nodes)
     ~engine:r.Session.engine
     ~cache:(Xqp_physical.Executor.cache_status_label r.Session.cache)
-    ~time_ms:r.Session.time_ms
+    ~time_ms:r.Session.time_ms ()
 
-let of_xquery_result session ~query (r : Session.xquery_result) =
-  ok ~query ~mode:"xquery"
+let of_xquery_result ?request_id ?queue_ms session ~query (r : Session.xquery_result) =
+  ok ?request_id ?queue_ms ~query ~mode:"xquery"
     ~results:(Session.xquery_result_strings session r.Session.value)
-    ~engine:"xquery" ~cache:"-" ~time_ms:r.Session.time_ms
+    ~engine:"xquery" ~cache:"-" ~time_ms:r.Session.time_ms ()
 
 let http_status t =
   match t.outcome with Ok _ -> 200 | Error e -> Error.http_status e
@@ -39,7 +48,14 @@ let http_status t =
 let round3 ms = Float.round (ms *. 1000.0) /. 1000.0
 
 let to_json t =
-  let base = [ ("query", J.Str t.query); ("mode", J.Str t.mode) ] in
+  (* [request_id]/[queue_ms] are served-request provenance: emitted only
+     when present, so embedded/CLI responses are byte-identical to the
+     pre-request-id schema. *)
+  let base =
+    [ ("query", J.Str t.query); ("mode", J.Str t.mode) ]
+    @ (match t.request_id with Some id -> [ ("request_id", J.Str id) ] | None -> [])
+    @ match t.queue_ms with Some q -> [ ("queue_ms", J.Num (round3 q)) ] | None -> []
+  in
   match t.outcome with
   | Ok p ->
     J.Obj
@@ -62,6 +78,8 @@ let of_json json =
   in
   Result.bind (require "\"query\"" (str "query")) (fun query ->
       Result.bind (require "\"mode\"" (str "mode")) (fun mode ->
+          let request_id = str "request_id" in
+          let queue_ms = Option.bind (J.member "queue_ms" json) J.to_num in
           match str "status" with
           | Some "ok" ->
             let results =
@@ -81,13 +99,16 @@ let of_json json =
                           {
                             query;
                             mode;
+                            request_id;
+                            queue_ms;
                             outcome = Ok { results; count; engine; cache; time_ms };
                           })))
           | Some "error" -> (
             match J.member "error" json with
             | None -> Result.Error "error response lacks \"error\""
             | Some ej ->
-              Result.bind (Error.of_json ej) (fun e -> Ok { query; mode; outcome = Error e }))
+              Result.bind (Error.of_json ej) (fun e ->
+                  Ok { query; mode; request_id; queue_ms; outcome = Error e }))
           | Some other -> Result.Error (Printf.sprintf "unknown status %S" other)
           | None -> Result.Error "response lacks \"status\""))
 

@@ -19,6 +19,11 @@
      "error": {"code": "timeout", "message": "...", "deadline_ms": 50}}
     v}
 
+    Responses served by [xqp serve] additionally carry request
+    provenance after ["mode"] — ["request_id"] (also echoed as the
+    [X-Request-Id] header) and ["queue_ms"] (admission-queue wait).
+    Both are omitted, not null, for CLI/embedded responses.
+
     {!of_json} inverts {!to_json} (covered by a round-trip test), so the
     schema cannot drift between the two producers. *)
 
@@ -33,19 +38,31 @@ type payload = {
 type t = {
   query : string;
   mode : string;  (** ["xpath"] or ["xquery"] *)
+  request_id : string option;
+      (** the served request's id (echoed in [X-Request-Id]); [None] —
+          and absent on the wire — for embedded/CLI responses *)
+  queue_ms : float option;
+      (** admission-queue wait before a worker picked the request up *)
   outcome : (payload, Error.t) result;
 }
 
 val ok :
-  query:string -> mode:string -> results:string list -> engine:string ->
-  cache:string -> time_ms:float -> t
+  ?request_id:string -> ?queue_ms:float -> query:string -> mode:string ->
+  results:string list -> engine:string -> cache:string -> time_ms:float ->
+  unit -> t
 
-val error : query:string -> mode:string -> Error.t -> t
+val error :
+  ?request_id:string -> ?queue_ms:float -> query:string -> mode:string ->
+  Error.t -> t
 
-val of_query_result : Session.t -> query:string -> Session.query_result -> t
+val of_query_result :
+  ?request_id:string -> ?queue_ms:float -> Session.t -> query:string ->
+  Session.query_result -> t
 (** Serialize an XPath result through {!Session.node_string}. *)
 
-val of_xquery_result : Session.t -> query:string -> Session.xquery_result -> t
+val of_xquery_result :
+  ?request_id:string -> ?queue_ms:float -> Session.t -> query:string ->
+  Session.xquery_result -> t
 
 val http_status : t -> int
 (** 200 for ok; {!Error.http_status} otherwise. *)

@@ -1,6 +1,9 @@
 module Executor = Xqp_physical.Executor
 module Metrics = Xqp_obs.Metrics
 module Export = Xqp_obs.Export
+module Trace = Xqp_obs.Trace
+module Fr = Xqp_obs.Flight_recorder
+module Dsan = Xqp_obs.Dsan
 module J = Xqp_obs.Json
 
 type config = {
@@ -10,6 +13,8 @@ type config = {
   queue_depth : int;
   default_deadline_ms : int option;
   canary : string;
+  slow_ms : float option;
+  log_path : string option;
 }
 
 let default_config =
@@ -20,13 +25,25 @@ let default_config =
     queue_depth = 64;
     default_deadline_ms = None;
     canary = "/*";
+    slow_ms = None;
+    log_path = None;
   }
 
 type job = { fd : Unix.file_descr; enqueued : float }
 
+(* Recent request traces for /debug/requests/<id>: a bounded ring of
+   (request id, completed span list), overwriting oldest-first. Requests
+   past the window 404 — the endpoint serves a debugging window, not an
+   archive. *)
+type req_log = {
+  rl_guard : Dsan.guard;
+  rl_slots : (string * Trace.event list) option array;
+  mutable rl_head : int;
+}
+
 (* Shared across the acceptor and worker domains. All mutable pieces
    live inside this record (created per [start]; no toplevel state) and
-   are either the mutex-guarded queue or atomics. *)
+   are either mutex-guarded or atomics. *)
 type core = {
   session : Session.t;
   config : config;
@@ -36,13 +53,17 @@ type core = {
   nonempty : Condition.t;
   accepting : bool Atomic.t;
   draining : bool Atomic.t;
+  next_request : int Atomic.t;
+  req_log : req_log;
   m_accepted : Metrics.counter;
   m_rejected : Metrics.counter;
   m_requests : Metrics.counter;
   m_errors : Metrics.counter;
   m_timeouts : Metrics.counter;
+  m_slow : Metrics.counter;
   m_queue_depth : Metrics.gauge;
   m_latency : Metrics.histogram;
+  m_queue_wait : Metrics.histogram;
 }
 
 type t = { core : core; port : int; acceptor : unit Domain.t; workers : unit Domain.t array }
@@ -71,11 +92,15 @@ let write_all fd s =
   in
   try go 0 with Unix.Unix_error _ -> ()
 
-let respond fd ~status ~content_type body =
+let respond ?(extra_headers = []) fd ~status ~content_type body =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) extra_headers)
+  in
   write_all fd
     (Printf.sprintf
-       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
-       status (reason_phrase status) content_type (String.length body) body)
+       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%sConnection: close\r\n\r\n%s"
+       status (reason_phrase status) content_type (String.length body) extra body)
 
 let find_blank_line s =
   let n = String.length s in
@@ -228,16 +253,156 @@ let request_fields req =
         Option.bind (str "deadline_ms") int_of_string_opt,
         match str "no_cache" with Some ("1" | "true") -> true | _ -> false )
 
-let run_query core job req =
-  let finish response = (Response.http_status response, Response.to_string response) in
+(* Rotation-safe structured query log: one JSON object per line, opened
+   O_APPEND per entry and closed again, so a logrotate move-and-recreate
+   never loses lines and short appends never interleave. *)
+let log_entry core ~request_id ~query ~mode ~status ~latency_ms ~queue_ms =
+  match core.config.log_path with
+  | None -> ()
+  | Some path -> (
+    let round3 x = Float.round (x *. 1000.0) /. 1000.0 in
+    let line =
+      J.to_string
+        (J.Obj
+           [
+             ("ts", J.Num (Unix.gettimeofday ()));
+             ("request_id", J.Str request_id);
+             ("query", J.Str query);
+             ("mode", J.Str mode);
+             ("status", J.Num (float_of_int status));
+             ("latency_ms", J.Num (round3 latency_ms));
+             ("queue_ms", J.Num (round3 queue_ms));
+           ])
+      ^ "\n"
+    in
+    match Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 with
+    | fd ->
+      (try ignore (Unix.write_substring fd line 0 (String.length line))
+       with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ())
+
+(* Slow-query capture: full plan rendering + per-operator actual-vs-
+   estimated rows + the request's span tree, pushed onto the flight
+   recorder's bounded ring when the query ran past [--slow-ms]. *)
+let maybe_capture core ~request_id ~events (p : Session.profiled) q =
+  match core.config.slow_ms with
+  | Some threshold when p.Session.result.Session.time_ms >= threshold ->
+    Metrics.incr core.m_slow;
+    let r = p.Session.result in
+    let ops =
+      List.map
+        (fun (o : Executor.op_stat) ->
+          {
+            Fr.op_path = o.Executor.os_path;
+            op_label = o.Executor.os_op;
+            op_engine = o.Executor.os_engine;
+            op_est_rows = o.Executor.os_est;
+            op_actual_rows = o.Executor.os_actual;
+            op_ms = o.Executor.os_ms;
+          })
+        (List.sort
+           (fun (a : Executor.op_stat) (b : Executor.op_stat) ->
+             compare a.Executor.os_path b.Executor.os_path)
+           p.Session.ops)
+    in
+    Fr.capture Fr.default
+      {
+        Fr.cap_request_id = request_id;
+        cap_sample =
+          {
+            Fr.fingerprint = p.Session.fingerprint;
+            query = q;
+            mode = "xpath";
+            latency_ms = r.Session.time_ms;
+            rows = List.length r.Session.nodes;
+            pages_read = p.Session.pages_read;
+            cache_hit = r.Session.cache = Executor.Cache_hit;
+            deadline_missed = false;
+            failed = false;
+            worst_q_error = p.Session.worst_q_error;
+          };
+        cap_plan = Format.asprintf "%a" Xqp_physical.Physical_plan.pp p.Session.physical;
+        cap_ops = ops;
+        cap_events = events;
+        cap_wall = Unix.gettimeofday ();
+      }
+  | _ -> ()
+
+let maybe_capture_xquery core ~request_id ~events (r : Session.xquery_result) q =
+  match core.config.slow_ms with
+  | Some threshold when r.Session.time_ms >= threshold ->
+    Metrics.incr core.m_slow;
+    Fr.capture Fr.default
+      {
+        Fr.cap_request_id = request_id;
+        cap_sample =
+          {
+            Fr.fingerprint = "xquery:" ^ q;
+            query = q;
+            mode = "xquery";
+            latency_ms = r.Session.time_ms;
+            rows = List.length r.Session.value;
+            pages_read = 0;
+            cache_hit = false;
+            deadline_missed = false;
+            failed = false;
+            worst_q_error = 1.0;
+          };
+        cap_plan = "(xquery)";
+        cap_ops = [];
+        cap_events = events;
+        cap_wall = Unix.gettimeofday ();
+      }
+  | _ -> ()
+
+let push_req_log core ~request_id events =
+  let rl = core.req_log in
+  Dsan.with_guard rl.rl_guard (fun () ->
+      rl.rl_slots.(rl.rl_head) <- Some (request_id, events);
+      rl.rl_head <- (rl.rl_head + 1) mod Array.length rl.rl_slots)
+
+let find_req_log core request_id =
+  let rl = core.req_log in
+  Dsan.with_guard rl.rl_guard (fun () ->
+      Array.fold_left
+        (fun acc slot ->
+          match slot with
+          | Some (id, events) when id = request_id -> Some events
+          | _ -> acc)
+        None rl.rl_slots)
+
+let run_query core job req ~request_id ~queue_ms =
+  (* Every served query gets its own tracer: request-scoped span trees
+     stay isolated across worker domains (no shared open-span stack),
+     and the completed tree lands in the request log for
+     /debug/requests/<id>. *)
+  let tr = Trace.create ~capacity:4096 () in
+  Trace.set_enabled tr true;
+  let t_start = Unix.gettimeofday () in
+  let finish ~query ~mode response =
+    let status = Response.http_status response in
+    push_req_log core ~request_id (Trace.events tr);
+    log_entry core ~request_id ~query ~mode ~status
+      ~latency_ms:((Unix.gettimeofday () -. t_start) *. 1000.0)
+      ~queue_ms;
+    (status, Response.to_string response)
+  in
   match request_fields req with
-  | Error e -> finish (Response.error ~query:"" ~mode:"xpath" e)
+  | Error e ->
+    finish ~query:"" ~mode:"xpath"
+      (Response.error ~request_id ~queue_ms ~query:"" ~mode:"xpath" e)
   | Ok (q, mode, engine_name, deadline_ms, no_cache) -> (
     let mode = Option.value ~default:"xpath" mode in
     match q with
-    | None -> finish (Response.error ~query:"" ~mode (Error.Bad_request "missing parameter \"q\""))
+    | None ->
+      finish ~query:"" ~mode
+        (Response.error ~request_id ~queue_ms ~query:"" ~mode
+           (Error.Bad_request "missing parameter \"q\""))
     | Some q -> (
-      let fail e = finish (Response.error ~query:q ~mode e) in
+      let fail e =
+        finish ~query:q ~mode (Response.error ~request_id ~queue_ms ~query:q ~mode e)
+      in
       match
         match engine_name with
         | None -> Ok Executor.Auto
@@ -265,22 +430,46 @@ let run_query core job req =
           Metrics.incr core.m_timeouts;
           fail (Error.Timeout { deadline_ms = Option.value ~default:0 requested })
         | _ -> (
+          (* Stash the profiled result so slow capture can run after the
+             request span has closed (the capture then carries the whole
+             balanced tree). *)
+          let profiled = ref None in
+          let xq_result = ref None in
           let outcome =
-            match mode with
-            | "xpath" ->
-              Result.map
-                (fun r -> Response.of_query_result core.session ~query:q r)
-                (Session.run ~engine ~use_cache:(not no_cache) ?deadline_ms:remaining_ms
-                   core.session q)
-            | "xquery" ->
-              Result.map
-                (fun r -> Response.of_xquery_result core.session ~query:q r)
-                (Session.run_xquery ~engine ?deadline_ms:remaining_ms core.session q)
-            | other ->
-              Error (Error.Bad_request (Printf.sprintf "unknown mode %S (xpath|xquery)" other))
+            Trace.with_span tr
+              ~attrs:
+                [ ("request_id", Trace.Str request_id); ("queue_ms", Trace.Float queue_ms) ]
+              "request"
+              (fun _ ->
+                match mode with
+                | "xpath" ->
+                  Result.map
+                    (fun (p : Session.profiled) ->
+                      profiled := Some p;
+                      Response.of_query_result ~request_id ~queue_ms core.session ~query:q
+                        p.Session.result)
+                    (Session.run_profiled ~engine ~use_cache:(not no_cache)
+                       ?deadline_ms:remaining_ms ~trace:tr
+                       ~profile_ops:(core.config.slow_ms <> None)
+                       core.session q)
+                | "xquery" ->
+                  Result.map
+                    (fun (r : Session.xquery_result) ->
+                      xq_result := Some r;
+                      Response.of_xquery_result ~request_id ~queue_ms core.session ~query:q r)
+                    (Session.run_xquery_profiled ~engine ?deadline_ms:remaining_ms ~trace:tr
+                       core.session q)
+                | other ->
+                  Error
+                    (Error.Bad_request (Printf.sprintf "unknown mode %S (xpath|xquery)" other)))
           in
+          let events = Trace.events tr in
+          (match !profiled with Some p -> maybe_capture core ~request_id ~events p q | None -> ());
+          (match !xq_result with
+          | Some r -> maybe_capture_xquery core ~request_id ~events r q
+          | None -> ());
           match outcome with
-          | Ok response -> finish response
+          | Ok response -> finish ~query:q ~mode response
           | Error (Error.Timeout _) ->
             Metrics.incr core.m_timeouts;
             (* report the deadline the caller asked for, not the queue-
@@ -290,33 +479,85 @@ let run_query core job req =
             Metrics.incr core.m_errors;
             fail e))))
 
+(* --- debug endpoints ------------------------------------------------------ *)
+
+let run_debug_queries params =
+  let k =
+    match Option.bind (List.assoc_opt "k" params) int_of_string_opt with
+    | Some k when k > 0 -> k
+    | _ -> 20
+  in
+  match
+    match List.assoc_opt "by" params with
+    | None -> Some `Total_ms
+    | Some s -> Fr.by_of_string s
+  with
+  | None -> (400, J.to_string (J.Obj [ ("error", J.Str "by must be total_ms|count|max_ms|q_error") ]))
+  | Some by ->
+    let stats = Fr.top ~k ~by Fr.default in
+    ( 200,
+      J.to_string
+        (J.Obj
+           [
+             ("queries", J.Arr (List.map Fr.stat_to_json stats));
+             ("dropped", J.Num (float_of_int (Fr.dropped Fr.default)));
+           ]) )
+
+let run_debug_slow () =
+  (200, J.to_string (J.Obj [ ("slow", J.Arr (List.map Fr.capture_to_json (Fr.slow Fr.default))) ]))
+
+let run_debug_request core request_id =
+  match find_req_log core request_id with
+  | Some events -> (200, Export.to_chrome_json ~process_name:("xqp request " ^ request_id) events)
+  | None ->
+    ( 404,
+      J.to_string
+        (J.Obj [ ("error", J.Str (Printf.sprintf "no trace for request %s (evicted or unknown)" request_id)) ]) )
+
 let run_health core =
   match Session.query ~deadline_ms:1000 core.session core.config.canary with
   | Ok nodes ->
     (200, J.to_string (J.Obj [ ("status", J.Str "ok"); ("canary", J.Num (float_of_int (List.length nodes))) ]))
   | Error e -> (500, J.to_string (J.Obj [ ("status", J.Str "error"); ("error", Error.to_json e) ]))
 
-let handle core job =
+let debug_request_prefix = "/debug/requests/"
+
+let handle core job ~queue_ms =
   match recv_request job.fd with
   | None -> ()
   | Some req ->
-    let status, content_type, body =
+    let status, content_type, extra_headers, body =
       match req.path with
       | "/query" ->
-        let status, body = run_query core job req in
-        (status, "application/json", body)
+        let request_id = Printf.sprintf "r-%d" (Atomic.fetch_and_add core.next_request 1 + 1) in
+        let status, body = run_query core job req ~request_id ~queue_ms in
+        (status, "application/json", [ ("X-Request-Id", request_id) ], body)
       | "/health" ->
         let status, body = run_health core in
-        (status, "application/json", body)
-      | "/metrics" -> (200, "text/plain; version=0.0.4", Export.to_prometheus Metrics.default)
+        (status, "application/json", [], body)
+      | "/metrics" -> (200, "text/plain; version=0.0.4", [], Export.to_prometheus Metrics.default)
+      | "/debug/queries" ->
+        let status, body = run_debug_queries req.params in
+        (status, "application/json", [], body)
+      | "/debug/slow" ->
+        let status, body = run_debug_slow () in
+        (status, "application/json", [], body)
+      | path when String.starts_with ~prefix:debug_request_prefix path ->
+        let id =
+          String.sub path (String.length debug_request_prefix)
+            (String.length path - String.length debug_request_prefix)
+        in
+        let status, body = run_debug_request core id in
+        (status, "application/json", [], body)
       | other ->
         ( 404,
           "application/json",
+          [],
           Response.to_string
             (Response.error ~query:"" ~mode:"xpath"
                (Error.Bad_request (Printf.sprintf "no such endpoint %s" other))) )
     in
-    respond job.fd ~status ~content_type body
+    respond job.fd ~status ~content_type ~extra_headers body
 
 (* --- domains ------------------------------------------------------------- *)
 
@@ -343,9 +584,11 @@ let worker core index () =
     | None -> ()
     | Some job ->
       let t0 = Unix.gettimeofday () in
+      let queue_ms = (t0 -. job.enqueued) *. 1000.0 in
+      Metrics.observe core.m_queue_wait queue_ms;
       Metrics.incr core.m_requests;
       Metrics.incr m_requests;
-      (try handle core job with _ -> Metrics.incr core.m_errors);
+      (try handle core job ~queue_ms with _ -> Metrics.incr core.m_errors);
       (try Unix.close job.fd with Unix.Unix_error _ -> ());
       let t1 = Unix.gettimeofday () in
       Metrics.add m_busy (int_of_float ((t1 -. t0) *. 1e6));
@@ -425,13 +668,22 @@ let start ?(config = default_config) session =
       nonempty = Condition.create ();
       accepting = Atomic.make true;
       draining = Atomic.make false;
+      next_request = Atomic.make 0;
+      req_log =
+        {
+          rl_guard = Dsan.guard "Server request log";
+          rl_slots = Array.make 256 None;
+          rl_head = 0;
+        };
       m_accepted = Metrics.counter m "serve.accepted";
       m_rejected = Metrics.counter m "serve.rejected";
       m_requests = Metrics.counter m "serve.requests";
       m_errors = Metrics.counter m "serve.errors";
       m_timeouts = Metrics.counter m "serve.timeouts";
+      m_slow = Metrics.counter m "serve.slow_captures";
       m_queue_depth = Metrics.gauge m "serve.queue_depth";
       m_latency = Metrics.histogram m "serve.latency_ms";
+      m_queue_wait = Metrics.histogram m "serve.queue_wait_ms";
     }
   in
   (* Build the lazy executor artifacts (store, statistics, index) once on

@@ -11,13 +11,27 @@
     Endpoints (HTTP/1.1, one request per connection):
     - [GET /query?q=…&mode=xpath|xquery&engine=…&deadline_ms=…&no_cache=1]
       (or POST with the same fields as a JSON body) → a {!Response}
-      body. The deadline clock starts at {e enqueue}: time spent waiting
-      in the queue counts against it.
+      body carrying [request_id] and [queue_ms]; the id is also echoed
+      as the [X-Request-Id] header. The deadline clock starts at
+      {e enqueue}: time spent waiting in the queue counts against it.
     - [GET /health] → canary query probe (200/500).
     - [GET /metrics] → Prometheus text exposition of
       {!Xqp_obs.Metrics.default}, including the [serve.*] family
-      (accepted/rejected/requests/errors/timeouts counters, queue_depth
-      gauge, latency_ms histogram, per-domain requests and busy_us).
+      (accepted/rejected/requests/errors/timeouts/slow_captures
+      counters, queue_depth gauge, latency_ms and queue_wait_ms
+      histograms, per-domain requests and busy_us).
+    - [GET /debug/queries?k=20&by=total_ms|count|max_ms|q_error] →
+      top-K flight-recorder fingerprints as JSON
+      ({!Xqp_obs.Flight_recorder.top}), plus the store's drop count.
+    - [GET /debug/slow] → captured slow queries (full plan, per-operator
+      actual-vs-estimated rows, span count), most recent first.
+    - [GET /debug/requests/<id>] → that request's span tree as Chrome
+      trace JSON, while it remains in the bounded request log (256
+      entries; evicted traces 404).
+
+    Every served query runs under its own request-scoped tracer
+    (DESIGN.md §13) — concurrent domains never share an open-span
+    stack — and is folded into {!Xqp_obs.Flight_recorder.default}.
 
     No toplevel mutable state: everything lives in the handle returned
     by {!start}, so [xqp lint --domains] stays clean. *)
@@ -30,11 +44,16 @@ type config = {
   default_deadline_ms : int option;
       (** applied when a request names no [deadline_ms]; [None] = unbounded *)
   canary : string;    (** the [/health] probe query *)
+  slow_ms : float option;
+      (** capture queries at or over this latency into the slow ring;
+          [None] disables capture *)
+  log_path : string option;
+      (** structured JSONL query log (rotation-safe append); [None] = off *)
 }
 
 val default_config : config
 (** loopback, ephemeral port, 2 domains, queue 64, no default deadline,
-    canary [/*]. *)
+    canary [/*], no slow capture, no query log. *)
 
 type t
 (** A running server (acceptor + workers). *)

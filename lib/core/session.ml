@@ -82,34 +82,180 @@ let catching_query ?deadline_ms f =
     Error (Error.Timeout { deadline_ms = Option.value ~default:0 deadline_ms })
   | exception Failure m -> Error (Error.Internal m)
 
-let run ?(engine = Executor.Auto) ?(optimize = true) ?(use_cache = true) ?deadline_ms t q =
-  catching_query ?deadline_ms (fun () ->
-      let deadline = deadline_of_ms deadline_ms in
-      let t0 = Unix.gettimeofday () in
-      let physical, cache =
-        Executor.compile_query_info t.exec ~strategy:engine ~optimize ~use_cache q
-      in
-      let nodes =
-        Executor.run_physical t.exec ?deadline physical ~context:[ Ops.document_context ]
-      in
+(* --- profiled queries: the flight-recorder feed -------------------------- *)
+
+module Tr = Xqp_obs.Trace
+module Fr = Xqp_obs.Flight_recorder
+module M = Xqp_obs.Metrics
+
+type profiled = {
+  result : query_result;
+  fingerprint : string;
+  physical : Pp.t;
+  ops : Executor.op_stat list;
+  worst_q_error : float;
+  pages_read : int;
+}
+
+(* The same handle the pager bumps; per-query page accounting is the
+   delta around the run — exact single-domain, approximate when other
+   domains read pages concurrently (DESIGN.md §13). *)
+let m_pager_reads = M.counter M.default "pager.logical_reads"
+
+let worst_q ops =
+  List.fold_left (fun acc (o : Executor.op_stat) -> Float.max acc o.Executor.os_q) 1.0 ops
+
+let is_timeout = function Error.Timeout _ -> true | _ -> false
+
+(* [run] with the observability side channels: a sample folded into the
+   flight recorder on every outcome that produced a plan, and the
+   compiled plan + accounting exposed to the caller for slow-query
+   capture.
+
+   Collection is two-level. The always-on recorder takes a plan-level
+   sample — fingerprint off the plan cache, rows, pages, one root-level
+   q-error — whose cost is a few hundred nanoseconds and fits the OBSREC
+   ≤2% gate. Per-operator [op_stat] rows (wall time, actual-vs-estimated
+   per operator) cost two clock reads and a histogram point per
+   operator, so they are collected only when a request trace is enabled
+   or the caller arms [profile_ops] — the server does so exactly when
+   slow-query capture ([--slow-ms]) is on. When the recorder is disabled
+   and neither is armed, the executor runs the unobserved fast path —
+   the recorder-off baseline the OBSREC gate compares against. *)
+let run_profiled ?(engine = Executor.Auto) ?(optimize = true) ?(use_cache = true) ?deadline_ms
+    ?trace ?(profile_ops = false) ?(recorder = Fr.default) t q =
+  let recording = Fr.enabled recorder in
+  let tracing = match trace with Some tr -> Tr.enabled tr | None -> false in
+  let profiling = tracing || profile_ops in
+  let collect = recording || profiling in
+  let stats = if profiling then Some (ref []) else None in
+  let compiled = ref None in
+  let pages0 = if collect then M.value m_pager_reads else 0 in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    catching_query ?deadline_ms (fun () ->
+        let deadline = deadline_of_ms deadline_ms in
+        let physical, fingerprint, cache =
+          Executor.compile_query_fp t.exec ~strategy:engine ~optimize ~use_cache q
+        in
+        compiled := Some (physical, cache, fingerprint);
+        let execute () =
+          Executor.run_physical t.exec ?deadline ?trace ?stats physical
+            ~context:[ Ops.document_context ]
+        in
+        match trace with
+        | Some tr when Tr.enabled tr ->
+          Tr.with_span tr
+            ~attrs:[ ("query", Tr.Str q); ("mode", Tr.Str "xpath") ]
+            "query"
+            (fun _ -> execute ())
+        | _ -> execute ())
+  in
+  let time_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let pages_read = if collect then max 0 (M.value m_pager_reads - pages0) else 0 in
+  let ops = match stats with Some r -> List.rev !r | None -> [] in
+  let sample ~rows ~cache ~failed ~deadline_missed ~worst_q_error fingerprint =
+    {
+      Fr.fingerprint;
+      query = q;
+      mode = "xpath";
+      latency_ms = time_ms;
+      rows;
+      pages_read;
+      cache_hit = cache = Executor.Cache_hit;
+      deadline_missed;
+      failed;
+      worst_q_error;
+    }
+  in
+  match outcome with
+  | Ok nodes ->
+    let physical, cache, fingerprint = Option.get !compiled in
+    let rows = List.length nodes in
+    (* Per-op rows already fed the q-error histogram inside the
+       executor; the plan-level path feeds it exactly once here. *)
+    let worst_q_error =
+      if profiling then worst_q ops
+      else if recording then Executor.plan_q_error physical ~actual:rows
+      else 1.0
+    in
+    if recording then
+      Fr.record recorder
+        (sample ~rows ~cache ~failed:false ~deadline_missed:false ~worst_q_error fingerprint);
+    Ok
       {
-        nodes;
-        engine = plan_engines physical;
-        cache;
-        time_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
-      })
+        result = { nodes; engine = plan_engines physical; cache; time_ms };
+        fingerprint;
+        physical;
+        ops;
+        worst_q_error;
+        pages_read;
+      }
+  | Error e ->
+    (match !compiled with
+    | Some (_, cache, fingerprint) when recording ->
+      Fr.record recorder
+        (sample ~rows:0 ~cache ~failed:true ~deadline_missed:(is_timeout e)
+           ~worst_q_error:(worst_q ops) fingerprint)
+    | _ -> ());
+    Error e
+
+let run ?engine ?optimize ?use_cache ?deadline_ms t q =
+  Result.map
+    (fun p -> p.result)
+    (run_profiled ?engine ?optimize ?use_cache ?deadline_ms t q)
 
 let query ?engine ?optimize ?use_cache ?deadline_ms t q =
   Result.map (fun r -> r.nodes) (run ?engine ?optimize ?use_cache ?deadline_ms t q)
 
 type xquery_result = { value : Algebra.Value.t; time_ms : float }
 
-let run_xquery ?engine ?deadline_ms t q =
-  catching_query ?deadline_ms (fun () ->
-      let deadline = deadline_of_ms deadline_ms in
-      let t0 = Unix.gettimeofday () in
-      let value = Xqp_xquery.Eval.eval_query t.exec ?strategy:engine ?deadline q in
-      { value; time_ms = (Unix.gettimeofday () -. t0) *. 1000.0 })
+(* XQuery plans have no logical fingerprint; the recorder keys them by
+   source text. The request trace gets a single query-level span — the
+   evaluator's internal executor calls still trace into [Trace.default]
+   only when that tracer is explicitly enabled. *)
+let run_xquery_profiled ?engine ?deadline_ms ?trace ?(recorder = Fr.default) t q =
+  let recording = Fr.enabled recorder in
+  let pages0 = if recording then M.value m_pager_reads else 0 in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    catching_query ?deadline_ms (fun () ->
+        let deadline = deadline_of_ms deadline_ms in
+        let eval () = Xqp_xquery.Eval.eval_query t.exec ?strategy:engine ?deadline q in
+        match trace with
+        | Some tr when Tr.enabled tr ->
+          Tr.with_span tr
+            ~attrs:[ ("query", Tr.Str q); ("mode", Tr.Str "xquery") ]
+            "query"
+            (fun _ -> eval ())
+        | _ -> eval ())
+  in
+  let time_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let record ~rows ~failed ~deadline_missed =
+    if recording then
+      Fr.record recorder
+        {
+          Fr.fingerprint = "xquery:" ^ q;
+          query = q;
+          mode = "xquery";
+          latency_ms = time_ms;
+          rows;
+          pages_read = max 0 (M.value m_pager_reads - pages0);
+          cache_hit = false;
+          deadline_missed;
+          failed;
+          worst_q_error = 1.0;
+        }
+  in
+  match outcome with
+  | Ok value ->
+    record ~rows:(List.length value) ~failed:false ~deadline_missed:false;
+    Ok { value; time_ms }
+  | Error e ->
+    record ~rows:0 ~failed:true ~deadline_missed:(is_timeout e);
+    Error e
+
+let run_xquery ?engine ?deadline_ms t q = run_xquery_profiled ?engine ?deadline_ms t q
 
 let xquery ?engine ?deadline_ms t q =
   Result.map (fun r -> r.value) (run_xquery ?engine ?deadline_ms t q)

@@ -176,14 +176,19 @@ let to_prometheus ?(namespace = "xqp") metrics =
   List.iter
     (fun (name, reading) ->
       let pname = prometheus_name namespace name in
+      (* Scrapers warn on a TYPE without a HELP; the registry carries no
+         prose, so describe the metric by its registered dotted name. *)
       match (reading : Metrics.reading) with
       | Metrics.Counter_v v ->
+        line "# HELP %s_total Counter %s from the xqp metrics registry." pname name;
         line "# TYPE %s_total counter" pname;
         line "%s_total %d" pname v
       | Metrics.Gauge_v v ->
+        line "# HELP %s Gauge %s from the xqp metrics registry." pname name;
         line "# TYPE %s gauge" pname;
         line "%s %s" pname (prometheus_num v)
       | Metrics.Histogram_v h ->
+        line "# HELP %s Histogram %s from the xqp metrics registry." pname name;
         line "# TYPE %s histogram" pname;
         let cumulative = ref 0 in
         List.iter

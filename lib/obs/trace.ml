@@ -90,6 +90,11 @@ let start t ?(attrs = []) name =
 
 let add_attrs span attrs = if span.s_real then span.s_attrs <- span.s_attrs @ attrs
 
+(* Ring overflow is silent by design (oldest events drop first); surface
+   the loss in /metrics so operators can size the ring. Per-tracer counts
+   stay queryable through [dropped]. *)
+let m_dropped = Metrics.counter Metrics.default "trace.dropped"
+
 let record t span t1 =
   let event =
     {
@@ -102,7 +107,11 @@ let record t span t1 =
       attrs = span.s_attrs;
     }
   in
-  if t.count = t.capacity then t.lost <- t.lost + 1 else t.count <- t.count + 1;
+  if t.count = t.capacity then begin
+    t.lost <- t.lost + 1;
+    Metrics.incr m_dropped
+  end
+  else t.count <- t.count + 1;
   t.ring.(t.head) <- Some event;
   t.head <- (t.head + 1) mod t.capacity
 

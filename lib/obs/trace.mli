@@ -66,7 +66,9 @@ val events : t -> event list
     precede their children even though they complete after them. *)
 
 val dropped : t -> int
-(** Events lost to ring overflow since the last {!clear}. *)
+(** Events lost to ring overflow since the last {!clear}. Every drop
+    (from any tracer) also bumps the [trace.dropped] counter in
+    {!Metrics.default}, so overflow is visible in [/metrics]. *)
 
 val attr : event -> string -> value option
 val attr_int : event -> string -> int option

@@ -42,9 +42,10 @@ done
 for p in $cpids; do
   wait "$p" || { echo "serve-smoke: a concurrent client failed"; exit 1; }
 done
-# per-call fields (time_ms, plan-cache hit/miss) legitimately vary;
-# the query, results and engine must not
-strip() { sed -e 's/"time_ms":[0-9.]*//' -e 's/"cache":"[a-z]*"//' "$1"; }
+# per-call fields (time_ms, plan-cache hit/miss, request provenance)
+# legitimately vary; the query, results and engine must not
+strip() { sed -e 's/"time_ms":[0-9.]*//' -e 's/"cache":"[a-z]*"//' \
+              -e 's/"request_id":"[^"]*"//' -e 's/"queue_ms":[0-9.]*//' "$1"; }
 for i in $(seq 1 $n); do
   grep -q '"status":"ok"' "$dir/r$i.json" || { echo "serve-smoke: client $i not ok"; cat "$dir/r$i.json"; exit 1; }
   strip "$dir/r1.json" > "$dir/want.stripped"
@@ -52,6 +53,19 @@ for i in $(seq 1 $n); do
   cmp -s "$dir/want.stripped" "$dir/got.stripped" || {
     echo "serve-smoke: client $i answer differs"; exit 1; }
 done
+
+# request ids: the X-Request-Id header must echo the body's request_id
+curl -sf -D "$dir/hdrs.txt" -G "$base/query" --data-urlencode "q=//person/name" > "$dir/rid.json"
+hdr_id=$(sed -n 's/^[Xx]-[Rr]equest-[Ii]d: *\(r-[0-9]*\).*/\1/p' "$dir/hdrs.txt")
+[ -n "$hdr_id" ] || { echo "serve-smoke: no X-Request-Id header"; cat "$dir/hdrs.txt"; exit 1; }
+grep -q "\"request_id\":\"$hdr_id\"" "$dir/rid.json" || {
+  echo "serve-smoke: X-Request-Id $hdr_id does not match body"; cat "$dir/rid.json"; exit 1; }
+
+# flight recorder: /debug/queries must show the fingerprint the batch ran
+curl -sf "$base/debug/queries?k=5" > "$dir/debug.json"
+grep -q '"query":"//person/name"' "$dir/debug.json" || {
+  echo "serve-smoke: //person/name missing from /debug/queries"; cat "$dir/debug.json"; exit 1; }
+grep -q '"count":' "$dir/debug.json" || { echo "serve-smoke: /debug/queries lacks counts"; exit 1; }
 
 # an XQuery request and a structured error response
 curl -sf "$base/query?q=count(//person)&mode=xquery" | grep -q '"status":"ok"' \
@@ -62,6 +76,7 @@ curl -s "$base/query" | grep -q '"code":"bad-request"' \
 # metrics scrape: prometheus text format with the serve.* family
 curl -sf "$base/metrics" > "$dir/metrics.txt"
 grep -q '^# TYPE' "$dir/metrics.txt" || { echo "serve-smoke: no TYPE lines in /metrics"; exit 1; }
+grep -q '^# HELP' "$dir/metrics.txt" || { echo "serve-smoke: no HELP lines in /metrics"; exit 1; }
 for m in xqp_serve_requests_total xqp_serve_accepted_total xqp_serve_queue_depth \
          xqp_serve_latency_ms_bucket xqp_serve_domain_0_requests_total; do
   grep -q "$m" "$dir/metrics.txt" || { echo "serve-smoke: $m missing from /metrics"; exit 1; }
@@ -79,4 +94,4 @@ fi
 grep -q 'stopped' "$dir/serve.log" || { echo "serve-smoke: no clean shutdown line"; cat "$dir/serve.log"; exit 1; }
 pid=""
 
-echo "serve-smoke: health + concurrent queries + metrics + graceful shutdown OK"
+echo "serve-smoke: health + concurrent queries + request ids + flight recorder + metrics + graceful shutdown OK"

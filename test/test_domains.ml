@@ -231,6 +231,85 @@ let test_executors_across_domains () =
   check_bool "auction counts match baseline" true (got_a = base_a);
   check_bool "bib counts match baseline" true (got_b = base_b)
 
+(* ------------------------------------------------------------------ *)
+(* Request-scoped tracing and the flight recorder across domains       *)
+(* ------------------------------------------------------------------ *)
+
+let obs_session () =
+  Xqp.Session.of_document (Xqp_workload.Gen_auction.packed ~scale:200 ())
+
+let obs_queries =
+  [| "/site/people/person/name"; "//item//keyword"; "/site//person"; "//person/name" |]
+
+(* run one query under a fresh per-request tracer and return its events *)
+let traced_events session q =
+  let tr = Trace.create () in
+  Trace.set_enabled tr true;
+  (match Xqp.Session.run_profiled ~trace:tr session q with
+  | Ok _ -> ()
+  | Error e -> failwith (Xqp.Error.message e));
+  Trace.events tr
+
+let test_request_tracers_isolated () =
+  (* One tracer per request, four domains running different queries at
+     once: every recorded tree must balance, contain exactly the spans
+     of its own query (same count as the serial baseline), and carry its
+     own query text — no interleaving across domains. *)
+  let session = obs_session () in
+  let baseline = Array.map (fun q -> List.length (traced_events session q)) obs_queries in
+  let rounds = 5 in
+  let results = Array.make domains [] in
+  spawn_all domains (fun d ->
+      results.(d) <- List.init rounds (fun _ -> traced_events session obs_queries.(d)));
+  Array.iteri
+    (fun d per_round ->
+      List.iter
+        (fun events ->
+          check_int
+            (Printf.sprintf "domain %d span count matches serial baseline" d)
+            baseline.(d) (List.length events);
+          check_bool "tree balanced" true (Test_obs.events_balance events);
+          match events with
+          | (root : Trace.event) :: _ ->
+            check_bool "root is the query span" true (root.Trace.name = "query");
+            check_bool "root carries its own query text" true
+              (List.assoc_opt "query" root.Trace.attrs = Some (Trace.Str obs_queries.(d)))
+          | [] -> Alcotest.fail "no spans recorded")
+        per_round)
+    results
+
+let test_flight_recorder_matches_serial () =
+  (* Four domains folding the same workload into one recorder must land
+     exactly the per-fingerprint counts (and row totals) of a serial run
+     of the same multiset of queries. *)
+  let session = obs_session () in
+  let queries = Array.to_list obs_queries in
+  (* Warm serially before spawning: the executor's lazy artifacts
+     (statistics, hints) and the plan cache are built on first use, and
+     [Lazy.force] is not safe to race from two domains. *)
+  List.iter (fun q -> ignore (Xqp.Session.query session q)) queries;
+  let rounds = 3 in
+  let concurrent = Flight_recorder.create () in
+  spawn_all domains (fun _ ->
+      for _ = 1 to rounds do
+        List.iter
+          (fun q -> ignore (Xqp.Session.run_profiled ~recorder:concurrent session q))
+          queries
+      done);
+  let serial = Flight_recorder.create () in
+  for _ = 1 to domains * rounds do
+    List.iter (fun q -> ignore (Xqp.Session.run_profiled ~recorder:serial session q)) queries
+  done;
+  let key (s : Flight_recorder.stat) =
+    (s.Flight_recorder.st_fingerprint, s.Flight_recorder.st_count, s.Flight_recorder.st_rows)
+  in
+  let snapshot r = List.sort compare (List.map key (Flight_recorder.stats r)) in
+  check_int "one entry per distinct fingerprint" (List.length queries)
+    (List.length (Flight_recorder.stats concurrent));
+  check_bool "per-fingerprint counts equal serial baseline" true
+    (snapshot concurrent = snapshot serial);
+  check_int "nothing dropped" 0 (Flight_recorder.dropped concurrent)
+
 let suite =
   [
     ( "domains",
@@ -247,5 +326,9 @@ let suite =
         Alcotest.test_case "dsan: silent when off" `Quick test_owner_silent_when_off;
         Alcotest.test_case "dsan: guard held assertion" `Quick test_guard_assert_held;
         Alcotest.test_case "executors on separate domains" `Quick test_executors_across_domains;
+        Alcotest.test_case "request tracers isolated across domains" `Quick
+          test_request_tracers_isolated;
+        Alcotest.test_case "flight recorder matches serial baseline" `Quick
+          test_flight_recorder_matches_serial;
       ] );
   ]

@@ -191,6 +191,165 @@ let test_disabled_tracer_no_allocation () =
     (w1 -. w0 < 100.0);
   check_int "nothing recorded" 0 (List.length (Trace.events tr))
 
+let test_trace_dropped_metric () =
+  (* ring overflow is visible globally, not only via the per-tracer
+     accessor: every lost span bumps trace.dropped in the default
+     registry *)
+  let c = Metrics.counter Metrics.default "trace.dropped" in
+  let before = Metrics.value c in
+  let tr = Trace.create ~capacity:2 () in
+  Trace.set_enabled tr true;
+  for _ = 1 to 5 do
+    Trace.with_span tr "s" (fun _ -> ())
+  done;
+  check_int "tracer-local dropped" 3 (Trace.dropped tr);
+  check_int "global trace.dropped delta" (before + 3) (Metrics.value c)
+
+(* --- flight recorder ----------------------------------------------------- *)
+
+let fr_sample ?(fingerprint = "T(q)") ?(query = "//q") ?(latency_ms = 1.0) ?(rows = 3)
+    ?(cache_hit = false) ?(failed = false) ?(deadline_missed = false) ?(q_error = 1.0) () =
+  {
+    Flight_recorder.fingerprint;
+    query;
+    mode = "xpath";
+    latency_ms;
+    rows;
+    pages_read = 2;
+    cache_hit;
+    deadline_missed;
+    failed;
+    worst_q_error = q_error;
+  }
+
+let test_flight_recorder_aggregates () =
+  let r = Flight_recorder.create () in
+  check_bool "recorders start enabled" true (Flight_recorder.enabled r);
+  List.iter
+    (Flight_recorder.record r)
+    [
+      fr_sample ~latency_ms:1.0 ();
+      fr_sample ~latency_ms:3.0 ~cache_hit:true ~q_error:5.5 ();
+      fr_sample ~latency_ms:2.0 ~failed:true ~deadline_missed:true ~rows:0 ();
+      fr_sample ~fingerprint:"T(p)" ~query:"//p" ~latency_ms:10.0 ();
+    ];
+  check_int "two fingerprints" 2 (List.length (Flight_recorder.stats r));
+  let st =
+    List.find
+      (fun s -> s.Flight_recorder.st_fingerprint = "T(q)")
+      (Flight_recorder.stats r)
+  in
+  check_int "count" 3 st.Flight_recorder.st_count;
+  check_int "errors" 1 st.Flight_recorder.st_errors;
+  check_int "cache hits" 1 st.Flight_recorder.st_cache_hits;
+  check_int "deadline misses" 1 st.Flight_recorder.st_deadline_misses;
+  check_bool "total latency" true (Float.abs (st.Flight_recorder.st_total_ms -. 6.0) < 1e-9);
+  check_bool "max latency" true (st.Flight_recorder.st_max_ms = 3.0);
+  check_bool "worst q-error" true (st.Flight_recorder.st_worst_q_error = 5.5);
+  check_int "rows summed" 6 st.Flight_recorder.st_rows;
+  (* percentiles are log2-bucket upper bounds: 1, 2 and 3 ms land in
+     buckets whose bounds bracket the true medians *)
+  check_bool "p50 sane" true
+    (st.Flight_recorder.st_p50_ms >= 1.0 && st.Flight_recorder.st_p50_ms <= 4.0);
+  check_bool "p99 sane" true (st.Flight_recorder.st_p99_ms >= st.Flight_recorder.st_p50_ms);
+  (match Flight_recorder.top ~k:1 ~by:`Count r with
+  | [ first ] -> check_string "top by count" "T(q)" first.Flight_recorder.st_fingerprint
+  | _ -> Alcotest.fail "top ~k:1 must yield one entry");
+  (match Flight_recorder.top ~k:1 ~by:`Total_ms r with
+  | [ first ] -> check_string "top by total" "T(p)" first.Flight_recorder.st_fingerprint
+  | _ -> Alcotest.fail "top ~k:1 must yield one entry");
+  check_bool "by_of_string" true
+    (Flight_recorder.by_of_string "q_error" = Some `Q_error
+    && Flight_recorder.by_of_string "nope" = None);
+  (* disabling short-circuits record *)
+  Flight_recorder.set_enabled r false;
+  Flight_recorder.record r (fr_sample ());
+  let st' =
+    List.find
+      (fun s -> s.Flight_recorder.st_fingerprint = "T(q)")
+      (Flight_recorder.stats r)
+  in
+  check_int "disabled recorder records nothing" 3 st'.Flight_recorder.st_count
+
+let test_flight_recorder_capacity_and_reset () =
+  let r = Flight_recorder.create ~shards:1 ~capacity:4 () in
+  for i = 1 to 10 do
+    Flight_recorder.record r (fr_sample ~fingerprint:(Printf.sprintf "f%d" i) ())
+  done;
+  check_int "store capped per shard" 4 (List.length (Flight_recorder.stats r));
+  check_int "refusals counted" 6 (Flight_recorder.dropped r);
+  (* an admitted fingerprint still accumulates after the cap is hit *)
+  Flight_recorder.record r (fr_sample ~fingerprint:"f1" ());
+  let f1 =
+    List.find (fun s -> s.Flight_recorder.st_fingerprint = "f1") (Flight_recorder.stats r)
+  in
+  check_int "known fingerprint accumulates" 2 f1.Flight_recorder.st_count;
+  check_int "no new refusal for a known key" 6 (Flight_recorder.dropped r);
+  Flight_recorder.reset r;
+  check_int "reset empties the store" 0 (List.length (Flight_recorder.stats r));
+  check_int "reset zeroes dropped" 0 (Flight_recorder.dropped r);
+  check_int "reset empties the ring" 0 (List.length (Flight_recorder.slow r))
+
+let test_flight_recorder_slow_ring () =
+  let r = Flight_recorder.create ~slow_capacity:3 () in
+  let cap i =
+    {
+      Flight_recorder.cap_request_id = Printf.sprintf "r-%d" i;
+      cap_sample = fr_sample ();
+      cap_plan = "tau //q";
+      cap_ops =
+        [
+          {
+            Flight_recorder.op_path = "0";
+            op_label = "tau(1v)";
+            op_engine = Some "nok";
+            op_est_rows = 4.0;
+            op_actual_rows = 3;
+            op_ms = 0.2;
+          };
+        ];
+      cap_events = [];
+      cap_wall = 0.0;
+    }
+  in
+  for i = 1 to 5 do
+    Flight_recorder.capture r (cap i)
+  done;
+  let ids =
+    List.map (fun c -> c.Flight_recorder.cap_request_id) (Flight_recorder.slow r)
+  in
+  check_bool "most recent first, oldest evicted" true (ids = [ "r-5"; "r-4"; "r-3" ]);
+  (* the JSON rendering carries plan and per-operator rows *)
+  let json = Json.to_string (Flight_recorder.capture_to_json (cap 5)) in
+  check_bool "capture json has plan and operators" true
+    (contains json "tau //q" && contains json "\"actual_rows\":3" && contains json "\"est_rows\":4")
+
+(* --- prometheus HELP lines ---------------------------------------------- *)
+
+let test_prometheus_help_lines () =
+  let reg = Metrics.create () in
+  Metrics.incr (Metrics.counter reg "help.counter");
+  Metrics.set (Metrics.gauge reg "help.gauge") 1.0;
+  Metrics.observe (Metrics.histogram reg "help.hist") 2.0;
+  let lines = String.split_on_char '\n' (Export.to_prometheus reg) in
+  let starts p l = String.length l >= String.length p && String.sub l 0 (String.length p) = p in
+  let typed = List.filter (starts "# TYPE ") lines in
+  let helped = List.filter (starts "# HELP ") lines in
+  check_int "one HELP per TYPE" (List.length typed) (List.length helped);
+  check_int "all three kinds typed" 3 (List.length typed);
+  (* each TYPE line is immediately preceded by the HELP line for the
+     same exposition name *)
+  let name l = List.nth (String.split_on_char ' ' l) 2 in
+  let rec walk = function
+    | h :: t :: rest when starts "# TYPE " t ->
+      check_bool "HELP precedes TYPE" true (starts "# HELP " h);
+      check_string "same metric name" (name t) (name h);
+      walk (t :: rest)
+    | _ :: rest -> walk rest
+    | [] -> ()
+  in
+  walk lines
+
 (* --- chrome export round-trip ------------------------------------------- *)
 
 let sample_events () =
@@ -342,6 +501,12 @@ let suite =
         Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
         Alcotest.test_case "disabled tracer allocates nothing" `Quick
           test_disabled_tracer_no_allocation;
+        Alcotest.test_case "trace.dropped metric" `Quick test_trace_dropped_metric;
+        Alcotest.test_case "flight recorder aggregates" `Quick test_flight_recorder_aggregates;
+        Alcotest.test_case "flight recorder capacity and reset" `Quick
+          test_flight_recorder_capacity_and_reset;
+        Alcotest.test_case "flight recorder slow ring" `Quick test_flight_recorder_slow_ring;
+        Alcotest.test_case "prometheus HELP lines" `Quick test_prometheus_help_lines;
         Alcotest.test_case "chrome export round trip" `Quick test_chrome_round_trip;
         Alcotest.test_case "tsv and profile tree" `Quick test_export_tsv_and_tree;
         Alcotest.test_case "analyze matches Executor.run" `Quick test_analyze_matches_run;

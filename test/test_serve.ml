@@ -23,8 +23,8 @@ let bib_session () = Session.of_document (Xqp_workload.Gen_bib.packed ~books:12 
 (* --- a minimal HTTP client ------------------------------------------- *)
 
 (* One request per connection (the server sends Connection: close), read
-   to EOF, split status line from body. *)
-let http_request ~port ~path ?(meth = "GET") ?(body = "") () =
+   to EOF, split status line + headers from body. *)
+let http_request_full ~port ~path ?(meth = "GET") ?(body = "") () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
@@ -53,17 +53,33 @@ let http_request ~port ~path ?(meth = "GET") ?(body = "") () =
       let status =
         match String.split_on_char ' ' raw with _ :: code :: _ -> int_of_string code | _ -> 0
       in
-      let body =
+      let headers, body =
         (* find the header/body separator *)
         let rec split i =
-          if i + 3 >= String.length raw then ""
+          if i + 3 >= String.length raw then ("", "")
           else if String.sub raw i 4 = "\r\n\r\n" then
-            String.sub raw (i + 4) (String.length raw - i - 4)
+            (String.sub raw 0 i, String.sub raw (i + 4) (String.length raw - i - 4))
           else split (i + 1)
         in
         split 0
       in
-      (status, body))
+      (status, headers, body))
+
+let http_request ~port ~path ?(meth = "GET") ?(body = "") () =
+  let status, _, body = http_request_full ~port ~path ~meth ~body () in
+  (status, body)
+
+(* scrape one header value (case-insensitive name) from the raw block *)
+let header_value name headers =
+  let lower = String.lowercase_ascii in
+  List.find_map
+    (fun line ->
+      let line = String.trim line in
+      match String.index_opt line ':' with
+      | Some i when lower (String.sub line 0 i) = lower name ->
+        Some (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+      | _ -> None)
+    (String.split_on_char '\n' headers)
 
 let url_encode s =
   let b = Buffer.create (String.length s) in
@@ -274,6 +290,138 @@ let test_health_and_metrics () =
       check_bool "latency histogram" true (has "xqp_serve_latency_ms_bucket");
       check_bool "per-domain counters" true (has "xqp_serve_domain_0_requests_total"))
 
+(* --- request ids and the debug endpoints ------------------------------- *)
+
+let decode_response body =
+  match Response.of_string body with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "undecodable response %S: %s" body m
+
+let test_request_id_echo () =
+  let session = bib_session () in
+  with_server session (fun server ->
+      let port = Server.port server in
+      let status, headers, body =
+        http_request_full ~port ~path:(query_url "//book/title") ()
+      in
+      check_int "status" 200 status;
+      let hdr =
+        match header_value "X-Request-Id" headers with
+        | Some v -> v
+        | None -> Alcotest.fail "no X-Request-Id header"
+      in
+      let r = decode_response body in
+      check_bool "body carries the id" true (r.Response.request_id = Some hdr);
+      check_bool "queue wait reported" true
+        (match r.Response.queue_ms with Some q -> q >= 0.0 | None -> false);
+      (* ids are distinct per request *)
+      let _, headers2, body2 = http_request_full ~port ~path:(query_url "//book/title") () in
+      let hdr2 = Option.get (header_value "X-Request-Id" headers2) in
+      check_bool "second id distinct" true (hdr <> hdr2);
+      check_bool "second body matches its header" true
+        ((decode_response body2).Response.request_id = Some hdr2))
+
+let test_debug_queries_exact_counts () =
+  (* After a recorder reset, n requests for one query across 4 client
+     domains must surface in /debug/queries as exactly n — the
+     acceptance check for lossless recording under concurrency. *)
+  let session = bib_session () in
+  let config = { Server.default_config with Server.domains = 4 } in
+  with_server ~config session (fun server ->
+      let port = Server.port server in
+      Xqp_obs.Flight_recorder.reset Xqp_obs.Flight_recorder.default;
+      let per_domain = 3 in
+      let clients =
+        Array.init 4 (fun _ ->
+            Domain.spawn (fun () ->
+                List.init per_domain (fun _ ->
+                    http_request ~port ~path:(query_url "//book/author") ())))
+      in
+      let answers = Array.to_list (Array.map Domain.join clients) in
+      List.iter
+        (List.iter (fun (status, _) -> check_int "client ok" 200 status))
+        answers;
+      let status, body = http_request ~port ~path:"/debug/queries?k=10&by=count" () in
+      check_int "debug status" 200 status;
+      let json = Xqp_obs.Json.parse body in
+      let entries =
+        match Xqp_obs.Json.(member "queries" json) with
+        | Some (Xqp_obs.Json.Arr l) -> l
+        | _ -> Alcotest.fail "no queries array"
+      in
+      let entry =
+        match
+          List.find_opt
+            (fun e -> Xqp_obs.Json.(member "query" e) = Some (Xqp_obs.Json.Str "//book/author"))
+            entries
+        with
+        | Some e -> e
+        | None -> Alcotest.fail "//book/author missing from /debug/queries"
+      in
+      (match Xqp_obs.Json.(member "count" entry) with
+      | Some (Xqp_obs.Json.Num n) ->
+        check_int "count equals requests served" (4 * per_domain) (int_of_float n)
+      | _ -> Alcotest.fail "entry lacks count");
+      (* a bad sort key is a structured 400, not a crash *)
+      let status, _ = http_request ~port ~path:"/debug/queries?by=bogus" () in
+      check_int "bad sort key rejected" 400 status)
+
+let test_debug_slow_and_request_trace () =
+  (* slow_ms = 0 captures everything: the capture must carry the plan
+     and per-operator actual-vs-estimated rows, and the request's span
+     tree must be retrievable as Chrome trace JSON. *)
+  let session = bib_session () in
+  let config = { Server.default_config with Server.slow_ms = Some 0.0 } in
+  with_server ~config session (fun server ->
+      let port = Server.port server in
+      Xqp_obs.Flight_recorder.reset Xqp_obs.Flight_recorder.default;
+      let status, body = http_request ~port ~path:(query_url "//book/title") () in
+      check_int "status" 200 status;
+      let rid = Option.get (decode_response body).Response.request_id in
+      let status, slow_body = http_request ~port ~path:"/debug/slow" () in
+      check_int "slow status" 200 status;
+      let slow_json = Xqp_obs.Json.parse slow_body in
+      let captures =
+        match Xqp_obs.Json.(member "slow" slow_json) with
+        | Some (Xqp_obs.Json.Arr l) -> l
+        | _ -> Alcotest.fail "no slow array"
+      in
+      let cap =
+        match
+          List.find_opt
+            (fun c ->
+              Xqp_obs.Json.(member "request_id" c) = Some (Xqp_obs.Json.Str rid))
+            captures
+        with
+        | Some c -> c
+        | None -> Alcotest.failf "request %s missing from /debug/slow" rid
+      in
+      (match Xqp_obs.Json.(member "plan" cap) with
+      | Some (Xqp_obs.Json.Str plan) -> check_bool "plan rendered" true (String.length plan > 0)
+      | _ -> Alcotest.fail "capture lacks plan");
+      (match Xqp_obs.Json.(member "operators" cap) with
+      | Some (Xqp_obs.Json.Arr (_ :: _ as ops)) ->
+        List.iter
+          (fun op ->
+            check_bool "operator has estimate" true
+              (Xqp_obs.Json.(member "est_rows" op) <> None);
+            check_bool "operator has actuals" true
+              (Xqp_obs.Json.(member "actual_rows" op) <> None))
+          ops
+      | _ -> Alcotest.fail "capture lacks operators");
+      (* the per-request span tree, as Chrome trace JSON *)
+      let status, trace_body = http_request ~port ~path:("/debug/requests/" ^ rid) () in
+      check_int "trace status" 200 status;
+      let events = Xqp_obs.Export.of_chrome_json trace_body in
+      check_bool "request span present" true
+        (List.exists (fun (e : Xqp_obs.Trace.event) -> e.Xqp_obs.Trace.name = "request") events);
+      check_bool "query span nested" true
+        (List.exists (fun (e : Xqp_obs.Trace.event) -> e.Xqp_obs.Trace.name = "query") events);
+      check_bool "tree balances" true (Test_obs.events_balance events);
+      (* unknown ids 404 *)
+      let status, _ = http_request ~port ~path:"/debug/requests/r-99999" () in
+      check_int "unknown request id 404s" 404 status)
+
 let test_unknown_endpoint_404 () =
   let session = bib_session () in
   with_server session (fun server ->
@@ -387,7 +535,7 @@ let test_response_roundtrip () =
   let ok =
     Response.ok ~query:"//book/title" ~mode:"xpath"
       ~results:[ "<title>A</title>"; "<title>B &amp; C</title>" ]
-      ~engine:"nok" ~cache:"hit" ~time_ms:1.234
+      ~engine:"nok" ~cache:"hit" ~time_ms:1.234 ()
   in
   let errors =
     [
@@ -401,7 +549,17 @@ let test_response_roundtrip () =
       Error.Internal "boom";
     ]
   in
-  let all = ok :: List.map (fun e -> Response.error ~query:"//x" ~mode:"xquery" e) errors in
+  let with_provenance =
+    [
+      Response.ok ~request_id:"r-7" ~queue_ms:0.125 ~query:"//book" ~mode:"xpath"
+        ~results:[ "<book/>" ] ~engine:"nok" ~cache:"miss" ~time_ms:0.5 ();
+      Response.error ~request_id:"r-8" ~query:"//x" ~mode:"xpath" (Error.Parse "nope");
+    ]
+  in
+  let all =
+    (ok :: List.map (fun e -> Response.error ~query:"//x" ~mode:"xquery" e) errors)
+    @ with_provenance
+  in
   List.iter
     (fun r ->
       let encoded = Response.to_string r in
@@ -433,6 +591,11 @@ let suite =
           test_admission_rejects_when_full;
         Alcotest.test_case "graceful shutdown drains" `Quick test_graceful_shutdown_drains;
         Alcotest.test_case "health and metrics endpoints" `Quick test_health_and_metrics;
+        Alcotest.test_case "request ids echoed and distinct" `Quick test_request_id_echo;
+        Alcotest.test_case "/debug/queries exact counts under load" `Quick
+          test_debug_queries_exact_counts;
+        Alcotest.test_case "/debug/slow and per-request traces" `Quick
+          test_debug_slow_and_request_trace;
         Alcotest.test_case "unknown endpoint 404s" `Quick test_unknown_endpoint_404;
       ] );
     ( "session",
