@@ -1,5 +1,5 @@
 .PHONY: all build test bench bench-full bench-smoke lint mutaudit check examples clean smoke \
-	trace-smoke serve-smoke calibrate
+	trace-smoke serve-smoke corpus-smoke calibrate
 
 all: build
 
@@ -25,9 +25,12 @@ bench-full:
 # 4-domain QPS must reach 0.75 x min(4, cores) x single-domain QPS (3x on
 # a 4-core box). OBSREC gates the flight recorder: a warm profiled round
 # with the recorder enabled must stay within 2% of the recorder-off
-# (unobserved fast path) round.
+# (unobserved fast path) round. CORPUS gates scatter-gather scaling the
+# same way SERVE does (4-domain QPS >= 0.75 x min(4, cores) x 1-domain,
+# writing BENCH_corpus.json) plus the pruning fast path: a query no
+# shard can answer must dispatch nothing and read nothing.
 bench-smoke:
-	dune exec bench/main.exe -- --only=PRIM,E1,QMET,PCACHE,PSUM,DSAFE,SERVE,OBSREC --json=BENCH_prim_nav.json
+	dune exec bench/main.exe -- --only=PRIM,E1,QMET,PCACHE,PSUM,DSAFE,SERVE,OBSREC,CORPUS --json=BENCH_prim_nav.json
 
 # Observability gate: explain --analyze over every workload query, then
 # validate the exported Chrome trace with scripts/check_trace.
@@ -39,6 +42,12 @@ trace-smoke:
 # require a clean drain-and-exit.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Corpus gate: pack a sharded catalog, query it through the CLI, fsck it
+# (clean and corrupted), then serve it over HTTP and scrape the corpus.*
+# metrics family.
+corpus-smoke:
+	./scripts/corpus_smoke.sh
 
 # Estimated vs actual cardinality (q-error) per workload query. The gate
 # fails if any downward-only query — the ones the path summary answers
@@ -60,7 +69,7 @@ lint:
 mutaudit:
 	dune exec --no-print-directory scripts/mutaudit.exe -- --strict lib
 
-check: build test lint mutaudit bench-smoke trace-smoke serve-smoke calibrate
+check: build test lint mutaudit bench-smoke trace-smoke serve-smoke corpus-smoke calibrate
 
 examples:
 	dune exec examples/quickstart.exe

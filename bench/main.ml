@@ -1825,7 +1825,9 @@ let serve_http_get ~port ~path =
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-      let request = Printf.sprintf "GET %s HTTP/1.1\r\nHost: bench\r\n\r\n" path in
+      let request =
+        Printf.sprintf "GET %s HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n" path
+      in
       let bytes = Bytes.of_string request in
       let rec send off =
         if off < Bytes.length bytes then
@@ -2195,6 +2197,183 @@ let () =
           let sample = obsrec_sample 17 in
           Bechamel.Test.make ~name:"OBSREC-record"
             (Bechamel.Staged.stage (fun () -> Xqp_obs.Flight_recorder.record recorder sample)));
+    }
+
+(* ------------------------------------------------------------------ *)
+(* CORPUS: sharded catalogs, scatter-gather scaling, shard pruning     *)
+(* ------------------------------------------------------------------ *)
+
+(* A packed corpus (auction docs plus a bib tail) queried through
+   Session.open_db at 1/2/4 scatter-gather domains. Reports corpus QPS
+   per domain count, written to BENCH_corpus.json, then checks the
+   catalog-level pruning fast path: a query no shard can answer must
+   dispatch nothing, materialize no document and read no pages; a query
+   only the bib shard can answer must dispatch exactly that shard.
+
+   Scaling gate (as SERVE): with 4 domains, QPS must reach at least
+   0.75 x min(4, cores) x the single-domain QPS. *)
+
+let corpus_tmp_dir () =
+  let dir = Filename.temp_file "xqp_bench_corpus" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  dir
+
+let corpus_cleanup dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let corpus_run ~scale =
+  let module J = Xqp_obs.Json in
+  let module Catalog = Xqp_storage.Catalog in
+  let module M = Xqp_obs.Metrics in
+  let auction_docs, doc_scale, rounds =
+    match scale with `Small -> (6, 1200, 12) | `Full -> (12, 2500, 20)
+  in
+  let dir = corpus_tmp_dir () in
+  Fun.protect ~finally:(fun () -> corpus_cleanup dir) @@ fun () ->
+  let docs =
+    List.init auction_docs (fun i ->
+        ( Printf.sprintf "auction%02d" i,
+          fun () -> Document.of_tree (Workload.Gen_auction.document ~seed:i ~scale:doc_scale ())
+        ))
+    @ List.init 2 (fun i ->
+          ( Printf.sprintf "bib%d" i,
+            fun () -> Document.of_tree (Workload.Gen_bib.document ~seed:i ~books:12 ()) ))
+  in
+  let output = Filename.concat dir "corpus.xqdbc" in
+  let cat = Catalog.pack ~shards:4 ~output docs in
+  let xpaths =
+    List.map
+      (fun (q : Workload.Queries.query) -> q.Workload.Queries.xpath)
+      Workload.Queries.auction_paths
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "  corpus: %d documents (auction:%d x%d + bib x2) in %d shards, %d queries x %d rounds, %d \
+     core%s\n"
+    (Catalog.doc_count cat) doc_scale auction_docs (Catalog.shard_count cat)
+    (List.length xpaths) rounds cores
+    (if cores = 1 then "" else "s");
+  let qps_at domains =
+    let session = Result.get_ok (Xqp.Session.open_db ~domains output) in
+    Fun.protect ~finally:(fun () -> Xqp.Session.close session) @@ fun () ->
+    (* warm: lazy per-document executors and the plan cache *)
+    List.iter (fun q -> ignore (Xqp.Session.query session q)) xpaths;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to rounds do
+      List.iter
+        (fun q ->
+          match Xqp.Session.query session q with
+          | Ok _ -> ()
+          | Error e -> failwith (Printf.sprintf "CORPUS: %s failed: %s" q (Xqp.Error.message e)))
+        xpaths
+    done;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    float_of_int (rounds * List.length xpaths) /. elapsed
+  in
+  Printf.printf "  %-8s %12s\n" "domains" "corpus qps";
+  let cells =
+    List.map
+      (fun domains ->
+        let qps = qps_at domains in
+        Printf.printf "  %-8d %12.1f\n%!" domains qps;
+        (domains, qps))
+      [ 1; 2; 4 ]
+  in
+  let qps1 = List.assoc 1 cells and qps4 = List.assoc 4 cells in
+  let expected_speedup = 0.75 *. Float.of_int (min 4 cores) in
+  let speedup = qps4 /. qps1 in
+  Printf.printf
+    "  scaling: 1 domain %.1f qps, 4 domains %.1f qps -> %.2fx (gate %.2fx on %d core%s)\n" qps1
+    qps4 speedup expected_speedup cores
+    (if cores = 1 then "" else "s");
+  if speedup < expected_speedup then
+    failwith
+      (Printf.sprintf "CORPUS: 4-domain speedup %.2fx below the %.2fx gate (%d cores)" speedup
+         expected_speedup cores);
+  (* pruning fast path on a fresh session *)
+  let m_dispatched = M.counter M.default "corpus.shards_dispatched" in
+  let m_pruned = M.counter M.default "corpus.shards_pruned" in
+  let m_materialized = M.counter M.default "corpus.docs_materialized" in
+  let pager_reads () =
+    M.value (M.counter M.default "pager.logical_reads")
+    + M.value (M.counter M.default "pager.physical_reads")
+  in
+  let session = Result.get_ok (Xqp.Session.open_db output) in
+  let pruned_all, dispatched_none, touched_none, book_dispatched =
+    Fun.protect ~finally:(fun () -> Xqp.Session.close session) @@ fun () ->
+    let d0 = M.value m_dispatched and p0 = M.value m_pruned in
+    let mat0 = M.value m_materialized and r0 = pager_reads () in
+    (match Xqp.Session.query session "//nosuchtag" with
+    | Ok [] -> ()
+    | Ok _ -> failwith "CORPUS: //nosuchtag returned nodes"
+    | Error e -> failwith (Xqp.Error.message e));
+    let pruned_all = M.value m_pruned - p0 in
+    let dispatched_none = M.value m_dispatched - d0 in
+    let touched_none = M.value m_materialized - mat0 + (pager_reads () - r0) in
+    let d1 = M.value m_dispatched in
+    (match Xqp.Session.query session "//book/title" with
+    | Ok (_ :: _) -> ()
+    | Ok [] -> failwith "CORPUS: //book/title found nothing"
+    | Error e -> failwith (Xqp.Error.message e));
+    (pruned_all, dispatched_none, touched_none, M.value m_dispatched - d1)
+  in
+  Printf.printf
+    "  pruning: //nosuchtag pruned %d/4 shards (dispatched %d, docs opened + pages read %d); \
+     //book/title dispatched %d shard\n"
+    pruned_all dispatched_none touched_none book_dispatched;
+  if pruned_all <> 4 || dispatched_none <> 0 || touched_none <> 0 then
+    failwith "CORPUS: pruning fast path dispatched work or touched pages";
+  if book_dispatched <> 1 then
+    failwith
+      (Printf.sprintf "CORPUS: //book/title dispatched %d shards (want 1)" book_dispatched);
+  let out =
+    J.Obj
+      [
+        ("bench", J.Str "corpus");
+        ( "corpus",
+          J.Str (Printf.sprintf "auction:%d x%d + bib:12 x2, 4 shards" doc_scale auction_docs) );
+        ("cores", J.Num (float_of_int cores));
+        ("queries", J.Num (float_of_int (List.length xpaths)));
+        ("rounds", J.Num (float_of_int rounds));
+        ( "cells",
+          J.Arr
+            (List.map
+               (fun (domains, qps) ->
+                 J.Obj
+                   [ ("domains", J.Num (float_of_int domains)); ("qps", J.Num qps) ])
+               cells) );
+        ("speedup_4_domains", J.Num speedup);
+        ("speedup_gate", J.Num expected_speedup);
+        ("pruned_shards", J.Num (float_of_int pruned_all));
+        ("pruned_dispatched", J.Num (float_of_int dispatched_none));
+        ("pruned_reads", J.Num (float_of_int touched_none));
+      ]
+  in
+  let path = "BENCH_corpus.json" in
+  let oc = open_out path in
+  output_string oc (J.to_string ~pretty:true out);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  wrote %s\n" path
+
+let () =
+  register
+    {
+      id = "CORPUS";
+      title = "CORPUS: sharded catalogs, scatter-gather scaling and shard pruning";
+      run = corpus_run;
+      bechamel =
+        (fun () ->
+          let module Ps = Xqp_storage.Path_summary in
+          let a = Ps.of_document (Workload.Gen_auction.packed ~scale:40 ()) in
+          let b = Ps.of_document (Workload.Gen_bib.packed ~books:8 ()) in
+          Bechamel.Test.make ~name:"CORPUS-summary-merge"
+            (Bechamel.Staged.stage (fun () ->
+                 ignore (Sys.opaque_identity (Ps.merge [ a; b ])))));
     }
 
 (* ------------------------------------------------------------------ *)

@@ -17,25 +17,51 @@ open Xqp_physical
 
 (* --- document sources ------------------------------------------------ *)
 
+let generated_document spec =
+  match String.split_on_char ':' spec with
+  | [ "auction"; n ] -> Xqp_workload.Gen_auction.packed ~scale:(int_of_string n) ()
+  | [ "auction"; n; s ] ->
+    Xqp_workload.Gen_auction.packed ~seed:(int_of_string s) ~scale:(int_of_string n) ()
+  | [ "bib"; n ] -> Xqp_workload.Gen_bib.packed ~books:(int_of_string n) ()
+  | [ "bib"; n; s ] ->
+    Xqp_workload.Gen_bib.packed ~seed:(int_of_string s) ~books:(int_of_string n) ()
+  | [ "chain"; n ] ->
+    Document.of_tree (Xqp_workload.Gen_synthetic.deep_chain ~depth:(int_of_string n) "a")
+  | _ -> failwith "unknown generator; use auction:N[:SEED], bib:N[:SEED] or chain:N"
+
 let load_document ~file ~gen =
   match (file, gen) with
+  | Some path, None when Xqp_storage.Catalog.is_catalog_path path ->
+    failwith
+      (path
+     ^ ": is a corpus catalog (.xqdbc); this command operates on a single document — query, \
+        serve and explain accept catalogs, or open one shard's .xqdb directly")
   | Some path, None ->
     if Filename.check_suffix path ".xqdb" then
       (* a saved succinct store: rebuild the packed document from it *)
       Document.of_tree (Xqp_storage.Succinct_store.to_tree (Xqp_storage.Store_io.load path))
     else Document.of_tree (Xml_parser.parse_file ~strip:true path)
-  | None, Some spec -> (
-    match String.split_on_char ':' spec with
-    | [ "auction"; n ] -> Xqp_workload.Gen_auction.packed ~scale:(int_of_string n) ()
-    | [ "bib"; n ] -> Xqp_workload.Gen_bib.packed ~books:(int_of_string n) ()
-    | [ "chain"; n ] ->
-      Document.of_tree (Xqp_workload.Gen_synthetic.deep_chain ~depth:(int_of_string n) "a")
-    | _ -> failwith "unknown generator; use auction:N, bib:N or chain:N")
+  | None, Some spec -> generated_document spec
   | Some _, Some _ -> failwith "give either --file or --gen, not both"
   | None, None -> failwith "a document is required: --file FILE or --gen SPEC"
 
+(* Session-level source loading: a [.xqdbc] corpus catalog opens as a
+   scatter-gather session (every command goes through the same Session
+   surface), anything else packs into a single-document session. *)
+let load_session ?(domains = 1) ~file ~gen () =
+  match file with
+  | Some path when Xqp_storage.Catalog.is_catalog_path path -> (
+    if gen <> None then failwith "give either --file or --gen, not both";
+    match Xqp.Session.open_db ~domains path with
+    | Ok session -> session
+    | Error e -> failwith (Xqp.Error.message e))
+  | _ -> Xqp.Session.of_document (load_document ~file ~gen)
+
 let file_arg =
-  let doc = "XML document to query (.xml), or a saved store (.xqdb, see the index command)." in
+  let doc =
+    "XML document to query (.xml), a saved store (.xqdb, see the index command), or a corpus \
+     catalog (.xqdbc, see the pack command)."
+  in
   Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
 
 let gen_arg =
@@ -71,8 +97,7 @@ let query_arg =
 
 (* --json speaks the exact wire schema of xqp serve (Xqp.Response), so a
    script can develop against the CLI and point at a server unchanged. *)
-let run_query_json doc strategy no_cache xquery_mode deadline_ms query =
-  let session = Xqp.Session.of_document doc in
+let run_query_json session strategy no_cache xquery_mode deadline_ms query =
   let response =
     if xquery_mode then
       match Xqp.Session.run_xquery ~engine:strategy ?deadline_ms session query with
@@ -92,9 +117,8 @@ let run_query_json doc strategy no_cache xquery_mode deadline_ms query =
    tracer (exactly what the server does per admitted request) and print
    the profile tree plus the per-operator actual-vs-estimated table.
    With --json the profile goes to stderr so the response stays parseable. *)
-let run_query_traced doc strategy no_cache xquery_mode json deadline_ms limit query =
+let run_query_traced session strategy no_cache xquery_mode json deadline_ms limit query =
   let module Tr = Xqp_obs.Trace in
-  let session = Xqp.Session.of_document doc in
   let tr = Tr.create () in
   Tr.set_enabled tr true;
   let profile_ppf = if json then Format.err_formatter else Format.std_formatter in
@@ -163,35 +187,43 @@ let run_query_traced doc strategy no_cache xquery_mode json deadline_ms limit qu
       else prerr_endline ("xqp query: " ^ Xqp.Error.message e);
       1
 
-let run_query file gen strategy no_cache xquery_mode json deadline_ms limit request_trace query =
-  let doc = load_document ~file ~gen in
-  if request_trace then
-    run_query_traced doc strategy no_cache xquery_mode json deadline_ms limit query
-  else if json then run_query_json doc strategy no_cache xquery_mode deadline_ms query
-  else
-  let exec = Executor.create doc in
-  if xquery_mode then begin
-    let value = Xqp_xquery.Eval.eval_query exec ~strategy query in
-    let trees = Xqp_xquery.Eval.result_trees exec value in
-    let shown = match limit with Some k -> List.filteri (fun i _ -> i < k) trees | None -> trees in
-    List.iter (fun t -> print_endline (Serializer.to_string ~indent:2 t)) shown;
-    Printf.printf "(%d items)\n" (List.length trees)
-  end
-  else begin
-    let nodes = Executor.query exec ~strategy ~use_cache:(not no_cache) query in
-    let shown = match limit with Some k -> List.filteri (fun i _ -> i < k) nodes | None -> nodes in
-    List.iter
-      (fun id ->
-        match Document.kind doc id with
-        | Document.Attribute ->
-          Printf.printf "@%s=\"%s\"\n" (Document.name doc id) (Document.content doc id)
-        | Document.Text -> print_endline (Document.content doc id)
-        | Document.Element | Document.Comment | Document.Pi ->
-          print_endline (Serializer.to_string (Document.to_tree doc id)))
-      shown;
-    Printf.printf "(%d nodes)\n" (List.length nodes)
-  end;
-  0
+let run_query file gen domains strategy no_cache xquery_mode json deadline_ms limit
+    request_trace query =
+  let session = load_session ~domains ~file ~gen () in
+  Fun.protect
+    ~finally:(fun () -> Xqp.Session.close session)
+    (fun () ->
+      if request_trace then
+        run_query_traced session strategy no_cache xquery_mode json deadline_ms limit query
+      else if json then run_query_json session strategy no_cache xquery_mode deadline_ms query
+      else if xquery_mode then (
+        match Xqp.Session.xquery ~engine:strategy ?deadline_ms session query with
+        | Ok value ->
+          let strings = Xqp.Session.xquery_result_strings session value in
+          let shown =
+            match limit with Some k -> List.filteri (fun i _ -> i < k) strings | None -> strings
+          in
+          List.iter print_endline shown;
+          Printf.printf "(%d items)\n" (List.length strings);
+          0
+        | Error e ->
+          prerr_endline ("xqp query: " ^ Xqp.Error.message e);
+          1)
+      else
+        match
+          Xqp.Session.query ~engine:strategy ~use_cache:(not no_cache) ?deadline_ms session
+            query
+        with
+        | Ok nodes ->
+          let shown =
+            match limit with Some k -> List.filteri (fun i _ -> i < k) nodes | None -> nodes
+          in
+          List.iter (fun id -> print_endline (Xqp.Session.node_string session id)) shown;
+          Printf.printf "(%d nodes)\n" (List.length nodes);
+          0
+        | Error e ->
+          prerr_endline ("xqp query: " ^ Xqp.Error.message e);
+          1)
 
 let deadline_arg =
   let doc = "Abort with a structured timeout once the query has run for $(docv) milliseconds." in
@@ -217,17 +249,24 @@ let query_cmd =
                    the span profile tree plus a per-operator actual-vs-estimated row table. \
                    With --json the profile goes to stderr.")
   in
-  let term =
-    Term.(const run_query $ file_arg $ gen_arg $ strategy_arg $ no_cache_arg $ xquery_flag
-          $ json_flag $ deadline_arg $ limit_arg $ request_trace_flag $ query_arg)
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"For a corpus catalog: scatter-gather execution across shards on $(docv) \
+                   worker domains (1 = serial).")
   in
-  Cmd.v (Cmd.info "query" ~doc:"Run a query against a document") term
+  let term =
+    Term.(const run_query $ file_arg $ gen_arg $ domains_arg $ strategy_arg $ no_cache_arg
+          $ xquery_flag $ json_flag $ deadline_arg $ limit_arg $ request_trace_flag $ query_arg)
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Run a query against a document or corpus catalog") term
 
 (* --- serve -------------------------------------------------------------- *)
 
 let run_serve file gen domains port queue deadline_ms slow_ms log_path =
-  let doc = load_document ~file ~gen in
-  let session = Xqp.Session.of_document doc in
+  (* a corpus catalog scatter-gathers each query across its shards on the
+     same number of domains the HTTP workers get *)
+  let session = load_session ~domains ~file ~gen () in
   let config =
     {
       Xqp.Server.default_config with
@@ -254,6 +293,7 @@ let run_serve file gen domains port queue deadline_ms slow_ms log_path =
   done;
   Printf.printf "xqp serve: shutting down (draining in-flight queries)\n%!";
   Xqp.Server.stop server;
+  Xqp.Session.close session;
   Printf.printf "xqp serve: stopped\n%!";
   0
 
@@ -323,7 +363,9 @@ let top_http_get ~host ~port ~path =
           | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
       in
       Unix.connect fd (Unix.ADDR_INET (addr, port));
-      let request = Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\n\r\n" path host in
+      let request =
+        Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n" path host
+      in
       let bytes = Bytes.of_string request in
       let rec send off =
         if off < Bytes.length bytes then
@@ -473,7 +515,7 @@ let workload_xpath_queries () =
     (fun (q : Xqp_workload.Queries.query) -> (q.Xqp_workload.Queries.id, q.Xqp_workload.Queries.xpath))
     (Xqp_workload.Queries.auction_paths @ Xqp_workload.Queries.auction_complexity_sweep)
 
-let explain_one exec ?(strategy = Executor.Auto) ~analyze ~rewrites ~use_cache query =
+let explain_one exec ?session ?(strategy = Executor.Auto) ~analyze ~rewrites ~use_cache query =
   let plan = Xqp_xpath.Parser.parse query in
   let simplified = Rewrite.simplify plan in
   let optimized, fires = Rewrite.optimize_traced plan in
@@ -516,6 +558,20 @@ let explain_one exec ?(strategy = Executor.Auto) ~analyze ~rewrites ~use_cache q
      else "miss");
   Format.printf "physical plan:@.%a@." Physical_plan.pp physical;
   let context = [ Operators.document_context ] in
+  match session with
+  | Some s ->
+    (* Corpus catalog: the exec above is the merged-summary planner, whose
+       document is a stub — execute through the session so the result line
+       reflects the scatter-gather merge across shards. Per-operator
+       actuals are per-shard and not surfaced here. *)
+    (match Xqp.Session.run ~use_cache s query with
+    | Ok r ->
+      Format.printf "operators:@.%a" Profile.pp_table (Profile.rows_of_physical physical);
+      Format.printf "result:          %d nodes in %.1f ms (scatter-gather, engine=%s)@."
+        (List.length r.Xqp.Session.nodes) r.Xqp.Session.time_ms r.Xqp.Session.engine;
+      r.Xqp.Session.nodes
+    | Error e -> failwith (Xqp.Error.message e))
+  | None ->
   if analyze then begin
     let t0 = Sys.time () in
     let result, rows = Profile.analyze_physical exec physical ~context in
@@ -535,11 +591,29 @@ let explain_one exec ?(strategy = Executor.Auto) ~analyze ~rewrites ~use_cache q
   end
 
 let run_explain file gen strategy analyze rewrites trace_out no_cache workload queries =
-  let doc = load_document ~file ~gen in
-  (* Attach a pager so the simulated-I/O counters are live under
-     --analyze; plain explain never forces the store. *)
-  let pager = Xqp_storage.Pager.create () in
-  let exec = Executor.create ~pager doc in
+  (* A corpus catalog explains through the session layer: the same
+     merged-summary planner executor the scatter-gather path compiles
+     against, so estimates and plan-cache behavior match execution. *)
+  let session =
+    match file with
+    | Some path when Xqp_storage.Catalog.is_catalog_path path ->
+      if gen <> None then failwith "give either --file or --gen, not both";
+      (match Xqp.Session.open_db path with
+      | Ok s -> Some s
+      | Error e -> failwith (Xqp.Error.message e))
+    | _ -> None
+  in
+  let exec =
+    match session with
+    | Some s -> Xqp.Session.executor s
+    | None ->
+      let doc = load_document ~file ~gen in
+      (* Attach a pager so the simulated-I/O counters are live under
+         --analyze; plain explain never forces the store. *)
+      let pager = Xqp_storage.Pager.create () in
+      Executor.create ~pager doc
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Xqp.Session.close session) @@ fun () ->
   let queries =
     match (workload, queries) with
     | true, [] -> workload_xpath_queries ()
@@ -580,7 +654,7 @@ let run_explain file gen strategy analyze rewrites trace_out no_cache workload q
     (fun i (id, q) ->
       if i > 0 then Format.printf "@.";
       if List.length queries > 1 then Format.printf "=== %s: %s@." id q;
-      ignore (explain_one exec ~strategy ~analyze ~rewrites ~use_cache:(not no_cache) q);
+      ignore (explain_one exec ?session ~strategy ~analyze ~rewrites ~use_cache:(not no_cache) q);
       if analyze && trace_out <> None then append_events ())
     queries;
   (match trace_out with
@@ -811,6 +885,72 @@ let index_cmd =
   in
   let term = Term.(const run_index $ file_arg $ gen_arg $ output) in
   Cmd.v (Cmd.info "index" ~doc:"Build and save a succinct store (.xqdb)") term
+
+(* --- pack --------------------------------------------------------------- *)
+
+let run_pack corpus shards output gens files =
+  if not corpus then failwith "pack packs a corpus catalog; pass --corpus";
+  let named_files =
+    List.map
+      (fun path ->
+        ( Filename.basename path,
+          fun () ->
+            if Filename.check_suffix path ".xqdb" then
+              Document.of_tree
+                (Xqp_storage.Succinct_store.to_tree (Xqp_storage.Store_io.load path))
+            else Document.of_tree (Xml_parser.parse_file ~strip:true path) ))
+      files
+  in
+  let named_gens = List.map (fun spec -> (spec, fun () -> generated_document spec)) gens in
+  let docs = named_files @ named_gens in
+  if docs = [] then failwith "nothing to pack: give XML files and/or --gen SPEC (repeatable)";
+  let cat = Xqp_storage.Catalog.pack ~shards ~output docs in
+  let module C = Xqp_storage.Catalog in
+  Printf.printf "wrote %s: %d documents in %d shards (merged summary: %d paths)\n" output
+    (C.doc_count cat) (C.shard_count cat)
+    (Xqp_storage.Path_summary.length cat.C.merged);
+  Array.iter
+    (fun (s : C.shard) ->
+      Printf.printf "  %s: %d documents\n" s.C.shard_path (Array.length s.C.doc_names))
+    cat.C.shards;
+  0
+
+let pack_cmd =
+  let corpus_flag =
+    Arg.(value & flag
+         & info [ "corpus" ]
+             ~doc:"Pack many documents into sharded store containers plus a catalog with \
+                   per-shard and merged path summaries.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 4
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Shard container count (clamped to the document count); documents are \
+                   partitioned contiguously in argument order.")
+  in
+  let output_arg =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE.xqdbc" ~doc:"Catalog file to write.")
+  in
+  let gens_arg =
+    Arg.(value & opt_all string []
+         & info [ "g"; "gen" ] ~docv:"SPEC"
+             ~doc:"Generate a document into the corpus: auction:N[:SEED], bib:N[:SEED] or \
+                   chain:N. Repeatable; generated documents follow the file arguments.")
+  in
+  let files_arg =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"XML documents (or .xqdb stores).")
+  in
+  let term =
+    Term.(const run_pack $ corpus_flag $ shards_arg $ output_arg $ gens_arg $ files_arg)
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:
+         "Pack a corpus: many documents into N sharded .xqdb containers plus a .xqdbc catalog \
+          (shard manifest, per-shard path summaries, merged summary) that query/serve/explain \
+          open transparently and plan once against")
+    term
 
 (* --- pages ------------------------------------------------------------- *)
 
@@ -1133,15 +1273,17 @@ let run_fsck strict file =
 let fsck_cmd =
   let strict = Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings as fatal.") in
   let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.xqdb" ~doc:"Saved store to check.")
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Saved store (.xqdb) or corpus catalog (.xqdbc) to check.")
   in
   let term = Term.(const run_fsck $ strict $ file) in
   Cmd.v
     (Cmd.info "fsck"
        ~doc:
-         "Statically validate a saved .xqdb store: parenthesis balance, excess directory, tag \
-          and offset tables, content rank samples, rebuilt content B+-tree — reporting every \
-          finding, not just the first")
+         "Statically validate a saved .xqdb store (parenthesis balance, excess directory, tag \
+          and offset tables, content rank samples, rebuilt content B+-tree) or a .xqdbc corpus \
+          catalog (shard manifest, per-document stores, merged-summary and stats-version \
+          invariants) — reporting every finding, not just the first")
     term
 
 (* --- validate ----------------------------------------------------------- *)
@@ -1177,7 +1319,7 @@ let () =
     Cmd.group ~default info
       [
         query_cmd; serve_cmd; top_cmd; explain_cmd; calibrate_cmd; stats_cmd; generate_cmd; index_cmd;
-        pages_cmd; repl_cmd; validate_cmd; lint_cmd; fsck_cmd;
+        pack_cmd; pages_cmd; repl_cmd; validate_cmd; lint_cmd; fsck_cmd;
       ]
   in
   exit (Cmd.eval' group)

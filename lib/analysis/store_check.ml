@@ -423,7 +423,85 @@ let check_bytes s =
     end
   end
 
+(* --- corpus catalogs ----------------------------------------------------- *)
+
+module Catalog = Xqp_storage.Catalog
+
+(* Catalog fsck: parse the manifest, then check every shard container and
+   every packed document image (each through [check_bytes], diagnostics
+   prefixed with shard/doc), plus the summary algebra the planner trusts:
+   each shard summary is the merge of its documents' packed summaries,
+   the merged summary is the merge of the shard summaries, and the merged
+   stats version dominates every shard's. *)
+let check_catalog ~path contents =
+  match Catalog.of_bytes ~path contents with
+  | exception Failure m -> [ D.errorf ~path:[ "catalog" ] ~code:"corpus/catalog" "%s" m ]
+  | cat ->
+    let diags = ref [] in
+    let report d = diags := d :: !diags in
+    if Array.length cat.Catalog.shards = 0 then
+      report (D.error ~path:[ "catalog" ] ~code:"corpus/shard-count" "catalog has no shards");
+    Array.iter
+      (fun (sh : Catalog.shard) ->
+        if sh.Catalog.stats_version > cat.Catalog.merged_stats_version then
+          report
+            (D.errorf ~path:[ sh.Catalog.shard_path ] ~code:"corpus/stats-version"
+               "shard stats version %d exceeds the merged version %d" sh.Catalog.stats_version
+               cat.Catalog.merged_stats_version))
+      cat.Catalog.shards;
+    let shard_summaries =
+      Array.to_list (Array.map (fun (s : Catalog.shard) -> s.Catalog.summary) cat.Catalog.shards)
+    in
+    if not (Ps.equal cat.Catalog.merged (Ps.merge shard_summaries)) then
+      report
+        (D.error ~path:[ "catalog" ] ~code:"corpus/merged-mismatch"
+           "merged summary is not the merge of the shard summaries");
+    Array.iteri
+      (fun i (sh : Catalog.shard) ->
+        let spath = Catalog.shard_file cat i in
+        let label = sh.Catalog.shard_path in
+        match In_channel.with_open_bin spath In_channel.input_all with
+        | exception Sys_error m ->
+          report (D.errorf ~path:[ label ] ~code:"corpus/shard-missing" "%s" m)
+        | scontents -> (
+          match Catalog.shard_doc_table ~path:spath scontents with
+          | exception Failure m ->
+            report (D.errorf ~path:[ label ] ~code:"corpus/shard-container" "%s" m)
+          | table ->
+            if Array.length table <> Array.length sh.Catalog.doc_names then
+              report
+                (D.errorf ~path:[ label ] ~code:"corpus/shard-count"
+                   "container holds %d documents but the catalog lists %d" (Array.length table)
+                   (Array.length sh.Catalog.doc_names))
+            else begin
+              let summaries = ref [] in
+              Array.iteri
+                (fun d (off, len) ->
+                  let image = String.sub scontents off len in
+                  let doc_label = Printf.sprintf "%s/doc%d(%s)" label d sh.Catalog.doc_names.(d) in
+                  List.iter (fun dg -> report (D.with_path doc_label dg)) (check_bytes image);
+                  match Io.packed_summary ~path:spath image with
+                  | summary -> summaries := summary :: !summaries
+                  | exception Failure m ->
+                    report (D.errorf ~path:[ doc_label ] ~code:"corpus/doc-bounds" "%s" m))
+                table;
+              if
+                List.length !summaries = Array.length table
+                && not (Ps.equal sh.Catalog.summary (Ps.merge (List.rev !summaries)))
+              then
+                report
+                  (D.error ~path:[ label ] ~code:"corpus/shard-summary"
+                     "shard summary is not the merge of its documents' packed summaries")
+            end))
+      cat.Catalog.shards;
+    List.rev !diags
+
 let fsck path =
   match In_channel.with_open_bin path In_channel.input_all with
-  | s -> check_bytes s
+  | s ->
+    if
+      Catalog.is_catalog_path path
+      || (String.length s >= 8 && String.equal (String.sub s 0 8) Catalog.magic)
+    then check_catalog ~path s
+    else check_bytes s
   | exception Sys_error m -> [ D.errorf ~code:"io/unreadable" "%s" m ]

@@ -22,13 +22,32 @@
       slices and map back to in-range pre-order nodes ([contents/sample]);
     - a content B+-tree rebuilt from the (valid) content sections passes
       {!Xqp_storage.Btree.check_invariants} — key ordering, occupancy,
-      leaf chaining ([index/btree]). *)
+      leaf chaining ([index/btree]).
+
+    Corpus catalogs ([.xqdbc], {!Xqp_storage.Catalog}) get their own
+    pass ([corpus/*] codes): the manifest parses ([corpus/catalog]);
+    every shard file exists ([corpus/shard-missing]), has a valid
+    container header and doc table ([corpus/shard-container]), and
+    holds exactly the documents the catalog lists ([corpus/shard-count],
+    [corpus/doc-bounds]); every packed document image passes the full
+    single-store check above (diagnostics prefixed with shard/doc);
+    and the summary algebra the planner trusts holds — each shard
+    summary is the merge of its documents' packed summaries
+    ([corpus/shard-summary]), the merged summary is the merge of the
+    shard summaries ([corpus/merged-mismatch]), and the merged stats
+    version dominates every shard's ([corpus/stats-version]). *)
 
 val check_bytes : string -> Diagnostic.t list
 (** Validate an in-memory image of a store file (the unit tests corrupt
     images without touching disk). *)
 
+val check_catalog : path:string -> string -> Diagnostic.t list
+(** Validate a corpus catalog from its manifest bytes; [path] locates
+    the shard files (they live next to the catalog). *)
+
 val fsck : string -> Diagnostic.t list
-(** [fsck path] reads the file and runs {!check_bytes}; I/O failures
-    become an [io/unreadable] error. A store written by
-    {!Xqp_storage.Store_io.save} yields [[]]. *)
+(** [fsck path] reads the file and runs {!check_bytes} — or
+    {!check_catalog} when the path or magic marks a corpus catalog.
+    I/O failures become an [io/unreadable] error. A store written by
+    {!Xqp_storage.Store_io.save} or a catalog written by
+    {!Xqp_storage.Catalog.pack} yields [[]]. *)

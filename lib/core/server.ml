@@ -92,15 +92,17 @@ let write_all fd s =
   in
   try go 0 with Unix.Unix_error _ -> ()
 
-let respond ?(extra_headers = []) fd ~status ~content_type body =
+let respond ?(extra_headers = []) ?(keep_alive = false) fd ~status ~content_type body =
   let extra =
     String.concat ""
       (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) extra_headers)
   in
   write_all fd
     (Printf.sprintf
-       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%sConnection: close\r\n\r\n%s"
-       status (reason_phrase status) content_type (String.length body) extra body)
+       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%sConnection: %s\r\n\r\n%s"
+       status (reason_phrase status) content_type (String.length body) extra
+       (if keep_alive then "keep-alive" else "close")
+       body)
 
 let find_blank_line s =
   let n = String.length s in
@@ -161,10 +163,25 @@ let header_value headers name =
       | _ -> None)
     headers
 
+(* Does the client want the connection kept open after this request?
+   HTTP/1.1 defaults to yes unless [Connection: close]; HTTP/1.0 (and
+   anything unrecognized) defaults to no unless [Connection: keep-alive].
+   The Connection header may be a comma-separated option list. *)
+let wants_keep_alive ~version headers =
+  let contains hay needle =
+    let hn = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= hn && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  match Option.map String.lowercase_ascii (header_value headers "connection") with
+  | Some v when contains v "close" -> false
+  | Some v when contains v "keep-alive" -> true
+  | _ -> version = "HTTP/1.1"
+
 (* Read one request: headers to the blank line, then Content-Length
-   bytes of body. Returns [None] on EOF/garbage (connection just
-   closes). SO_RCVTIMEO on the socket bounds how long a stalled client
-   can hold a worker. *)
+   bytes of body. Returns [None] on EOF/garbage/idle timeout (connection
+   just closes). SO_RCVTIMEO on the socket bounds how long a stalled or
+   idle keep-alive client can hold a worker. *)
 let recv_request fd =
   let chunk_len = 4096 in
   let chunk = Bytes.create chunk_len in
@@ -196,7 +213,7 @@ let recv_request fd =
     | [] -> None
     | request_line :: headers -> (
       match String.split_on_char ' ' request_line with
-      | meth :: target :: _ ->
+      | meth :: target :: rest ->
         let content_length =
           match header_value headers "content-length" with
           | Some v -> (
@@ -224,7 +241,10 @@ let recv_request fd =
               parse_params (String.sub target (i + 1) (String.length target - i - 1)) )
           | None -> (target, [])
         in
-        Some { meth; path; params; body = Buffer.contents body }
+        let version = match rest with v :: _ -> String.trim v | [] -> "" in
+        Some
+          ( { meth; path; params; body = Buffer.contents body },
+            wants_keep_alive ~version headers )
       | _ -> None))
 
 (* --- request handling ---------------------------------------------------- *)
@@ -522,11 +542,8 @@ let run_health core =
 
 let debug_request_prefix = "/debug/requests/"
 
-let handle core job ~queue_ms =
-  match recv_request job.fd with
-  | None -> ()
-  | Some req ->
-    let status, content_type, extra_headers, body =
+let handle_request core job req ~queue_ms =
+  let status, content_type, extra_headers, body =
       match req.path with
       | "/query" ->
         let request_id = Printf.sprintf "r-%d" (Atomic.fetch_and_add core.next_request 1 + 1) in
@@ -556,8 +573,32 @@ let handle core job ~queue_ms =
           Response.to_string
             (Response.error ~query:"" ~mode:"xpath"
                (Error.Bad_request (Printf.sprintf "no such endpoint %s" other))) )
-    in
-    respond job.fd ~status ~content_type ~extra_headers body
+  in
+  (status, content_type, extra_headers, body)
+
+(* Per-connection request loop: serve requests back to back while the
+   client asks for keep-alive (HTTP/1.1 default). SO_RCVTIMEO is the
+   idle timeout — a connection with no next request within it reads as
+   EOF and closes. Draining downgrades every response to
+   [Connection: close] so stop never waits on idle clients. *)
+let handle core job ~queue_ms ~m_domain_requests ~m_domain_busy =
+  let rec loop ~queue_ms =
+    match recv_request job.fd with
+    | None -> ()
+    | Some (req, client_keep_alive) ->
+      let t0 = Unix.gettimeofday () in
+      Metrics.incr core.m_requests;
+      Metrics.incr m_domain_requests;
+      let status, content_type, extra_headers, body = handle_request core job req ~queue_ms in
+      let keep_alive = client_keep_alive && not (Atomic.get core.draining) in
+      respond job.fd ~status ~content_type ~extra_headers ~keep_alive body;
+      let t1 = Unix.gettimeofday () in
+      Metrics.add m_domain_busy (int_of_float ((t1 -. t0) *. 1e6));
+      Metrics.observe core.m_latency (((t1 -. t0) *. 1000.0) +. queue_ms);
+      (* only the first request on a connection waited in the accept queue *)
+      if keep_alive then loop ~queue_ms:0.0
+  in
+  loop ~queue_ms
 
 (* --- domains ------------------------------------------------------------- *)
 
@@ -583,16 +624,11 @@ let worker core index () =
     match job with
     | None -> ()
     | Some job ->
-      let t0 = Unix.gettimeofday () in
-      let queue_ms = (t0 -. job.enqueued) *. 1000.0 in
+      let queue_ms = (Unix.gettimeofday () -. job.enqueued) *. 1000.0 in
       Metrics.observe core.m_queue_wait queue_ms;
-      Metrics.incr core.m_requests;
-      Metrics.incr m_requests;
-      (try handle core job ~queue_ms with _ -> Metrics.incr core.m_errors);
+      (try handle core job ~queue_ms ~m_domain_requests:m_requests ~m_domain_busy:m_busy
+       with _ -> Metrics.incr core.m_errors);
       (try Unix.close job.fd with Unix.Unix_error _ -> ());
-      let t1 = Unix.gettimeofday () in
-      Metrics.add m_busy (int_of_float ((t1 -. t0) *. 1e6));
-      Metrics.observe core.m_latency ((t1 -. job.enqueued) *. 1000.0);
       next ()
   in
   next ()

@@ -8,7 +8,13 @@
     with 503 when the queue is full, so saturation degrades into fast
     failures rather than unbounded latency.
 
-    Endpoints (HTTP/1.1, one request per connection):
+    Connections are persistent (HTTP/1.1 keep-alive): a worker serves
+    requests back to back on one connection until the client sends
+    [Connection: close] (the HTTP/1.0 default), the socket idles past
+    the receive timeout, or the server starts draining — then the
+    response carries [Connection: close] and the socket shuts.
+
+    Endpoints:
     - [GET /query?q=…&mode=xpath|xquery&engine=…&deadline_ms=…&no_cache=1]
       (or POST with the same fields as a JSON body) → a {!Response}
       body carrying [request_id] and [queue_ms]; the id is also echoed

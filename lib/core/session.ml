@@ -6,13 +6,21 @@ module Executor = Physical.Executor
 module Ops = Algebra.Operators
 module Pp = Physical.Physical_plan
 
-type t = { exec : Executor.t }
+module Sg = Physical.Scatter_gather
+
+(* A session backs onto either one executor or a whole corpus. In corpus
+   mode [exec] is the scatter-gather planning executor (merged-summary
+   statistics, merged stats version): every compile path — query, explain,
+   the plan cache — goes through it unchanged, and only execution fans
+   out. Single-document callers see no difference anywhere. *)
+type t = { exec : Executor.t; corpus : Sg.t option }
+
 type node = Xml.Document.node
 type engine = Executor.strategy
 
 (* --- constructors ------------------------------------------------------- *)
 
-let of_document doc = { exec = Executor.create doc }
+let of_document doc = { exec = Executor.create doc; corpus = None }
 let of_tree tree = of_document (Xml.Document.of_tree tree)
 
 let catching_source f =
@@ -25,21 +33,32 @@ let catching_source f =
 
 let of_string s = catching_source (fun () -> of_document (Xml.Document.of_string ~strip:true s))
 
-let open_db path =
-  if not (Filename.check_suffix path ".xqdb") then
-    Error (Error.Bad_request (Printf.sprintf "%s: open_db expects a packed .xqdb store" path))
+let open_db ?domains path =
+  if Storage.Catalog.is_catalog_path path then
+    catching_source (fun () ->
+        let sg = Sg.open_catalog ?domains (Storage.Catalog.load path) in
+        { exec = Sg.planner sg; corpus = Some sg })
+  else if not (Filename.check_suffix path ".xqdb") then
+    Error
+      (Error.Bad_request
+         (Printf.sprintf "%s: open_db expects a packed .xqdb store or .xqdbc catalog" path))
   else
     catching_source (fun () ->
         of_tree (Storage.Succinct_store.to_tree (Storage.Store_io.load path)))
 
 let parse_file path =
-  if Filename.check_suffix path ".xqdb" then
+  if Filename.check_suffix path ".xqdb" || Storage.Catalog.is_catalog_path path then
     Error (Error.Bad_request (Printf.sprintf "%s: parse_file expects XML; use open_db" path))
   else catching_source (fun () -> of_tree (Xml.Xml_parser.parse_file ~strip:true path))
 
 let document t = Executor.doc t.exec
 let executor t = t.exec
-let save t path = Storage.Store_io.save (Executor.store t.exec) path
+let close t = Option.iter Sg.close t.corpus
+
+let save t path =
+  match t.corpus with
+  | Some _ -> failwith "Session.save: corpus sessions are packed with `xqp pack`"
+  | None -> Storage.Store_io.save (Executor.store t.exec) path
 
 (* --- queries ------------------------------------------------------------- *)
 
@@ -140,8 +159,16 @@ let run_profiled ?(engine = Executor.Auto) ?(optimize = true) ?(use_cache = true
         in
         compiled := Some (physical, cache, fingerprint);
         let execute () =
-          Executor.run_physical t.exec ?deadline ?trace ?stats physical
-            ~context:[ Ops.document_context ]
+          match t.corpus with
+          | None ->
+            Executor.run_physical t.exec ?deadline ?trace ?stats physical
+              ~context:[ Ops.document_context ]
+          | Some sg ->
+            (* One compiled plan, fanned across shards; per-operator rows
+               come back merged across documents. *)
+            let r = Sg.run sg ?deadline ?trace ~collect_ops:profiling physical in
+            (match stats with Some s -> s := List.rev r.Sg.ops | None -> ());
+            r.Sg.nodes
         in
         match trace with
         | Some tr when Tr.enabled tr ->
@@ -221,7 +248,33 @@ let run_xquery_profiled ?engine ?deadline_ms ?trace ?(recorder = Fr.default) t q
   let outcome =
     catching_query ?deadline_ms (fun () ->
         let deadline = deadline_of_ms deadline_ms in
-        let eval () = Xqp_xquery.Eval.eval_query t.exec ?strategy:engine ?deadline q in
+        let eval () =
+          match t.corpus with
+          | None -> Xqp_xquery.Eval.eval_query t.exec ?strategy:engine ?deadline q
+          | Some sg ->
+            (* Corpus XQuery semantics: evaluate per document (in global
+               order) and concatenate the result sequences — the
+               collection()-style map. Aggregates therefore yield one item
+               per document, not one corpus-wide total. *)
+            let n = Sg.doc_count sg in
+            let rec go ordinal acc =
+              if ordinal >= n then List.concat (List.rev acc)
+              else
+                let value =
+                  Sg.with_doc_executor sg ~ordinal (fun exec ->
+                      Xqp_xquery.Eval.eval_query exec ?strategy:engine ?deadline q)
+                in
+                let tagged =
+                  List.map
+                    (function
+                      | Algebra.Value.Node id -> Algebra.Value.Node (Sg.encode ~ordinal id)
+                      | item -> item)
+                    value
+                in
+                go (ordinal + 1) (tagged :: acc)
+            in
+            go 0 []
+        in
         match trace with
         | Some tr when Tr.enabled tr ->
           Tr.with_span tr
@@ -260,13 +313,19 @@ let run_xquery ?engine ?deadline_ms t q = run_xquery_profiled ?engine ?deadline_
 let xquery ?engine ?deadline_ms t q =
   Result.map (fun r -> r.value) (run_xquery ?engine ?deadline_ms t q)
 
-let xquery_string ?engine ?deadline_ms t q =
-  Result.map (fun v -> Xqp_xquery.Eval.result_string t.exec v) (xquery ?engine ?deadline_ms t q)
-
 (* --- results ------------------------------------------------------------- *)
 
+(* Resolve a (possibly ordinal-tagged) result node to its owning document
+   and within-document id. Single-document sessions pass through. *)
+let owning_doc t id =
+  match t.corpus with
+  | None -> (document t, id)
+  | Some sg ->
+    let ordinal, node = Sg.decode id in
+    if ordinal < 0 then (document t, id) else (Sg.document sg ~ordinal, node)
+
 let node_string ?indent t id =
-  let doc = document t in
+  let doc, id = owning_doc t id in
   match Xml.Document.kind doc id with
   | Xml.Document.Attribute ->
     Printf.sprintf "@%s=\"%s\"" (Xml.Document.name doc id) (Xml.Document.content doc id)
@@ -274,12 +333,43 @@ let node_string ?indent t id =
   | _ -> Xml.Serializer.to_string ?indent (Xml.Document.to_tree doc id)
 
 let to_xml ?indent t nodes = String.concat "" (List.map (node_string ?indent t) nodes)
-let text t id = Xml.Document.typed_value (document t) id
+
+let text t id =
+  let doc, id = owning_doc t id in
+  Xml.Document.typed_value doc id
 
 let xquery_result_strings t value =
-  List.map
-    (fun tree -> Xml.Serializer.to_string tree)
-    (Xqp_xquery.Eval.result_trees t.exec value)
+  match t.corpus with
+  | None ->
+    List.map
+      (fun tree -> Xml.Serializer.to_string tree)
+      (Xqp_xquery.Eval.result_trees t.exec value)
+  | Some sg ->
+    (* Route every node item through its owning document; atoms and
+       fragments carry their own data (the planner executor's placeholder
+       document is never consulted for them). *)
+    List.map
+      (fun item ->
+        let exec_for, item =
+          match item with
+          | Algebra.Value.Node id ->
+            let ordinal, node = Sg.decode id in
+            if ordinal < 0 then ((fun f -> f t.exec), item)
+            else ((fun f -> Sg.with_doc_executor sg ~ordinal f), Algebra.Value.Node node)
+          | _ -> ((fun f -> f t.exec), item)
+        in
+        exec_for (fun exec ->
+            String.concat ""
+              (List.map Xml.Serializer.to_string (Xqp_xquery.Eval.result_trees exec [ item ]))))
+      value
+
+let xquery_string ?engine ?deadline_ms t q =
+  Result.map
+    (fun v ->
+      match t.corpus with
+      | None -> Xqp_xquery.Eval.result_string t.exec v
+      | Some _ -> String.concat "" (xquery_result_strings t v))
+    (xquery ?engine ?deadline_ms t q)
 
 (* --- explain ------------------------------------------------------------- *)
 

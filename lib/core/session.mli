@@ -26,20 +26,31 @@ val of_string : string -> (t, Error.t) result
 (** Parse an XML string (whitespace-only text stripped);
     [Error (Parse _)] on malformed input. *)
 
-val open_db : string -> (t, Error.t) result
-(** Open a packed [.xqdb] store saved by {!save}. [Error (Bad_request _)]
-    if the path does not end in [.xqdb]; [Error (Io _)] on missing or
-    corrupt files. *)
+val open_db : ?domains:int -> string -> (t, Error.t) result
+(** Open a packed [.xqdb] store saved by {!save}, or a [.xqdbc] corpus
+    catalog written by [xqp pack --corpus]. A corpus session plans once
+    against the catalog's merged path summary and scatter-gathers
+    execution across shards on [domains] worker domains (default 1 =
+    inline; ignored for single stores); result node ids are tagged with
+    their document's ordinal, and every entry point below works
+    unchanged. [Error (Bad_request _)] if the path ends in neither
+    suffix; [Error (Io _)] on missing or corrupt files. *)
 
 val parse_file : string -> (t, Error.t) result
-(** Parse an XML file. Refuses [.xqdb] paths (use {!open_db}) — the old
-    [of_file] silently switched behavior on the extension. *)
+(** Parse an XML file. Refuses [.xqdb]/[.xqdbc] paths (use {!open_db}) —
+    the old [of_file] silently switched behavior on the extension. *)
 
 val document : t -> Xqp_xml.Document.t
 val executor : t -> Xqp_physical.Executor.t
 
+val close : t -> unit
+(** Join a corpus session's worker-domain pool (no-op otherwise).
+    Domains are a bounded OS resource — close corpus sessions you are
+    done with; queries after [close] must not be issued. *)
+
 val save : t -> string -> unit
-(** Persist the succinct store ([.xqdb]). *)
+(** Persist the succinct store ([.xqdb]). @raise Failure on corpus
+    sessions (corpora are packed with [xqp pack]). *)
 
 (** {1 Queries} *)
 

@@ -46,14 +46,23 @@ let to_chrome_json ?(process_name = "xqp") events =
         ("args", Json.Obj [ ("name", Json.Str process_name) ]);
       ]
   in
+  (* Json prints non-integer numbers with %.3f, i.e. a millinanosecond
+     grid for microsecond timestamps. Quantize both span endpoints onto
+     that grid before deriving [dur], so ts and ts+dur survive the
+     serialize/parse round-trip exactly: a child interval nested inside
+     its parent stays nested after re-import (rounding ts and dur
+     independently could push a child's end past its parent's by 1-2 ns). *)
+  let quantize us = Float.round (us *. 1e3) /. 1e3 in
   let of_event (e : Trace.event) =
+    let ts = quantize (e.Trace.t0 *. 1e6) in
+    let dur = quantize (e.Trace.t1 *. 1e6) -. ts in
     Json.Obj
       [
         ("name", Json.Str e.Trace.name);
         ("cat", Json.Str "xqp");
         ("ph", Json.Str "X");
-        ("ts", Json.Num (e.Trace.t0 *. 1e6));
-        ("dur", Json.Num (Trace.duration_us e));
+        ("ts", Json.Num ts);
+        ("dur", Json.Num dur);
         ("pid", Json.Num 1.0);
         ("tid", Json.Num 1.0);
         ( "args",

@@ -49,6 +49,20 @@ let create ?pager document =
       lazy (Navigation.make_hints document (Statistics.summary (Lazy.force stats_lazy)));
   }
 
+(* A planning-only executor whose statistics are injected rather than
+   derived from a document — the corpus path plans against the catalog's
+   merged summary this way. The placeholder document exists only so the
+   record is total; running a plan on this executor would answer over the
+   empty placeholder, so corpus callers execute on per-document executors
+   instead. [stats_version] (the catalog's merged stats version) keys the
+   shared plan cache alongside the fresh executor id. *)
+let create_planner ?(stats_version = 0) stats =
+  let document = Doc.of_tree (Xqp_xml.Tree.elt "xqp:corpus" []) in
+  let t = create document in
+  t.stats_lazy <- lazy stats;
+  t.stats_version <- stats_version;
+  t
+
 let id t = t.id
 let doc t = t.document
 let store t = Lazy.force t.store_lazy

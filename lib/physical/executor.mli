@@ -29,6 +29,15 @@ val create : ?pager:Xqp_storage.Pager.t -> Xqp_xml.Document.t -> t
     live during execution — [explain --analyze] and the bench harness
     attach one; the default path stays pager-free. *)
 
+val create_planner : ?stats_version:int -> Statistics.t -> t
+(** A planning-only executor with injected statistics (typically
+    {!Statistics.of_summary} over a catalog's merged summary) and a
+    placeholder document: compile against it, never execute on it —
+    corpus sessions run the compiled plan on per-document executors.
+    [stats_version] (default 0) becomes the plan-cache key component, so
+    a repacked catalog with a new merged stats version misses the cache
+    as it must. *)
+
 val id : t -> int
 (** Process-unique identity of this executor (and hence its document) —
     the [doc_id] component of {!Plan_cache.key}s. *)

@@ -64,6 +64,68 @@ let build doc =
     pids = Ps.annotate summary doc;
   }
 
+(* Derive statistics from a path summary alone — no document in sight.
+   This is how a corpus plans: the catalog's merged summary stands in for
+   the (never-materialized) concatenated corpus document. Tag, parent/child
+   and ancestor/descendant counts are exact for elements and attributes
+   (every document node lies on exactly one root path); text/comment/PI
+   populations are invisible to the summary, so [doc_nodes] undercounts
+   them and fanout excludes text children — both only feed heuristics. No
+   per-node path ids exist ([path_id] returns -1), which is correct for a
+   planning-only instance: [summary_prune] always recomputes from the
+   executing executor's own statistics. *)
+let of_summary summary =
+  let n = Ps.length summary in
+  let tag_counts = Hashtbl.create 64 in
+  let pc = Hashtbl.create 256 in
+  let ad = Hashtbl.create 256 in
+  let bump_by table key k =
+    Hashtbl.replace table key (k + Option.value ~default:0 (Hashtbl.find_opt table key))
+  in
+  let doc_nodes = ref 0 in
+  let elements = ref 0 in
+  let fanout_sum = ref 0 in
+  let max_depth = ref 0 in
+  let depth = Array.make (max 1 n) 0 in
+  for i = 0 to n - 1 do
+    let lab = Ps.label summary i in
+    let cnt = Ps.count summary i in
+    let name =
+      if String.length lab > 0 && lab.[0] = '@' then String.sub lab 1 (String.length lab - 1)
+      else lab
+    in
+    doc_nodes := !doc_nodes + cnt;
+    bump_by tag_counts name cnt;
+    if Ps.is_element_label lab then elements := !elements + cnt;
+    let p = Ps.parent summary i in
+    depth.(i) <- (if p < 0 then 0 else depth.(p) + 1);
+    let d = if Ps.has_text summary i then depth.(i) + 1 else depth.(i) in
+    if d > !max_depth then max_depth := d;
+    if p >= 0 then begin
+      bump_by pc (Ps.label summary p, name) cnt;
+      fanout_sum := !fanout_sum + cnt
+    end;
+    let rec up a =
+      if a >= 0 then begin
+        bump_by ad (Ps.label summary a, name) cnt;
+        up (Ps.parent summary a)
+      end
+    in
+    up p
+  done;
+  {
+    doc_nodes = !doc_nodes;
+    elements = !elements;
+    tag_counts;
+    pc;
+    ad;
+    max_depth = !max_depth;
+    fanout_sum = !fanout_sum;
+    fanout_nodes = !elements;
+    summary;
+    pids = [||];
+  }
+
 let tag_count t name = Option.value ~default:0 (Hashtbl.find_opt t.tag_counts name)
 let element_count t = t.elements
 let node_count t = t.doc_nodes

@@ -8,6 +8,16 @@
 type t
 
 val build : Xqp_xml.Document.t -> t
+
+val of_summary : Xqp_storage.Path_summary.t -> t
+(** Statistics derived from a path summary alone — how a corpus session
+    plans off its catalog's merged summary without materializing any
+    document. Tag, parent/child and ancestor/descendant counts are exact
+    for elements/attributes; text/comment/PI populations are invisible to
+    a summary, so [node_count] undercounts them and fan-out excludes text
+    children (heuristic inputs only). [path_id] is [-1] for every node:
+    the instance plans, it never executes. *)
+
 val tag_count : t -> string -> int
 (** Number of element/attribute nodes with a tag. *)
 

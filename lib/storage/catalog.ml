@@ -1,0 +1,303 @@
+(* Corpus catalog: N shard container files plus one .xqdbc manifest (see the
+   .mli for the format). Shard paths are stored relative to the catalog file
+   so a packed corpus directory can be moved wholesale. *)
+
+let suffix = ".xqdbc"
+let magic = "XQPCATLG"
+let shard_magic = "XQPSHRD1"
+let catalog_version = 1
+let shard_version = 1
+
+let is_catalog_path path = Filename.check_suffix path suffix
+
+type shard = {
+  shard_path : string;
+  stats_version : int;
+  doc_names : string array;
+  summary : Path_summary.t;
+}
+
+type t = {
+  dir : string;
+  shards : shard array;
+  merged : Path_summary.t;
+  merged_stats_version : int;
+  doc_bases : int array; (* global ordinal of each shard's first document *)
+  doc_count : int;
+}
+
+let shard_count t = Array.length t.shards
+let doc_count t = t.doc_count
+let doc_base t shard = t.doc_bases.(shard)
+let shard_file t shard = Filename.concat t.dir t.shards.(shard).shard_path
+
+let doc_name t ordinal =
+  let rec find shard =
+    if shard + 1 < Array.length t.shards && t.doc_bases.(shard + 1) <= ordinal then
+      find (shard + 1)
+    else t.shards.(shard).doc_names.(ordinal - t.doc_bases.(shard))
+  in
+  if ordinal < 0 || ordinal >= t.doc_count || Array.length t.shards = 0 then
+    invalid_arg "Catalog.doc_name"
+  else find 0
+
+let corrupt path what = failwith (Printf.sprintf "%s: corrupt catalog (%s)" path what)
+
+(* --- shard containers --------------------------------------------------- *)
+
+let read_i64_in s off =
+  let v = ref 0 in
+  for shift = 0 to 7 do
+    v := !v lor (Char.code s.[off + shift] lsl (8 * shift))
+  done;
+  !v
+
+(* Offset/length table of the per-document store images embedded in a shard
+   container. *)
+let shard_doc_table ~path contents =
+  let len = String.length contents in
+  if len < 24 then corrupt path "shard too small";
+  if not (String.equal (String.sub contents 0 8) shard_magic) then
+    corrupt path "bad shard magic";
+  if read_i64_in contents 8 <> shard_version then corrupt path "shard version";
+  let docs = read_i64_in contents 16 in
+  if docs < 0 || 24 + (16 * docs) > len then corrupt path "shard doc count";
+  Array.init docs (fun i ->
+      let off = read_i64_in contents (24 + (16 * i)) in
+      let img_len = read_i64_in contents (24 + (16 * i) + 8) in
+      if off < 0 || img_len < 0 || off + img_len > len then corrupt path "shard doc bounds";
+      (off, img_len))
+
+let read_shard_images t shard =
+  let path = shard_file t shard in
+  let contents = Store_io.read_file path in
+  let table = shard_doc_table ~path contents in
+  Array.map (fun (off, len) -> String.sub contents off len) table
+
+(* --- packing ------------------------------------------------------------ *)
+
+let write_i64 oc v =
+  for shift = 0 to 7 do
+    output_char oc (Char.chr ((v lsr (8 * shift)) land 0xFF))
+  done
+
+let write_str oc s =
+  write_i64 oc (String.length s);
+  output_string oc s
+
+let write_summary oc ~label_id summary =
+  let rows = Path_summary.to_rows summary ~label_id in
+  write_i64 oc (Array.length rows);
+  Array.iter
+    (fun r ->
+      write_i64 oc r.Path_summary.r_parent;
+      write_i64 oc r.Path_summary.r_label;
+      write_i64 oc r.Path_summary.r_count;
+      write_i64 oc r.Path_summary.r_flags)
+    rows
+
+(* Pack one shard: header, placeholder doc table, then the per-document
+   store images streamed one at a time (only one document's store is ever
+   in memory); finally seek back and fill the table in. Returns the
+   per-document packed summaries. *)
+let pack_shard ~path docs =
+  let n = Array.length docs in
+  let summaries = Array.make n None in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc shard_magic;
+      write_i64 oc shard_version;
+      write_i64 oc n;
+      let table_pos = pos_out oc in
+      for _ = 1 to n do
+        write_i64 oc 0;
+        write_i64 oc 0
+      done;
+      let table = Array.make n (0, 0) in
+      Array.iteri
+        (fun i (_, produce) ->
+          let doc = produce () in
+          let image = Store_io.to_bytes (Succinct_store.of_document doc) in
+          table.(i) <- (pos_out oc, String.length image);
+          output_string oc image;
+          summaries.(i) <- Some (Store_io.packed_summary ~path image))
+        docs;
+      seek_out oc table_pos;
+      Array.iter
+        (fun (off, len) ->
+          write_i64 oc off;
+          write_i64 oc len)
+        table);
+  Array.map (function Some s -> s | None -> assert false) summaries
+
+let pack ?(shards = 4) ~output docs =
+  if not (is_catalog_path output) then
+    invalid_arg (Printf.sprintf "Catalog.pack: output must end in %s" suffix);
+  let docs = Array.of_list docs in
+  let n = Array.length docs in
+  if n = 0 then invalid_arg "Catalog.pack: empty corpus";
+  let shards = max 1 (min shards n) in
+  let dir = Filename.dirname output in
+  let base = Filename.remove_extension (Filename.basename output) in
+  (* Contiguous partition, so catalog order × within-shard order is input
+     order — the global document order scatter-gather merges back into. *)
+  let per = n / shards and rem = n mod shards in
+  let bounds =
+    Array.init shards (fun k ->
+        let start = (k * per) + min k rem in
+        let len = per + if k < rem then 1 else 0 in
+        (start, len))
+  in
+  let shard_records =
+    Array.mapi
+      (fun k (start, len) ->
+        let rel = Printf.sprintf "%s.shard%03d.xqdb" base k in
+        let group = Array.sub docs start len in
+        let doc_summaries = pack_shard ~path:(Filename.concat dir rel) group in
+        {
+          shard_path = rel;
+          stats_version = 1;
+          doc_names = Array.map fst group;
+          summary = Path_summary.merge (Array.to_list doc_summaries);
+        })
+      bounds
+  in
+  let merged = Path_summary.merge (Array.to_list (Array.map (fun s -> s.summary) shard_records)) in
+  let merged_stats_version =
+    Array.fold_left (fun acc s -> max acc s.stats_version) 1 shard_records
+  in
+  (* One shared label table: every shard path also appears in the merged
+     summary, so the merged label set covers all shard summaries. *)
+  let labels = Hashtbl.create 64 in
+  let label_list = ref [] in
+  let intern lab =
+    match Hashtbl.find_opt labels lab with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length labels in
+        Hashtbl.replace labels lab id;
+        label_list := lab :: !label_list;
+        id
+  in
+  for i = 0 to Path_summary.length merged - 1 do
+    ignore (intern (Path_summary.label merged i))
+  done;
+  let label_id lab =
+    match Hashtbl.find_opt labels lab with
+    | Some id -> id
+    | None -> invalid_arg (Printf.sprintf "Catalog.pack: shard label %S not in merged summary" lab)
+  in
+  let oc = open_out_bin output in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      write_i64 oc catalog_version;
+      write_i64 oc shards;
+      write_i64 oc n;
+      write_i64 oc merged_stats_version;
+      let table = Array.of_list (List.rev !label_list) in
+      write_i64 oc (Array.length table);
+      Array.iter (write_str oc) table;
+      write_summary oc ~label_id merged;
+      Array.iter
+        (fun s ->
+          write_str oc s.shard_path;
+          write_i64 oc s.stats_version;
+          write_i64 oc (Array.length s.doc_names);
+          Array.iter (write_str oc) s.doc_names;
+          write_summary oc ~label_id s.summary)
+        shard_records);
+  let doc_bases = Array.map fst bounds in
+  { dir; shards = shard_records; merged; merged_stats_version; doc_bases; doc_count = n }
+
+(* --- loading ------------------------------------------------------------ *)
+
+(* A tiny cursor over the catalog bytes; every read is bounds-checked so a
+   truncated or garbled file fails with [corrupt] rather than an index
+   exception. *)
+type cursor = { buf : string; mutable pos : int; cpath : string }
+
+let need cur n =
+  if cur.pos + n > String.length cur.buf then corrupt cur.cpath "truncated"
+
+let cur_i64 cur =
+  need cur 8;
+  let v = read_i64_in cur.buf cur.pos in
+  cur.pos <- cur.pos + 8;
+  v
+
+let cur_str cur =
+  let len = cur_i64 cur in
+  if len < 0 then corrupt cur.cpath "negative length";
+  need cur len;
+  let s = String.sub cur.buf cur.pos len in
+  cur.pos <- cur.pos + len;
+  s
+
+let cur_summary cur ~label_of =
+  let count = cur_i64 cur in
+  if count < 0 then corrupt cur.cpath "negative summary count";
+  let rows =
+    Array.init count (fun _ ->
+        let r_parent = cur_i64 cur in
+        let r_label = cur_i64 cur in
+        let r_count = cur_i64 cur in
+        let r_flags = cur_i64 cur in
+        { Path_summary.r_parent; r_label; r_count; r_flags })
+  in
+  match Path_summary.of_rows rows ~label_of with
+  | summary -> summary
+  | exception Failure _ -> corrupt cur.cpath "summary table"
+
+let of_bytes ~path contents =
+  if String.length contents < 16 then corrupt path "too small";
+  if not (String.equal (String.sub contents 0 8) magic) then corrupt path "bad magic";
+  let cur = { buf = contents; pos = 8; cpath = path } in
+  let file_version = cur_i64 cur in
+  if file_version <> catalog_version then
+    failwith
+      (Printf.sprintf "%s: unsupported catalog version %d (expected %d)" path file_version
+         catalog_version);
+  let shards = cur_i64 cur in
+  let n = cur_i64 cur in
+  let merged_stats_version = cur_i64 cur in
+  if shards < 1 || n < shards then corrupt path "shard/doc counts";
+  let label_count = cur_i64 cur in
+  if label_count < 0 then corrupt path "label count";
+  let table = Array.init label_count (fun _ -> cur_str cur) in
+  let label_of id =
+    if id < 0 || id >= label_count then corrupt path "label id" else table.(id)
+  in
+  let merged = cur_summary cur ~label_of in
+  let shard_records =
+    Array.init shards (fun _ ->
+        let shard_path = cur_str cur in
+        let stats_version = cur_i64 cur in
+        let doc_n = cur_i64 cur in
+        if doc_n < 0 then corrupt path "shard doc count";
+        let doc_names = Array.init doc_n (fun _ -> cur_str cur) in
+        let summary = cur_summary cur ~label_of in
+        { shard_path; stats_version; doc_names; summary })
+  in
+  if cur.pos <> String.length contents then corrupt path "trailing bytes";
+  let doc_bases = Array.make shards 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i s ->
+      doc_bases.(i) <- !total;
+      total := !total + Array.length s.doc_names)
+    shard_records;
+  if !total <> n then corrupt path "doc count mismatch";
+  {
+    dir = Filename.dirname path;
+    shards = shard_records;
+    merged;
+    merged_stats_version;
+    doc_bases;
+    doc_count = n;
+  }
+
+let load path = of_bytes ~path (Store_io.read_file path)

@@ -1,0 +1,87 @@
+(** Corpus catalogs: many documents packed into sharded store files plus
+    one manifest the planner and scatter-gather executor drive from.
+
+    A packed corpus is N {e shard container} files — each a small header
+    plus complete {!Store_io} v4 store images laid back to back, one per
+    document — and one [.xqdbc] catalog holding the manifest (relative
+    shard paths, per-shard stats versions, document names), one packed
+    {!Path_summary} per shard, and the {e merged} summary (the
+    {!Path_summary.merge} of the shard summaries). Everything the
+    optimizer needs — merged cardinalities for planning, per-shard
+    summaries for provably-empty-shard pruning — lives in the catalog, so
+    opening a corpus reads one small file and pruned shards are never
+    opened at all.
+
+    Shard container layout (["XQPSHRD1"], little-endian i64s):
+    magic (8) · version · doc_count · doc table (offset, length per doc)
+    · store images. Catalog layout (["XQPCATLG"]): magic (8) · version ·
+    shard_count · doc_count · merged stats version · label table
+    (length-prefixed strings) · merged summary rows · per shard: relative
+    path, stats version, doc names, summary rows. All summaries share the
+    catalog label table (shard labels are a subset of merged labels).
+
+    Global document order is catalog order × within-shard order: shard
+    [k]'s documents occupy ordinals [doc_base t k ..
+    doc_base t k + docs - 1], in input order (packing partitions the
+    input contiguously). *)
+
+type shard = {
+  shard_path : string;  (** relative to the catalog file's directory *)
+  stats_version : int;
+  doc_names : string array;
+  summary : Path_summary.t;  (** merge of the shard's document summaries *)
+}
+
+type t = {
+  dir : string;  (** catalog directory, resolves [shard_path] *)
+  shards : shard array;
+  merged : Path_summary.t;
+  merged_stats_version : int;
+  doc_bases : int array;
+  doc_count : int;
+}
+
+val suffix : string
+(** [".xqdbc"] *)
+
+val is_catalog_path : string -> bool
+val magic : string
+val shard_magic : string
+
+val shard_count : t -> int
+val doc_count : t -> int
+
+val doc_base : t -> int -> int
+(** Global ordinal of a shard's first document. *)
+
+val doc_name : t -> int -> string
+(** Name of the document at a global ordinal. *)
+
+val shard_file : t -> int -> string
+(** Resolved path of a shard container. *)
+
+val pack :
+  ?shards:int -> output:string -> (string * (unit -> Xqp_xml.Document.t)) list -> t
+(** [pack ~output docs] packs named documents into [shards] (default 4,
+    clamped to the document count) container files next to [output]
+    (named [<base>.shard<k>.xqdb]) and writes the catalog. Documents are
+    produced one at a time — only one document's store is ever resident —
+    and partitioned contiguously in list order.
+    @raise Invalid_arg if [output] lacks the [.xqdbc] suffix or [docs] is
+    empty. @raise Sys_error on I/O failure. *)
+
+val load : string -> t
+(** Read a catalog (not the shard files). @raise Failure on a malformed
+    catalog; @raise Sys_error on I/O failure. *)
+
+val of_bytes : path:string -> string -> t
+(** {!load} from bytes already in memory ([path] resolves shard paths and
+    labels errors) — how fsck parses a catalog it has already read. *)
+
+val read_shard_images : t -> int -> string array
+(** All store images of one shard container, in document order. @raise
+    Failure on a malformed container. *)
+
+val shard_doc_table : path:string -> string -> (int * int) array
+(** Offset/length table of a shard container's embedded images, for
+    callers (fsck) that address the raw bytes themselves. *)

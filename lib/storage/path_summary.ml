@@ -105,6 +105,27 @@ module Builder = struct
         Hashtbl.replace b.b_index (parent, lab) id;
         id
 
+  (* Like [enter] but adds a whole pre-counted subpopulation at once — the
+     grafting primitive behind [merge]. *)
+  let add b parent lab ~count ~text =
+    let id =
+      match Hashtbl.find_opt b.b_index (parent, lab) with
+      | Some id ->
+          b.b_counts.(id) <- b.b_counts.(id) + count;
+          id
+      | None ->
+          grow b;
+          let id = b.b_len in
+          b.b_len <- id + 1;
+          b.b_labels.(id) <- lab;
+          b.b_parents.(id) <- parent;
+          b.b_counts.(id) <- count;
+          Hashtbl.replace b.b_index (parent, lab) id;
+          id
+    in
+    if text then b.b_texts.(id) <- true;
+    id
+
   let open_node b lab =
     let parent = match b.b_stack with top :: _ -> top | [] -> super_root in
     if parent = non_path then b.b_stack <- non_path :: b.b_stack
@@ -175,6 +196,31 @@ let of_document doc =
   done;
   List.iter (fun _ -> Builder.close_node b) !stack;
   Builder.finish b
+
+(* --- merging ------------------------------------------------------------ *)
+
+(* Union of path sets with summed counts and or'd text flags: graft every
+   input tree into one builder, then canonicalize. The result is what
+   [of_document] would produce over the concatenation of the inputs'
+   documents, which is the invariant corpus fsck checks. *)
+let merge ts =
+  let b = Builder.create () in
+  List.iter
+    (fun t ->
+      let rec graft parent id =
+        let nid =
+          Builder.add b parent t.labels.(id) ~count:t.counts.(id) ~text:t.text_flags.(id)
+        in
+        List.iter (graft nid) t.child_lists.(id)
+      in
+      List.iter (graft super_root) t.root_list)
+    ts;
+  Builder.finish b
+
+(* Canonical form makes structural equality plain array equality. *)
+let equal a b =
+  a.labels = b.labels && a.parents = b.parents && a.counts = b.counts
+  && a.text_flags = b.text_flags
 
 (* --- path matching ------------------------------------------------------ *)
 

@@ -54,6 +54,18 @@ end
 val of_document : Xqp_xml.Document.t -> t
 (** One pre-order pass over a packed document. *)
 
+val merge : t list -> t
+(** Union of the inputs' path sets with per-path counts summed and text
+    flags or'd — the summary [of_document] would build over the inputs'
+    documents laid side by side. This is the corpus-catalog merged
+    summary: exactness of linear-path cardinalities is preserved because
+    every document node still lies on exactly one root path. O(total
+    summary nodes). *)
+
+val equal : t -> t -> bool
+(** Structural equality (labels, parents, counts, text flags). Both sides
+    being canonical, this is plain array equality. *)
+
 (** {2 Structure access} *)
 
 val length : t -> int

@@ -133,14 +133,14 @@ let summary_of_store store = summary_of_raw (Succinct_store.to_raw store)
 
 (* --- writing ----------------------------------------------------------- *)
 
-let write_i64 oc v =
+let buf_i64 buf v =
   for shift = 0 to 7 do
-    output_char oc (Char.chr ((v lsr (8 * shift)) land 0xFF))
+    Buffer.add_char buf (Char.chr ((v lsr (8 * shift)) land 0xFF))
   done
 
-let write_i16 oc v =
-  output_char oc (Char.chr (v land 0xFF));
-  output_char oc (Char.chr ((v lsr 8) land 0xFF))
+let buf_i16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
 
 let blob_of arr =
   let buffer = Buffer.create 256 in
@@ -153,7 +153,7 @@ let blob_of arr =
   offsets.(Array.length arr) <- Buffer.length buffer;
   (offsets, Buffer.contents buffer)
 
-let save store path =
+let to_bytes store =
   let raw = Succinct_store.to_raw store in
   let n = Array.length raw.Succinct_store.tag_ids in
   let symbol_count = Array.length raw.Succinct_store.symbols in
@@ -175,55 +175,59 @@ let save store path =
   let label_ids = Hashtbl.create (max 16 symbol_count) in
   Array.iteri (fun i s -> Hashtbl.replace label_ids s i) raw.Succinct_store.symbols;
   let psum_rows = Path_summary.to_rows summary ~label_id:(Hashtbl.find label_ids) in
+  let buf = Buffer.create (4096 + (Bytes.length structure_bytes * 4)) in
+  Buffer.add_string buf magic;
+  buf_i64 buf version;
+  buf_i64 buf n;
+  buf_i64 buf tag_width;
+  buf_i64 buf structure_bit_len;
+  buf_i64 buf (Bytes.length structure_bytes);
+  buf_i64 buf flags_bit_len;
+  buf_i64 buf (Bytes.length flags_bytes);
+  buf_i64 buf symbol_count;
+  buf_i64 buf (String.length symbol_blob);
+  buf_i64 buf (Array.length raw.Succinct_store.contents);
+  buf_i64 buf (String.length content_blob);
+  buf_i64 buf dir_block_count;
+  buf_i64 buf flag_sample_count;
+  buf_i64 buf (Array.length psum_rows);
+  Buffer.add_bytes buf structure_bytes;
+  (* tag section *)
+  Array.iter
+    (fun tag ->
+      Buffer.add_char buf (Char.chr (tag land 0xFF));
+      if tag_width = 2 then Buffer.add_char buf (Char.chr ((tag lsr 8) land 0xFF)))
+    raw.Succinct_store.tag_ids;
+  Buffer.add_bytes buf flags_bytes;
+  Array.iter (buf_i64 buf) symbol_offsets;
+  Buffer.add_string buf symbol_blob;
+  Array.iter (buf_i64 buf) content_offsets;
+  Buffer.add_string buf content_blob;
+  for b = 0 to dir_block_count - 1 do
+    buf_i16 buf blk.Excess_dir.delta.(b);
+    buf_i16 buf blk.Excess_dir.fmin.(b);
+    buf_i16 buf blk.Excess_dir.fmax.(b);
+    buf_i16 buf blk.Excess_dir.bmin.(b);
+    buf_i16 buf blk.Excess_dir.bmax.(b)
+  done;
+  for s = 0 to flag_sample_count - 1 do
+    let boundary = min flags_bit_len (s * Excess_dir.block_bits) in
+    buf_i64 buf (Bitvector.rank1 raw.Succinct_store.content_flags boundary)
+  done;
+  Array.iter
+    (fun r ->
+      buf_i64 buf r.Path_summary.r_parent;
+      buf_i64 buf r.Path_summary.r_label;
+      buf_i64 buf r.Path_summary.r_count;
+      buf_i64 buf r.Path_summary.r_flags)
+    psum_rows;
+  Buffer.contents buf
+
+let save store path =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc magic;
-      write_i64 oc version;
-      write_i64 oc n;
-      write_i64 oc tag_width;
-      write_i64 oc structure_bit_len;
-      write_i64 oc (Bytes.length structure_bytes);
-      write_i64 oc flags_bit_len;
-      write_i64 oc (Bytes.length flags_bytes);
-      write_i64 oc symbol_count;
-      write_i64 oc (String.length symbol_blob);
-      write_i64 oc (Array.length raw.Succinct_store.contents);
-      write_i64 oc (String.length content_blob);
-      write_i64 oc dir_block_count;
-      write_i64 oc flag_sample_count;
-      write_i64 oc (Array.length psum_rows);
-      output_bytes oc structure_bytes;
-      (* tag section *)
-      Array.iter
-        (fun tag ->
-          output_char oc (Char.chr (tag land 0xFF));
-          if tag_width = 2 then output_char oc (Char.chr ((tag lsr 8) land 0xFF)))
-        raw.Succinct_store.tag_ids;
-      output_bytes oc flags_bytes;
-      Array.iter (write_i64 oc) symbol_offsets;
-      output_string oc symbol_blob;
-      Array.iter (write_i64 oc) content_offsets;
-      output_string oc content_blob;
-      for b = 0 to dir_block_count - 1 do
-        write_i16 oc blk.Excess_dir.delta.(b);
-        write_i16 oc blk.Excess_dir.fmin.(b);
-        write_i16 oc blk.Excess_dir.fmax.(b);
-        write_i16 oc blk.Excess_dir.bmin.(b);
-        write_i16 oc blk.Excess_dir.bmax.(b)
-      done;
-      for s = 0 to flag_sample_count - 1 do
-        let boundary = min flags_bit_len (s * Excess_dir.block_bits) in
-        write_i64 oc (Bitvector.rank1 raw.Succinct_store.content_flags boundary)
-      done;
-      Array.iter
-        (fun r ->
-          write_i64 oc r.Path_summary.r_parent;
-          write_i64 oc r.Path_summary.r_label;
-          write_i64 oc r.Path_summary.r_count;
-          write_i64 oc r.Path_summary.r_flags)
-        psum_rows)
+    (fun () -> output_string oc (to_bytes store))
 
 (* --- reading the header ------------------------------------------------ *)
 
@@ -288,15 +292,20 @@ let read_dir_blocks ~get_byte ~dir_off ~dir_block_count =
 
 (* --- whole-file load (in-memory store) --------------------------------- *)
 
-let load ?pager path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let total_size = in_channel_length ic in
-      let contents_of_file =
-        try really_input_string ic total_size with End_of_file -> corrupt path "truncated"
-      in
+(* The O(doc) recompute-and-compare cross-checks (excess directory, path
+   summary) used to run on every open, which multiplies painfully across a
+   corpus of shards. Opens now trust the packed sections by default; the
+   full cross-check lives in fsck and can be forced per-process with
+   XQP_VERIFY_PLANS=1 or per-call with [~verify:true]. *)
+let verify_default () =
+  match Sys.getenv_opt "XQP_VERIFY_PLANS" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
+let load_bytes ?pager ?verify ~path contents_of_file =
+  let verify = match verify with Some v -> v | None -> verify_default () in
+  (fun () ->
+      let total_size = String.length contents_of_file in
       if total_size < header_bytes then corrupt path "too small";
       if not (String.equal (String.sub contents_of_file 0 8) magic) then corrupt path "bad magic";
       let read_i64 off =
@@ -322,25 +331,27 @@ let load ?pager path =
           layout.structure_bit_len
       in
       (* Cross-check the serialized directories against freshly computed
-         ones: a corrupted directory must fail loudly here rather than
-         misnavigate later in a paged reader. *)
-      let stored =
-        read_dir_blocks
-          ~get_byte:(fun off -> Char.code contents_of_file.[off])
-          ~dir_off:layout.dir_off ~dir_block_count:layout.dir_block_count
-      in
-      let fresh =
-        Excess_dir.blocks
-          (Excess_dir.create ~len:layout.structure_bit_len ~byte:(Bitvector.byte structure))
-      in
-      if
-        not
-          (stored.Excess_dir.delta = fresh.Excess_dir.delta
-          && stored.Excess_dir.fmin = fresh.Excess_dir.fmin
-          && stored.Excess_dir.fmax = fresh.Excess_dir.fmax
-          && stored.Excess_dir.bmin = fresh.Excess_dir.bmin
-          && stored.Excess_dir.bmax = fresh.Excess_dir.bmax)
-      then corrupt path "excess directory mismatch";
+         ones when verifying: a corrupted directory would misnavigate a
+         paged reader. fsck always runs this check. *)
+      if verify then begin
+        let stored =
+          read_dir_blocks
+            ~get_byte:(fun off -> Char.code contents_of_file.[off])
+            ~dir_off:layout.dir_off ~dir_block_count:layout.dir_block_count
+        in
+        let fresh =
+          Excess_dir.blocks
+            (Excess_dir.create ~len:layout.structure_bit_len ~byte:(Bitvector.byte structure))
+        in
+        if
+          not
+            (stored.Excess_dir.delta = fresh.Excess_dir.delta
+            && stored.Excess_dir.fmin = fresh.Excess_dir.fmin
+            && stored.Excess_dir.fmax = fresh.Excess_dir.fmax
+            && stored.Excess_dir.bmin = fresh.Excess_dir.bmin
+            && stored.Excess_dir.bmax = fresh.Excess_dir.bmax)
+        then corrupt path "excess directory mismatch"
+      end;
       let tag_ids =
         Array.init layout.node_count (fun rank ->
             let off = layout.tags_off + (rank * layout.tag_width) in
@@ -374,30 +385,88 @@ let load ?pager path =
           ~count:layout.content_count
       in
       let raw = { Succinct_store.structure; tag_ids; symbols; content_flags; contents } in
-      (* Cross-check the serialized path summary against a recomputed one,
-         like the excess directory: a stale or corrupted synopsis must not
-         silently feed the planner wrong cardinalities. *)
-      let stored_rows =
-        Array.init layout.psum_count (fun i ->
-            let base = layout.psum_off + (psum_row_bytes * i) in
-            {
-              Path_summary.r_parent = read_i64 base;
-              r_label = read_i64 (base + 8);
-              r_count = read_i64 (base + 16);
-              r_flags = read_i64 (base + 24);
-            })
-      in
-      let label_ids = Hashtbl.create (max 16 layout.symbol_count) in
-      Array.iteri (fun i s -> Hashtbl.replace label_ids s i) symbols;
-      let fresh_rows =
-        match Path_summary.to_rows (summary_of_raw raw) ~label_id:(Hashtbl.find label_ids) with
-        | rows -> rows
-        | exception Failure _ | exception Not_found -> corrupt path "path summary rebuild"
-      in
-      if stored_rows <> fresh_rows then corrupt path "path summary mismatch";
+      (* When verifying, cross-check the serialized path summary against a
+         recomputed one, like the excess directory: a stale or corrupted
+         synopsis must not silently feed the planner wrong cardinalities. *)
+      if verify then begin
+        let stored_rows =
+          Array.init layout.psum_count (fun i ->
+              let base = layout.psum_off + (psum_row_bytes * i) in
+              {
+                Path_summary.r_parent = read_i64 base;
+                r_label = read_i64 (base + 8);
+                r_count = read_i64 (base + 16);
+                r_flags = read_i64 (base + 24);
+              })
+        in
+        let label_ids = Hashtbl.create (max 16 layout.symbol_count) in
+        Array.iteri (fun i s -> Hashtbl.replace label_ids s i) symbols;
+        let fresh_rows =
+          match Path_summary.to_rows (summary_of_raw raw) ~label_id:(Hashtbl.find label_ids) with
+          | rows -> rows
+          | exception Failure _ | exception Not_found -> corrupt path "path summary rebuild"
+        in
+        if stored_rows <> fresh_rows then corrupt path "path summary mismatch"
+      end;
       match Succinct_store.of_raw ?pager raw with
       | store -> store
       | exception Invalid_argument reason -> corrupt path reason)
+    ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let total_size = in_channel_length ic in
+      try really_input_string ic total_size with End_of_file -> corrupt path "truncated")
+
+let load ?pager ?verify path = load_bytes ?pager ?verify ~path (read_file path)
+
+(* Parse just the header, symbol table and path-summary rows of a store
+   image — the per-shard synopsis a catalog needs, without materializing
+   (or even fully validating) the store. O(symbols + summary). *)
+let packed_summary ~path contents_of_file =
+  let total_size = String.length contents_of_file in
+  if total_size < header_bytes then corrupt path "too small";
+  if not (String.equal (String.sub contents_of_file 0 8) magic) then corrupt path "bad magic";
+  let read_i64 off =
+    let v = ref 0 in
+    for shift = 0 to 7 do
+      v := !v lor (Char.code contents_of_file.[off + shift] lsl (8 * shift))
+    done;
+    !v
+  in
+  let file_version = read_i64 8 in
+  if file_version <> version then
+    failwith
+      (Printf.sprintf "%s: unsupported store version %d (expected %d)" path file_version version);
+  let layout = read_layout_from (fun off -> read_i64 (off + 8)) ~path ~total_size in
+  let symbols =
+    Array.init layout.symbol_count (fun i ->
+        let start = read_i64 (layout.symbol_offsets_off + (8 * i)) in
+        let stop = read_i64 (layout.symbol_offsets_off + (8 * (i + 1))) in
+        if stop < start || layout.symbol_blob_off + stop > total_size then
+          corrupt path "offset order";
+        String.sub contents_of_file (layout.symbol_blob_off + start) (stop - start))
+  in
+  let rows =
+    Array.init layout.psum_count (fun i ->
+        let base = layout.psum_off + (psum_row_bytes * i) in
+        {
+          Path_summary.r_parent = read_i64 base;
+          r_label = read_i64 (base + 8);
+          r_count = read_i64 (base + 16);
+          r_flags = read_i64 (base + 24);
+        })
+  in
+  let label_of id =
+    if id < 0 || id >= Array.length symbols then corrupt path "summary label id"
+    else symbols.(id)
+  in
+  match Path_summary.of_rows rows ~label_of with
+  | summary -> summary
+  | exception Failure _ -> corrupt path "path summary table"
 
 (* --- header access for the paged reader -------------------------------- *)
 

@@ -16,9 +16,13 @@
 
     Since v4 the {!Path_summary} of the document — every distinct
     root-to-node label path with its exact count — is serialized as a
-    trailing section (4 × i64 per summary node) and cross-checked against
-    a recomputed summary at load time, so the planner's cardinality
-    synopsis can never silently drift from the data. *)
+    trailing section (4 × i64 per summary node), so the planner's
+    cardinality synopsis rides with the data.
+
+    Opens trust the packed directory and summary sections by default:
+    the recompute-and-compare cross-checks are O(doc) per open, which
+    multiplies across a corpus of shards. They run in fsck, and {!load}
+    re-enables them with [~verify:true] or [XQP_VERIFY_PLANS=1]. *)
 
 val magic : string
 val version : int
@@ -26,10 +30,32 @@ val version : int
 val save : Succinct_store.t -> string -> unit
 (** [save store path] writes the store. @raise Sys_error on I/O failure. *)
 
-val load : ?pager:Pager.t -> string -> Succinct_store.t
-(** [load path] reads a store written by {!save}.
+val to_bytes : Succinct_store.t -> string
+(** The exact byte image {!save} writes — what catalog shard containers
+    embed. *)
+
+val load : ?pager:Pager.t -> ?verify:bool -> string -> Succinct_store.t
+(** [load path] reads a store written by {!save}. [verify] (default: set
+    iff [XQP_VERIFY_PLANS] is a non-empty value other than ["0"]) turns
+    the O(doc) excess-directory and path-summary recompute-and-compare
+    cross-checks back on.
     @raise Sys_error on I/O failure.
     @raise Failure on a bad magic, version or truncated file. *)
+
+val load_bytes :
+  ?pager:Pager.t -> ?verify:bool -> path:string -> string -> Succinct_store.t
+(** {!load} from an in-memory image ([path] labels error messages) — how
+    catalog shards address embedded per-document store images. *)
+
+val read_file : string -> string
+(** Whole-file read used by {!load} (and by catalog/fsck callers that
+    slice the image themselves). @raise Sys_error / Failure. *)
+
+val packed_summary : path:string -> string -> Path_summary.t
+(** Decode just the path-summary section (plus the symbol table it
+    references) of a store image, without materializing the store —
+    O(symbols + summary), not O(doc). @raise Failure on malformed
+    header/table. *)
 
 (** {2 Section directory} — used by {!Paged_store} to address sections of
     the file without reading it wholesale. All offsets are absolute file

@@ -1,0 +1,98 @@
+#!/bin/sh
+# Corpus smoke test: pack a sharded corpus catalog, query it through the
+# CLI (XPath, JSON response shape, per-document XQuery), fsck it clean,
+# require fsck to flag a corrupted shard, then boot `xqp serve` on the
+# catalog and check /query, /health, /metrics (corpus.* family) and
+# /debug/queries — ending in a clean SIGTERM drain. Exits non-zero on
+# any mismatch.
+set -e
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"; [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true' EXIT
+
+dune build bin/xqp.exe
+xqp=_build/default/bin/xqp.exe
+
+# pack: a mixed generated corpus into 3 shards + catalog
+"$xqp" pack --corpus -g auction:120 -g auction:80:7 -g bib:6 -g chain:50 \
+    --shards 3 -o "$dir/corpus.xqdbc" > "$dir/pack.log"
+grep -q '4 documents in 3 shards' "$dir/pack.log" || {
+  echo "corpus-smoke: bad pack output"; cat "$dir/pack.log"; exit 1; }
+for shard in corpus.shard000.xqdb corpus.shard001.xqdb corpus.shard002.xqdb; do
+  [ -f "$dir/$shard" ] || { echo "corpus-smoke: $shard missing"; exit 1; }
+done
+
+# query the catalog: scatter-gather XPath, the serve JSON schema, XQuery
+"$xqp" query -f "$dir/corpus.xqdbc" --domains 2 "//person/name" > "$dir/q1.txt"
+grep -q 'nodes)' "$dir/q1.txt" || {
+  echo "corpus-smoke: XPath over catalog failed"; cat "$dir/q1.txt"; exit 1; }
+"$xqp" query -f "$dir/corpus.xqdbc" --json "//book/title" > "$dir/q2.json"
+grep -q '"status":"ok"' "$dir/q2.json" || {
+  echo "corpus-smoke: JSON response not ok"; cat "$dir/q2.json"; exit 1; }
+grep -q '<title>' "$dir/q2.json" || {
+  echo "corpus-smoke: //book/title found no titles"; cat "$dir/q2.json"; exit 1; }
+"$xqp" query -f "$dir/corpus.xqdbc" -x "count(//item)" > "$dir/q3.txt"
+grep -q 'items)' "$dir/q3.txt" || {
+  echo "corpus-smoke: corpus XQuery failed"; cat "$dir/q3.txt"; exit 1; }
+
+# fsck: the packed catalog is clean; a corrupted shard must be flagged
+"$xqp" fsck "$dir/corpus.xqdbc" | grep -q 'clean' || {
+  echo "corpus-smoke: packed catalog not clean"; exit 1; }
+cp "$dir/corpus.shard000.xqdb" "$dir/shard.bak"
+printf '\377\377\377\377' | dd of="$dir/corpus.shard000.xqdb" bs=1 seek=200 conv=notrunc 2>/dev/null
+if "$xqp" fsck "$dir/corpus.xqdbc" > "$dir/fsck.log" 2>&1; then
+  echo "corpus-smoke: fsck accepted a corrupted shard"; cat "$dir/fsck.log"; exit 1
+fi
+grep -q 'error' "$dir/fsck.log" || {
+  echo "corpus-smoke: fsck failed without diagnostics"; cat "$dir/fsck.log"; exit 1; }
+cp "$dir/shard.bak" "$dir/corpus.shard000.xqdb"
+"$xqp" fsck "$dir/corpus.xqdbc" > /dev/null || {
+  echo "corpus-smoke: restored catalog not clean"; exit 1; }
+
+# serve over the catalog — the session API is the same, so every
+# endpoint must answer unchanged
+"$xqp" serve -f "$dir/corpus.xqdbc" --port 0 --domains 2 > "$dir/serve.log" 2>&1 &
+pid=$!
+port=""
+for _ in $(seq 1 50); do
+  port=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$dir/serve.log")
+  [ -n "$port" ] && break
+  kill -0 "$pid" 2>/dev/null || {
+    echo "corpus-smoke: server died at startup"; cat "$dir/serve.log"; exit 1; }
+  sleep 0.2
+done
+[ -n "$port" ] || { echo "corpus-smoke: no listening line"; cat "$dir/serve.log"; exit 1; }
+base="http://127.0.0.1:$port"
+
+curl -sf "$base/health" | grep -q '"status":"ok"' || {
+  echo "corpus-smoke: bad /health"; exit 1; }
+curl -sf -G "$base/query" --data-urlencode "q=//person/name" > "$dir/sq.json"
+grep -q '"status":"ok"' "$dir/sq.json" || {
+  echo "corpus-smoke: served query not ok"; cat "$dir/sq.json"; exit 1; }
+curl -sf "$base/query?q=count(//person)&mode=xquery" | grep -q '"status":"ok"' || {
+  echo "corpus-smoke: served corpus xquery failed"; exit 1; }
+
+# metrics: the corpus.* family must be exposed alongside serve.*
+curl -sf "$base/metrics" > "$dir/metrics.txt"
+for m in xqp_corpus_shards_dispatched_total xqp_corpus_shards_pruned_total \
+         xqp_corpus_docs_materialized_total xqp_serve_requests_total; do
+  grep -q "$m" "$dir/metrics.txt" || {
+    echo "corpus-smoke: $m missing from /metrics"; exit 1; }
+done
+
+curl -sf "$base/debug/queries?k=5" | grep -q '"query":"//person/name"' || {
+  echo "corpus-smoke: //person/name missing from /debug/queries"; exit 1; }
+
+# graceful shutdown
+kill -TERM "$pid"
+for _ in $(seq 1 50); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.2
+done
+if kill -0 "$pid" 2>/dev/null; then
+  echo "corpus-smoke: server did not exit after SIGTERM"; exit 1
+fi
+grep -q 'stopped' "$dir/serve.log" || {
+  echo "corpus-smoke: no clean shutdown line"; cat "$dir/serve.log"; exit 1; }
+pid=""
+
+echo "corpus-smoke: pack + catalog queries + fsck + corpus serve + metrics + graceful shutdown OK"

@@ -310,6 +310,37 @@ let test_flight_recorder_matches_serial () =
     (snapshot concurrent = snapshot serial);
   check_int "nothing dropped" 0 (Flight_recorder.dropped concurrent)
 
+(* ------------------------------------------------------------------ *)
+(* Corpus scatter-gather under a full worker pool                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_corpus_four_domain_stress () =
+  (* A 4-shard catalog driven by a 4-domain scatter-gather pool, many
+     rounds back to back: every round must stay byte-identical to the
+     serial per-document baseline, and each query must account for every
+     shard exactly once — dispatched or pruned, never both or neither. *)
+  Test_corpus.with_temp_dir (fun dir ->
+      let docs = Test_corpus.corpus_docs 8 in
+      let path = Test_corpus.pack_docs ~dir ~shards:4 docs in
+      let session = Result.get_ok (Xqp.Session.open_db ~domains:4 path) in
+      Fun.protect
+        ~finally:(fun () -> Xqp.Session.close session)
+        (fun () ->
+          let expected = List.map (Test_corpus.serial_baseline docs) Test_corpus.queries in
+          let m_pruned = Metrics.counter Metrics.default "corpus.shards_pruned" in
+          let m_dispatched = Metrics.counter Metrics.default "corpus.shards_dispatched" in
+          let p0 = Metrics.value m_pruned and d0 = Metrics.value m_dispatched in
+          let rounds = 25 in
+          for _ = 1 to rounds do
+            List.iter2
+              (fun q want ->
+                check_bool q true (String.equal want (Test_corpus.corpus_answer session q)))
+              Test_corpus.queries expected
+          done;
+          check_int "dispatched + pruned = rounds × queries × shards"
+            (rounds * List.length Test_corpus.queries * 4)
+            (Metrics.value m_dispatched - d0 + (Metrics.value m_pruned - p0))))
+
 let suite =
   [
     ( "domains",
@@ -330,5 +361,7 @@ let suite =
           test_request_tracers_isolated;
         Alcotest.test_case "flight recorder matches serial baseline" `Quick
           test_flight_recorder_matches_serial;
+        Alcotest.test_case "corpus: 4 domains × 4 shards stress" `Quick
+          test_corpus_four_domain_stress;
       ] );
   ]

@@ -3,4 +3,5 @@ let () =
     (Test_xml.suite @ Test_storage.suite @ Test_algebra.suite @ Test_xpath.suite
    @ Test_physical.suite @ Test_planner.suite @ Test_xquery.suite @ Test_workload.suite
    @ Test_analysis.suite
-   @ Test_coverage.suite @ Test_obs.suite @ Test_domains.suite @ Test_serve.suite)
+   @ Test_coverage.suite @ Test_obs.suite @ Test_domains.suite @ Test_serve.suite
+   @ Test_corpus.suite)

@@ -120,21 +120,41 @@ let rec run_tree tr trees =
 let rec count_nodes trees =
   List.fold_left (fun acc (`Node children) -> acc + 1 + count_nodes children) 0 trees
 
-let events_balance events =
-  List.for_all
-    (fun (e : Trace.event) ->
-      e.Trace.t1 >= e.Trace.t0
-      &&
-      if e.Trace.parent = -1 then e.Trace.depth = 0
-      else
-        match List.find_opt (fun (p : Trace.event) -> p.Trace.id = e.Trace.parent) events with
-        | None -> false
-        | Some p ->
-          p.Trace.id < e.Trace.id
-          && e.Trace.depth = p.Trace.depth + 1
-          && e.Trace.t0 >= p.Trace.t0
-          && e.Trace.t1 <= p.Trace.t1)
-    events
+(* Chrome trace JSON prints ts/dur with millinanosecond precision
+   (Json.num_to_string uses %.3f on microseconds), so a parent and child
+   endpoint that round in opposite directions can disagree by up to 1 ns
+   after a round-trip. Containment is therefore checked with a 2 ns
+   slack; ids and depths stay exact. *)
+let balance_violation events =
+  let eps = 2e-9 in
+  let bad fmt = Printf.ksprintf Option.some fmt in
+  let span (e : Trace.event) =
+    Printf.sprintf "%s#%d(parent=%d depth=%d t0=%.9f t1=%.9f)" e.Trace.name e.Trace.id
+      e.Trace.parent e.Trace.depth e.Trace.t0 e.Trace.t1
+  in
+  List.fold_left
+    (fun acc (e : Trace.event) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if e.Trace.t1 < e.Trace.t0 -. eps then bad "negative span %s" (span e)
+        else if e.Trace.parent = -1 then
+          if e.Trace.depth = 0 then None else bad "root at depth %d: %s" e.Trace.depth (span e)
+        else (
+          match
+            List.find_opt (fun (p : Trace.event) -> p.Trace.id = e.Trace.parent) events
+          with
+          | None -> bad "missing parent: %s" (span e)
+          | Some p ->
+            if p.Trace.id >= e.Trace.id then bad "parent not older: %s under %s" (span e) (span p)
+            else if e.Trace.depth <> p.Trace.depth + 1 then
+              bad "depth gap: %s under %s" (span e) (span p)
+            else if e.Trace.t0 < p.Trace.t0 -. eps || e.Trace.t1 > p.Trace.t1 +. eps then
+              bad "interval escapes parent: %s under %s" (span e) (span p)
+            else None))
+    None events
+
+let events_balance events = Option.is_none (balance_violation events)
 
 let test_span_nesting_qcheck =
   QCheck2.Test.make ~name:"random span trees balance" ~count:100 (gen_tree 4) (fun trees ->

@@ -13,6 +13,7 @@ module Session = Xqp.Session
 module Server = Xqp.Server
 module Response = Xqp.Response
 module Error = Xqp.Error
+module Metrics = Xqp_obs.Metrics
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -22,8 +23,8 @@ let bib_session () = Session.of_document (Xqp_workload.Gen_bib.packed ~books:12 
 
 (* --- a minimal HTTP client ------------------------------------------- *)
 
-(* One request per connection (the server sends Connection: close), read
-   to EOF, split status line + headers from body. *)
+(* One request per connection (we ask for Connection: close), read to
+   EOF, split status line + headers from body. *)
 let http_request_full ~port ~path ?(meth = "GET") ?(body = "") () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -31,8 +32,9 @@ let http_request_full ~port ~path ?(meth = "GET") ?(body = "") () =
     (fun () ->
       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
       let request =
-        Printf.sprintf "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n\r\n%s" meth
-          path (String.length body) body
+        Printf.sprintf
+          "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+          meth path (String.length body) body
       in
       let bytes = Bytes.of_string request in
       let rec send off =
@@ -201,7 +203,9 @@ let test_admission_rejects_when_full () =
         ~finally:(fun () -> try Unix.close pin with Unix.Unix_error _ -> ())
         (fun () ->
           Unix.connect pin (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-          let half = Printf.sprintf "GET %s HTTP/1.1\r\nHost: l\r\n" (query_url "//book") in
+          let half =
+            Printf.sprintf "GET %s HTTP/1.1\r\nHost: l\r\nConnection: close\r\n" (query_url "//book")
+          in
           ignore (Unix.write pin (Bytes.of_string half) 0 (String.length half));
           (* let the acceptor admit it and the worker block on its read
              (the accept loop polls every 250 ms) *)
@@ -241,6 +245,100 @@ let test_admission_rejects_when_full () =
               | e -> Alcotest.failf "expected overloaded, got %s" (Error.code e))
             rejected))
 
+(* Read exactly one response off a reused connection: headers to the
+   blank line, then Content-Length bytes — no reading to EOF. *)
+let read_response fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let blank_at () =
+    let s = Buffer.contents buf in
+    let rec go i =
+      if i + 3 >= String.length s then None
+      else if String.sub s i 4 = "\r\n\r\n" then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let rec fill_headers () =
+    match blank_at () with
+    | Some i -> i
+    | None ->
+      let n = try Unix.read fd chunk 0 4096 with Unix.Unix_error _ -> 0 in
+      if n = 0 then Alcotest.fail "connection closed mid-headers"
+      else (
+        Buffer.add_subbytes buf chunk 0 n;
+        fill_headers ())
+  in
+  let blank = fill_headers () in
+  let headers = String.sub (Buffer.contents buf) 0 blank in
+  let content_length =
+    match Option.bind (header_value "content-length" headers) int_of_string_opt with
+    | Some n -> n
+    | None -> Alcotest.fail "response without content-length"
+  in
+  let rec fill_body () =
+    if Buffer.length buf < blank + 4 + content_length then (
+      let n = try Unix.read fd chunk 0 4096 with Unix.Unix_error _ -> 0 in
+      if n = 0 then Alcotest.fail "connection closed mid-body"
+      else (
+        Buffer.add_subbytes buf chunk 0 n;
+        fill_body ()))
+  in
+  fill_body ();
+  let raw = Buffer.contents buf in
+  let status =
+    match String.split_on_char ' ' raw with _ :: code :: _ -> int_of_string code | _ -> 0
+  in
+  (status, headers, String.sub raw (blank + 4) content_length)
+
+(* Several requests ride one TCP connection: HTTP/1.1 without a
+   Connection header keeps it open, an explicit [Connection: close]
+   ends it, and the server counts one accept for the whole exchange. *)
+let test_keep_alive_connection () =
+  let session = bib_session () in
+  with_server session (fun server ->
+      let port = Server.port server in
+      let v name = Metrics.value (Metrics.counter Metrics.default name) in
+      let accepted0 = v "serve.accepted" and requests0 = v "serve.requests" in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          let send s =
+            let b = Bytes.of_string s in
+            let rec go off =
+              if off < Bytes.length b then go (off + Unix.write fd b off (Bytes.length b - off))
+            in
+            go 0
+          in
+          let conn h = Option.value ~default:"" (header_value "connection" h) in
+          send (Printf.sprintf "GET %s HTTP/1.1\r\nHost: l\r\n\r\n" (query_url "//book/title"));
+          let s1, h1, b1 = read_response fd in
+          check_int "first status" 200 s1;
+          check_string "first kept alive" "keep-alive" (conn h1);
+          ignore (decode_ok b1);
+          (* a POST with a body works on the reused connection too *)
+          let body = {|{"q": "//book"}|} in
+          send
+            (Printf.sprintf "POST /query HTTP/1.1\r\nHost: l\r\nContent-Length: %d\r\n\r\n%s"
+               (String.length body) body);
+          let s2, h2, b2 = read_response fd in
+          check_int "second status" 200 s2;
+          check_string "second kept alive" "keep-alive" (conn h2);
+          ignore (decode_ok b2);
+          send
+            (Printf.sprintf "GET %s HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n"
+               (query_url "//book/title"));
+          let s3, h3, b3 = read_response fd in
+          check_int "third status" 200 s3;
+          check_string "close honoured" "close" (conn h3);
+          ignore (decode_ok b3);
+          let n = try Unix.read fd (Bytes.create 16) 0 16 with Unix.Unix_error _ -> 0 in
+          check_int "server closed after close" 0 n;
+          check_int "one connection accepted" 1 (v "serve.accepted" - accepted0);
+          check_int "three requests served" 3 (v "serve.requests" - requests0)))
+
 let test_graceful_shutdown_drains () =
   let session = bib_session () in
   let config = { Server.default_config with Server.domains = 2 } in
@@ -249,7 +347,11 @@ let test_graceful_shutdown_drains () =
   (* requests in flight when stop lands must complete, not get cut off *)
   let clients =
     Array.init 4 (fun _ ->
-        Domain.spawn (fun () -> http_request ~port ~path:(query_url "//book/title") ()))
+        Domain.spawn (fun () ->
+            (* the listen socket may close before this domain connects
+               (or mid-write): that counts as "refused", not a failure *)
+            try http_request ~port ~path:(query_url "//book/title") ()
+            with Unix.Unix_error _ -> (0, "")))
   in
   Server.stop server;
   let answers = Array.to_list (Array.map Domain.join clients) in
@@ -417,7 +519,9 @@ let test_debug_slow_and_request_trace () =
         (List.exists (fun (e : Xqp_obs.Trace.event) -> e.Xqp_obs.Trace.name = "request") events);
       check_bool "query span nested" true
         (List.exists (fun (e : Xqp_obs.Trace.event) -> e.Xqp_obs.Trace.name = "query") events);
-      check_bool "tree balances" true (Test_obs.events_balance events);
+      (match Test_obs.balance_violation events with
+      | None -> ()
+      | Some why -> Alcotest.failf "span tree unbalanced: %s" why);
       (* unknown ids 404 *)
       let status, _ = http_request ~port ~path:"/debug/requests/r-99999" () in
       check_int "unknown request id 404s" 404 status)
@@ -589,6 +693,8 @@ let suite =
         Alcotest.test_case "deadline expiry times out" `Quick test_deadline_times_out;
         Alcotest.test_case "admission control rejects at capacity" `Quick
           test_admission_rejects_when_full;
+        Alcotest.test_case "keep-alive serves several requests per connection" `Quick
+          test_keep_alive_connection;
         Alcotest.test_case "graceful shutdown drains" `Quick test_graceful_shutdown_drains;
         Alcotest.test_case "health and metrics endpoints" `Quick test_health_and_metrics;
         Alcotest.test_case "request ids echoed and distinct" `Quick test_request_id_echo;

@@ -679,14 +679,20 @@ let test_store_io_directory_sections () =
   check_bool "bmin" true (blk.Excess_dir.bmin = fb.Excess_dir.bmin);
   check_bool "bmax" true (blk.Excess_dir.bmax = fb.Excess_dir.bmax);
   Buffer_pool.close pool;
-  (* flipping bits inside either trailing section must be caught at load *)
+  (* flipping bits inside either trailing section must be caught by a
+     verified load (the fsck / XQP_VERIFY_PLANS path; plain opens trust
+     the sections) *)
   tamper_file temp_store_path layout.Store_io.dir_off 0x3f;
   check_bool "tampered excess directory rejected" true
-    (match Store_io.load temp_store_path with exception Failure _ -> true | _ -> false);
+    (match Store_io.load ~verify:true temp_store_path with
+    | exception Failure _ -> true
+    | _ -> false);
   Store_io.save store temp_store_path;
   tamper_file temp_store_path layout.Store_io.flag_samples_off 0x3f;
   check_bool "tampered flag samples rejected" true
-    (match Store_io.load temp_store_path with exception Failure _ -> true | _ -> false)
+    (match Store_io.load ~verify:true temp_store_path with
+    | exception Failure _ -> true
+    | _ -> false)
 
 let prop_store_io_directory_roundtrip =
   QCheck2.Test.make ~name:"serialized excess directory = fresh scan" ~count:50
@@ -726,12 +732,19 @@ let test_store_io_path_summary_section () =
   (* a flipped parent link breaks the pre-order invariant *)
   tamper_file temp_store_path layout.Store_io.psum_off 0x40;
   check_bool "tampered summary parent rejected" true
-    (match Store_io.load temp_store_path with exception Failure _ -> true | _ -> false);
+    (match Store_io.load ~verify:true temp_store_path with
+    | exception Failure _ -> true
+    | _ -> false);
   Store_io.save store temp_store_path;
-  (* a flipped count no longer matches the recomputed summary *)
+  (* a flipped count only disagrees with the recomputed summary — the
+     O(doc) cross-check that runs under verify *)
   tamper_file temp_store_path (layout.Store_io.psum_off + 16) 0x02;
   check_bool "tampered summary count rejected" true
-    (match Store_io.load temp_store_path with exception Failure _ -> true | _ -> false)
+    (match Store_io.load ~verify:true temp_store_path with
+    | exception Failure _ -> true
+    | _ -> false);
+  check_bool "tampered count trusted by plain open" true
+    (match Store_io.load temp_store_path with exception Failure _ -> false | _ -> true)
 
 let prop_path_summary_counts =
   QCheck2.Test.make ~name:"path summary counts = naive scan" ~count:100 gen_tree_with_attrs
